@@ -1,0 +1,123 @@
+//! Offline guessing-cost calculations backing the §IV-C/§IV-E arguments.
+
+use amnesia_core::analysis::{self, SearchSpace};
+use amnesia_core::PasswordPolicy;
+
+/// A cracking benchmark rate: a very well-resourced attacker doing 10^12
+/// hash evaluations per second.
+pub const FAST_ATTACKER_GUESSES_PER_SEC: f64 = 1e12;
+
+/// The cost picture an offline attacker faces after a given breach.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GuessingReport {
+    /// What the attacker is missing.
+    pub missing: &'static str,
+    /// Size of the space they must search.
+    pub space: SearchSpace,
+    /// Expected years to find the value at
+    /// [`FAST_ATTACKER_GUESSES_PER_SEC`].
+    pub expected_years: f64,
+    /// Whether the attacker has any oracle telling them a guess is correct.
+    pub has_confirmation_oracle: bool,
+}
+
+impl GuessingReport {
+    /// §IV-C: a server-breach attacker holds `Ks` but must guess the token
+    /// `T` — "the attacker would need to brute-force 2^256 possible
+    /// combinations", with no feedback on correctness.
+    pub fn token_guessing() -> Self {
+        let space = SearchSpace::from_bits(256.0);
+        GuessingReport {
+            missing: "token T (256-bit)",
+            expected_years: space.years_to_crack(FAST_ATTACKER_GUESSES_PER_SEC),
+            space,
+            has_confirmation_oracle: false,
+        }
+    }
+
+    /// §IV-D: a phone-compromise attacker holds `Kp` but must guess the
+    /// server-side `Oid` and per-account `σ` (512 + 256 bits).
+    pub fn server_secret_guessing() -> Self {
+        let space = SearchSpace::from_bits(512.0 + 256.0);
+        GuessingReport {
+            missing: "Oid (512-bit) and sigma (256-bit)",
+            expected_years: space.years_to_crack(FAST_ATTACKER_GUESSES_PER_SEC),
+            space,
+            has_confirmation_oracle: false,
+        }
+    }
+
+    /// §IV-E: guessing the final password directly.
+    pub fn password_guessing(policy: &PasswordPolicy) -> Self {
+        let space = analysis::password_space(policy);
+        GuessingReport {
+            missing: "the generated password itself",
+            expected_years: space.years_to_crack(FAST_ATTACKER_GUESSES_PER_SEC),
+            space,
+            has_confirmation_oracle: false,
+        }
+    }
+
+    /// §III-B3: the token space realized by an entry table of `n` entries
+    /// (`n^16`, e.g. 1.53 × 10^59 for the default 5000).
+    pub fn token_sequence_space(n: usize) -> SearchSpace {
+        analysis::token_space(n)
+    }
+
+    /// One-line summary for attack reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "missing {}: search space ~{} ({:.1} bits), ~{:.1e} years at 1e12 guesses/s, {}",
+            self.missing,
+            self.space.scientific(),
+            self.space.bits(),
+            self.expected_years,
+            if self.has_confirmation_oracle {
+                "with confirmation oracle"
+            } else {
+                "no confirmation oracle"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_guessing_is_infeasible() {
+        let r = GuessingReport::token_guessing();
+        assert!(r.space.bits() >= 256.0);
+        assert!(r.expected_years > 1e50);
+        assert!(!r.has_confirmation_oracle);
+    }
+
+    #[test]
+    fn server_secret_space_is_largest() {
+        let token = GuessingReport::token_guessing();
+        let server = GuessingReport::server_secret_guessing();
+        assert!(server.space.bits() > token.space.bits());
+    }
+
+    #[test]
+    fn password_space_matches_paper_default() {
+        let r = GuessingReport::password_guessing(&PasswordPolicy::default());
+        assert_eq!(r.space.scientific(), "1.38e63");
+    }
+
+    #[test]
+    fn token_sequence_space_matches_paper() {
+        assert_eq!(
+            GuessingReport::token_sequence_space(5000).scientific(),
+            "1.53e59"
+        );
+    }
+
+    #[test]
+    fn summary_mentions_space() {
+        let s = GuessingReport::token_guessing().summary();
+        assert!(s.contains("no confirmation oracle"));
+        assert!(s.contains("bits"));
+    }
+}

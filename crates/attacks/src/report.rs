@@ -1,0 +1,171 @@
+//! Attack outcome reporting.
+
+use std::fmt;
+
+/// The §IV attack surfaces, plus the two designed-boundary combinations and
+/// the post-recovery check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AttackVector {
+    /// §IV-A: the HTTPS connection between the user's computer and the
+    /// Amnesia server is compromised.
+    BrokenHttpsBrowserLink,
+    /// §IV-A: the HTTPS connection between the phone and the Amnesia server
+    /// is compromised.
+    BrokenHttpsPhoneLink,
+    /// §IV-B: a passive eavesdropper on the rendezvous routing.
+    RendezvousEavesdrop,
+    /// §IV-C: full access to the server's data at rest.
+    ServerBreach,
+    /// §IV-D: full access to the phone (Kp and application memory).
+    PhoneCompromise,
+    /// Threat model §II: the master password alone is compromised
+    /// (phished/shoulder-surfed), nothing else.
+    MasterPasswordOnly,
+    /// Threat-model boundary: stolen phone *and* known master password.
+    PhonePlusMasterPassword,
+    /// Threat-model boundary: server data at rest *and* stolen phone.
+    ServerBreachPlusPhone,
+    /// §III-C1: the old phone's `Kp` after the user completed recovery.
+    StolenPhoneAfterRecovery,
+    /// §VIII vault extension: server breach against a vaulted (chosen)
+    /// password, with and without the phone's `Kp`.
+    VaultServerBreach,
+}
+
+impl AttackVector {
+    /// Human-readable title used in rendered reports.
+    pub fn title(&self) -> &'static str {
+        match self {
+            AttackVector::BrokenHttpsBrowserLink => "broken HTTPS: browser <-> server",
+            AttackVector::BrokenHttpsPhoneLink => "broken HTTPS: phone <-> server",
+            AttackVector::RendezvousEavesdrop => "rendezvous server eavesdropping",
+            AttackVector::ServerBreach => "server breach (data at rest)",
+            AttackVector::PhoneCompromise => "phone compromise",
+            AttackVector::MasterPasswordOnly => "master password alone",
+            AttackVector::PhonePlusMasterPassword => "phone + master password",
+            AttackVector::ServerBreachPlusPhone => "server breach + phone",
+            AttackVector::StolenPhoneAfterRecovery => "stolen phone after recovery",
+            AttackVector::VaultServerBreach => "server breach against vault entries",
+        }
+    }
+
+    /// The paper section analysing this vector.
+    pub fn paper_section(&self) -> &'static str {
+        match self {
+            AttackVector::BrokenHttpsBrowserLink | AttackVector::BrokenHttpsPhoneLink => "IV-A",
+            AttackVector::RendezvousEavesdrop => "IV-B",
+            AttackVector::ServerBreach => "IV-C",
+            AttackVector::PhoneCompromise => "IV-D",
+            AttackVector::MasterPasswordOnly => "II / III-C2",
+            AttackVector::PhonePlusMasterPassword | AttackVector::ServerBreachPlusPhone => "II",
+            AttackVector::StolenPhoneAfterRecovery => "III-C1",
+            AttackVector::VaultServerBreach => "VIII",
+        }
+    }
+}
+
+impl fmt::Display for AttackVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.title())
+    }
+}
+
+/// The outcome of one executed attack scenario.
+#[derive(Clone, Debug)]
+pub struct AttackReport {
+    /// Which scenario ran.
+    pub vector: AttackVector,
+    /// Whether the attacker obtained at least one website password.
+    pub success: bool,
+    /// Passwords the attacker recovered, as `(account, password)` pairs.
+    pub recovered: Vec<(String, String)>,
+    /// Step-by-step record of what the attacker observed or failed to do.
+    pub observations: Vec<String>,
+}
+
+impl AttackReport {
+    /// Creates an empty report for a vector.
+    pub fn new(vector: AttackVector) -> Self {
+        AttackReport {
+            vector,
+            success: false,
+            recovered: Vec::new(),
+            observations: Vec::new(),
+        }
+    }
+
+    /// Appends an observation line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.observations.push(line.into());
+    }
+
+    /// Records a recovered credential and marks the attack successful.
+    pub fn recovered_password(&mut self, account: impl Into<String>, password: impl Into<String>) {
+        self.recovered.push((account.into(), password.into()));
+        self.success = true;
+    }
+
+    /// Renders the report as text (used by the `sec4_attacks` binary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "[{}] {} (paper §{})\n",
+            if self.success { "BREACH" } else { "  safe" },
+            self.vector.title(),
+            self.vector.paper_section()
+        ));
+        for line in &self.observations {
+            out.push_str(&format!("    - {line}\n"));
+        }
+        if !self.recovered.is_empty() {
+            out.push_str(&format!(
+                "    => attacker recovered {} password(s)\n",
+                self.recovered.len()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovered_password_sets_success() {
+        let mut r = AttackReport::new(AttackVector::ServerBreach);
+        assert!(!r.success);
+        r.recovered_password("alice@site", "hunter2");
+        assert!(r.success);
+        assert_eq!(r.recovered.len(), 1);
+    }
+
+    #[test]
+    fn render_marks_outcome() {
+        let mut r = AttackReport::new(AttackVector::PhoneCompromise);
+        r.note("stole Kp");
+        assert!(r.render().contains("  safe"));
+        r.recovered_password("a", "b");
+        assert!(r.render().contains("BREACH"));
+    }
+
+    #[test]
+    fn titles_and_sections_are_distinct() {
+        use AttackVector::*;
+        let all = [
+            BrokenHttpsBrowserLink,
+            BrokenHttpsPhoneLink,
+            RendezvousEavesdrop,
+            ServerBreach,
+            PhoneCompromise,
+            MasterPasswordOnly,
+            PhonePlusMasterPassword,
+            ServerBreachPlusPhone,
+            StolenPhoneAfterRecovery,
+            VaultServerBreach,
+        ];
+        let titles: std::collections::HashSet<_> = all.iter().map(|v| v.title()).collect();
+        assert_eq!(titles.len(), all.len());
+    }
+}

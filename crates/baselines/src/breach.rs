@@ -1,0 +1,389 @@
+//! The quantitative breach experiment: same credentials, same attacks,
+//! four architectures.
+
+use crate::managers::{
+    CloudVaultManager, DualPossessionManager, GenerativeBilateralManager, LocalVaultManager,
+    SiteCredential,
+};
+use amnesia_crypto::SecretRng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Attacker capabilities, normalized across architectures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BreachSurface {
+    /// Data at rest on the provider/Amnesia server.
+    ServerAtRest,
+    /// Theft of the user's computer.
+    ComputerTheft,
+    /// Theft of the user's phone.
+    PhoneTheft,
+    /// The master password is disclosed (phished/shoulder-surfed), nothing
+    /// else.
+    MasterPasswordOnly,
+    /// Server data at rest **and** the master password.
+    ServerPlusMasterPassword,
+    /// Computer theft **and** the master password.
+    ComputerPlusMasterPassword,
+    /// Phone theft **and** the master password.
+    PhonePlusMasterPassword,
+    /// Computer **and** phone stolen together.
+    ComputerPlusPhone,
+    /// Server data at rest **and** the phone.
+    ServerPlusPhone,
+}
+
+impl BreachSurface {
+    /// All surfaces, in table order.
+    pub const ALL: [BreachSurface; 9] = [
+        BreachSurface::ServerAtRest,
+        BreachSurface::ComputerTheft,
+        BreachSurface::PhoneTheft,
+        BreachSurface::MasterPasswordOnly,
+        BreachSurface::ServerPlusMasterPassword,
+        BreachSurface::ComputerPlusMasterPassword,
+        BreachSurface::PhonePlusMasterPassword,
+        BreachSurface::ComputerPlusPhone,
+        BreachSurface::ServerPlusPhone,
+    ];
+
+    /// Short column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreachSurface::ServerAtRest => "server",
+            BreachSurface::ComputerTheft => "computer",
+            BreachSurface::PhoneTheft => "phone",
+            BreachSurface::MasterPasswordOnly => "MP",
+            BreachSurface::ServerPlusMasterPassword => "server+MP",
+            BreachSurface::ComputerPlusMasterPassword => "computer+MP",
+            BreachSurface::PhonePlusMasterPassword => "phone+MP",
+            BreachSurface::ComputerPlusPhone => "comp+phone",
+            BreachSurface::ServerPlusPhone => "server+phone",
+        }
+    }
+}
+
+impl fmt::Display for BreachSurface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Exposure results: manager × surface → fraction of credentials the
+/// attacker recovered (the attacks are executed, not postulated).
+#[derive(Clone, Debug)]
+pub struct BreachMatrix {
+    sites: usize,
+    cells: BTreeMap<(String, BreachSurface), f64>,
+    manager_order: Vec<String>,
+}
+
+impl BreachMatrix {
+    /// Fraction of the user's credentials exposed for a manager/surface
+    /// pair (0.0 when the pair was not measured).
+    pub fn exposure(&self, manager: &str, surface: BreachSurface) -> f64 {
+        self.cells
+            .get(&(manager.to_string(), surface))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Renders the matrix as a text table (✗ = everything exposed).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Breach exposure across architectures ({} credentials per manager)\n",
+            self.sites
+        ));
+        out.push_str(&format!("{:<16}", "manager"));
+        for s in BreachSurface::ALL {
+            out.push_str(&format!(" | {:>12}", s.label()));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(16 + BreachSurface::ALL.len() * 15));
+        out.push('\n');
+        for manager in &self.manager_order {
+            out.push_str(&format!("{manager:<16}"));
+            for s in BreachSurface::ALL {
+                let v = self.exposure(manager, s);
+                let cell = if v >= 1.0 {
+                    "ALL".to_string()
+                } else if v <= 0.0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.0}%", v * 100.0)
+                };
+                out.push_str(&format!(" | {cell:>12}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(
+            "\n'ALL' cells are executed attacks that recovered every stored/derived \
+             credential; '-' cells are executed attacks that recovered none.\n",
+        );
+        out
+    }
+}
+
+/// The master password used by the simulated user — a weak, dictionary
+/// password, per the paper's §I premise ("users have selected very weak
+/// passwords").
+const USER_MP: &str = "monkey1999";
+
+/// The attacker's (tiny) cracking dictionary, which contains the user's
+/// weak master password.
+const DICTIONARY: &[&str] = &["123456", "password", "letmein", "monkey1999", "dragon"];
+
+/// Builds one user per architecture with the same `sites` credentials and
+/// executes every surface of [`BreachSurface::ALL`] against each.
+pub fn run_matrix(seed: u64) -> BreachMatrix {
+    let sites = 5usize;
+    let site_names: Vec<String> = (0..sites).map(|i| format!("site{i}.example.com")).collect();
+    let credential = |site: &str| SiteCredential {
+        site: site.to_string(),
+        username: "alice".into(),
+        password: format!("stored-password-for-{site}"),
+    };
+
+    // Build the four managers with identical contents.
+    let mut local = LocalVaultManager::new(USER_MP, 100, SecretRng::seeded(seed));
+    let mut cloud = CloudVaultManager::new(USER_MP, 100, SecretRng::seeded(seed ^ 1));
+    let mut dual = DualPossessionManager::new(SecretRng::seeded(seed ^ 2));
+    let mut amnesia = GenerativeBilateralManager::new(SecretRng::seeded(seed ^ 3), 64);
+    let mut rng = SecretRng::seeded(seed ^ 4);
+    for site in &site_names {
+        local.add(USER_MP, credential(site)).expect("add");
+        cloud.add(USER_MP, credential(site)).expect("add");
+        dual.add(credential(site)).expect("add");
+        amnesia.add(site, "alice", &mut rng).expect("add");
+    }
+
+    let mut cells = BTreeMap::new();
+    let mut record = |name: &str, surface: BreachSurface, recovered: usize| {
+        cells.insert((name.to_string(), surface), recovered as f64 / sites as f64);
+    };
+
+    // --- Firefox-like local vault -----------------------------------------
+    {
+        let name = "Firefox-like";
+        let file = local.export_device_file_for_attack_model();
+        // Server holds nothing; phone holds nothing.
+        record(name, BreachSurface::ServerAtRest, 0);
+        record(name, BreachSurface::PhoneTheft, 0);
+        record(name, BreachSurface::ServerPlusPhone, 0);
+        record(name, BreachSurface::PhonePlusMasterPassword, 0);
+        record(name, BreachSurface::ServerPlusMasterPassword, 0);
+        record(name, BreachSurface::MasterPasswordOnly, 0);
+        // Computer theft: offline dictionary attack against the weak MP.
+        let cracked = file
+            .dictionary_attack(DICTIONARY)
+            .map(|(_, c)| c.len())
+            .unwrap_or(0);
+        record(name, BreachSurface::ComputerTheft, cracked);
+        record(name, BreachSurface::ComputerPlusPhone, cracked);
+        // Computer + known MP: direct decryption.
+        let direct = file
+            .dictionary_attack(&[USER_MP])
+            .map(|(_, c)| c.len())
+            .unwrap_or(0);
+        record(name, BreachSurface::ComputerPlusMasterPassword, direct);
+    }
+
+    // --- LastPass-like cloud vault ----------------------------------------
+    {
+        let name = "LastPass-like";
+        let blob = cloud.export_server_blob_for_attack_model();
+        // Provider breach: offline dictionary attack on the congregated blob.
+        let cracked = blob
+            .dictionary_attack(DICTIONARY)
+            .map(|(_, c)| c.len())
+            .unwrap_or(0);
+        record(name, BreachSurface::ServerAtRest, cracked);
+        record(name, BreachSurface::ServerPlusPhone, cracked);
+        // The master password alone fetches and opens the vault from
+        // anywhere — the single point of failure.
+        let via_mp = site_names
+            .iter()
+            .filter(|s| cloud.retrieve(USER_MP, s).is_ok())
+            .count();
+        record(name, BreachSurface::MasterPasswordOnly, via_mp);
+        record(name, BreachSurface::ServerPlusMasterPassword, via_mp);
+        record(name, BreachSurface::ComputerPlusMasterPassword, via_mp);
+        record(name, BreachSurface::PhonePlusMasterPassword, via_mp);
+        // Devices hold nothing.
+        record(name, BreachSurface::ComputerTheft, 0);
+        record(name, BreachSurface::PhoneTheft, 0);
+        record(name, BreachSurface::ComputerPlusPhone, 0);
+    }
+
+    // --- Tapas-like dual possession ----------------------------------------
+    {
+        let name = "Tapas-like";
+        let wallet = dual.export_phone_half_for_attack_model();
+        let key = dual.export_computer_half_for_attack_model();
+        // Singles: nothing (wallet is AEAD under a 256-bit random key; the
+        // key alone has nothing to open). No master password exists.
+        record(name, BreachSurface::ServerAtRest, 0);
+        record(name, BreachSurface::ComputerTheft, 0);
+        record(
+            name,
+            BreachSurface::PhoneTheft,
+            DualPossessionManager::decrypt_with_both_halves(&wallet, &[0u8; 32])
+                .map(|c| c.len())
+                .unwrap_or(0),
+        );
+        record(name, BreachSurface::MasterPasswordOnly, 0);
+        record(name, BreachSurface::ServerPlusMasterPassword, 0);
+        record(name, BreachSurface::ComputerPlusMasterPassword, 0);
+        record(name, BreachSurface::PhonePlusMasterPassword, 0);
+        record(name, BreachSurface::ServerPlusPhone, 0);
+        // Both halves: everything.
+        let both = DualPossessionManager::decrypt_with_both_halves(&wallet, &key)
+            .map(|c| c.len())
+            .unwrap_or(0);
+        record(name, BreachSurface::ComputerPlusPhone, both);
+    }
+
+    // --- Amnesia -------------------------------------------------------------
+    {
+        let name = "Amnesia";
+        let server_half = amnesia.export_server_half_for_attack_model();
+        let phone_half = amnesia.export_phone_half_for_attack_model();
+        // Singles and MP-only: nothing derivable (the computer holds nothing;
+        // MP grants a web session but the phone must confirm every token).
+        record(name, BreachSurface::ServerAtRest, 0);
+        record(name, BreachSurface::ComputerTheft, 0);
+        record(name, BreachSurface::PhoneTheft, 0);
+        record(name, BreachSurface::MasterPasswordOnly, 0);
+        record(name, BreachSurface::ServerPlusMasterPassword, 0);
+        record(name, BreachSurface::ComputerPlusMasterPassword, 0);
+        record(name, BreachSurface::ComputerPlusPhone, 0);
+        // The two designed boundaries, executed offline / via the protocol:
+        let offline =
+            GenerativeBilateralManager::derive_with_both_halves(&server_half, &phone_half).len();
+        record(name, BreachSurface::ServerPlusPhone, offline);
+        // Phone + MP: the attacker logs in and the phone (in their hand)
+        // confirms — equivalent to holding both halves.
+        let phone_plus_mp = site_names
+            .iter()
+            .filter(|s| amnesia.retrieve(s).is_ok())
+            .count();
+        record(name, BreachSurface::PhonePlusMasterPassword, phone_plus_mp);
+    }
+
+    BreachMatrix {
+        sites,
+        cells,
+        manager_order: vec![
+            "Firefox-like".into(),
+            "LastPass-like".into(),
+            "Tapas-like".into(),
+            "Amnesia".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> BreachMatrix {
+        run_matrix(11)
+    }
+
+    #[test]
+    fn cloud_vault_falls_to_server_breach_alone() {
+        // The §I motivation: the congregated database is an attractive
+        // target — a provider breach plus a weak MP loses everything.
+        let m = matrix();
+        assert_eq!(
+            m.exposure("LastPass-like", BreachSurface::ServerAtRest),
+            1.0
+        );
+        assert_eq!(m.exposure("Amnesia", BreachSurface::ServerAtRest), 0.0);
+    }
+
+    #[test]
+    fn master_password_is_single_point_of_failure_only_for_cloud() {
+        let m = matrix();
+        assert_eq!(
+            m.exposure("LastPass-like", BreachSurface::MasterPasswordOnly),
+            1.0
+        );
+        for manager in ["Firefox-like", "Tapas-like", "Amnesia"] {
+            assert_eq!(
+                m.exposure(manager, BreachSurface::MasterPasswordOnly),
+                0.0,
+                "{manager}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_vault_falls_to_device_theft_with_weak_mp() {
+        let m = matrix();
+        assert_eq!(
+            m.exposure("Firefox-like", BreachSurface::ComputerTheft),
+            1.0
+        );
+        // Amnesia's computer holds nothing.
+        assert_eq!(m.exposure("Amnesia", BreachSurface::ComputerTheft), 0.0);
+    }
+
+    #[test]
+    fn bilateral_designs_require_exactly_their_two_factors() {
+        let m = matrix();
+        // Tapas: computer + phone.
+        assert_eq!(
+            m.exposure("Tapas-like", BreachSurface::ComputerPlusPhone),
+            1.0
+        );
+        assert_eq!(m.exposure("Tapas-like", BreachSurface::PhoneTheft), 0.0);
+        assert_eq!(m.exposure("Tapas-like", BreachSurface::ComputerTheft), 0.0);
+        // Amnesia: server + phone, or phone + MP.
+        assert_eq!(m.exposure("Amnesia", BreachSurface::ServerPlusPhone), 1.0);
+        assert_eq!(
+            m.exposure("Amnesia", BreachSurface::PhonePlusMasterPassword),
+            1.0
+        );
+        assert_eq!(m.exposure("Amnesia", BreachSurface::PhoneTheft), 0.0);
+    }
+
+    #[test]
+    fn amnesia_has_strictly_fewer_single_surface_losses() {
+        let m = matrix();
+        let singles = [
+            BreachSurface::ServerAtRest,
+            BreachSurface::ComputerTheft,
+            BreachSurface::PhoneTheft,
+            BreachSurface::MasterPasswordOnly,
+        ];
+        let losses = |name: &str| {
+            singles
+                .iter()
+                .filter(|&&s| m.exposure(name, s) > 0.0)
+                .count()
+        };
+        assert_eq!(losses("Amnesia"), 0);
+        assert_eq!(losses("Tapas-like"), 0);
+        assert!(losses("Firefox-like") >= 1);
+        assert!(losses("LastPass-like") >= 1);
+    }
+
+    #[test]
+    fn render_includes_all_rows_and_columns() {
+        let text = matrix().render();
+        for name in ["Firefox-like", "LastPass-like", "Tapas-like", "Amnesia"] {
+            assert!(text.contains(name));
+        }
+        assert!(text.contains("server+phone"));
+        assert!(text.contains("ALL"));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_matrix(3).render();
+        let b = run_matrix(3).render();
+        assert_eq!(a, b);
+    }
+}

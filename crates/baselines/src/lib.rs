@@ -1,0 +1,52 @@
+//! Functional models of the manager architectures Amnesia is compared
+//! against (paper Table III), plus a quantitative breach experiment.
+//!
+//! Table III compares Amnesia with a built-in browser manager (Firefox), a
+//! cloud retrieval manager (LastPass), and a dual-possession manager
+//! (Tapas) — but only as property check-marks. This crate implements each
+//! architecture as working code so the *security column becomes an
+//! experiment*: [`breach`] breaches every manager the same way (data at
+//! rest, device theft, master-password disclosure, and combinations) and
+//! counts what falls out.
+//!
+//! The models (deliberately architecture-faithful, not product-faithful):
+//!
+//! * [`LocalVaultManager`] — "Firefox (MP)": all credentials in one file on
+//!   the user's computer, AEAD-encrypted under a PBKDF2 key derived from
+//!   the master password.
+//! * [`CloudVaultManager`] — "LastPass": the same encrypted blob, except it
+//!   lives on a provider's server (so a *server* breach hands the attacker
+//!   the blob, and an offline guessing attack against the master password
+//!   decrypts everything — the paper's §I motivation: "congregate passwords
+//!   in an encrypted database, which becomes an attractive target").
+//! * [`DualPossessionManager`] — "Tapas": the encrypted wallet lives on the
+//!   phone and the decryption key on the computer; no master password at
+//!   all, and no recovery path if either half disappears.
+//! * [`GenerativeBilateralManager`] — Amnesia itself, modelled offline over
+//!   the core pipeline (`amnesia-system` holds the full network protocol;
+//!   the breach experiment only needs the data-at-rest semantics).
+//!
+//! ```
+//! use amnesia_baselines::{breach, BreachSurface};
+//!
+//! let matrix = breach::run_matrix(7);
+//! // A server breach plus a phished master password empties the cloud
+//! // vault but not Amnesia.
+//! let cloud = matrix.exposure("LastPass-like", BreachSurface::ServerPlusMasterPassword);
+//! let amnesia = matrix.exposure("Amnesia", BreachSurface::ServerPlusMasterPassword);
+//! assert_eq!(cloud, 1.0);
+//! assert_eq!(amnesia, 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breach;
+pub mod interactions;
+mod managers;
+
+pub use breach::{BreachMatrix, BreachSurface};
+pub use managers::{
+    CloudVaultManager, DualPossessionManager, GenerativeBilateralManager, LocalVaultManager,
+    ManagerError, SiteCredential,
+};

@@ -1,0 +1,497 @@
+//! The four manager architectures as working code.
+
+use amnesia_core::{
+    derive_password, AccountEntry, Domain, EntryTable, OnlineId, PasswordPolicy, Seed, Username,
+};
+use amnesia_crypto::{aead, pbkdf2_hmac_sha256, SecretRng};
+use amnesia_store::codec;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// One stored website credential (retrieval managers store these verbatim;
+/// Amnesia stores none).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteCredential {
+    /// Website identifier.
+    pub site: String,
+    /// Account username.
+    pub username: String,
+    /// The password itself.
+    pub password: String,
+}
+
+/// Errors from the baseline managers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ManagerError {
+    /// Master password rejected (vault failed to decrypt).
+    WrongMasterPassword,
+    /// Vault/wallet bytes failed to decode after decryption.
+    Corrupt,
+    /// The requested site is not stored/managed.
+    NoSuchSite,
+}
+
+impl fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagerError::WrongMasterPassword => write!(f, "master password rejected"),
+            ManagerError::Corrupt => write!(f, "vault contents corrupt"),
+            ManagerError::NoSuchSite => write!(f, "site not found"),
+        }
+    }
+}
+
+impl Error for ManagerError {}
+
+const VAULT_AAD: &[u8] = b"password-vault-v1";
+
+fn mp_key(master_password: &str, salt: &[u8; 16], iterations: u32) -> [u8; 32] {
+    let mut key = [0u8; 32];
+    pbkdf2_hmac_sha256(master_password.as_bytes(), salt, iterations, &mut key);
+    key
+}
+
+fn seal_vault(credentials: &[SiteCredential], key: &[u8; 32], rng: &mut SecretRng) -> Vec<u8> {
+    let plaintext = codec::to_bytes(&credentials.to_vec()).expect("encodes");
+    aead::seal(key, &plaintext, VAULT_AAD, rng)
+}
+
+fn open_vault(ciphertext: &[u8], key: &[u8; 32]) -> Result<Vec<SiteCredential>, ManagerError> {
+    let plaintext =
+        aead::open(key, ciphertext, VAULT_AAD).map_err(|_| ManagerError::WrongMasterPassword)?;
+    codec::from_bytes(&plaintext).map_err(|_| ManagerError::Corrupt)
+}
+
+/// An attacker-captured encrypted vault plus its public KDF parameters —
+/// what falls out of a device theft (local vault) or a provider breach
+/// (cloud vault).
+#[derive(Clone, Debug)]
+pub struct StolenVault {
+    /// KDF salt (stored beside the vault, necessarily public).
+    pub salt: [u8; 16],
+    /// KDF iteration count.
+    pub iterations: u32,
+    /// The AEAD-sealed credential list.
+    pub ciphertext: Vec<u8>,
+}
+
+impl StolenVault {
+    /// Offline dictionary attack: tries each candidate master password in
+    /// order; returns `(attempts, credentials)` on success.
+    ///
+    /// This is the attack the Amnesia paper's §I motivates the design
+    /// against: the blob is a *complete oracle* — a correct guess decrypts
+    /// everything at once.
+    pub fn dictionary_attack(&self, candidates: &[&str]) -> Option<(usize, Vec<SiteCredential>)> {
+        for (i, candidate) in candidates.iter().enumerate() {
+            let key = mp_key(candidate, &self.salt, self.iterations);
+            if let Ok(credentials) = open_vault(&self.ciphertext, &key) {
+                return Some((i + 1, credentials));
+            }
+        }
+        None
+    }
+}
+
+/// "Firefox (MP)": every credential in one encrypted file on the user's
+/// computer, keyed from the master password.
+#[derive(Debug)]
+pub struct LocalVaultManager {
+    salt: [u8; 16],
+    iterations: u32,
+    ciphertext: Vec<u8>,
+    rng: SecretRng,
+}
+
+impl LocalVaultManager {
+    /// Creates an empty vault protected by `master_password`.
+    pub fn new(master_password: &str, iterations: u32, mut rng: SecretRng) -> Self {
+        let salt = rng.bytes::<16>();
+        let key = mp_key(master_password, &salt, iterations);
+        let ciphertext = seal_vault(&[], &key, &mut rng);
+        LocalVaultManager {
+            salt,
+            iterations,
+            ciphertext,
+            rng,
+        }
+    }
+
+    /// Stores a credential (vault is decrypted, extended, re-encrypted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::WrongMasterPassword`] if `master_password`
+    /// does not open the vault.
+    pub fn add(
+        &mut self,
+        master_password: &str,
+        credential: SiteCredential,
+    ) -> Result<(), ManagerError> {
+        let key = mp_key(master_password, &self.salt, self.iterations);
+        let mut credentials = open_vault(&self.ciphertext, &key)?;
+        credentials.push(credential);
+        self.ciphertext = seal_vault(&credentials, &key, &mut self.rng);
+        Ok(())
+    }
+
+    /// Retrieves the credential for `site`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::WrongMasterPassword`] or
+    /// [`ManagerError::NoSuchSite`].
+    pub fn retrieve(
+        &self,
+        master_password: &str,
+        site: &str,
+    ) -> Result<SiteCredential, ManagerError> {
+        let key = mp_key(master_password, &self.salt, self.iterations);
+        open_vault(&self.ciphertext, &key)?
+            .into_iter()
+            .find(|c| c.site == site)
+            .ok_or(ManagerError::NoSuchSite)
+    }
+
+    /// What a computer thief obtains: the vault file and KDF parameters.
+    pub fn export_device_file_for_attack_model(&self) -> StolenVault {
+        StolenVault {
+            salt: self.salt,
+            iterations: self.iterations,
+            ciphertext: self.ciphertext.clone(),
+        }
+    }
+}
+
+/// "LastPass": the same encrypted blob, congregated on a provider's server
+/// and fetchable from anywhere with the master password.
+#[derive(Debug)]
+pub struct CloudVaultManager {
+    inner: LocalVaultManager,
+}
+
+impl CloudVaultManager {
+    /// Creates an empty cloud vault.
+    pub fn new(master_password: &str, iterations: u32, rng: SecretRng) -> Self {
+        CloudVaultManager {
+            inner: LocalVaultManager::new(master_password, iterations, rng),
+        }
+    }
+
+    /// Stores a credential.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LocalVaultManager::add`].
+    pub fn add(
+        &mut self,
+        master_password: &str,
+        credential: SiteCredential,
+    ) -> Result<(), ManagerError> {
+        self.inner.add(master_password, credential)
+    }
+
+    /// Retrieves a credential — from any computer; the master password is
+    /// the *only* factor (the single point of failure §I describes).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LocalVaultManager::retrieve`].
+    pub fn retrieve(
+        &self,
+        master_password: &str,
+        site: &str,
+    ) -> Result<SiteCredential, ManagerError> {
+        self.inner.retrieve(master_password, site)
+    }
+
+    /// What a provider breach obtains (the paper's "attractive target").
+    pub fn export_server_blob_for_attack_model(&self) -> StolenVault {
+        self.inner.export_device_file_for_attack_model()
+    }
+}
+
+/// "Tapas": the encrypted wallet on the phone, the key on the computer; no
+/// master password and no recovery path.
+#[derive(Debug)]
+pub struct DualPossessionManager {
+    wallet_ciphertext: Vec<u8>,
+    computer_key: [u8; 32],
+    rng: SecretRng,
+}
+
+impl DualPossessionManager {
+    /// Pairs a computer and phone: mints a random wallet key (computer) and
+    /// an empty wallet (phone).
+    pub fn new(mut rng: SecretRng) -> Self {
+        let computer_key = rng.bytes::<32>();
+        let wallet_ciphertext = seal_vault(&[], &computer_key, &mut rng);
+        DualPossessionManager {
+            wallet_ciphertext,
+            computer_key,
+            rng,
+        }
+    }
+
+    /// Stores a credential (requires both halves, i.e. this object).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::Corrupt`] only if the wallet was tampered
+    /// with externally.
+    pub fn add(&mut self, credential: SiteCredential) -> Result<(), ManagerError> {
+        let mut credentials = open_vault(&self.wallet_ciphertext, &self.computer_key)?;
+        credentials.push(credential);
+        self.wallet_ciphertext = seal_vault(&credentials, &self.computer_key, &mut self.rng);
+        Ok(())
+    }
+
+    /// Retrieves a credential using both halves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::NoSuchSite`] if absent.
+    pub fn retrieve(&self, site: &str) -> Result<SiteCredential, ManagerError> {
+        open_vault(&self.wallet_ciphertext, &self.computer_key)?
+            .into_iter()
+            .find(|c| c.site == site)
+            .ok_or(ManagerError::NoSuchSite)
+    }
+
+    /// What a phone thief obtains: wallet ciphertext only.
+    pub fn export_phone_half_for_attack_model(&self) -> Vec<u8> {
+        self.wallet_ciphertext.clone()
+    }
+
+    /// What a computer thief obtains: the key only.
+    pub fn export_computer_half_for_attack_model(&self) -> [u8; 32] {
+        self.computer_key
+    }
+
+    /// The combined attack: both halves open the wallet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::WrongMasterPassword`] (key mismatch) or
+    /// [`ManagerError::Corrupt`].
+    pub fn decrypt_with_both_halves(
+        wallet: &[u8],
+        key: &[u8; 32],
+    ) -> Result<Vec<SiteCredential>, ManagerError> {
+        open_vault(wallet, key)
+    }
+}
+
+/// Amnesia, modelled at the data level: the server half `(Oid, {(µ,d,σ)})`
+/// and the phone half (the entry table). Retrieval derives; nothing is
+/// stored.
+#[derive(Debug)]
+pub struct GenerativeBilateralManager {
+    oid: OnlineId,
+    accounts: Vec<(AccountEntry, PasswordPolicy)>,
+    table: EntryTable,
+}
+
+impl GenerativeBilateralManager {
+    /// Sets up a user: server mints `Oid`, phone mints the entry table.
+    pub fn new(mut rng: SecretRng, table_size: usize) -> Self {
+        GenerativeBilateralManager {
+            oid: OnlineId::random(&mut rng),
+            table: EntryTable::random(&mut rng, table_size),
+            accounts: Vec::new(),
+        }
+    }
+
+    /// Manages an account (creates `(µ, d, σ)` server-side).
+    ///
+    /// # Errors
+    ///
+    /// Returns a core error for invalid identifiers.
+    pub fn add(
+        &mut self,
+        site: &str,
+        username: &str,
+        rng: &mut SecretRng,
+    ) -> Result<(), amnesia_core::CoreError> {
+        let entry = AccountEntry::new(
+            Username::new(username)?,
+            Domain::new(site)?,
+            Seed::random(rng),
+        );
+        self.accounts.push((entry, PasswordPolicy::default()));
+        Ok(())
+    }
+
+    /// Derives the password for `site` (requires both halves, i.e. this
+    /// object — mirroring the phone-confirmation requirement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError::NoSuchSite`] for unmanaged sites.
+    pub fn retrieve(&self, site: &str) -> Result<SiteCredential, ManagerError> {
+        let (entry, policy) = self
+            .accounts
+            .iter()
+            .find(|(e, _)| e.domain().as_str() == site)
+            .ok_or(ManagerError::NoSuchSite)?;
+        let password = derive_password(entry, &self.oid, &self.table, policy)
+            .map_err(|_| ManagerError::Corrupt)?;
+        Ok(SiteCredential {
+            site: site.to_string(),
+            username: entry.username().as_str().to_string(),
+            password: password.as_str().to_string(),
+        })
+    }
+
+    /// What a server breach obtains: `Ks` (no passwords, no table).
+    pub fn export_server_half_for_attack_model(
+        &self,
+    ) -> (OnlineId, Vec<(AccountEntry, PasswordPolicy)>) {
+        (self.oid.clone(), self.accounts.clone())
+    }
+
+    /// What a phone thief obtains: the entry table (no `Ks`).
+    pub fn export_phone_half_for_attack_model(&self) -> EntryTable {
+        self.table.clone()
+    }
+
+    /// The combined attack: both halves derive every password offline.
+    pub fn derive_with_both_halves(
+        server_half: &(OnlineId, Vec<(AccountEntry, PasswordPolicy)>),
+        phone_half: &EntryTable,
+    ) -> Vec<SiteCredential> {
+        server_half
+            .1
+            .iter()
+            .filter_map(|(entry, policy)| {
+                derive_password(entry, &server_half.0, phone_half, policy)
+                    .ok()
+                    .map(|p| SiteCredential {
+                        site: entry.domain().as_str().to_string(),
+                        username: entry.username().as_str().to_string(),
+                        password: p.as_str().to_string(),
+                    })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> SecretRng {
+        SecretRng::seeded(seed)
+    }
+
+    fn cred(site: &str) -> SiteCredential {
+        SiteCredential {
+            site: site.into(),
+            username: "user".into(),
+            password: format!("pw-for-{site}"),
+        }
+    }
+
+    #[test]
+    fn local_vault_roundtrip_and_wrong_mp() {
+        let mut m = LocalVaultManager::new("correct mp", 10, rng(1));
+        m.add("correct mp", cred("a.com")).unwrap();
+        m.add("correct mp", cred("b.com")).unwrap();
+        assert_eq!(m.retrieve("correct mp", "a.com").unwrap(), cred("a.com"));
+        assert_eq!(
+            m.retrieve("wrong mp", "a.com"),
+            Err(ManagerError::WrongMasterPassword)
+        );
+        assert_eq!(
+            m.add("wrong mp", cred("c.com")),
+            Err(ManagerError::WrongMasterPassword)
+        );
+        assert_eq!(
+            m.retrieve("correct mp", "missing.com"),
+            Err(ManagerError::NoSuchSite)
+        );
+    }
+
+    #[test]
+    fn stolen_vault_dictionary_attack() {
+        let mut m = LocalVaultManager::new("monkey1999", 10, rng(2));
+        m.add("monkey1999", cred("a.com")).unwrap();
+        let stolen = m.export_device_file_for_attack_model();
+
+        // Weak master password inside the dictionary: cracked, everything
+        // decrypts at once.
+        let dictionary = ["123456", "password", "monkey1999", "letmein"];
+        let (attempts, creds) = stolen.dictionary_attack(&dictionary).unwrap();
+        assert_eq!(attempts, 3);
+        assert_eq!(creds, vec![cred("a.com")]);
+
+        // Strong master password outside the dictionary: attack fails.
+        let mut strong = LocalVaultManager::new("y7#Kq!mzW0_vt$Ce", 10, rng(3));
+        strong.add("y7#Kq!mzW0_vt$Ce", cred("a.com")).unwrap();
+        assert!(strong
+            .export_device_file_for_attack_model()
+            .dictionary_attack(&dictionary)
+            .is_none());
+    }
+
+    #[test]
+    fn cloud_vault_master_password_is_single_factor() {
+        let mut m = CloudVaultManager::new("mp", 10, rng(4));
+        m.add("mp", cred("a.com")).unwrap();
+        // Anyone anywhere with the master password gets the credential.
+        assert_eq!(m.retrieve("mp", "a.com").unwrap(), cred("a.com"));
+        // And the provider breach exports a crackable blob.
+        let stolen = m.export_server_blob_for_attack_model();
+        assert!(stolen.dictionary_attack(&["mp"]).is_some());
+    }
+
+    #[test]
+    fn dual_possession_requires_both_halves() {
+        let mut m = DualPossessionManager::new(rng(5));
+        m.add(cred("a.com")).unwrap();
+        assert_eq!(m.retrieve("a.com").unwrap(), cred("a.com"));
+
+        let wallet = m.export_phone_half_for_attack_model();
+        let key = m.export_computer_half_for_attack_model();
+        // Both halves: open.
+        assert_eq!(
+            DualPossessionManager::decrypt_with_both_halves(&wallet, &key).unwrap(),
+            vec![cred("a.com")]
+        );
+        // Wallet with a wrong key: closed.
+        assert!(DualPossessionManager::decrypt_with_both_halves(&wallet, &[0u8; 32]).is_err());
+    }
+
+    #[test]
+    fn generative_manager_derives_and_splits() {
+        let mut r = rng(6);
+        let mut m = GenerativeBilateralManager::new(rng(7), 64);
+        m.add("a.com", "alice", &mut r).unwrap();
+        m.add("b.com", "alice", &mut r).unwrap();
+        let c1 = m.retrieve("a.com").unwrap();
+        let c2 = m.retrieve("a.com").unwrap();
+        assert_eq!(c1, c2, "derivation is deterministic");
+        assert_eq!(c1.password.len(), 32);
+        assert!(m.retrieve("zzz.com").is_err());
+
+        let server_half = m.export_server_half_for_attack_model();
+        let phone_half = m.export_phone_half_for_attack_model();
+        let both = GenerativeBilateralManager::derive_with_both_halves(&server_half, &phone_half);
+        assert_eq!(both.len(), 2);
+        assert!(both.iter().any(|c| c.password == c1.password));
+    }
+
+    #[test]
+    fn vault_ciphertexts_hide_passwords() {
+        let mut m = LocalVaultManager::new("mp", 10, rng(8));
+        m.add("mp", cred("visible.com")).unwrap();
+        let stolen = m.export_device_file_for_attack_model();
+        let needle = b"pw-for-visible.com";
+        assert!(!stolen
+            .ciphertext
+            .windows(needle.len())
+            .any(|w| w == needle.as_slice()));
+    }
+}

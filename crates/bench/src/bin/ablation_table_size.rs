@@ -1,0 +1,101 @@
+//! Ablation (DESIGN.md §4): entry-table size N.
+//!
+//! The paper fixes N = 5000 without exploring the trade-off. This sweep
+//! shows what N buys: token space grows as N^16 while the per-generation
+//! cost (16 lookups + one SHA-256) and hence end-to-end latency stay flat;
+//! only the phone's storage and install-time generation scale with N.
+
+use amnesia_core::analysis::{index_bias, token_space};
+use amnesia_core::EntryTable;
+use amnesia_crypto::SecretRng;
+use amnesia_system::latency::run_latency_trials;
+use amnesia_system::NetProfile;
+use amnesia_system::SystemConfig;
+
+const SIZES: [usize; 5] = [50, 500, 5000, 20000, 65536];
+const TRIALS: usize = 40;
+
+fn main() {
+    println!("ABLATION: entry-table size N (paper fixes N = 5000)");
+    println!();
+    println!(
+        "{:>6} | {:>12} | {:>10} | {:>12} | {:>14} | {:>10}",
+        "N", "token space", "bits", "bias ratio", "storage (KiB)", "e2e mean ms"
+    );
+    println!("{}", "-".repeat(80));
+    for n in SIZES {
+        let space = token_space(n);
+        let bias = index_bias(n);
+        let storage_kib = n * 32 / 1024;
+
+        // End-to-end latency over the calibrated wifi profile with this N.
+        let mut profile = NetProfile::wifi();
+        profile.name = format!("wifi-N{n}");
+        let stats = {
+            // run_latency_trials builds its own system; vary N via a custom
+            // harness here to keep the function signature simple.
+            let mut system = amnesia_system::AmnesiaSystem::new(
+                SystemConfig::default()
+                    .with_seed(0xAB1A + n as u64)
+                    .with_profile(profile)
+                    .with_table_size(n),
+            );
+            system.add_browser("browser");
+            system.add_phone("phone", n as u64);
+            system
+                .setup_user("tester", "mp", "browser", "phone")
+                .expect("setup");
+            system
+                .phone_mut("phone")
+                .expect("phone")
+                .set_confirm_policy(amnesia_phone::ConfirmPolicy::AutoConfirm);
+            let u = amnesia_core::Username::new("tester").expect("valid");
+            let d = amnesia_core::Domain::new("abl.example.com").expect("valid");
+            system
+                .add_account("browser", u.clone(), d.clone(), Default::default())
+                .expect("account");
+            let mut total = 0.0;
+            for _ in 0..TRIALS {
+                total += system
+                    .generate_password("browser", "phone", &u, &d)
+                    .expect("generation")
+                    .latency
+                    .as_millis_f64();
+            }
+            total / TRIALS as f64
+        };
+
+        println!(
+            "{:>6} | {:>12} | {:>10.1} | {:>12.4} | {:>14} | {:>10.1}",
+            n,
+            space.scientific(),
+            space.bits(),
+            bias.ratio(),
+            storage_kib,
+            stats
+        );
+    }
+
+    println!();
+    println!("install-time table generation cost (single-threaded):");
+    for n in SIZES {
+        let start = std::time::Instant::now();
+        let mut rng = SecretRng::seeded(1);
+        let table = EntryTable::random(&mut rng, n);
+        let elapsed = start.elapsed();
+        println!(
+            "  N = {:>6}: {:>8.2?} ({} entries)",
+            n,
+            elapsed,
+            table.len()
+        );
+    }
+    println!();
+    println!(
+        "reading: latency is flat in N; the paper's N = 5000 already gives \
+         {} tokens (> 2^196); raising N past ~2^16 is impossible with 4-hex \
+         segments and unnecessary.",
+        token_space(5000).scientific()
+    );
+    let _ = run_latency_trials; // referenced for discoverability
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Figure 4** (survey results) and the §VII-B demographics
+//! from the pinned synthetic population, after actually running all 31
+//! participants through the six study tasks on a live deployment.
+
+use amnesia_userstudy::run_study;
+
+fn main() {
+    let report = run_study(0xF164).expect("study");
+    println!(
+        "USER STUDY: {} participants, {}/{} tasks completed, {} comments posted",
+        report.population.len(),
+        report.completed_tasks,
+        report.population.len() * 6,
+        report.website_comments
+    );
+    println!(
+        "mean in-study generation latency: {:.2} ms (LAN profile)",
+        report.mean_generation_latency_ms
+    );
+    println!();
+    println!("{}", report.tabulation.render_demographics());
+    println!("{}", report.tabulation.render_figure4());
+}

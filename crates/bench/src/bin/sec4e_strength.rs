@@ -1,0 +1,78 @@
+//! Regenerates **§IV-E** (generated password strength) and **§III-B3**
+//! (token space): expected vs empirical character composition over a large
+//! sample, the 94^32 password space, the 5000^16 token space, and the
+//! modulo-bias figure the paper leaves implicit.
+
+use amnesia_core::analysis::{
+    exact_pow_decimal, expected_composition, index_bias, mean_composition, password_space,
+    token_space,
+};
+use amnesia_core::{
+    derive_password, AccountEntry, CharacterTable, Domain, EntryTable, OnlineId, PasswordPolicy,
+    Seed, Username,
+};
+use amnesia_crypto::SecretRng;
+
+const SAMPLES: usize = 100_000;
+
+fn main() {
+    println!("SECTION IV-E: Generated password strength");
+    println!();
+
+    let policy = PasswordPolicy::default();
+    let expected = expected_composition(&CharacterTable::full(), policy.length());
+    println!("expected composition (closed form, length 32, Nc = 94):");
+    for (class, mean) in expected {
+        println!(
+            "  {class:<10} {mean:6.2}  (paper rounds to {})",
+            mean.round()
+        );
+    }
+
+    let mut rng = SecretRng::seeded(0x5E4E);
+    let oid = OnlineId::random(&mut rng);
+    let table = EntryTable::random(&mut rng, 128);
+    let domain = Domain::new("strength.example.com").expect("valid");
+    let passwords: Vec<_> = (0..SAMPLES)
+        .map(|i| {
+            let entry = AccountEntry::new(
+                Username::new(format!("u{i}")).expect("valid"),
+                domain.clone(),
+                Seed::random(&mut rng),
+            );
+            derive_password(&entry, &oid, &table, &policy).expect("derive")
+        })
+        .collect();
+    let (lower, upper, digit, special, n) = mean_composition(&passwords);
+    println!();
+    println!("empirical composition over {n} generated passwords:");
+    println!("  lowercase  {lower:6.2}");
+    println!("  uppercase  {upper:6.2}");
+    println!("  digit      {digit:6.2}");
+    println!("  special    {special:6.2}");
+
+    println!();
+    println!(
+        "password space: 94^32 = {} ~ {} (paper: 1.38 x 10^63)",
+        &exact_pow_decimal(94, 32)[..12],
+        password_space(&policy).scientific()
+    );
+    println!(
+        "token space:   5000^16 = {}... ~ {} (paper: 1.53 x 10^59)",
+        &exact_pow_decimal(5000, 16)[..12],
+        token_space(5000).scientific()
+    );
+
+    println!();
+    println!("segment modulo bias (implicit in Algorithm 1):");
+    for n in [50usize, 500, 4096, 5000, 50000] {
+        let bias = index_bias(n);
+        println!(
+            "  N = {n:>6}: {} indices x{}  rest x{}  (max/min probability ratio {:.4})",
+            bias.overrepresented,
+            bias.high_multiplicity,
+            bias.low_multiplicity,
+            bias.ratio()
+        );
+    }
+}

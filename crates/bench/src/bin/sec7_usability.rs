@@ -1,0 +1,18 @@
+//! Regenerates the **§VII-C/D/E** usability and preference statistics
+//! (27/31 believe security improves; 77.4% / 83.8% / 83.8% task ease;
+//! 70.9% prefer Amnesia), plus the §VII entropy comparison between
+//! participants' synthesized habits and Amnesia's generated passwords.
+
+use amnesia_core::PasswordPolicy;
+use amnesia_userstudy::entropy;
+use amnesia_userstudy::run_study;
+
+fn main() {
+    let report = run_study(0xB0B).expect("study");
+    println!("SECTION VII: Usability and preference statistics");
+    println!();
+    println!("{}", report.tabulation.render_usability());
+
+    let cohort = entropy::cohort_report(&report.population, &PasswordPolicy::default(), 0xE147);
+    println!("{}", cohort.render());
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Table I** (server-side data): one user with the paper's
+//! three example accounts, printed in the table's layout.
+
+use amnesia_core::{Domain, PasswordPolicy, Username};
+use amnesia_system::{AmnesiaSystem, SystemConfig};
+
+fn main() {
+    let mut system = AmnesiaSystem::new(SystemConfig::default().with_seed(0xA11CE));
+    system.add_browser("browser");
+    system.add_phone("phone", 1);
+    system
+        .setup_user("alice", "master password", "browser", "phone")
+        .expect("setup");
+    for (u, d) in [
+        ("Alice", "mail.google.com"),
+        ("Alice2", "www.facebook.com"),
+        ("Bob", "www.yahoo.com"),
+    ] {
+        system
+            .add_account(
+                "browser",
+                Username::new(u).expect("valid"),
+                Domain::new(d).expect("valid"),
+                PasswordPolicy::default(),
+            )
+            .expect("add account");
+    }
+    let record = system.server().user_record("alice").expect("record");
+    println!("TABLE I: Server Side Data");
+    println!("{}", record.render_table_i());
+}

@@ -1,0 +1,13 @@
+//! Regenerates **Table II** (application-side data): a fresh install's
+//! `Pid` and its N = 5000-entry table.
+
+use amnesia_phone::{AmnesiaPhone, PhoneConfig};
+
+fn main() {
+    let phone = AmnesiaPhone::new(PhoneConfig::new("phone", 0xF0E1));
+    println!(
+        "TABLE II: Application Side Data (N = {})",
+        phone.entry_table().len()
+    );
+    println!("{}", phone.render_table_ii());
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Table III**: the Bonneau et al. comparative evaluation of
+//! Password, Firefox (MP), LastPass, Tapas and Amnesia, plus the group
+//! scores backing the §VI-A discussion.
+
+use amnesia_eval::{paper_schemes, render_table, Group};
+
+fn main() {
+    let schemes = paper_schemes();
+    println!("TABLE III: Amnesia Comparative Evaluation");
+    println!("{}", render_table(&schemes));
+    println!("Group scores (offers = 1, semi = 0.5):");
+    println!(
+        "{:<14} {:>10} {:>14} {:>9} {:>7}",
+        "Scheme", "Usability", "Deployability", "Security", "Total"
+    );
+    for s in &schemes {
+        println!(
+            "{:<14} {:>10.1} {:>14.1} {:>9.1} {:>7.1}",
+            s.name,
+            s.group_score(Group::Usability),
+            s.group_score(Group::Deployability),
+            s.group_score(Group::Security),
+            s.total_score()
+        );
+    }
+}

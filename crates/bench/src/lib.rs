@@ -1,0 +1,69 @@
+//! Shared fixtures for the evaluation harness.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper's evaluation (see DESIGN.md §4 for the index); the Criterion
+//! benches in `benches/` measure the primitive and end-to-end costs,
+//! including the ablations DESIGN.md calls out (entry-table size, password
+//! length/charset, server throughput).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use amnesia_core::{Domain, PasswordPolicy, Username};
+use amnesia_system::{AmnesiaSystem, SystemConfig};
+
+/// Builds the standard one-user deployment used by binaries and benches:
+/// `alice` with a paired auto-confirming phone and `count` managed accounts
+/// `user<i>@site<i>.example.com`.
+///
+/// # Panics
+///
+/// Panics on harness misconfiguration only.
+pub fn standard_deployment(seed: u64, accounts: usize) -> AmnesiaSystem {
+    let mut system = AmnesiaSystem::new(SystemConfig::default().with_seed(seed));
+    system.add_browser("browser");
+    system.add_phone("phone", seed.wrapping_add(1));
+    system
+        .setup_user("alice", "master password", "browser", "phone")
+        .expect("setup");
+    system
+        .phone_mut("phone")
+        .expect("phone present")
+        .set_confirm_policy(amnesia_phone::ConfirmPolicy::AutoConfirm);
+    for i in 0..accounts {
+        system
+            .add_account(
+                "browser",
+                Username::new(format!("user{i}")).expect("valid"),
+                Domain::new(format!("site{i}.example.com")).expect("valid"),
+                PasswordPolicy::default(),
+            )
+            .expect("add account");
+    }
+    system
+}
+
+/// The `(username, domain)` of account `i` in [`standard_deployment`].
+///
+/// # Panics
+///
+/// Never panics for the names this crate generates.
+pub fn account(i: usize) -> (Username, Domain) {
+    (
+        Username::new(format!("user{i}")).expect("valid"),
+        Domain::new(format!("site{i}.example.com")).expect("valid"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_generates() {
+        let mut sys = standard_deployment(1, 2);
+        let (u, d) = account(0);
+        let outcome = sys.generate_password("browser", "phone", &u, &d).unwrap();
+        assert_eq!(outcome.password.as_str().len(), 32);
+    }
+}

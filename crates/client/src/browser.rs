@@ -1,0 +1,307 @@
+//! The browser agent running on the user's computer.
+
+use amnesia_core::{Domain, GeneratedPassword, PasswordPolicy, Username};
+use amnesia_server::protocol::{FromServer, ToServer};
+use amnesia_server::storage::AccountRef;
+use amnesia_server::SessionToken;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from browser-side protocol building.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BrowserError {
+    /// An authenticated message was requested before login succeeded.
+    NotLoggedIn,
+}
+
+impl fmt::Display for BrowserError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrowserError::NotLoggedIn => write!(f, "no active session"),
+        }
+    }
+}
+
+impl Error for BrowserError {}
+
+/// The thin web client of Figure 1: builds requests, tracks the session,
+/// and records passwords as they arrive for autofill.
+///
+/// ```
+/// use amnesia_client::Browser;
+/// let browser = Browser::new("browser-1");
+/// let msg = browser.register_message("alice", "master password");
+/// // send `msg` to the Amnesia server endpoint...
+/// ```
+#[derive(Debug)]
+pub struct Browser {
+    endpoint: String,
+    session: Option<SessionToken>,
+    inbox: Vec<FromServer>,
+    autofills: Vec<(AccountRef, GeneratedPassword)>,
+}
+
+impl Browser {
+    /// Creates a browser at the given network endpoint name.
+    pub fn new(endpoint: impl Into<String>) -> Self {
+        Browser {
+            endpoint: endpoint.into(),
+            session: None,
+            inbox: Vec::new(),
+            autofills: Vec::new(),
+        }
+    }
+
+    /// The browser's network endpoint name (used as `reply_to`).
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// The active session, if logged in.
+    pub fn session(&self) -> Option<&SessionToken> {
+        self.session.as_ref()
+    }
+
+    fn require_session(&self) -> Result<SessionToken, BrowserError> {
+        self.session.clone().ok_or(BrowserError::NotLoggedIn)
+    }
+
+    // -- message builders ---------------------------------------------------
+
+    /// Builds an account-creation request.
+    pub fn register_message(&self, user_id: &str, master_password: &str) -> ToServer {
+        ToServer::Register {
+            user_id: user_id.into(),
+            master_password: master_password.into(),
+            reply_to: self.endpoint.clone(),
+        }
+    }
+
+    /// Builds a login request.
+    pub fn login_message(&self, user_id: &str, master_password: &str) -> ToServer {
+        ToServer::Login {
+            user_id: user_id.into(),
+            master_password: master_password.into(),
+            reply_to: self.endpoint.clone(),
+        }
+    }
+
+    /// Builds a logout request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrowserError::NotLoggedIn`] without a session.
+    pub fn logout_message(&self) -> Result<ToServer, BrowserError> {
+        Ok(ToServer::Logout {
+            session: self.require_session()?,
+            reply_to: self.endpoint.clone(),
+        })
+    }
+
+    /// Builds the phone-pairing kickoff request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrowserError::NotLoggedIn`] without a session.
+    pub fn begin_pairing_message(&self) -> Result<ToServer, BrowserError> {
+        Ok(ToServer::BeginPhonePairing {
+            session: self.require_session()?,
+            reply_to: self.endpoint.clone(),
+        })
+    }
+
+    /// Builds an add-account request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrowserError::NotLoggedIn`] without a session.
+    pub fn add_account_message(
+        &self,
+        username: Username,
+        domain: Domain,
+        policy: PasswordPolicy,
+    ) -> Result<ToServer, BrowserError> {
+        Ok(ToServer::AddAccount {
+            session: self.require_session()?,
+            username,
+            domain,
+            policy,
+            reply_to: self.endpoint.clone(),
+        })
+    }
+
+    /// Builds a list-accounts request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrowserError::NotLoggedIn`] without a session.
+    pub fn list_accounts_message(&self) -> Result<ToServer, BrowserError> {
+        Ok(ToServer::ListAccounts {
+            session: self.require_session()?,
+            reply_to: self.endpoint.clone(),
+        })
+    }
+
+    /// Builds a password request for a managed account (Figure 1, step 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrowserError::NotLoggedIn`] without a session.
+    pub fn request_password_message(
+        &self,
+        username: Username,
+        domain: Domain,
+    ) -> Result<ToServer, BrowserError> {
+        Ok(ToServer::RequestPassword {
+            session: self.require_session()?,
+            username,
+            domain,
+            reply_to: self.endpoint.clone(),
+        })
+    }
+
+    /// Builds a seed-rotation (password change) request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrowserError::NotLoggedIn`] without a session.
+    pub fn rotate_seed_message(
+        &self,
+        username: Username,
+        domain: Domain,
+    ) -> Result<ToServer, BrowserError> {
+        Ok(ToServer::RotateSeed {
+            session: self.require_session()?,
+            username,
+            domain,
+            reply_to: self.endpoint.clone(),
+        })
+    }
+
+    // -- reply handling -------------------------------------------------------
+
+    /// Processes a server reply: captures the session on `LoginOk`, records
+    /// arriving passwords for autofill, and archives everything in the
+    /// inbox.
+    pub fn handle_reply(&mut self, reply: FromServer) {
+        match &reply {
+            FromServer::LoginOk { session } => self.session = Some(session.clone()),
+            FromServer::LoggedOut => self.session = None,
+            FromServer::PasswordReady {
+                account, password, ..
+            } => self.autofills.push((account.clone(), password.clone())),
+            _ => {}
+        }
+        self.inbox.push(reply);
+    }
+
+    /// Drains received replies in arrival order.
+    pub fn take_inbox(&mut self) -> Vec<FromServer> {
+        std::mem::take(&mut self.inbox)
+    }
+
+    /// The most recent password received for `account`, if any — the
+    /// autofill source.
+    pub fn password_for(&self, account: &AccountRef) -> Option<&GeneratedPassword> {
+        self.autofills
+            .iter()
+            .rev()
+            .find(|(a, _)| a == account)
+            .map(|(_, p)| p)
+    }
+
+    /// All `(account, password)` autofill records, oldest first.
+    pub fn autofill_history(&self) -> &[(AccountRef, GeneratedPassword)] {
+        &self.autofills
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesia_core::PasswordPolicy;
+
+    fn account_ref() -> AccountRef {
+        AccountRef {
+            username: Username::new("u").unwrap(),
+            domain: Domain::new("d.com").unwrap(),
+        }
+    }
+
+    #[test]
+    fn unauthenticated_builders_work() {
+        let b = Browser::new("browser");
+        assert!(matches!(
+            b.register_message("alice", "mp"),
+            ToServer::Register { .. }
+        ));
+        assert!(matches!(
+            b.login_message("alice", "mp"),
+            ToServer::Login { .. }
+        ));
+    }
+
+    #[test]
+    fn session_gated_builders_require_login() {
+        let mut b = Browser::new("browser");
+        assert_eq!(b.list_accounts_message(), Err(BrowserError::NotLoggedIn));
+        assert_eq!(
+            b.request_password_message(Username::new("u").unwrap(), Domain::new("d.com").unwrap()),
+            Err(BrowserError::NotLoggedIn)
+        );
+
+        // Simulate a login reply; builders now succeed.
+        let mut server = amnesia_server::AmnesiaServer::new(Default::default());
+        server.register_user("alice", "mp").unwrap();
+        let session = server.login("alice", "mp").unwrap();
+        b.handle_reply(FromServer::LoginOk { session });
+        assert!(b.session().is_some());
+        assert!(b.list_accounts_message().is_ok());
+        assert!(b
+            .add_account_message(
+                Username::new("u").unwrap(),
+                Domain::new("d.com").unwrap(),
+                PasswordPolicy::default()
+            )
+            .is_ok());
+
+        b.handle_reply(FromServer::LoggedOut);
+        assert!(b.session().is_none());
+    }
+
+    #[test]
+    fn password_ready_feeds_autofill() {
+        let mut b = Browser::new("browser");
+        let password = PasswordPolicy::default().render(&[7u8; 64]);
+        b.handle_reply(FromServer::PasswordReady {
+            account: account_ref(),
+            password: password.clone(),
+            requested_at: amnesia_server::protocol::TokenResponse {
+                request: amnesia_core::PasswordRequest::from_bytes([0; 32]),
+                token: amnesia_core::Token::from_bytes([0; 32]),
+                tstart: Default::default(),
+            }
+            .tstart,
+        });
+        assert_eq!(b.password_for(&account_ref()), Some(&password));
+        assert_eq!(b.autofill_history().len(), 1);
+        assert_eq!(b.take_inbox().len(), 1);
+        assert!(b.take_inbox().is_empty());
+    }
+
+    #[test]
+    fn latest_password_wins_autofill() {
+        let mut b = Browser::new("browser");
+        let old = PasswordPolicy::default().render(&[1u8; 64]);
+        let new = PasswordPolicy::default().render(&[2u8; 64]);
+        for p in [&old, &new] {
+            b.handle_reply(FromServer::PasswordReady {
+                account: account_ref(),
+                password: p.clone(),
+                requested_at: Default::default(),
+            });
+        }
+        assert_eq!(b.password_for(&account_ref()), Some(&new));
+    }
+}

@@ -1,0 +1,341 @@
+//! Strength and distribution analysis of the generative scheme
+//! (paper §III-B3 and §IV-E).
+//!
+//! Reproduces the paper's closed-form claims —
+//! token space `5000^16 ≈ 1.53 × 10^59`, password space
+//! `94^32 ≈ 1.38 × 10^63`, and the expected composition of a default
+//! password (≈ 9 lowercase, 9 uppercase, 3 digits, 11 special) — and adds
+//! the modulo-bias analysis the paper leaves implicit.
+
+use crate::charset::{CharClass, CharacterTable};
+use crate::template::{Composition, GeneratedPassword, PasswordPolicy};
+
+/// Size of a 4-hex-digit segment's value space.
+const SEGMENT_SPACE: u64 = 1 << 16;
+
+/// A (possibly astronomically large) search space, tracked in log form.
+///
+/// ```
+/// use amnesia_core::analysis::SearchSpace;
+/// let tokens = SearchSpace::pow(5000, 16);
+/// assert!((tokens.log10() - 59.18).abs() < 0.01);
+/// assert_eq!(tokens.scientific(), "1.53e59");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SearchSpace {
+    log2: f64,
+}
+
+impl SearchSpace {
+    /// The space `base^exp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero.
+    pub fn pow(base: u64, exp: u32) -> Self {
+        assert!(base > 0, "search space base must be positive");
+        SearchSpace {
+            log2: exp as f64 * (base as f64).log2(),
+        }
+    }
+
+    /// Constructs directly from a bit count.
+    pub fn from_bits(log2: f64) -> Self {
+        SearchSpace { log2 }
+    }
+
+    /// Size in bits (`log2` of the cardinality).
+    pub fn bits(&self) -> f64 {
+        self.log2
+    }
+
+    /// `log10` of the cardinality.
+    pub fn log10(&self) -> f64 {
+        self.log2 * std::f64::consts::LOG10_2
+    }
+
+    /// Scientific-notation rendering like `1.53e59`, matching the paper's
+    /// "1.53 × 10^59" style.
+    pub fn scientific(&self) -> String {
+        let l10 = self.log10();
+        let exponent = l10.floor();
+        let mantissa = 10f64.powf(l10 - exponent);
+        format!("{:.2}e{}", mantissa, exponent as i64)
+    }
+
+    /// Expected number of guesses to hit a uniformly random member
+    /// ("assuming only 50 percent needs to be exhausted", §IV-C), in bits.
+    pub fn expected_guess_bits(&self) -> f64 {
+        self.log2 - 1.0
+    }
+
+    /// Years required to enumerate the expected half of the space at
+    /// `guesses_per_second`.
+    pub fn years_to_crack(&self, guesses_per_second: f64) -> f64 {
+        let seconds_bits = self.expected_guess_bits() - guesses_per_second.log2();
+        2f64.powf(seconds_bits) / (60.0 * 60.0 * 24.0 * 365.25)
+    }
+}
+
+/// Exact decimal expansion of `base^exp` via schoolbook multiplication, for
+/// verifying the paper's headline constants without floating-point error.
+///
+/// ```
+/// use amnesia_core::analysis::exact_pow_decimal;
+/// assert_eq!(exact_pow_decimal(2, 10), "1024");
+/// // 5000^16 = 152587890625 × 10^48
+/// let t = exact_pow_decimal(5000, 16);
+/// assert!(t.starts_with("152587890625"));
+/// assert_eq!(t.len(), 60); // 1.52…e59 has 60 digits
+/// ```
+///
+/// # Panics
+///
+/// Panics if `base` is zero (the result would be zero for positive `exp`
+/// and is never meaningful here).
+pub fn exact_pow_decimal(base: u64, exp: u32) -> String {
+    assert!(base > 0, "base must be positive");
+    // Little-endian decimal digits.
+    let mut digits: Vec<u8> = vec![1];
+    for _ in 0..exp {
+        let mut carry: u64 = 0;
+        for d in digits.iter_mut() {
+            let v = *d as u64 * base + carry;
+            *d = (v % 10) as u8;
+            carry = v / 10;
+        }
+        while carry > 0 {
+            digits.push((carry % 10) as u8);
+            carry /= 10;
+        }
+    }
+    digits.iter().rev().map(|d| (b'0' + d) as char).collect()
+}
+
+/// Token space for an entry table of `table_size` entries: `N^16`
+/// (§III-B3: "there are 5000^16 or 1.53 × 10^59 unique T").
+///
+/// Note this counts index *sequences*; the 256-bit SHA-256 output caps the
+/// realized token set at `2^256`, which is larger, so the sequence count is
+/// the binding figure for the paper's defaults.
+pub fn token_space(table_size: usize) -> SearchSpace {
+    SearchSpace::pow(table_size as u64, 16)
+}
+
+/// Password space for a policy: `Nc^length` (§IV-E: `94^32 ≈ 1.38 × 10^63`).
+pub fn password_space(policy: &PasswordPolicy) -> SearchSpace {
+    SearchSpace::pow(policy.charset().len() as u64, policy.length() as u32)
+}
+
+/// Expected number of characters of each class in a password drawn through
+/// the template function, `length × |class ∩ Tc| / Nc`.
+///
+/// For the defaults this gives ≈ 8.85 lower, 8.85 upper, 3.40 digits,
+/// 10.89 special — the paper rounds these to "roughly 9 lowercase, 9
+/// uppercase, 3 numerals, and 11 special".
+pub fn expected_composition(charset: &CharacterTable, length: usize) -> [(CharClass, f64); 4] {
+    let nc = charset.len() as f64;
+    CharClass::ALL.map(|class| {
+        (
+            class,
+            length as f64 * charset.count_in_class(class) as f64 / nc,
+        )
+    })
+}
+
+/// Averages the observed composition over a sample of generated passwords.
+///
+/// Returns `(mean lower, mean upper, mean digit, mean special)` and the
+/// sample size; used by the §IV-E empirical experiment.
+pub fn mean_composition<'a, I>(passwords: I) -> (f64, f64, f64, f64, usize)
+where
+    I: IntoIterator<Item = &'a GeneratedPassword>,
+{
+    let mut sum = Composition::default();
+    let mut n = 0usize;
+    for pw in passwords {
+        let c = pw.composition();
+        sum.lower += c.lower;
+        sum.upper += c.upper;
+        sum.digit += c.digit;
+        sum.special += c.special;
+        sum.other += c.other;
+        n += 1;
+    }
+    if n == 0 {
+        return (0.0, 0.0, 0.0, 0.0, 0);
+    }
+    let nf = n as f64;
+    (
+        sum.lower as f64 / nf,
+        sum.upper as f64 / nf,
+        sum.digit as f64 / nf,
+        sum.special as f64 / nf,
+        n,
+    )
+}
+
+/// Modulo bias of reducing a uniform 4-hex-digit segment modulo a table of
+/// `table_size` entries.
+///
+/// With `r = 65536 mod N`, the first `r` indices are selected `⌈65536/N⌉`
+/// times out of 65536 and the remaining `N − r` indices `⌊65536/N⌋` times.
+/// For the paper's `N = 5000` the ratio is 14/13 ≈ 1.077 — a mild,
+/// documented non-uniformity in index selection (it does not bias the final
+/// SHA-256 token bits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexBias {
+    /// Number of indices selected with the higher multiplicity.
+    pub overrepresented: usize,
+    /// Higher selection multiplicity (`⌈65536/N⌉`).
+    pub high_multiplicity: u64,
+    /// Lower selection multiplicity (`⌊65536/N⌋`).
+    pub low_multiplicity: u64,
+}
+
+impl IndexBias {
+    /// Ratio between the most and least likely index probabilities
+    /// (1.0 means perfectly uniform).
+    pub fn ratio(&self) -> f64 {
+        if self.low_multiplicity == 0 {
+            f64::INFINITY
+        } else {
+            self.high_multiplicity as f64 / self.low_multiplicity as f64
+        }
+    }
+}
+
+/// Computes the [`IndexBias`] for a table of `table_size` entries.
+///
+/// # Panics
+///
+/// Panics if `table_size` is zero.
+pub fn index_bias(table_size: usize) -> IndexBias {
+    assert!(table_size > 0, "table size must be positive");
+    let n = table_size as u64;
+    let q = SEGMENT_SPACE / n;
+    let r = (SEGMENT_SPACE % n) as usize;
+    if r == 0 {
+        IndexBias {
+            overrepresented: 0,
+            high_multiplicity: q,
+            low_multiplicity: q,
+        }
+    } else {
+        IndexBias {
+            overrepresented: r,
+            high_multiplicity: q + 1,
+            low_multiplicity: q,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{OnlineId, Seed};
+    use crate::table::EntryTable;
+    use crate::{derive_password, AccountEntry, Domain, Username};
+    use amnesia_crypto::SecretRng;
+
+    #[test]
+    fn token_space_matches_paper() {
+        let space = token_space(5000);
+        assert_eq!(space.scientific(), "1.53e59");
+        assert!((space.log10() - 59.1836).abs() < 0.001);
+    }
+
+    #[test]
+    fn password_space_matches_paper() {
+        let space = password_space(&PasswordPolicy::default());
+        assert_eq!(space.scientific(), "1.38e63");
+    }
+
+    #[test]
+    fn exact_token_space_decimal() {
+        // 5000^16 = 5^16 × 10^48 = 152587890625 followed by 48 zeros.
+        let s = exact_pow_decimal(5000, 16);
+        assert_eq!(s, format!("152587890625{}", "0".repeat(48)));
+    }
+
+    #[test]
+    fn exact_pow_small_cases() {
+        assert_eq!(exact_pow_decimal(7, 0), "1");
+        assert_eq!(exact_pow_decimal(1, 100), "1");
+        assert_eq!(exact_pow_decimal(94, 2), "8836");
+        assert_eq!(exact_pow_decimal(10, 5), "100000");
+    }
+
+    #[test]
+    fn expected_composition_defaults() {
+        let comp = expected_composition(&CharacterTable::full(), 32);
+        let by_class: std::collections::HashMap<_, _> = comp.into_iter().collect();
+        // Paper §IV-E: "roughly 9 lowercase, 9 uppercase, 3 numerals, 11 special".
+        assert_eq!(by_class[&CharClass::Lower].round() as i64, 9);
+        assert_eq!(by_class[&CharClass::Upper].round() as i64, 9);
+        assert_eq!(by_class[&CharClass::Digit].round() as i64, 3);
+        assert_eq!(by_class[&CharClass::Special].round() as i64, 11);
+        // The expectations must sum to the password length.
+        let total: f64 = by_class.values().sum();
+        assert!((total - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_composition_approaches_expectation() {
+        let mut rng = SecretRng::seeded(404);
+        let oid = OnlineId::random(&mut rng);
+        let table = EntryTable::random(&mut rng, 100);
+        let policy = PasswordPolicy::default();
+        let passwords: Vec<_> = (0..2000)
+            .map(|i| {
+                let entry = AccountEntry::new(
+                    Username::new(format!("user{i}")).unwrap(),
+                    Domain::new("example.com").unwrap(),
+                    Seed::random(&mut rng),
+                );
+                derive_password(&entry, &oid, &table, &policy).unwrap()
+            })
+            .collect();
+        let (lower, upper, digit, special, n) = mean_composition(&passwords);
+        assert_eq!(n, 2000);
+        assert!((lower - 8.85).abs() < 0.5, "lower mean {lower}");
+        assert!((upper - 8.85).abs() < 0.5, "upper mean {upper}");
+        assert!((digit - 3.40).abs() < 0.4, "digit mean {digit}");
+        assert!((special - 10.89).abs() < 0.5, "special mean {special}");
+    }
+
+    #[test]
+    fn mean_composition_empty_sample() {
+        assert_eq!(mean_composition([].iter()), (0.0, 0.0, 0.0, 0.0, 0));
+    }
+
+    #[test]
+    fn index_bias_for_paper_table() {
+        // 65536 = 13 × 5000 + 536.
+        let bias = index_bias(5000);
+        assert_eq!(bias.overrepresented, 536);
+        assert_eq!(bias.high_multiplicity, 14);
+        assert_eq!(bias.low_multiplicity, 13);
+        assert!((bias.ratio() - 14.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_bias_power_of_two_is_uniform() {
+        let bias = index_bias(4096);
+        assert_eq!(bias.overrepresented, 0);
+        assert_eq!(bias.ratio(), 1.0);
+    }
+
+    #[test]
+    fn years_to_crack_is_astronomical() {
+        // Even at 10^12 guesses/sec the default space is far beyond reach.
+        let space = password_space(&PasswordPolicy::default());
+        assert!(space.years_to_crack(1e12) > 1e40);
+    }
+
+    #[test]
+    fn guess_bits_halves_space() {
+        let s = SearchSpace::pow(2, 10);
+        assert!((s.expected_guess_bits() - 9.0).abs() < 1e-12);
+    }
+}

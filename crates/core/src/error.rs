@@ -1,0 +1,78 @@
+//! Error type for the core algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the core generative algorithms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The entry table contains no entries, so no index can be resolved.
+    EmptyEntryTable,
+    /// The entry table exceeds the address space of a 4-hex-digit segment
+    /// (the paper's constraint `16^l ≥ N` with segment length `l = 4`).
+    EntryTableTooLarge {
+        /// The offending table size.
+        size: usize,
+        /// The maximum addressable size (`16^4`).
+        max: usize,
+    },
+    /// A username was empty or contained the reserved separator.
+    InvalidUsername {
+        /// Why the username was rejected.
+        reason: String,
+    },
+    /// A domain was empty or contained the reserved separator.
+    InvalidDomain {
+        /// Why the domain was rejected.
+        reason: String,
+    },
+    /// A password policy was structurally invalid (empty charset, zero
+    /// length, or length above the 32-character template output).
+    InvalidPolicy {
+        /// Why the policy was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyEntryTable => write!(f, "entry table is empty"),
+            CoreError::EntryTableTooLarge { size, max } => write!(
+                f,
+                "entry table size {size} exceeds segment address space {max}"
+            ),
+            CoreError::InvalidUsername { reason } => write!(f, "invalid username: {reason}"),
+            CoreError::InvalidDomain { reason } => write!(f, "invalid domain: {reason}"),
+            CoreError::InvalidPolicy { reason } => write!(f, "invalid password policy: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CoreError::EmptyEntryTable.to_string(),
+            "entry table is empty"
+        );
+        let e = CoreError::EntryTableTooLarge {
+            size: 70000,
+            max: 65536,
+        };
+        assert!(e.to_string().contains("70000"));
+        assert!(e.to_string().contains("65536"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(CoreError::EmptyEntryTable);
+    }
+}

@@ -1,0 +1,270 @@
+//! Fixed-size secret and identifier newtypes.
+//!
+//! The paper's notation (§III):
+//!
+//! * [`OnlineId`] (`Oid`) — static, unique, 512-bit per-user ID stored on the
+//!   Amnesia server; part of the server-side secret `Ks`.
+//! * [`PhoneId`] (`Pid`) — static, unique, 512-bit per-installation ID stored
+//!   on the phone; part of the phone-side secret `Kp`. The server stores only
+//!   `H(Pid + salt)`.
+//! * [`Seed`] (`σ`) — 256-bit per-account seed stored on the server; rotating
+//!   it regenerates the account password and it blinds the request `R`.
+//! * [`EntryValue`] (`e_i`) — one 256-bit entry of the phone's entry table.
+//! * [`Salt`] — random salt for the stored verifiers.
+//!
+//! All types compare in constant time where they guard secrets, render as
+//! truncated hex in `Debug` (mirroring the paper's `0xa457fe1…` tables), and
+//! serialize as raw bytes through serde.
+
+use amnesia_crypto::{ct_eq, hex, SecretRng};
+use serde::de::{self, Visitor};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+
+macro_rules! fixed_bytes_newtype {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $len:expr, $expecting:expr
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone)]
+        pub struct $name([u8; $len]);
+
+        impl $name {
+            /// Size of the value in bytes.
+            pub const LEN: usize = $len;
+
+            /// Generates a fresh random value.
+            pub fn random(rng: &mut SecretRng) -> Self {
+                $name(rng.bytes::<$len>())
+            }
+
+            /// Wraps raw bytes.
+            pub fn from_bytes(bytes: [u8; $len]) -> Self {
+                $name(bytes)
+            }
+
+            /// Parses from a hex string of exactly `2 * LEN` digits.
+            ///
+            /// # Errors
+            ///
+            /// Returns a [`hex::DecodeHexError`] if the string is not valid
+            /// hex of the correct length.
+            pub fn from_hex(s: &str) -> Result<Self, hex::DecodeHexError> {
+                let bytes = hex::decode(s)?;
+                let arr: [u8; $len] = bytes
+                    .try_into()
+                    .map_err(|_| hex::DecodeHexError::OddLength { len: s.len() })?;
+                Ok($name(arr))
+            }
+
+            /// Borrows the raw bytes.
+            pub fn as_bytes(&self) -> &[u8] {
+                &self.0
+            }
+
+            /// Lowercase hex rendering (`2 * LEN` digits).
+            pub fn to_hex(&self) -> String {
+                hex::encode(&self.0)
+            }
+        }
+
+        impl PartialEq for $name {
+            fn eq(&self, other: &Self) -> bool {
+                // Constant-time: these values are secrets or verifier inputs.
+                ct_eq(&self.0, &other.0)
+            }
+        }
+
+        impl Eq for $name {}
+
+        impl std::hash::Hash for $name {
+            fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+                self.0.hash(state);
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                // Truncated like the paper's tables: `0xa457fe1…`.
+                let h = self.to_hex();
+                write!(f, concat!(stringify!($name), "(0x{}…)"), &h[..8.min(h.len())])
+            }
+        }
+
+        impl Serialize for $name {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_bytes(&self.0)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $name {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct BytesVisitor;
+                impl<'de> Visitor<'de> for BytesVisitor {
+                    type Value = $name;
+
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, $expecting)
+                    }
+
+                    fn visit_bytes<E: de::Error>(self, v: &[u8]) -> Result<$name, E> {
+                        let arr: [u8; $len] = v
+                            .try_into()
+                            .map_err(|_| E::invalid_length(v.len(), &self))?;
+                        Ok($name(arr))
+                    }
+
+                    fn visit_seq<A: de::SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<$name, A::Error> {
+                        let mut arr = [0u8; $len];
+                        for (i, slot) in arr.iter_mut().enumerate() {
+                            *slot = seq
+                                .next_element()?
+                                .ok_or_else(|| de::Error::invalid_length(i, &self))?;
+                        }
+                        Ok($name(arr))
+                    }
+                }
+                deserializer.deserialize_bytes(BytesVisitor)
+            }
+        }
+    };
+}
+
+fixed_bytes_newtype!(
+    /// The 512-bit per-user online ID `Oid` (server-side secret).
+    ///
+    /// ```
+    /// use amnesia_core::OnlineId;
+    /// use amnesia_crypto::SecretRng;
+    /// let oid = OnlineId::random(&mut SecretRng::seeded(1));
+    /// assert_eq!(oid.to_hex().len(), 128);
+    /// ```
+    OnlineId,
+    64,
+    "64 bytes of online ID"
+);
+
+fixed_bytes_newtype!(
+    /// The 512-bit per-installation phone ID `Pid` (phone-side secret).
+    ///
+    /// A new `Pid` is generated on every application install; the server
+    /// stores only its salted hash.
+    ///
+    /// ```
+    /// use amnesia_core::PhoneId;
+    /// use amnesia_crypto::SecretRng;
+    /// let pid = PhoneId::random(&mut SecretRng::seeded(1));
+    /// assert_eq!(pid.as_bytes().len(), 64);
+    /// ```
+    PhoneId,
+    64,
+    "64 bytes of phone ID"
+);
+
+fixed_bytes_newtype!(
+    /// The 256-bit per-account seed `σ`.
+    ///
+    /// Plays two roles (§III-A2): rotating it regenerates the account's
+    /// password, and it blinds the request `R` so a rendezvous eavesdropper
+    /// cannot verify which account a request targets.
+    ///
+    /// ```
+    /// use amnesia_core::Seed;
+    /// use amnesia_crypto::SecretRng;
+    /// let seed = Seed::random(&mut SecretRng::seeded(1));
+    /// assert_eq!(seed.to_hex().len(), 64);
+    /// ```
+    Seed,
+    32,
+    "32 bytes of account seed"
+);
+
+fixed_bytes_newtype!(
+    /// One 256-bit entry value `e_i` of the phone's entry table.
+    ///
+    /// ```
+    /// use amnesia_core::EntryValue;
+    /// use amnesia_crypto::SecretRng;
+    /// let e = EntryValue::random(&mut SecretRng::seeded(1));
+    /// assert_eq!(e.as_bytes().len(), 32);
+    /// ```
+    EntryValue,
+    32,
+    "32 bytes of entry value"
+);
+
+fixed_bytes_newtype!(
+    /// A 128-bit random salt for stored verifiers (`H(MP+salt)`,
+    /// `H(Pid+salt)`).
+    ///
+    /// ```
+    /// use amnesia_core::Salt;
+    /// use amnesia_crypto::SecretRng;
+    /// let salt = Salt::random(&mut SecretRng::seeded(1));
+    /// assert_eq!(salt.as_bytes().len(), 16);
+    /// ```
+    Salt,
+    16,
+    "16 bytes of salt"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_values_are_distinct() {
+        let mut rng = SecretRng::seeded(5);
+        assert_ne!(OnlineId::random(&mut rng), OnlineId::random(&mut rng));
+        assert_ne!(Seed::random(&mut rng), Seed::random(&mut rng));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let mut rng = SecretRng::seeded(6);
+        let oid = OnlineId::random(&mut rng);
+        assert_eq!(OnlineId::from_hex(&oid.to_hex()).unwrap(), oid);
+        let seed = Seed::random(&mut rng);
+        assert_eq!(Seed::from_hex(&seed.to_hex()).unwrap(), seed);
+    }
+
+    #[test]
+    fn from_hex_rejects_wrong_length() {
+        assert!(Seed::from_hex("abcd").is_err());
+        assert!(Seed::from_hex(&"0".repeat(63)).is_err());
+        assert!(Seed::from_hex(&"zz".repeat(32)).is_err());
+    }
+
+    #[test]
+    fn debug_is_truncated() {
+        let seed = Seed::from_bytes([0xab; 32]);
+        let dbg = format!("{seed:?}");
+        assert!(dbg.starts_with("Seed(0xabababab"));
+        assert!(
+            dbg.len() < 30,
+            "debug must not leak the whole secret: {dbg}"
+        );
+    }
+
+    #[test]
+    fn sizes_match_paper() {
+        // §III-A: Oid and Pid are 512-bit; σ and e_i are 256-bit.
+        assert_eq!(OnlineId::LEN * 8, 512);
+        assert_eq!(PhoneId::LEN * 8, 512);
+        assert_eq!(Seed::LEN * 8, 256);
+        assert_eq!(EntryValue::LEN * 8, 256);
+    }
+
+    #[test]
+    fn equality_is_by_value() {
+        let a = Seed::from_bytes([7; 32]);
+        let b = Seed::from_bytes([7; 32]);
+        let c = Seed::from_bytes([8; 32]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

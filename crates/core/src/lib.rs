@@ -1,0 +1,210 @@
+//! Core generative algorithms of the Amnesia bilateral password manager.
+//!
+//! Amnesia (Wang, Li & Sun, ICDCS 2016) never stores a website password.
+//! Instead a password is *recomputed* from two secrets held by different
+//! parties:
+//!
+//! * the **server-side secret** `Ks = (Oid, {(µ, d, σ)})` — a 512-bit online
+//!   ID plus one `(username, domain, seed)` entry per managed account, and
+//! * the **phone-side secret** `Kp = (Pid, TE)` — a 512-bit phone ID plus an
+//!   entry table of `N = 5000` random 256-bit values.
+//!
+//! The password derivation is a four-step pipeline (paper §III-B):
+//!
+//! 1. **Request** (server): [`PasswordRequest::derive`] —
+//!    `R = SHA-256(µ ‖ d ‖ σ)`.
+//! 2. **Token** (phone): [`EntryTable::token`] (Algorithm 1) — the 64 hex
+//!    digits of `R` are split into 16 segments of 4; each segment mod `N`
+//!    indexes the entry table; `T = SHA-256(e_{i0} ‖ … ‖ e_{i15})`.
+//! 3. **Intermediate value** (server): [`derive_intermediate`] —
+//!    `p = SHA-512(T ‖ Oid ‖ σ)`.
+//! 4. **Template** (server): [`PasswordPolicy::render`] — the 128 hex digits
+//!    of `p` are split into 32 segments of 4; each segment mod `|charset|`
+//!    indexes the character table; the characters concatenate into the final
+//!    password `P`, optionally truncated.
+//!
+//! [`derive_password`] runs steps 1–4 in one call for callers (tests,
+//! analysis) that hold both secrets; the real system in `amnesia-system`
+//! splits them across simulated machines exactly as the paper does.
+//!
+//! # Example
+//!
+//! ```
+//! use amnesia_core::{
+//!     derive_password, AccountEntry, Domain, EntryTable, OnlineId, PasswordPolicy, Seed,
+//!     Username,
+//! };
+//! use amnesia_crypto::SecretRng;
+//!
+//! let mut rng = SecretRng::seeded(1);
+//! let oid = OnlineId::random(&mut rng);
+//! let table = EntryTable::random(&mut rng, EntryTable::DEFAULT_SIZE);
+//! let entry = AccountEntry::new(
+//!     Username::new("alice")?,
+//!     Domain::new("mail.google.com")?,
+//!     Seed::random(&mut rng),
+//! );
+//!
+//! let p1 = derive_password(&entry, &oid, &table, &PasswordPolicy::default())?;
+//! let p2 = derive_password(&entry, &oid, &table, &PasswordPolicy::default())?;
+//! assert_eq!(p1, p2); // deterministic: nothing needs to be stored
+//! assert_eq!(p1.as_str().len(), 32);
+//! # Ok::<(), amnesia_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod analysis;
+pub mod charset;
+mod error;
+pub mod ids;
+pub mod request;
+pub mod table;
+pub mod template;
+pub mod token;
+
+pub use account::{AccountEntry, Domain, Username};
+pub use charset::{CharClass, CharacterTable};
+pub use error::CoreError;
+pub use ids::{EntryValue, OnlineId, PhoneId, Salt, Seed};
+pub use request::PasswordRequest;
+pub use table::EntryTable;
+pub use template::{GeneratedPassword, PasswordPolicy};
+pub use token::Token;
+
+use amnesia_crypto::sha512_concat;
+
+/// Computes the intermediate value `p = SHA-512(T ‖ Oid ‖ σ)` (paper
+/// §III-B4).
+///
+/// The result is passed to [`PasswordPolicy::render`] to obtain the final
+/// password.
+///
+/// ```
+/// use amnesia_core::{derive_intermediate, OnlineId, Seed, Token};
+/// use amnesia_crypto::SecretRng;
+/// let mut rng = SecretRng::seeded(2);
+/// let t = Token::from_bytes(rng.bytes());
+/// let oid = OnlineId::random(&mut rng);
+/// let seed = Seed::random(&mut rng);
+/// let p = derive_intermediate(&t, &oid, &seed);
+/// assert_eq!(p.len(), 64);
+/// ```
+pub fn derive_intermediate(token: &Token, oid: &OnlineId, seed: &Seed) -> [u8; 64] {
+    sha512_concat(&[token.as_bytes(), oid.as_bytes(), seed.as_bytes()])
+}
+
+/// Runs the full generation pipeline with both halves of the secret in hand.
+///
+/// This is the *logical* composition of the bilateral protocol — the request
+/// is derived from the account entry, the token from the entry table, and the
+/// final password from both. The distributed system produces exactly this
+/// value; integration tests assert that equivalence.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyEntryTable`] if `table` has no entries, or
+/// [`CoreError::EntryTableTooLarge`] if the table cannot be addressed by a
+/// 4-hex-digit segment (paper constraint `16^l ≥ N`).
+pub fn derive_password(
+    entry: &AccountEntry,
+    oid: &OnlineId,
+    table: &EntryTable,
+    policy: &PasswordPolicy,
+) -> Result<GeneratedPassword, CoreError> {
+    let request = PasswordRequest::derive(entry.username(), entry.domain(), entry.seed());
+    let token = table.token(&request)?;
+    let p = derive_intermediate(&token, oid, entry.seed());
+    Ok(policy.render(&p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesia_crypto::SecretRng;
+
+    fn fixture() -> (AccountEntry, OnlineId, EntryTable) {
+        let mut rng = SecretRng::seeded(77);
+        let entry = AccountEntry::new(
+            Username::new("alice").unwrap(),
+            Domain::new("example.com").unwrap(),
+            Seed::random(&mut rng),
+        );
+        let oid = OnlineId::random(&mut rng);
+        // A small table keeps tests fast; correctness is size-independent.
+        let table = EntryTable::random(&mut rng, 100);
+        (entry, oid, table)
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let (entry, oid, table) = fixture();
+        let policy = PasswordPolicy::default();
+        let a = derive_password(&entry, &oid, &table, &policy).unwrap();
+        let b = derive_password(&entry, &oid, &table, &policy).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn changing_seed_changes_password() {
+        // §III-A2: rotating σ regenerates the account password.
+        let (entry, oid, table) = fixture();
+        let mut rng = SecretRng::seeded(99);
+        let rotated = AccountEntry::new(
+            entry.username().clone(),
+            entry.domain().clone(),
+            Seed::random(&mut rng),
+        );
+        let policy = PasswordPolicy::default();
+        let before = derive_password(&entry, &oid, &table, &policy).unwrap();
+        let after = derive_password(&rotated, &oid, &table, &policy).unwrap();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn changing_any_input_changes_password() {
+        let (entry, oid, table) = fixture();
+        let policy = PasswordPolicy::default();
+        let base = derive_password(&entry, &oid, &table, &policy).unwrap();
+
+        let mut rng = SecretRng::seeded(123);
+        let other_oid = OnlineId::random(&mut rng);
+        assert_ne!(
+            base,
+            derive_password(&entry, &other_oid, &table, &policy).unwrap()
+        );
+
+        let other_table = EntryTable::random(&mut rng, 100);
+        assert_ne!(
+            base,
+            derive_password(&entry, &oid, &other_table, &policy).unwrap()
+        );
+
+        let other_user = AccountEntry::new(
+            Username::new("alice2").unwrap(),
+            entry.domain().clone(),
+            entry.seed().clone(),
+        );
+        assert_ne!(
+            base,
+            derive_password(&other_user, &oid, &table, &policy).unwrap()
+        );
+    }
+
+    #[test]
+    fn intermediate_matches_manual_hash() {
+        let (entry, oid, table) = fixture();
+        let request = PasswordRequest::derive(entry.username(), entry.domain(), entry.seed());
+        let token = table.token(&request).unwrap();
+        let mut concat = Vec::new();
+        concat.extend_from_slice(token.as_bytes());
+        concat.extend_from_slice(oid.as_bytes());
+        concat.extend_from_slice(entry.seed().as_bytes());
+        assert_eq!(
+            derive_intermediate(&token, &oid, entry.seed()),
+            amnesia_crypto::sha512(&concat)
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! The password request `R` (paper §III-B2).
+
+use crate::account::{Domain, Username};
+use crate::ids::Seed;
+use amnesia_crypto::{hex, sha256_concat};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of 4-hex-digit segments a request splits into.
+pub const SEGMENT_COUNT: usize = 16;
+
+/// A password request `R = SHA-256(µ ‖ d ‖ σ)` sent from the Amnesia server
+/// to the phone via the rendezvous server.
+///
+/// The seed `σ` is included as a preventative measure: without it, a passive
+/// eavesdropper on the rendezvous link could compute `H(µ ‖ d)` for guessed
+/// accounts and confirm which account the user is requesting (§IV-B). The
+/// [`PasswordRequest::derive_unblinded`] constructor implements that weakened
+/// variant purely so the attack harness can demonstrate the difference.
+///
+/// Implementation note: the concatenation inserts a NUL separator between
+/// `µ` and `d` (both types reject embedded NULs) so that the encoding is
+/// injective — `("ab","c")` and `("a","bc")` hash differently. The paper's
+/// plain concatenation lacks this, but the distinction never shows in any
+/// reported result.
+///
+/// ```
+/// use amnesia_core::{Domain, PasswordRequest, Seed, Username};
+/// use amnesia_crypto::SecretRng;
+/// let mut rng = SecretRng::seeded(4);
+/// let r = PasswordRequest::derive(
+///     &Username::new("alice")?,
+///     &Domain::new("example.com")?,
+///     &Seed::random(&mut rng),
+/// );
+/// assert_eq!(r.to_hex().len(), 64);
+/// assert_eq!(r.segments().len(), 16);
+/// # Ok::<(), amnesia_core::CoreError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PasswordRequest([u8; 32]);
+
+impl PasswordRequest {
+    /// Derives `R = SHA-256(µ ‖ 0x00 ‖ d ‖ 0x00 ‖ σ)`.
+    pub fn derive(username: &Username, domain: &Domain, seed: &Seed) -> Self {
+        PasswordRequest(sha256_concat(&[
+            username.as_str().as_bytes(),
+            b"\0",
+            domain.as_str().as_bytes(),
+            b"\0",
+            seed.as_bytes(),
+        ]))
+    }
+
+    /// Derives the *insecure* unblinded variant `SHA-256(µ ‖ 0x00 ‖ d)`.
+    ///
+    /// This exists only for the §IV-B ablation: it lets `amnesia-attacks`
+    /// show that a rendezvous eavesdropper can link unblinded requests to
+    /// accounts by hashing guessed `(µ, d)` pairs.
+    pub fn derive_unblinded(username: &Username, domain: &Domain) -> Self {
+        PasswordRequest(sha256_concat(&[
+            username.as_str().as_bytes(),
+            b"\0",
+            domain.as_str().as_bytes(),
+        ]))
+    }
+
+    /// Wraps a raw 32-byte request (e.g. received from the network).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        PasswordRequest(bytes)
+    }
+
+    /// The raw request bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// The 64-hex-digit rendering the token algorithm operates over.
+    pub fn to_hex(&self) -> String {
+        hex::encode(&self.0)
+    }
+
+    /// Splits the hex rendering into the 16 segment values
+    /// `s_i = R[4i : 4i+4]` of Algorithm 1.
+    ///
+    /// Each segment is a 4-hex-digit integer in `0..=0xffff`; the paper's
+    /// constraint `16^l ≥ N` guarantees these can address any admissible
+    /// entry table.
+    pub fn segments(&self) -> [u16; SEGMENT_COUNT] {
+        let mut out = [0u16; SEGMENT_COUNT];
+        for (i, chunk) in self.0.chunks_exact(2).enumerate() {
+            // Two bytes are exactly four hex digits, big-endian.
+            out[i] = u16::from_be_bytes([chunk[0], chunk[1]]);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for PasswordRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PasswordRequest(0x{}…)", &self.to_hex()[..8])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesia_crypto::SecretRng;
+
+    fn parts() -> (Username, Domain, Seed) {
+        let mut rng = SecretRng::seeded(8);
+        (
+            Username::new("alice").unwrap(),
+            Domain::new("mail.google.com").unwrap(),
+            Seed::random(&mut rng),
+        )
+    }
+
+    #[test]
+    fn deterministic() {
+        let (u, d, s) = parts();
+        assert_eq!(
+            PasswordRequest::derive(&u, &d, &s),
+            PasswordRequest::derive(&u, &d, &s)
+        );
+    }
+
+    #[test]
+    fn seed_blinds_request() {
+        let (u, d, s) = parts();
+        let mut rng = SecretRng::seeded(9);
+        let other = Seed::random(&mut rng);
+        assert_ne!(
+            PasswordRequest::derive(&u, &d, &s),
+            PasswordRequest::derive(&u, &d, &other)
+        );
+    }
+
+    #[test]
+    fn unblinded_is_predictable_by_attacker() {
+        // The attacker can recompute the unblinded request from public data.
+        let (u, d, _) = parts();
+        let victim = PasswordRequest::derive_unblinded(&u, &d);
+        let attacker_guess = PasswordRequest::derive_unblinded(
+            &Username::new("alice").unwrap(),
+            &Domain::new("mail.google.com").unwrap(),
+        );
+        assert_eq!(victim, attacker_guess);
+    }
+
+    #[test]
+    fn concatenation_is_injective() {
+        // Without the separator, ("ab","c") and ("a","bc") would collide.
+        let a = PasswordRequest::derive_unblinded(
+            &Username::new("ab").unwrap(),
+            &Domain::new("c").unwrap(),
+        );
+        let b = PasswordRequest::derive_unblinded(
+            &Username::new("a").unwrap(),
+            &Domain::new("bc").unwrap(),
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn segments_match_hex_parsing() {
+        let (u, d, s) = parts();
+        let r = PasswordRequest::derive(&u, &d, &s);
+        let hex_str = r.to_hex();
+        let expected: Vec<u16> = (0..SEGMENT_COUNT)
+            .map(|i| amnesia_crypto::hex::parse_segment(&hex_str[4 * i..4 * i + 4]).unwrap())
+            .collect();
+        assert_eq!(r.segments().to_vec(), expected);
+    }
+
+    #[test]
+    fn debug_truncates() {
+        let (u, d, s) = parts();
+        let r = PasswordRequest::derive(&u, &d, &s);
+        assert!(format!("{r:?}").len() < 32);
+    }
+}

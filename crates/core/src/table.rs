@@ -1,0 +1,231 @@
+//! The phone's entry table `TE` and Algorithm 1 (token generation).
+
+use crate::error::CoreError;
+use crate::ids::EntryValue;
+use crate::request::{PasswordRequest, SEGMENT_COUNT};
+use crate::token::Token;
+use amnesia_crypto::{SecretRng, Sha256};
+use serde::{Deserialize, Serialize};
+
+/// The entry table `TE = {e_i}` of `N` random 256-bit values stored in the
+/// Amnesia mobile application (paper Table II).
+///
+/// The default size is `N = 5000`, which yields `5000^16 ≈ 1.53 × 10^59`
+/// distinct tokens (§III-B3). A 4-hex-digit segment can address at most
+/// `16^4 = 65536` entries, so construction enforces `1 ≤ N ≤ 65536`.
+///
+/// ```
+/// use amnesia_core::EntryTable;
+/// use amnesia_crypto::SecretRng;
+/// let table = EntryTable::random(&mut SecretRng::seeded(1), EntryTable::DEFAULT_SIZE);
+/// assert_eq!(table.len(), 5000);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntryTable {
+    entries: Vec<EntryValue>,
+}
+
+impl EntryTable {
+    /// The paper's table size, `N = 5000`.
+    pub const DEFAULT_SIZE: usize = 5000;
+
+    /// Maximum addressable size with 4-hex-digit segments (`16^4`).
+    pub const MAX_SIZE: usize = 1 << 16;
+
+    /// Generates a fresh random table of `size` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or exceeds [`EntryTable::MAX_SIZE`]; sizes
+    /// are chosen by the application, not derived from untrusted input.
+    pub fn random(rng: &mut SecretRng, size: usize) -> Self {
+        assert!(size > 0, "entry table must be non-empty");
+        assert!(
+            size <= Self::MAX_SIZE,
+            "entry table size {size} exceeds the 16^4 segment address space"
+        );
+        EntryTable {
+            entries: (0..size).map(|_| EntryValue::random(rng)).collect(),
+        }
+    }
+
+    /// Reconstructs a table from explicit entries (cloud-backup restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyEntryTable`] or
+    /// [`CoreError::EntryTableTooLarge`] when the entry count is
+    /// inadmissible.
+    pub fn from_entries(entries: Vec<EntryValue>) -> Result<Self, CoreError> {
+        if entries.is_empty() {
+            return Err(CoreError::EmptyEntryTable);
+        }
+        if entries.len() > Self::MAX_SIZE {
+            return Err(CoreError::EntryTableTooLarge {
+                size: entries.len(),
+                max: Self::MAX_SIZE,
+            });
+        }
+        Ok(EntryTable { entries })
+    }
+
+    /// Number of entries `N`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table; kept
+    /// for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the entry values.
+    pub fn iter(&self) -> std::slice::Iter<'_, EntryValue> {
+        self.entries.iter()
+    }
+
+    /// Returns the entry at `index`, if in bounds.
+    pub fn get(&self, index: usize) -> Option<&EntryValue> {
+        self.entries.get(index)
+    }
+
+    /// Resolves the 16 table indices Algorithm 1 selects for `request`:
+    /// `i_k = s_k mod N`.
+    pub fn indices(&self, request: &PasswordRequest) -> [usize; SEGMENT_COUNT] {
+        let mut out = [0usize; SEGMENT_COUNT];
+        for (slot, segment) in out.iter_mut().zip(request.segments()) {
+            *slot = segment as usize % self.entries.len();
+        }
+        out
+    }
+
+    /// Algorithm 1, `generateToken`: computes
+    /// `T = SHA-256(e_{i0} ‖ e_{i1} ‖ … ‖ e_{i15})`.
+    ///
+    /// Each selected 256-bit entry is concatenated in segment order
+    /// (duplicate indices contribute once per occurrence) and hashed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyEntryTable`] if the table has no entries
+    /// (only reachable through a deserialized table that bypassed
+    /// construction checks).
+    pub fn token(&self, request: &PasswordRequest) -> Result<Token, CoreError> {
+        if self.entries.is_empty() {
+            return Err(CoreError::EmptyEntryTable);
+        }
+        let mut h = Sha256::new();
+        for index in self.indices(request) {
+            h.update(self.entries[index].as_bytes());
+        }
+        Ok(Token::from_bytes(h.finalize()))
+    }
+}
+
+impl<'a> IntoIterator for &'a EntryTable {
+    type Item = &'a EntryValue;
+    type IntoIter = std::slice::Iter<'a, EntryValue>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::{Domain, Username};
+    use crate::ids::Seed;
+
+    fn request() -> PasswordRequest {
+        let mut rng = SecretRng::seeded(21);
+        PasswordRequest::derive(
+            &Username::new("alice").unwrap(),
+            &Domain::new("example.com").unwrap(),
+            &Seed::random(&mut rng),
+        )
+    }
+
+    #[test]
+    fn default_size_is_5000() {
+        assert_eq!(EntryTable::DEFAULT_SIZE, 5000);
+    }
+
+    #[test]
+    fn token_matches_manual_concatenation() {
+        let mut rng = SecretRng::seeded(22);
+        let table = EntryTable::random(&mut rng, 50);
+        let r = request();
+        let mut concat = Vec::new();
+        for segment in r.segments() {
+            concat.extend_from_slice(table.get(segment as usize % 50).unwrap().as_bytes());
+        }
+        assert_eq!(
+            table.token(&r).unwrap(),
+            Token::from_bytes(amnesia_crypto::sha256(&concat))
+        );
+    }
+
+    #[test]
+    fn indices_are_in_bounds_for_all_sizes() {
+        let mut rng = SecretRng::seeded(23);
+        let r = request();
+        for size in [1usize, 2, 3, 5000, 65535, 65536] {
+            let table = EntryTable::random(&mut rng, size.min(64)); // keep RAM small
+            for i in table.indices(&r) {
+                assert!(i < table.len());
+            }
+        }
+    }
+
+    #[test]
+    fn size_one_table_still_tokens() {
+        let mut rng = SecretRng::seeded(24);
+        let table = EntryTable::random(&mut rng, 1);
+        // All 16 indices are 0; still a valid (degenerate) token.
+        let t = table.token(&request()).unwrap();
+        assert_eq!(t.as_bytes().len(), 32);
+    }
+
+    #[test]
+    fn different_tables_give_different_tokens() {
+        let mut rng = SecretRng::seeded(25);
+        let a = EntryTable::random(&mut rng, 100);
+        let b = EntryTable::random(&mut rng, 100);
+        let r = request();
+        assert_ne!(a.token(&r).unwrap(), b.token(&r).unwrap());
+    }
+
+    #[test]
+    fn from_entries_validation() {
+        assert_eq!(
+            EntryTable::from_entries(vec![]),
+            Err(CoreError::EmptyEntryTable)
+        );
+        let mut rng = SecretRng::seeded(26);
+        let e = EntryValue::random(&mut rng);
+        let huge = vec![e; EntryTable::MAX_SIZE + 1];
+        assert!(matches!(
+            EntryTable::from_entries(huge),
+            Err(CoreError::EntryTableTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn random_zero_panics() {
+        let mut rng = SecretRng::seeded(27);
+        let _ = EntryTable::random(&mut rng, 0);
+    }
+
+    #[test]
+    fn restore_roundtrip_preserves_tokens() {
+        // Cloud recovery restores the exact table, so tokens must agree.
+        let mut rng = SecretRng::seeded(28);
+        let table = EntryTable::random(&mut rng, 200);
+        let restored = EntryTable::from_entries(table.iter().cloned().collect()).unwrap();
+        let r = request();
+        assert_eq!(table.token(&r).unwrap(), restored.token(&r).unwrap());
+    }
+}

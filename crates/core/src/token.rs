@@ -1,0 +1,89 @@
+//! The token `T` computed by the phone (paper §III-B3).
+
+use amnesia_crypto::{ct_eq, hex};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The 256-bit token `T = SHA-256(e_{i0} ‖ … ‖ e_{i15})` the phone returns to
+/// the Amnesia server.
+///
+/// A token is account-and-request specific but useless on its own: turning it
+/// into a password additionally requires the server-side `Oid` and `σ`
+/// (§IV-A: "having T alone is useless").
+///
+/// ```
+/// use amnesia_core::Token;
+/// let t = Token::from_bytes([0u8; 32]);
+/// assert_eq!(t.to_hex().len(), 64);
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Token([u8; 32]);
+
+impl Token {
+    /// Wraps raw token bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Token(bytes)
+    }
+
+    /// Parses a token from 64 hex digits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`hex::DecodeHexError`] on malformed input.
+    pub fn from_hex(s: &str) -> Result<Self, hex::DecodeHexError> {
+        let bytes = hex::decode(s)?;
+        let arr: [u8; 32] = bytes
+            .try_into()
+            .map_err(|_| hex::DecodeHexError::OddLength { len: s.len() })?;
+        Ok(Token(arr))
+    }
+
+    /// The raw token bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Lowercase hex rendering.
+    pub fn to_hex(&self) -> String {
+        hex::encode(&self.0)
+    }
+}
+
+impl PartialEq for Token {
+    fn eq(&self, other: &Self) -> bool {
+        ct_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for Token {}
+
+impl fmt::Debug for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Token(0x{}…)", &self.to_hex()[..8])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let t = Token::from_bytes([0xc3; 32]);
+        assert_eq!(Token::from_hex(&t.to_hex()).unwrap(), t);
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_lengths() {
+        assert!(Token::from_hex("abcd").is_err());
+        assert!(Token::from_hex(&"0".repeat(66)).is_err());
+    }
+
+    #[test]
+    fn debug_truncates() {
+        let t = Token::from_bytes([0xff; 32]);
+        let s = format!("{t:?}");
+        assert!(s.contains("ffffffff"));
+        assert!(s.len() < 24);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the generative core's structural invariants.
+
+use amnesia_core::analysis::index_bias;
+use amnesia_core::{
+    CharClass, CharacterTable, Domain, EntryTable, PasswordPolicy, PasswordRequest, Seed, Username,
+};
+use amnesia_crypto::{hex, SecretRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Segment parsing agrees with hex-string slicing for arbitrary
+    /// requests — the exact construction of Algorithm 1.
+    #[test]
+    fn segments_match_hex_slices(user in "[a-zA-Z0-9]{1,16}", seed in any::<u64>()) {
+        let mut rng = SecretRng::seeded(seed);
+        let r = PasswordRequest::derive(
+            &Username::new(user).unwrap(),
+            &Domain::new("segments.example.com").unwrap(),
+            &Seed::random(&mut rng),
+        );
+        let hex_str = r.to_hex();
+        for (i, segment) in r.segments().iter().enumerate() {
+            let parsed = hex::parse_segment(&hex_str[4 * i..4 * i + 4]).unwrap();
+            prop_assert_eq!(*segment, parsed);
+        }
+    }
+
+    /// Token indices stay in bounds for every admissible table size, and the
+    /// token is invariant under re-computation.
+    #[test]
+    fn token_indices_in_bounds(size in 1usize..=4096, seed in any::<u64>()) {
+        let mut rng = SecretRng::seeded(seed);
+        let table = EntryTable::random(&mut rng, size);
+        let r = PasswordRequest::derive(
+            &Username::new("u").unwrap(),
+            &Domain::new("d.example.com").unwrap(),
+            &Seed::random(&mut rng),
+        );
+        for idx in table.indices(&r) {
+            prop_assert!(idx < size);
+        }
+        prop_assert_eq!(table.token(&r).unwrap(), table.token(&r).unwrap());
+    }
+
+    /// The template renders only charset members at exactly the policy
+    /// length, for arbitrary intermediate values.
+    #[test]
+    fn template_respects_charset(p in proptest::array::uniform32(any::<u16>()),
+                                 length in 1usize..=32,
+                                 classes_mask in 1u8..16) {
+        let classes: Vec<CharClass> = CharClass::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| classes_mask & (1 << i) != 0)
+            .map(|(_, c)| c)
+            .collect();
+        let charset = CharacterTable::from_classes(&classes).unwrap();
+        let policy = PasswordPolicy::new(charset.clone(), length).unwrap();
+        let mut bytes = [0u8; 64];
+        for (i, v) in p.iter().enumerate() {
+            bytes[2 * i..2 * i + 2].copy_from_slice(&v.to_be_bytes());
+        }
+        let password = policy.render(&bytes);
+        prop_assert_eq!(password.len(), length);
+        for c in password.as_str().chars() {
+            prop_assert!(charset.contains(c));
+        }
+        // The rendering is the exact modular indexing of the spec.
+        for (i, c) in password.as_str().chars().enumerate() {
+            let expected = charset.get(p[i] as usize % charset.len()).unwrap();
+            prop_assert_eq!(c, expected);
+        }
+    }
+
+    /// Index-bias arithmetic: multiplicities always account for the whole
+    /// 16-bit segment space.
+    #[test]
+    fn index_bias_partitions_segment_space(size in 1usize..=65536) {
+        let bias = index_bias(size);
+        let total = bias.overrepresented as u64 * bias.high_multiplicity
+            + (size as u64 - bias.overrepresented as u64) * bias.low_multiplicity;
+        prop_assert_eq!(total, 65536);
+        prop_assert!(bias.ratio() >= 1.0);
+    }
+
+    /// Entry-table restores are exact: any table roundtrips through its
+    /// entry vector with identical tokens.
+    #[test]
+    fn table_restore_roundtrip(size in 1usize..=512, seed in any::<u64>()) {
+        let mut rng = SecretRng::seeded(seed);
+        let table = EntryTable::random(&mut rng, size);
+        let restored = EntryTable::from_entries(table.iter().cloned().collect()).unwrap();
+        prop_assert_eq!(&table, &restored);
+    }
+}
+
+/// Statistical check (not a proptest): observed index frequencies over many
+/// requests track the closed-form bias prediction.
+#[test]
+fn index_distribution_tracks_bias_prediction() {
+    let size = 50usize;
+    let mut rng = SecretRng::seeded(97);
+    let table = EntryTable::random(&mut rng, size);
+    let mut counts = vec![0u64; size];
+    let trials = 4000;
+    for i in 0..trials {
+        let r = PasswordRequest::derive(
+            &Username::new(format!("user{i}")).unwrap(),
+            &Domain::new("dist.example.com").unwrap(),
+            &Seed::random(&mut rng),
+        );
+        for idx in table.indices(&r) {
+            counts[idx] += 1;
+        }
+    }
+    let total: u64 = counts.iter().sum();
+    assert_eq!(total, (trials * 16) as u64);
+    let bias = index_bias(size);
+    // Expected probability for over- vs under-represented indices.
+    let p_high = bias.high_multiplicity as f64 / 65536.0;
+    let p_low = bias.low_multiplicity as f64 / 65536.0;
+    let mean_high: f64 = counts[..bias.overrepresented]
+        .iter()
+        .map(|&c| c as f64)
+        .sum::<f64>()
+        / bias.overrepresented as f64;
+    let mean_low: f64 = counts[bias.overrepresented..]
+        .iter()
+        .map(|&c| c as f64)
+        .sum::<f64>()
+        / (size - bias.overrepresented) as f64;
+    let expected_high = p_high * total as f64;
+    let expected_low = p_low * total as f64;
+    assert!(
+        (mean_high - expected_high).abs() / expected_high < 0.05,
+        "high-group mean {mean_high} vs expected {expected_high}"
+    );
+    assert!(
+        (mean_low - expected_low).abs() / expected_low < 0.05,
+        "low-group mean {mean_low} vs expected {expected_low}"
+    );
+    assert!(mean_high > mean_low, "bias direction must be observable");
+}

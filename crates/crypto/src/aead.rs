@@ -1,0 +1,193 @@
+//! Authenticated encryption for stored blobs (encrypt-then-MAC).
+//!
+//! Used by the server-side *vault* extension (paper §VIII: "users ... are
+//! unable to store specific chosen passwords. We plan to address these two
+//! issues in the future by including a vault ..."). A vault entry is sealed
+//! under a key derived bilaterally — `k = SHA-512(T ‖ Oid ‖ σ)` — so the
+//! ciphertext at rest is useless without a token from the phone.
+//!
+//! Construction (same building blocks as the channel cipher in
+//! `amnesia-net`, but nonce-explicit and suited to data at rest):
+//!
+//! * keys: `k_enc = HMAC-SHA-256(key, "blob-enc")`,
+//!   `k_mac = HMAC-SHA-256(key, "blob-mac")`;
+//! * confidentiality: SHA-256 counter mode keyed by `k_enc` and a random
+//!   16-byte nonce;
+//! * integrity: `HMAC-SHA-256(k_mac, nonce ‖ aad-length ‖ aad ‖ ciphertext)`;
+//! * output layout: `nonce(16) ‖ ciphertext ‖ tag(32)`.
+
+use crate::ct::ct_eq;
+use crate::hmac::hmac_sha256;
+use crate::rng::SecretRng;
+use crate::sha256::Sha256;
+use std::error::Error;
+use std::fmt;
+
+const NONCE_LEN: usize = 16;
+const TAG_LEN: usize = 32;
+
+/// Errors from [`open`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AeadError {
+    /// Input shorter than nonce + tag.
+    Truncated {
+        /// Observed length.
+        len: usize,
+    },
+    /// Authentication failed (wrong key, wrong AAD, or tampering).
+    BadTag,
+}
+
+impl fmt::Display for AeadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AeadError::Truncated { len } => write!(f, "sealed blob too short ({len} bytes)"),
+            AeadError::BadTag => write!(f, "blob authentication failed"),
+        }
+    }
+}
+
+impl Error for AeadError {}
+
+fn subkeys(key: &[u8]) -> ([u8; 32], [u8; 32]) {
+    (hmac_sha256(key, b"blob-enc"), hmac_sha256(key, b"blob-mac"))
+}
+
+fn keystream_xor(enc_key: &[u8; 32], nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(32).enumerate() {
+        let mut h = Sha256::new();
+        h.update(enc_key);
+        h.update(nonce);
+        h.update(&(i as u64).to_le_bytes());
+        let block = h.finalize();
+        for (b, k) in chunk.iter_mut().zip(block.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+fn mac(mac_key: &[u8; 32], nonce: &[u8], aad: &[u8], ciphertext: &[u8]) -> [u8; 32] {
+    let mut h = crate::hmac::Hmac::<Sha256>::new(mac_key);
+    h.update(nonce);
+    h.update(&(aad.len() as u64).to_le_bytes());
+    h.update(aad);
+    h.update(ciphertext);
+    h.finalize().try_into().expect("32-byte tag")
+}
+
+/// Seals `plaintext` under `key` with a random nonce, binding `aad`
+/// (associated data that must match at open time, e.g. the account
+/// identity).
+///
+/// ```
+/// use amnesia_crypto::{aead, SecretRng};
+/// let mut rng = SecretRng::seeded(1);
+/// let sealed = aead::seal(b"key material", b"chosen password", b"alice@site", &mut rng);
+/// let opened = aead::open(b"key material", &sealed, b"alice@site").unwrap();
+/// assert_eq!(opened, b"chosen password");
+/// ```
+pub fn seal(key: &[u8], plaintext: &[u8], aad: &[u8], rng: &mut SecretRng) -> Vec<u8> {
+    let (enc_key, mac_key) = subkeys(key);
+    let nonce = rng.bytes::<NONCE_LEN>();
+    let mut ciphertext = plaintext.to_vec();
+    keystream_xor(&enc_key, &nonce, &mut ciphertext);
+    let tag = mac(&mac_key, &nonce, aad, &ciphertext);
+
+    let mut out = Vec::with_capacity(NONCE_LEN + ciphertext.len() + TAG_LEN);
+    out.extend_from_slice(&nonce);
+    out.extend_from_slice(&ciphertext);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Opens a blob produced by [`seal`] with the same key and AAD.
+///
+/// # Errors
+///
+/// Returns [`AeadError::Truncated`] for undersized input and
+/// [`AeadError::BadTag`] when the key, AAD or blob do not match.
+pub fn open(key: &[u8], sealed: &[u8], aad: &[u8]) -> Result<Vec<u8>, AeadError> {
+    if sealed.len() < NONCE_LEN + TAG_LEN {
+        return Err(AeadError::Truncated { len: sealed.len() });
+    }
+    let (enc_key, mac_key) = subkeys(key);
+    let (nonce, rest) = sealed.split_at(NONCE_LEN);
+    let (ciphertext, tag) = rest.split_at(rest.len() - TAG_LEN);
+    let expected = mac(&mac_key, nonce, aad, ciphertext);
+    if !ct_eq(&expected, tag) {
+        return Err(AeadError::BadTag);
+    }
+    let mut plaintext = ciphertext.to_vec();
+    let nonce_arr: [u8; NONCE_LEN] = nonce.try_into().expect("nonce length");
+    keystream_xor(&enc_key, &nonce_arr, &mut plaintext);
+    Ok(plaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        let mut rng = SecretRng::seeded(1);
+        for len in [0usize, 1, 31, 32, 33, 100, 1000] {
+            let pt = vec![0x5au8; len];
+            let sealed = seal(b"k", &pt, b"aad", &mut rng);
+            assert_eq!(open(b"k", &sealed, b"aad").unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let mut rng = SecretRng::seeded(2);
+        let sealed = seal(b"k1", b"secret", b"", &mut rng);
+        assert_eq!(open(b"k2", &sealed, b""), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn wrong_aad_fails() {
+        let mut rng = SecretRng::seeded(3);
+        let sealed = seal(b"k", b"secret", b"alice@a.com", &mut rng);
+        assert_eq!(open(b"k", &sealed, b"alice@b.com"), Err(AeadError::BadTag));
+    }
+
+    #[test]
+    fn every_bitflip_fails() {
+        let mut rng = SecretRng::seeded(4);
+        let sealed = seal(b"k", b"integrity", b"aad", &mut rng);
+        for i in 0..sealed.len() {
+            let mut forged = sealed.clone();
+            forged[i] ^= 1;
+            assert_eq!(
+                open(b"k", &forged, b"aad"),
+                Err(AeadError::BadTag),
+                "byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_fails() {
+        assert_eq!(
+            open(b"k", &[0u8; 10], b""),
+            Err(AeadError::Truncated { len: 10 })
+        );
+    }
+
+    #[test]
+    fn nonce_randomizes_ciphertext() {
+        let mut rng = SecretRng::seeded(5);
+        let a = seal(b"k", b"same", b"", &mut rng);
+        let b = seal(b"k", b"same", b"", &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let mut rng = SecretRng::seeded(6);
+        let pt = b"a very recognizable chosen password";
+        let sealed = seal(b"k", pt, b"", &mut rng);
+        assert!(!sealed.windows(pt.len()).any(|w| w == pt.as_slice()));
+    }
+}

@@ -1,0 +1,54 @@
+//! Constant-time comparison for secret values.
+
+/// Compares two byte slices in time independent of where they differ.
+///
+/// Used for verifier checks (hashed master password, hashed `Pid`) so a
+/// network attacker cannot extract a secret byte-by-byte via timing.
+/// Slices of different lengths compare unequal, and the length check itself
+/// leaks only the lengths, which are public in all our uses (digests).
+///
+/// ```
+/// use amnesia_crypto::ct_eq;
+/// assert!(ct_eq(b"abc", b"abc"));
+/// assert!(!ct_eq(b"abc", b"abd"));
+/// assert!(!ct_eq(b"abc", b"ab"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff: u8 = 0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[0u8; 64], &[0u8; 64]));
+    }
+
+    #[test]
+    fn single_bit_difference_detected() {
+        for i in 0..32 {
+            for bit in 0..8 {
+                let a = [0u8; 32];
+                let mut b = [0u8; 32];
+                b[i] ^= 1 << bit;
+                assert!(!ct_eq(&a, &b), "bit {bit} of byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch() {
+        assert!(!ct_eq(b"", b"a"));
+        assert!(!ct_eq(b"aa", b"a"));
+    }
+}

@@ -1,0 +1,53 @@
+//! A minimal digest abstraction so [`Hmac`](crate::Hmac) and PBKDF2 can be
+//! generic over the two hash functions this crate provides.
+
+/// A cryptographic hash function usable by HMAC and PBKDF2.
+///
+/// This trait is sealed in spirit: it is implemented by [`Sha256`] and
+/// [`Sha512`] and exists so the MAC/KDF code is written once. Implementations
+/// must be deterministic and must match the streaming semantics of the
+/// underlying specification.
+///
+/// ```
+/// use amnesia_crypto::{Digest, Sha256};
+/// let mut h = Sha256::fresh();
+/// h.absorb(b"abc");
+/// assert_eq!(h.produce(), amnesia_crypto::sha256(b"abc").to_vec());
+/// ```
+///
+/// [`Sha256`]: crate::Sha256
+/// [`Sha512`]: crate::Sha512
+pub trait Digest: Clone {
+    /// Digest output length in bytes.
+    const OUTPUT_LEN: usize;
+    /// Internal block length in bytes (needed for HMAC key processing).
+    const BLOCK_LEN: usize;
+
+    /// Creates a hasher in the initial state.
+    fn fresh() -> Self;
+    /// Absorbs bytes into the state.
+    fn absorb(&mut self, data: &[u8]);
+    /// Finishes and returns the digest (length [`Self::OUTPUT_LEN`]).
+    fn produce(self) -> Vec<u8>;
+
+    /// One-shot convenience over the trait methods.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::fresh();
+        h.absorb(data);
+        h.produce()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sha256, Sha512};
+
+    #[test]
+    fn trait_constants_match_reality() {
+        assert_eq!(Sha256::digest(b"x").len(), Sha256::OUTPUT_LEN);
+        assert_eq!(Sha512::digest(b"x").len(), Sha512::OUTPUT_LEN);
+        assert_eq!(Sha256::BLOCK_LEN, 64);
+        assert_eq!(Sha512::BLOCK_LEN, 128);
+    }
+}

@@ -1,0 +1,186 @@
+//! Lowercase hexadecimal encoding and decoding.
+//!
+//! Hex is load-bearing in Amnesia: Algorithm 1 (token generation) and the
+//! password template function are both specified over the *hex digit string*
+//! of a digest — each 4-hex-digit segment is parsed as an integer and reduced
+//! modulo a table size. This module is therefore part of the reproduced
+//! algorithm, not merely a display helper.
+
+use std::error::Error;
+use std::fmt;
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes bytes as a lowercase hex string.
+///
+/// ```
+/// assert_eq!(amnesia_crypto::hex::encode(&[0xff, 0x00, 0x1a]), "ff001a");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// An error produced when decoding an invalid hex string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeHexError {
+    /// The input length is odd, so it cannot encode whole bytes.
+    OddLength {
+        /// The offending input length.
+        len: usize,
+    },
+    /// A character outside `[0-9a-fA-F]` was found.
+    InvalidDigit {
+        /// Byte offset of the invalid character.
+        index: usize,
+        /// The invalid character.
+        found: char,
+    },
+}
+
+impl fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeHexError::OddLength { len } => {
+                write!(f, "hex string has odd length {len}")
+            }
+            DecodeHexError::InvalidDigit { index, found } => {
+                write!(f, "invalid hex digit {found:?} at index {index}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeHexError {}
+
+fn nibble(c: u8, index: usize) -> Result<u8, DecodeHexError> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(DecodeHexError::InvalidDigit {
+            index,
+            found: c as char,
+        }),
+    }
+}
+
+/// Decodes a hex string (either case) into bytes.
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError`] if the input has odd length or contains a
+/// non-hex character.
+///
+/// ```
+/// # fn main() -> Result<(), amnesia_crypto::hex::DecodeHexError> {
+/// assert_eq!(amnesia_crypto::hex::decode("FF001a")?, vec![0xff, 0x00, 0x1a]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(DecodeHexError::OddLength { len: bytes.len() });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = nibble(pair[0], i * 2)?;
+        let lo = nibble(pair[1], i * 2 + 1)?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+/// Parses a 4-hex-digit segment into its integer value (0..=0xffff).
+///
+/// This is the segment-parsing step `s_i = R[4i : 4i+4]` shared by Amnesia's
+/// token generation (Algorithm 1) and the password template function.
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError::InvalidDigit`] for non-hex characters and
+/// [`DecodeHexError::OddLength`] if the segment is not exactly 4 characters.
+///
+/// ```
+/// assert_eq!(amnesia_crypto::hex::parse_segment("00ff").unwrap(), 255);
+/// assert_eq!(amnesia_crypto::hex::parse_segment("ffff").unwrap(), 65535);
+/// ```
+pub fn parse_segment(segment: &str) -> Result<u16, DecodeHexError> {
+    let bytes = segment.as_bytes();
+    if bytes.len() != 4 {
+        return Err(DecodeHexError::OddLength { len: bytes.len() });
+    }
+    let mut v: u16 = 0;
+    for (i, &c) in bytes.iter().enumerate() {
+        v = (v << 4) | nibble(c, i)? as u16;
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_empty() {
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn decode_empty() {
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let all: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&all)).unwrap(), all);
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert_eq!(decode("abc"), Err(DecodeHexError::OddLength { len: 3 }));
+    }
+
+    #[test]
+    fn invalid_digit_reported_with_position() {
+        assert_eq!(
+            decode("ab0g"),
+            Err(DecodeHexError::InvalidDigit {
+                index: 3,
+                found: 'g'
+            })
+        );
+    }
+
+    #[test]
+    fn parse_segment_bounds() {
+        assert_eq!(parse_segment("0000").unwrap(), 0);
+        assert_eq!(parse_segment("ffff").unwrap(), 0xffff);
+        assert_eq!(parse_segment("1234").unwrap(), 0x1234);
+        assert!(parse_segment("123").is_err());
+        assert!(parse_segment("12345").is_err());
+        assert!(parse_segment("12g4").is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DecodeHexError::OddLength { len: 3 };
+        assert_eq!(e.to_string(), "hex string has odd length 3");
+        let e = DecodeHexError::InvalidDigit {
+            index: 1,
+            found: 'z',
+        };
+        assert!(e.to_string().contains("'z'"));
+    }
+}

@@ -1,0 +1,194 @@
+//! HMAC (RFC 2104), generic over the crate's [`Digest`] implementations.
+
+use crate::digest::Digest;
+
+/// Streaming HMAC over any [`Digest`].
+///
+/// Used by `amnesia-net`'s simulated secure channel for message
+/// authentication, and available for server-side verifier constructions.
+///
+/// ```
+/// use amnesia_crypto::{Hmac, Sha256};
+///
+/// let mut mac = Hmac::<Sha256>::new(b"key");
+/// mac.update(b"The quick brown fox ");
+/// mac.update(b"jumps over the lazy dog");
+/// let tag = mac.finalize();
+/// assert_eq!(
+///     amnesia_crypto::hex::encode(&tag),
+///     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8",
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    /// Outer-pad key block, retained until finalization.
+    opad_key: Vec<u8>,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Creates an HMAC instance keyed with `key`.
+    ///
+    /// Keys longer than the digest block length are first hashed, per
+    /// RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = vec![0u8; D::BLOCK_LEN];
+        if key.len() > D::BLOCK_LEN {
+            let hashed = D::digest(key);
+            key_block[..hashed.len()].copy_from_slice(&hashed);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let ipad_key: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        let opad_key: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+
+        let mut inner = D::fresh();
+        inner.absorb(&ipad_key);
+        Hmac { inner, opad_key }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.absorb(data);
+    }
+
+    /// Completes the MAC and returns the tag (digest-length bytes).
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_digest = self.inner.produce();
+        let mut outer = D::fresh();
+        outer.absorb(&self.opad_key);
+        outer.absorb(&inner_digest);
+        outer.produce()
+    }
+
+    /// One-shot MAC computation.
+    pub fn mac(key: &[u8], message: &[u8]) -> Vec<u8> {
+        let mut m = Self::new(key);
+        m.update(message);
+        m.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA-256, returning a fixed-size tag.
+///
+/// ```
+/// let tag = amnesia_crypto::hmac_sha256(b"key", b"msg");
+/// assert_eq!(tag.len(), 32);
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let v = Hmac::<crate::Sha256>::mac(key, message);
+    v.try_into().expect("HMAC-SHA-256 tag is 32 bytes")
+}
+
+/// One-shot HMAC-SHA-512, returning a fixed-size tag.
+///
+/// ```
+/// let tag = amnesia_crypto::hmac_sha512(b"key", b"msg");
+/// assert_eq!(tag.len(), 64);
+/// ```
+pub fn hmac_sha512(key: &[u8], message: &[u8]) -> [u8; 64] {
+    let v = Hmac::<crate::Sha512>::mac(key, message);
+    v.try_into().expect("HMAC-SHA-512 tag is 64 bytes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use crate::{Sha256, Sha512};
+
+    // RFC 4231 test vectors.
+
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let data = b"Hi There";
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            hex::encode(&hmac_sha512(&key, data)),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2_jefe() {
+        let key = b"Jefe";
+        let data = b"what do ya want for nothing?";
+        assert_eq!(
+            hex::encode(&hmac_sha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_fill_bytes() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        // Key longer than the block size must be hashed first.
+        let key = [0xaau8; 131];
+        let data = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+        assert_eq!(
+            hex::encode(&hmac_sha512(&key, data)),
+            "80b24263c7c1a3ebb71493c1dd7be8b49b46d1f41b4aeec1121b013783f8f352\
+6b56d037e05f2598bd0fd2215d6a1e5295e64f73f63f0aec8b915a985d786598"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let key = b"some-key";
+        let msg = b"split across several updates";
+        let mut m = Hmac::<Sha256>::new(key);
+        for chunk in msg.chunks(5) {
+            m.update(chunk);
+        }
+        assert_eq!(m.finalize(), Hmac::<Sha256>::mac(key, msg));
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha512(b"k1", b"m"), hmac_sha512(b"k2", b"m"));
+    }
+
+    #[test]
+    fn block_length_key_edge_cases() {
+        // Keys at exactly BLOCK_LEN-1, BLOCK_LEN and BLOCK_LEN+1 bytes.
+        for len in [
+            Sha256::BLOCK_LEN - 1,
+            Sha256::BLOCK_LEN,
+            Sha256::BLOCK_LEN + 1,
+        ] {
+            let key = vec![0x42u8; len];
+            // Should not panic, and should be deterministic.
+            assert_eq!(hmac_sha256(&key, b"m"), hmac_sha256(&key, b"m"));
+        }
+        for len in [
+            Sha512::BLOCK_LEN - 1,
+            Sha512::BLOCK_LEN,
+            Sha512::BLOCK_LEN + 1,
+        ] {
+            let key = vec![0x42u8; len];
+            assert_eq!(hmac_sha512(&key, b"m"), hmac_sha512(&key, b"m"));
+        }
+    }
+
+    use crate::digest::Digest;
+}

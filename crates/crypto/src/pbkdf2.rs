@@ -1,0 +1,130 @@
+//! PBKDF2 (RFC 8018 §5.2) over the crate's HMAC.
+
+use crate::digest::Digest;
+use crate::hmac::Hmac;
+
+/// Generic PBKDF2 core.
+fn pbkdf2<D: Digest>(password: &[u8], salt: &[u8], iterations: u32, out: &mut [u8]) {
+    assert!(iterations >= 1, "PBKDF2 requires at least one iteration");
+    let h_len = D::OUTPUT_LEN;
+    for (block_index, chunk) in out.chunks_mut(h_len).enumerate() {
+        // Block numbering is 1-based in the RFC.
+        let i = (block_index + 1) as u32;
+        let mut mac = Hmac::<D>::new(password);
+        mac.update(salt);
+        mac.update(&i.to_be_bytes());
+        let mut u = mac.finalize();
+        let mut t = u.clone();
+        for _ in 1..iterations {
+            u = Hmac::<D>::mac(password, &u);
+            for (acc, b) in t.iter_mut().zip(&u) {
+                *acc ^= b;
+            }
+        }
+        chunk.copy_from_slice(&t[..chunk.len()]);
+    }
+}
+
+/// Derives `out.len()` bytes from `password` and `salt` using
+/// PBKDF2-HMAC-SHA-256.
+///
+/// Amnesia's server stores `H(MP + salt)`; this repo uses PBKDF2 with a
+/// configurable iteration count as the hardened form of that verifier
+/// (`iterations = 1` degenerates to a single salted HMAC-style hash,
+/// matching the paper's minimal construction).
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+///
+/// ```
+/// let mut key = [0u8; 32];
+/// amnesia_crypto::pbkdf2_hmac_sha256(b"master password", b"salt", 1000, &mut key);
+/// assert_ne!(key, [0u8; 32]);
+/// ```
+pub fn pbkdf2_hmac_sha256(password: &[u8], salt: &[u8], iterations: u32, out: &mut [u8]) {
+    pbkdf2::<crate::Sha256>(password, salt, iterations, out);
+}
+
+/// Derives `out.len()` bytes using PBKDF2-HMAC-SHA-512.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+///
+/// ```
+/// let mut key = [0u8; 64];
+/// amnesia_crypto::pbkdf2_hmac_sha512(b"master password", b"salt", 10, &mut key);
+/// assert_ne!(key, [0u8; 64]);
+/// ```
+pub fn pbkdf2_hmac_sha512(password: &[u8], salt: &[u8], iterations: u32, out: &mut [u8]) {
+    pbkdf2::<crate::Sha512>(password, salt, iterations, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // PBKDF2-HMAC-SHA-256 vectors from RFC 7914 §11.
+    #[test]
+    fn rfc7914_vector_1() {
+        let mut out = [0u8; 64];
+        pbkdf2_hmac_sha256(b"passwd", b"salt", 1, &mut out);
+        assert_eq!(
+            hex::encode(&out),
+            "55ac046e56e3089fec1691c22544b605f94185216dde0465e68b9d57c20dacbc\
+49ca9cccf179b645991664b39d77ef317c71b845b1e30bd509112041d3a19783"
+        );
+    }
+
+    #[test]
+    fn rfc7914_vector_2() {
+        let mut out = [0u8; 64];
+        pbkdf2_hmac_sha256(b"Password", b"NaCl", 80000, &mut out);
+        assert_eq!(
+            hex::encode(&out),
+            "4ddcd8f60b98be21830cee5ef22701f9641a4418d04c0414aeff08876b34ab56\
+a1d425a1225833549adb841b51c9b3176a272bdebba1d078478f62b397f33c8d"
+        );
+    }
+
+    #[test]
+    fn non_block_multiple_output() {
+        // Output lengths that are not multiples of the digest length.
+        let mut short = [0u8; 5];
+        let mut long = [0u8; 37];
+        pbkdf2_hmac_sha256(b"p", b"s", 2, &mut short);
+        pbkdf2_hmac_sha256(b"p", b"s", 2, &mut long);
+        // The first block prefix must agree.
+        assert_eq!(short, long[..5]);
+    }
+
+    #[test]
+    fn sha512_variant_is_distinct_and_deterministic() {
+        let mut a = [0u8; 64];
+        let mut b = [0u8; 64];
+        let mut c = [0u8; 64];
+        pbkdf2_hmac_sha512(b"pw", b"salt", 3, &mut a);
+        pbkdf2_hmac_sha512(b"pw", b"salt", 3, &mut b);
+        pbkdf2_hmac_sha256(b"pw", b"salt", 3, &mut c);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panics() {
+        let mut out = [0u8; 32];
+        pbkdf2_hmac_sha256(b"p", b"s", 0, &mut out);
+    }
+
+    #[test]
+    fn iteration_count_changes_output() {
+        let mut one = [0u8; 32];
+        let mut two = [0u8; 32];
+        pbkdf2_hmac_sha256(b"p", b"s", 1, &mut one);
+        pbkdf2_hmac_sha256(b"p", b"s", 2, &mut two);
+        assert_ne!(one, two);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the cryptographic primitives.
+
+use amnesia_crypto::{
+    aead, ct_eq, hex, hmac_sha256, pbkdf2_hmac_sha256, sha256, sha512, Hmac, SecretRng, Sha256,
+    Sha512,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Streaming over arbitrary chunk splits equals one-shot hashing.
+    #[test]
+    fn sha256_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                       splits in proptest::collection::vec(any::<u16>(), 0..8)) {
+        let mut h = Sha256::new();
+        let mut rest: &[u8] = &data;
+        for s in splits {
+            let cut = (s as usize) % (rest.len() + 1);
+            let (head, tail) = rest.split_at(cut);
+            h.update(head);
+            rest = tail;
+        }
+        h.update(rest);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Same for SHA-512.
+    #[test]
+    fn sha512_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                       cut in any::<u16>()) {
+        let cut = (cut as usize) % (data.len() + 1);
+        let mut h = Sha512::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), sha512(&data));
+    }
+
+    /// Hex encode/decode is a bijection on byte strings.
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let encoded = hex::encode(&data);
+        prop_assert_eq!(encoded.len(), data.len() * 2);
+        prop_assert_eq!(hex::decode(&encoded).unwrap(), data);
+    }
+
+    /// Decoding arbitrary strings never panics; success implies canonical
+    /// re-encoding (modulo case).
+    #[test]
+    fn hex_decode_total(s in "[0-9a-fA-F]{0,64}") {
+        match hex::decode(&s) {
+            Ok(bytes) => prop_assert_eq!(hex::encode(&bytes), s.to_lowercase()),
+            Err(_) => prop_assert!(s.len() % 2 == 1),
+        }
+    }
+
+    /// HMAC differs whenever the key differs (no trivial key collisions in
+    /// the sampled space).
+    #[test]
+    fn hmac_keys_separate(k1 in proptest::collection::vec(any::<u8>(), 0..100),
+                          k2 in proptest::collection::vec(any::<u8>(), 0..100),
+                          msg in proptest::collection::vec(any::<u8>(), 0..100)) {
+        prop_assume!(k1 != k2);
+        // Keys that normalize to the same block (e.g. trailing zeros) are a
+        // documented HMAC property; exclude the padding-equivalent case.
+        let mut n1 = k1.clone();
+        let mut n2 = k2.clone();
+        let target = n1.len().max(n2.len());
+        if target <= 64 {
+            n1.resize(64, 0);
+            n2.resize(64, 0);
+            prop_assume!(n1 != n2);
+        }
+        prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+    }
+
+    /// Streaming HMAC equals one-shot.
+    #[test]
+    fn hmac_streaming(key in proptest::collection::vec(any::<u8>(), 0..130),
+                      msg in proptest::collection::vec(any::<u8>(), 0..500),
+                      cut in any::<u16>()) {
+        let cut = (cut as usize) % (msg.len() + 1);
+        let mut m = Hmac::<Sha256>::new(&key);
+        m.update(&msg[..cut]);
+        m.update(&msg[cut..]);
+        prop_assert_eq!(m.finalize(), hmac_sha256(&key, &msg).to_vec());
+    }
+
+    /// PBKDF2 output prefixes agree across requested lengths.
+    #[test]
+    fn pbkdf2_prefix_consistency(pw in proptest::collection::vec(any::<u8>(), 0..32),
+                                 salt in proptest::collection::vec(any::<u8>(), 0..32),
+                                 iters in 1u32..4) {
+        let mut short = [0u8; 16];
+        let mut long = [0u8; 48];
+        pbkdf2_hmac_sha256(&pw, &salt, iters, &mut short);
+        pbkdf2_hmac_sha256(&pw, &salt, iters, &mut long);
+        prop_assert_eq!(&short[..], &long[..16]);
+    }
+
+    /// AEAD roundtrips for arbitrary keys, plaintexts and AAD.
+    #[test]
+    fn aead_roundtrip(key in proptest::collection::vec(any::<u8>(), 0..64),
+                      pt in proptest::collection::vec(any::<u8>(), 0..300),
+                      aad in proptest::collection::vec(any::<u8>(), 0..64),
+                      seed in any::<u64>()) {
+        let mut rng = SecretRng::seeded(seed);
+        let sealed = aead::seal(&key, &pt, &aad, &mut rng);
+        prop_assert_eq!(aead::open(&key, &sealed, &aad).unwrap(), pt);
+    }
+
+    /// Any single-byte corruption of a sealed blob is rejected.
+    #[test]
+    fn aead_tamper_detected(pt in proptest::collection::vec(any::<u8>(), 1..100),
+                            idx in any::<u16>(),
+                            flip in 1u8..=255,
+                            seed in any::<u64>()) {
+        let mut rng = SecretRng::seeded(seed);
+        let mut sealed = aead::seal(b"key", &pt, b"aad", &mut rng);
+        let idx = (idx as usize) % sealed.len();
+        sealed[idx] ^= flip;
+        prop_assert!(aead::open(b"key", &sealed, b"aad").is_err());
+    }
+
+    /// Constant-time equality agrees with `==`.
+    #[test]
+    fn ct_eq_is_equality(a in proptest::collection::vec(any::<u8>(), 0..64),
+                         b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+    }
+
+    /// Digests never collide in the sampled space and avalanche on a single
+    /// bit flip.
+    #[test]
+    fn sha256_avalanche(data in proptest::collection::vec(any::<u8>(), 1..256),
+                        idx in any::<u16>(), bit in 0u8..8) {
+        let mut flipped = data.clone();
+        let idx = (idx as usize) % flipped.len();
+        flipped[idx] ^= 1 << bit;
+        let a = sha256(&data);
+        let b = sha256(&flipped);
+        prop_assert_ne!(a, b);
+        // Hamming distance should be substantial (>= 64 of 256 bits).
+        let distance: u32 = a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+        prop_assert!(distance >= 64, "weak avalanche: {distance} bits");
+    }
+}

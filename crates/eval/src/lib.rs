@@ -1,0 +1,551 @@
+//! The Bonneau–Herley–van Oorschot–Stajano comparative evaluation framework
+//! ("The Quest to Replace Passwords", IEEE S&P 2012) and the Amnesia
+//! paper's Table III.
+//!
+//! The framework rates an authentication scheme against 25 properties in
+//! three groups — usability (8), deployability (6) and security (11) — with
+//! each property **offered** (●), **quasi-offered** (◐) or **not offered**.
+//! Table III compares five schemes: traditional passwords, Firefox's
+//! built-in manager, LastPass, Tapas, and Amnesia.
+//!
+//! The ratings in [`paper_schemes`] transcribe Table III; where the scan of
+//! the table is ambiguous the rating follows the paper's prose (§VI-A) and
+//! the canonical ratings of the Bonneau and Tapas papers, as documented in
+//! EXPERIMENTS.md.
+//!
+//! # Example
+//!
+//! ```
+//! use amnesia_eval::{paper_schemes, Property, Rating};
+//!
+//! let schemes = paper_schemes();
+//! let amnesia = schemes.iter().find(|s| s.name == "Amnesia").unwrap();
+//! // §VI-A: "except for the mature property, Amnesia fulfills all
+//! // deployability requirements."
+//! assert_eq!(amnesia.rating(Property::Mature), Rating::No);
+//! assert_eq!(amnesia.rating(Property::BrowserCompatible), Rating::Offers);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The three property groups of the framework.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Group {
+    /// Benefits for the human using the scheme.
+    Usability,
+    /// Costs of rolling the scheme out.
+    Deployability,
+    /// Resistance against attacker classes.
+    Security,
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Group::Usability => "Usability",
+            Group::Deployability => "Deployability",
+            Group::Security => "Security",
+        })
+    }
+}
+
+macro_rules! properties {
+    ($(($variant:ident, $group:ident, $label:expr)),+ $(,)?) => {
+        /// The 25 framework properties, in Table III column order.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        #[non_exhaustive]
+        pub enum Property {
+            $(
+                #[doc = $label]
+                $variant,
+            )+
+        }
+
+        impl Property {
+            /// All properties, in Table III column order.
+            pub const ALL: &'static [Property] = &[$(Property::$variant),+];
+
+            /// The property's group.
+            pub fn group(&self) -> Group {
+                match self {
+                    $(Property::$variant => Group::$group,)+
+                }
+            }
+
+            /// The hyphenated label used in the paper's table header.
+            pub fn label(&self) -> &'static str {
+                match self {
+                    $(Property::$variant => $label,)+
+                }
+            }
+        }
+    };
+}
+
+properties![
+    (MemorywiseEffortless, Usability, "Memorywise-Effortless"),
+    (ScalableForUsers, Usability, "Scalable-for-Users"),
+    (NothingToCarry, Usability, "Nothing-to-Carry"),
+    (PhysicallyEffortless, Usability, "Physically-Effortless"),
+    (EasyToLearn, Usability, "Easy-to-Learn"),
+    (EfficientToUse, Usability, "Efficient-to-Use"),
+    (InfrequentErrors, Usability, "Infrequent-Errors"),
+    (EasyRecoveryFromLoss, Usability, "Easy-Recovery-from-Loss"),
+    (Accessible, Deployability, "Accessible"),
+    (
+        NegligibleCostPerUser,
+        Deployability,
+        "Negligible-Cost-per-User"
+    ),
+    (ServerCompatible, Deployability, "Server-Compatible"),
+    (BrowserCompatible, Deployability, "Browser-Compatible"),
+    (Mature, Deployability, "Mature"),
+    (NonProprietary, Deployability, "Non-Proprietary"),
+    (
+        ResilientToPhysicalObservation,
+        Security,
+        "Resilient-to-Physical-Observation"
+    ),
+    (
+        ResilientToTargetedImpersonation,
+        Security,
+        "Resilient-to-Targeted-Impersonation"
+    ),
+    (
+        ResilientToThrottledGuessing,
+        Security,
+        "Resilient-to-Throttled-Guessing"
+    ),
+    (
+        ResilientToUnthrottledGuessing,
+        Security,
+        "Resilient-to-Unthrottled-Guessing"
+    ),
+    (
+        ResilientToInternalObservation,
+        Security,
+        "Resilient-to-Internal-Observation"
+    ),
+    (
+        ResilientToLeaksFromOtherVerifiers,
+        Security,
+        "Resilient-to-Leaks-from-Other-Verifiers"
+    ),
+    (ResilientToPhishing, Security, "Resilient-to-Phishing"),
+    (ResilientToTheft, Security, "Resilient-to-Theft"),
+    (NoTrustedThirdParty, Security, "No-Trusted-Third-Party"),
+    (
+        RequiringExplicitConsent,
+        Security,
+        "Requiring-Explicit-Consent"
+    ),
+    (Unlinkable, Security, "Unlinkable"),
+];
+
+/// How well a scheme provides a property.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Rating {
+    /// The scheme does not offer the benefit (blank in the paper's table).
+    No,
+    /// The scheme *almost* offers the benefit (the paper's ◐ / `m`).
+    Quasi,
+    /// The scheme fully offers the benefit (the paper's ● / `l`).
+    Offers,
+}
+
+impl Rating {
+    /// Score contribution: 1 for offered, ½ for quasi, 0 otherwise.
+    pub fn score(&self) -> f64 {
+        match self {
+            Rating::Offers => 1.0,
+            Rating::Quasi => 0.5,
+            Rating::No => 0.0,
+        }
+    }
+
+    /// The table glyph (the paper uses `l` for ● and `m` for ◐).
+    pub fn glyph(&self) -> &'static str {
+        match self {
+            Rating::Offers => "l",
+            Rating::Quasi => "m",
+            Rating::No => " ",
+        }
+    }
+}
+
+/// One rated authentication scheme (a row of Table III).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scheme {
+    /// Row label, e.g. `"Amnesia"`.
+    pub name: String,
+    ratings: BTreeMap<Property, Rating>,
+}
+
+impl Scheme {
+    /// Creates a scheme with every property rated `No`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Scheme {
+            name: name.into(),
+            ratings: Property::ALL.iter().map(|&p| (p, Rating::No)).collect(),
+        }
+    }
+
+    /// Sets a rating (builder style).
+    pub fn rate(mut self, property: Property, rating: Rating) -> Self {
+        self.ratings.insert(property, rating);
+        self
+    }
+
+    /// The rating for a property.
+    pub fn rating(&self, property: Property) -> Rating {
+        self.ratings[&property]
+    }
+
+    /// Sum of scores over a group.
+    pub fn group_score(&self, group: Group) -> f64 {
+        Property::ALL
+            .iter()
+            .filter(|p| p.group() == group)
+            .map(|p| self.rating(*p).score())
+            .sum()
+    }
+
+    /// Sum of scores over all 25 properties.
+    pub fn total_score(&self) -> f64 {
+        self.ratings.values().map(Rating::score).sum()
+    }
+
+    /// Whether `self` is at least as good as `other` on every property in
+    /// `group` (the framework's dominance relation, per group).
+    pub fn dominates_in(&self, other: &Scheme, group: Group) -> bool {
+        Property::ALL
+            .iter()
+            .filter(|p| p.group() == group)
+            .all(|p| self.rating(*p) >= other.rating(*p))
+    }
+}
+
+/// The five rows of the paper's Table III.
+pub fn paper_schemes() -> Vec<Scheme> {
+    use Property::*;
+    use Rating::{No, Offers as Y, Quasi as Q};
+
+    let password = Scheme::new("Password")
+        .rate(MemorywiseEffortless, No)
+        .rate(ScalableForUsers, No)
+        .rate(NothingToCarry, Y)
+        .rate(PhysicallyEffortless, No)
+        .rate(EasyToLearn, Y)
+        .rate(EfficientToUse, Y)
+        .rate(InfrequentErrors, Q)
+        .rate(EasyRecoveryFromLoss, Y)
+        .rate(Accessible, Y)
+        .rate(NegligibleCostPerUser, Y)
+        .rate(ServerCompatible, Y)
+        .rate(BrowserCompatible, Y)
+        .rate(Mature, Y)
+        .rate(NonProprietary, Y)
+        .rate(ResilientToPhysicalObservation, No)
+        .rate(ResilientToTargetedImpersonation, No)
+        .rate(ResilientToThrottledGuessing, No)
+        .rate(ResilientToUnthrottledGuessing, No)
+        .rate(ResilientToInternalObservation, No)
+        .rate(ResilientToLeaksFromOtherVerifiers, No)
+        .rate(ResilientToPhishing, No)
+        .rate(ResilientToTheft, Y)
+        .rate(NoTrustedThirdParty, Y)
+        .rate(RequiringExplicitConsent, Y)
+        .rate(Unlinkable, Y);
+
+    let firefox = Scheme::new("Firefox (MP)")
+        .rate(MemorywiseEffortless, Q)
+        .rate(ScalableForUsers, Y)
+        .rate(NothingToCarry, No)
+        .rate(PhysicallyEffortless, Q)
+        .rate(EasyToLearn, Y)
+        .rate(EfficientToUse, Y)
+        .rate(InfrequentErrors, Q)
+        .rate(EasyRecoveryFromLoss, No)
+        .rate(Accessible, Y)
+        .rate(NegligibleCostPerUser, Y)
+        .rate(ServerCompatible, Y)
+        .rate(BrowserCompatible, Q)
+        .rate(Mature, Y)
+        .rate(NonProprietary, Y)
+        .rate(ResilientToPhysicalObservation, No)
+        .rate(ResilientToTargetedImpersonation, No)
+        .rate(ResilientToThrottledGuessing, No)
+        .rate(ResilientToUnthrottledGuessing, No)
+        .rate(ResilientToInternalObservation, No)
+        .rate(ResilientToLeaksFromOtherVerifiers, Q)
+        .rate(ResilientToPhishing, No)
+        .rate(ResilientToTheft, Q)
+        .rate(NoTrustedThirdParty, Y)
+        .rate(RequiringExplicitConsent, Y)
+        .rate(Unlinkable, Y);
+
+    let lastpass = Scheme::new("LastPass")
+        .rate(MemorywiseEffortless, Q)
+        .rate(ScalableForUsers, Y)
+        .rate(NothingToCarry, Q)
+        .rate(PhysicallyEffortless, Q)
+        .rate(EasyToLearn, Y)
+        .rate(EfficientToUse, Y)
+        .rate(InfrequentErrors, Q)
+        .rate(EasyRecoveryFromLoss, Q)
+        .rate(Accessible, Y)
+        .rate(NegligibleCostPerUser, Y)
+        .rate(ServerCompatible, Y)
+        .rate(BrowserCompatible, Q)
+        .rate(Mature, Y)
+        .rate(NonProprietary, No)
+        .rate(ResilientToPhysicalObservation, No)
+        .rate(ResilientToTargetedImpersonation, No)
+        .rate(ResilientToThrottledGuessing, No)
+        .rate(ResilientToUnthrottledGuessing, No)
+        .rate(ResilientToInternalObservation, No)
+        .rate(ResilientToLeaksFromOtherVerifiers, Q)
+        .rate(ResilientToPhishing, Q)
+        .rate(ResilientToTheft, Q)
+        .rate(NoTrustedThirdParty, No)
+        .rate(RequiringExplicitConsent, Y)
+        .rate(Unlinkable, Y);
+
+    let tapas = Scheme::new("Tapas")
+        .rate(MemorywiseEffortless, Y)
+        .rate(ScalableForUsers, Y)
+        .rate(NothingToCarry, No)
+        .rate(PhysicallyEffortless, No)
+        .rate(EasyToLearn, Y)
+        .rate(EfficientToUse, Q)
+        .rate(InfrequentErrors, Q)
+        .rate(EasyRecoveryFromLoss, No)
+        .rate(Accessible, Y)
+        .rate(NegligibleCostPerUser, Y)
+        .rate(ServerCompatible, Y)
+        .rate(BrowserCompatible, No)
+        .rate(Mature, No)
+        .rate(NonProprietary, Y)
+        .rate(ResilientToPhysicalObservation, Y)
+        .rate(ResilientToTargetedImpersonation, Y)
+        .rate(ResilientToThrottledGuessing, Y)
+        .rate(ResilientToUnthrottledGuessing, Y)
+        .rate(ResilientToInternalObservation, No)
+        .rate(ResilientToLeaksFromOtherVerifiers, Y)
+        .rate(ResilientToPhishing, Q)
+        .rate(ResilientToTheft, Q)
+        .rate(NoTrustedThirdParty, Y)
+        .rate(RequiringExplicitConsent, Y)
+        .rate(Unlinkable, Y);
+
+    // Amnesia's row, per §VI-A prose: all deployability except Mature; the
+    // bilateral requirement costs Nothing-to-Carry/Physically-Effortless;
+    // strong recovery (§III-C) earns Easy-Recovery-from-Loss; not resilient
+    // to physical observation (password displayed as text) nor internal
+    // observation.
+    let amnesia = Scheme::new("Amnesia")
+        .rate(MemorywiseEffortless, Q)
+        .rate(ScalableForUsers, Y)
+        .rate(NothingToCarry, No)
+        .rate(PhysicallyEffortless, No)
+        .rate(EasyToLearn, Y)
+        .rate(EfficientToUse, Q)
+        .rate(InfrequentErrors, Q)
+        .rate(EasyRecoveryFromLoss, Y)
+        .rate(Accessible, Y)
+        .rate(NegligibleCostPerUser, Y)
+        .rate(ServerCompatible, Y)
+        .rate(BrowserCompatible, Y)
+        .rate(Mature, No)
+        .rate(NonProprietary, Y)
+        .rate(ResilientToPhysicalObservation, No)
+        .rate(ResilientToTargetedImpersonation, Y)
+        .rate(ResilientToThrottledGuessing, Y)
+        .rate(ResilientToUnthrottledGuessing, Y)
+        .rate(ResilientToInternalObservation, No)
+        .rate(ResilientToLeaksFromOtherVerifiers, Y)
+        .rate(ResilientToPhishing, Y)
+        .rate(ResilientToTheft, Y)
+        .rate(NoTrustedThirdParty, Q)
+        .rate(RequiringExplicitConsent, Y)
+        .rate(Unlinkable, Y);
+
+    vec![password, firefox, lastpass, tapas, amnesia]
+}
+
+/// Renders schemes as a Table III-style text table (● as `l`, ◐ as `m`).
+pub fn render_table(schemes: &[Scheme]) -> String {
+    let mut out = String::new();
+    let name_width = schemes
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(6)
+        .max("Scheme".len());
+
+    // Header: group banner, then numbered property columns with a legend.
+    out.push_str(&format!("{:name_width$} |", "Scheme"));
+    for (i, p) in Property::ALL.iter().enumerate() {
+        let _ = p;
+        out.push_str(&format!("{:>3}", i + 1));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:-<name_width$}-+", ""));
+    out.push_str(&"-".repeat(Property::ALL.len() * 3));
+    out.push('\n');
+    for scheme in schemes {
+        out.push_str(&format!("{:name_width$} |", scheme.name));
+        for p in Property::ALL {
+            out.push_str(&format!("{:>3}", scheme.rating(*p).glyph()));
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    out.push_str("Legend: l = offers the benefit, m = semi-fulfills, blank = does not.\n");
+    out.push_str("Columns:\n");
+    let mut group = None;
+    for (i, p) in Property::ALL.iter().enumerate() {
+        if group != Some(p.group()) {
+            group = Some(p.group());
+            out.push_str(&format!("  [{}]\n", p.group()));
+        }
+        out.push_str(&format!("  {:>2}. {}\n", i + 1, p.label()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Property::*;
+    use Rating::*;
+
+    fn scheme(name: &str) -> Scheme {
+        paper_schemes()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing {name}"))
+    }
+
+    #[test]
+    fn twenty_five_properties_in_three_groups() {
+        assert_eq!(Property::ALL.len(), 25);
+        let count = |g: Group| Property::ALL.iter().filter(|p| p.group() == g).count();
+        assert_eq!(count(Group::Usability), 8);
+        assert_eq!(count(Group::Deployability), 6);
+        assert_eq!(count(Group::Security), 11);
+    }
+
+    #[test]
+    fn amnesia_deployability_matches_prose() {
+        // "except for the mature property, Amnesia fulfills all
+        // deployability requirements"
+        let amnesia = scheme("Amnesia");
+        for p in Property::ALL
+            .iter()
+            .filter(|p| p.group() == Group::Deployability)
+        {
+            if *p == Mature {
+                assert_eq!(amnesia.rating(*p), No);
+            } else {
+                assert_eq!(amnesia.rating(*p), Offers, "{}", p.label());
+            }
+        }
+    }
+
+    #[test]
+    fn amnesia_security_gaps_match_prose() {
+        // "not resistant to physical observations ... not resilient to
+        // internal observation"
+        let amnesia = scheme("Amnesia");
+        assert_eq!(amnesia.rating(ResilientToPhysicalObservation), No);
+        assert_eq!(amnesia.rating(ResilientToInternalObservation), No);
+        // All guessing resistances hold — the generative design.
+        assert_eq!(amnesia.rating(ResilientToThrottledGuessing), Offers);
+        assert_eq!(amnesia.rating(ResilientToUnthrottledGuessing), Offers);
+    }
+
+    #[test]
+    fn amnesia_usability_mirrors_tapas_bilaterality() {
+        // "we see similar scores between Amnesia and Tapas in the usability
+        // section" — both lose Nothing-to-Carry and Physically-Effortless.
+        let amnesia = scheme("Amnesia");
+        let tapas = scheme("Tapas");
+        assert_eq!(amnesia.rating(NothingToCarry), No);
+        assert_eq!(tapas.rating(NothingToCarry), No);
+        assert_eq!(amnesia.rating(PhysicallyEffortless), No);
+        assert_eq!(tapas.rating(PhysicallyEffortless), No);
+        // …but Amnesia recovers from loss where Tapas does not (§III-C).
+        assert_eq!(amnesia.rating(EasyRecoveryFromLoss), Offers);
+        assert_eq!(tapas.rating(EasyRecoveryFromLoss), No);
+    }
+
+    #[test]
+    fn everyone_is_unlinkable() {
+        // The table's last column is fully filled.
+        for s in paper_schemes() {
+            assert_eq!(s.rating(Unlinkable), Offers, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn amnesia_beats_retrieval_managers_on_security() {
+        let amnesia = scheme("Amnesia");
+        let lastpass = scheme("LastPass");
+        let firefox = scheme("Firefox (MP)");
+        assert!(amnesia.group_score(Group::Security) > lastpass.group_score(Group::Security));
+        assert!(amnesia.group_score(Group::Security) > firefox.group_score(Group::Security));
+    }
+
+    #[test]
+    fn passwords_keep_carry_convenience_lose_security() {
+        // Plain passwords keep the nothing-to-carry benefit that Amnesia's
+        // bilateral design gives up, but lose decisively on security; the
+        // usability *totals* come out even (scalability offsets carrying).
+        let password = scheme("Password");
+        let amnesia = scheme("Amnesia");
+        assert_eq!(password.rating(NothingToCarry), Offers);
+        assert_eq!(amnesia.rating(NothingToCarry), No);
+        assert!(password.group_score(Group::Usability) >= amnesia.group_score(Group::Usability));
+        assert!(amnesia.group_score(Group::Security) > password.group_score(Group::Security));
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let amnesia = scheme("Amnesia");
+        let lastpass = scheme("LastPass");
+        // Amnesia dominates LastPass in security except nowhere LastPass is
+        // strictly better — verify the relation output is stable.
+        assert!(amnesia.dominates_in(&lastpass, Group::Security));
+        assert!(!lastpass.dominates_in(&amnesia, Group::Security));
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        for s in paper_schemes() {
+            assert!(s.total_score() <= 25.0);
+            assert!(s.total_score() > 0.0);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows_and_labels() {
+        let text = render_table(&paper_schemes());
+        for name in ["Password", "Firefox (MP)", "LastPass", "Tapas", "Amnesia"] {
+            assert!(text.contains(name));
+        }
+        assert!(text.contains("Resilient-to-Internal-Observation"));
+        assert!(text.contains("Legend"));
+    }
+
+    #[test]
+    fn rating_order_supports_dominance() {
+        assert!(Rating::Offers > Rating::Quasi);
+        assert!(Rating::Quasi > Rating::No);
+    }
+}

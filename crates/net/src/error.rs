@@ -1,0 +1,57 @@
+//! Error type for the simulated network.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`SimNet`](crate::SimNet) operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The named endpoint was never registered.
+    UnknownEndpoint {
+        /// The offending endpoint name.
+        name: String,
+    },
+    /// No link connects the two endpoints in this direction.
+    NoLink {
+        /// Sending endpoint.
+        from: String,
+        /// Receiving endpoint.
+        to: String,
+    },
+    /// An endpoint name was registered twice.
+    DuplicateEndpoint {
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownEndpoint { name } => write!(f, "unknown endpoint {name:?}"),
+            NetError::NoLink { from, to } => {
+                write!(f, "no link from {from:?} to {to:?}")
+            }
+            NetError::DuplicateEndpoint { name } => {
+                write!(f, "endpoint {name:?} already registered")
+            }
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = NetError::NoLink {
+            from: "a".into(),
+            to: "b".into(),
+        };
+        assert_eq!(e.to_string(), "no link from \"a\" to \"b\"");
+    }
+}

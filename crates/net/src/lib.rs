@@ -1,0 +1,55 @@
+//! Simulated network substrate for the Amnesia reproduction.
+//!
+//! The paper's prototype ran over the real Internet: a CherryPy server on
+//! EC2, Google Cloud Messaging as the rendezvous, and a Samsung phone on Cox
+//! Wifi or T-Mobile 4G. This crate rebuilds that environment as a
+//! deterministic discrete-event simulation:
+//!
+//! * [`SimClock`] / [`SimInstant`] / [`SimDuration`] — simulated time.
+//!   Nothing in the workspace's experiment path reads the wall clock, so
+//!   every latency figure regenerates bit-for-bit from a seed.
+//! * [`LatencyModel`] — stochastic per-hop latency (constant, uniform,
+//!   truncated normal via Box–Muller, log-normal). The Figure 3 experiment
+//!   calibrates normal models so the end-to-end distribution matches the
+//!   paper's measured Wifi/4G means and standard deviations.
+//! * [`SimNet`] — named endpoints, directed links with [`LinkProfile`]s, an
+//!   event queue ordered by delivery time, per-endpoint mailboxes, and
+//!   [`Wiretap`]s that record every frame crossing a link (the §IV
+//!   eavesdropping attacks attach here).
+//! * [`SecureChannel`] — a toy authenticated-encryption channel standing in
+//!   for HTTPS: SHA-256 in counter mode for confidentiality plus
+//!   HMAC-SHA-256 for integrity. A wiretap on a protected link sees only
+//!   ciphertext; the "broken HTTPS" attack is modelled by handing the
+//!   attacker the channel key.
+//!
+//! # Example
+//!
+//! ```
+//! use amnesia_net::{LatencyModel, LinkProfile, SimNet};
+//!
+//! let mut net = SimNet::new(42);
+//! net.register("browser");
+//! net.register("server");
+//! net.connect("browser", "server", LinkProfile::new(LatencyModel::constant_ms(10.0)));
+//!
+//! net.send("browser", "server", b"hello".to_vec()).unwrap();
+//! net.run_until_idle();
+//! let frame = net.take_inbox("server").pop().unwrap();
+//! assert_eq!(frame.payload, b"hello");
+//! assert_eq!(frame.delivered_at.as_millis_f64(), 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod latency;
+pub mod network;
+pub mod secure;
+pub mod time;
+
+pub use error::NetError;
+pub use latency::LatencyModel;
+pub use network::{Frame, LinkProfile, SimNet, Wiretap, WiretapRecord};
+pub use secure::{ChannelError, SecureChannel};
+pub use time::{SimClock, SimDuration, SimInstant};

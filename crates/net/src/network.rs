@@ -1,0 +1,577 @@
+//! The simulated network: endpoints, links, delivery queue and wiretaps.
+
+use crate::error::NetError;
+use crate::latency::LatencyModel;
+use crate::time::{SimClock, SimDuration, SimInstant};
+use amnesia_crypto::SecretRng;
+use parking_lot::Mutex;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Per-link delivery characteristics.
+///
+/// ```
+/// use amnesia_net::{LatencyModel, LinkProfile};
+/// let p = LinkProfile::new(LatencyModel::constant_ms(5.0)).with_drop_probability(0.01);
+/// assert_eq!(p.drop_probability, 0.01);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkProfile {
+    /// Latency distribution sampled per frame (propagation + queueing).
+    pub latency: LatencyModel,
+    /// Independent probability that a frame is silently dropped.
+    pub drop_probability: f64,
+    /// Transmission delay per kilobyte of payload, in milliseconds
+    /// (0 = infinite bandwidth). Amnesia frames are tiny — tens to a few
+    /// hundred bytes — so the calibrated profiles leave this at 0; it
+    /// exists for experiments that stress payload size (e.g. `KpBackup`
+    /// uploads during recovery).
+    pub per_kb_ms: f64,
+}
+
+impl LinkProfile {
+    /// A lossless, infinite-bandwidth link with the given latency.
+    pub fn new(latency: LatencyModel) -> Self {
+        LinkProfile {
+            latency,
+            drop_probability: 0.0,
+            per_kb_ms: 0.0,
+        }
+    }
+
+    /// Sets the frame-drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.drop_probability = p;
+        self
+    }
+
+    /// Sets the per-kilobyte transmission delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or non-finite.
+    pub fn with_per_kb_ms(mut self, ms: f64) -> Self {
+        assert!(ms.is_finite() && ms >= 0.0, "per-KB delay must be >= 0");
+        self.per_kb_ms = ms;
+        self
+    }
+
+    /// The transmission delay for a payload of `bytes` bytes.
+    pub fn transmission_delay(&self, bytes: usize) -> crate::time::SimDuration {
+        crate::time::SimDuration::from_millis_f64(self.per_kb_ms * bytes as f64 / 1024.0)
+    }
+}
+
+/// A frame delivered to an endpoint's inbox.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Sending endpoint.
+    pub from: String,
+    /// Receiving endpoint.
+    pub to: String,
+    /// Opaque payload (typically `amnesia-store` codec bytes, possibly
+    /// sealed by a [`SecureChannel`](crate::SecureChannel)).
+    pub payload: Vec<u8>,
+    /// When the frame entered the link.
+    pub sent_at: SimInstant,
+    /// When the frame reached the inbox.
+    pub delivered_at: SimInstant,
+}
+
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Frame")
+            .field("from", &self.from)
+            .field("to", &self.to)
+            .field("len", &self.payload.len())
+            .field("sent_at", &self.sent_at)
+            .field("delivered_at", &self.delivered_at)
+            .finish()
+    }
+}
+
+/// One observation captured by a [`Wiretap`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WiretapRecord {
+    /// Sending endpoint.
+    pub from: String,
+    /// Receiving endpoint.
+    pub to: String,
+    /// The bytes on the wire (ciphertext if the parties used a secure
+    /// channel).
+    pub payload: Vec<u8>,
+    /// When the frame entered the link.
+    pub sent_at: SimInstant,
+}
+
+/// A passive eavesdropper attached to one directed link.
+///
+/// Cloning the handle shares the underlying record list; the attack harness
+/// keeps one clone while the network writes through the other.
+///
+/// ```
+/// use amnesia_net::{LatencyModel, LinkProfile, SimNet};
+/// let mut net = SimNet::new(7);
+/// net.register("a");
+/// net.register("b");
+/// net.connect("a", "b", LinkProfile::new(LatencyModel::constant_ms(1.0)));
+/// let tap = net.tap("a", "b");
+/// net.send("a", "b", vec![1, 2, 3]).unwrap();
+/// assert_eq!(tap.records()[0].payload, vec![1, 2, 3]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Wiretap {
+    records: Arc<Mutex<Vec<WiretapRecord>>>,
+}
+
+impl Wiretap {
+    fn observe(&self, record: WiretapRecord) {
+        self.records.lock().push(record);
+    }
+
+    /// A snapshot of everything observed so far.
+    pub fn records(&self) -> Vec<WiretapRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Number of frames observed.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+}
+
+struct LinkState {
+    profile: LinkProfile,
+    taps: Vec<Wiretap>,
+}
+
+struct Pending {
+    deliver_at: SimInstant,
+    seq: u64,
+    frame: Frame,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap: earliest delivery first, FIFO tiebreak.
+        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+    }
+}
+
+/// The simulated network.
+///
+/// Endpoints are registered by name, links are directed and carry a
+/// [`LinkProfile`], and frames traverse the network in delivery-time order
+/// while the embedded [`SimClock`] advances. See the crate-level example.
+pub struct SimNet {
+    clock: SimClock,
+    rng: SecretRng,
+    inboxes: BTreeMap<String, Vec<Frame>>,
+    links: BTreeMap<(String, String), LinkState>,
+    queue: BinaryHeap<Pending>,
+    seq: u64,
+    dropped: u64,
+}
+
+impl fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimNet")
+            .field("now", &self.clock.now())
+            .field("endpoints", &self.inboxes.keys().collect::<Vec<_>>())
+            .field("links", &self.links.len())
+            .field("pending", &self.queue.len())
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl SimNet {
+    /// Creates a network with a deterministic latency-sampling seed.
+    pub fn new(seed: u64) -> Self {
+        SimNet {
+            clock: SimClock::new(),
+            rng: SecretRng::seeded(seed),
+            inboxes: BTreeMap::new(),
+            links: BTreeMap::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Registers an endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered — endpoint wiring is harness
+    /// configuration, not runtime input.
+    pub fn register(&mut self, name: &str) {
+        let prior = self.inboxes.insert(name.to_string(), Vec::new());
+        assert!(prior.is_none(), "endpoint {name:?} already registered");
+    }
+
+    /// Whether `name` is a registered endpoint.
+    pub fn has_endpoint(&self, name: &str) -> bool {
+        self.inboxes.contains_key(name)
+    }
+
+    /// Creates a directed link `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is unregistered (harness configuration
+    /// error).
+    pub fn connect(&mut self, from: &str, to: &str, profile: LinkProfile) {
+        assert!(self.has_endpoint(from), "unknown endpoint {from:?}");
+        assert!(self.has_endpoint(to), "unknown endpoint {to:?}");
+        self.links.insert(
+            (from.to_string(), to.to_string()),
+            LinkState {
+                profile,
+                taps: Vec::new(),
+            },
+        );
+    }
+
+    /// Creates links in both directions with the same profile.
+    pub fn connect_bidirectional(&mut self, a: &str, b: &str, profile: LinkProfile) {
+        self.connect(a, b, profile.clone());
+        self.connect(b, a, profile);
+    }
+
+    /// Attaches a wiretap to the directed link `from → to` and returns the
+    /// observer handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link does not exist.
+    pub fn tap(&mut self, from: &str, to: &str) -> Wiretap {
+        let link = self
+            .links
+            .get_mut(&(from.to_string(), to.to_string()))
+            .unwrap_or_else(|| panic!("no link from {from:?} to {to:?}"));
+        let tap = Wiretap::default();
+        link.taps.push(tap.clone());
+        tap
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimInstant {
+        self.clock.now()
+    }
+
+    /// Advances the clock by `d` — used to model local computation time
+    /// between network operations.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.clock.advance(d);
+    }
+
+    /// Sends `payload` from `from` to `to`, sampling the link's latency.
+    ///
+    /// Wiretaps on the link observe the frame whether or not it is later
+    /// dropped (a passive eavesdropper sits before the loss point).
+    /// Returns the scheduled delivery time, or `None` if the link dropped
+    /// the frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownEndpoint`] or [`NetError::NoLink`] if the
+    /// route does not exist.
+    pub fn send(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: Vec<u8>,
+    ) -> Result<Option<SimInstant>, NetError> {
+        if !self.has_endpoint(from) {
+            return Err(NetError::UnknownEndpoint { name: from.into() });
+        }
+        if !self.has_endpoint(to) {
+            return Err(NetError::UnknownEndpoint { name: to.into() });
+        }
+        let link = self
+            .links
+            .get(&(from.to_string(), to.to_string()))
+            .ok_or_else(|| NetError::NoLink {
+                from: from.into(),
+                to: to.into(),
+            })?;
+
+        let sent_at = self.clock.now();
+        for tap in &link.taps {
+            tap.observe(WiretapRecord {
+                from: from.to_string(),
+                to: to.to_string(),
+                payload: payload.clone(),
+                sent_at,
+            });
+        }
+
+        let dropped = link.profile.drop_probability > 0.0 && {
+            let draw = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            draw < link.profile.drop_probability
+        };
+        if dropped {
+            self.dropped += 1;
+            return Ok(None);
+        }
+
+        let latency = link
+            .profile
+            .latency
+            .sample(&mut self.rng)
+            .saturating_add(link.profile.transmission_delay(payload.len()));
+        let deliver_at = sent_at + latency;
+        let frame = Frame {
+            from: from.to_string(),
+            to: to.to_string(),
+            payload,
+            sent_at,
+            delivered_at: deliver_at,
+        };
+        self.queue.push(Pending {
+            deliver_at,
+            seq: self.seq,
+            frame,
+        });
+        self.seq += 1;
+        Ok(Some(deliver_at))
+    }
+
+    /// Delivers the next pending frame (advancing the clock to its delivery
+    /// time) and returns a copy, or `None` if the network is idle.
+    pub fn step(&mut self) -> Option<Frame> {
+        let pending = self.queue.pop()?;
+        self.clock.advance_to(pending.deliver_at);
+        let frame = pending.frame;
+        self.inboxes
+            .get_mut(&frame.to)
+            .expect("endpoint validated at send time")
+            .push(frame.clone());
+        Some(frame)
+    }
+
+    /// Delivers every pending frame; returns how many were delivered.
+    ///
+    /// Note: frames sent *in response to* deliveries are the orchestrator's
+    /// job — `amnesia-system` interleaves `step` with component dispatch.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut delivered = 0;
+        while self.step().is_some() {
+            delivered += 1;
+        }
+        delivered
+    }
+
+    /// Drains and returns the endpoint's inbox (delivery order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint is unregistered.
+    pub fn take_inbox(&mut self, name: &str) -> Vec<Frame> {
+        std::mem::take(
+            self.inboxes
+                .get_mut(name)
+                .unwrap_or_else(|| panic!("unknown endpoint {name:?}")),
+        )
+    }
+
+    /// Frames dropped by lossy links so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames queued but not yet delivered.
+    pub fn pending_count(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_net(latency: LatencyModel) -> SimNet {
+        let mut net = SimNet::new(1);
+        net.register("a");
+        net.register("b");
+        net.connect_bidirectional("a", "b", LinkProfile::new(latency));
+        net
+    }
+
+    #[test]
+    fn delivery_advances_clock_by_latency() {
+        let mut net = two_node_net(LatencyModel::constant_ms(25.0));
+        net.send("a", "b", vec![9]).unwrap();
+        assert_eq!(net.pending_count(), 1);
+        net.run_until_idle();
+        assert_eq!(net.now().as_millis_f64(), 25.0);
+        let frames = net.take_inbox("b");
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].payload, vec![9]);
+        assert_eq!(frames[0].sent_at.as_millis_f64(), 0.0);
+    }
+
+    #[test]
+    fn frames_deliver_in_time_order_with_fifo_ties() {
+        let mut net = SimNet::new(2);
+        net.register("a");
+        net.register("b");
+        net.connect("a", "b", LinkProfile::new(LatencyModel::constant_ms(10.0)));
+        // Same latency → same delivery time → FIFO by send order.
+        net.send("a", "b", vec![1]).unwrap();
+        net.send("a", "b", vec![2]).unwrap();
+        net.send("a", "b", vec![3]).unwrap();
+        net.run_until_idle();
+        let payloads: Vec<u8> = net.take_inbox("b").iter().map(|f| f.payload[0]).collect();
+        assert_eq!(payloads, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_order_latencies_reorder_delivery() {
+        let mut net = SimNet::new(3);
+        net.register("a");
+        net.register("b");
+        net.register("c");
+        net.connect("a", "b", LinkProfile::new(LatencyModel::constant_ms(50.0)));
+        net.connect("a", "c", LinkProfile::new(LatencyModel::constant_ms(5.0)));
+        net.send("a", "b", vec![1]).unwrap();
+        net.send("a", "c", vec![2]).unwrap();
+        // The c-bound frame arrives first even though it was sent second.
+        let first = net.step().unwrap();
+        assert_eq!(first.to, "c");
+        assert_eq!(net.now().as_millis_f64(), 5.0);
+        let second = net.step().unwrap();
+        assert_eq!(second.to, "b");
+        assert_eq!(net.now().as_millis_f64(), 50.0);
+    }
+
+    #[test]
+    fn wiretap_sees_all_frames_including_dropped() {
+        let mut net = SimNet::new(4);
+        net.register("a");
+        net.register("b");
+        net.connect(
+            "a",
+            "b",
+            LinkProfile::new(LatencyModel::constant_ms(1.0)).with_drop_probability(1.0),
+        );
+        let tap = net.tap("a", "b");
+        let outcome = net.send("a", "b", vec![7]).unwrap();
+        assert!(outcome.is_none(), "frame should be dropped");
+        assert_eq!(net.dropped_count(), 1);
+        assert_eq!(tap.len(), 1);
+        assert_eq!(tap.records()[0].payload, vec![7]);
+        net.run_until_idle();
+        assert!(net.take_inbox("b").is_empty());
+    }
+
+    #[test]
+    fn send_errors() {
+        let mut net = two_node_net(LatencyModel::constant_ms(1.0));
+        net.register("island");
+        assert_eq!(
+            net.send("ghost", "a", vec![]),
+            Err(NetError::UnknownEndpoint {
+                name: "ghost".into()
+            })
+        );
+        assert_eq!(
+            net.send("a", "island", vec![]),
+            Err(NetError::NoLink {
+                from: "a".into(),
+                to: "island".into()
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_registration_panics() {
+        let mut net = SimNet::new(5);
+        net.register("x");
+        net.register("x");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed: u64| {
+            let mut net = SimNet::new(seed);
+            net.register("a");
+            net.register("b");
+            net.connect(
+                "a",
+                "b",
+                LinkProfile::new(LatencyModel::normal_ms(100.0, 10.0, 0.0)),
+            );
+            let mut times = Vec::new();
+            for _ in 0..20 {
+                times.push(net.send("a", "b", vec![]).unwrap().unwrap().as_micros());
+            }
+            times
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn per_kb_delay_scales_with_payload_size() {
+        let mut net = SimNet::new(9);
+        net.register("a");
+        net.register("b");
+        net.connect(
+            "a",
+            "b",
+            LinkProfile::new(LatencyModel::constant_ms(10.0)).with_per_kb_ms(4.0),
+        );
+        // 1 KiB payload: 10ms propagation + 4ms transmission.
+        let t_large = net.send("a", "b", vec![0u8; 1024]).unwrap().unwrap();
+        assert!((t_large.as_millis_f64() - 14.0).abs() < 1e-6);
+        // Empty payload: propagation only (relative to current clock).
+        net.run_until_idle();
+        let now = net.now().as_millis_f64();
+        let t_small = net.send("a", "b", vec![]).unwrap().unwrap();
+        assert!((t_small.as_millis_f64() - now - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transmission_delay_helper() {
+        let p = LinkProfile::new(LatencyModel::constant_ms(0.0)).with_per_kb_ms(8.0);
+        assert_eq!(p.transmission_delay(2048).as_millis_f64(), 16.0);
+        assert_eq!(p.transmission_delay(0).as_millis_f64(), 0.0);
+        let free = LinkProfile::new(LatencyModel::constant_ms(0.0));
+        assert_eq!(free.transmission_delay(1 << 20).as_millis_f64(), 0.0);
+    }
+
+    #[test]
+    fn advance_models_compute_time() {
+        let mut net = two_node_net(LatencyModel::constant_ms(10.0));
+        net.advance(SimDuration::from_millis(3));
+        net.send("a", "b", vec![]).unwrap();
+        net.run_until_idle();
+        assert_eq!(net.now().as_millis_f64(), 13.0);
+    }
+}

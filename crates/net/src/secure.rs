@@ -1,0 +1,311 @@
+//! A toy authenticated-encryption channel standing in for HTTPS.
+//!
+//! The Amnesia threat model needs exactly two channel behaviours: a
+//! *protected* link hides plaintext from a passive wiretap, and a *broken*
+//! link (compromised HTTPS, §IV-A) exposes it. Rather than a boolean flag,
+//! this module implements a real (if simple) AE construction over the
+//! crate's own primitives, so "breaking HTTPS" in the attack harness means
+//! what it means in practice: the attacker obtains the channel key and
+//! decrypts captured ciphertext.
+//!
+//! Construction (encrypt-then-MAC):
+//!
+//! * keys: `k_enc = HMAC-SHA-256(secret, "enc" ‖ role)`,
+//!   `k_mac = HMAC-SHA-256(secret, "mac" ‖ role)`;
+//! * confidentiality: SHA-256 in counter mode —
+//!   `keystream_i = SHA-256(k_enc ‖ nonce ‖ i)`;
+//! * integrity: `tag = HMAC-SHA-256(k_mac, nonce ‖ ciphertext)`;
+//! * replay: strictly increasing 64-bit nonces per direction.
+//!
+//! This is **not** a production cipher; it is a faithful simulation substrate
+//! (the paper's prototype likewise used a self-signed certificate).
+
+use amnesia_crypto::{ct_eq, hmac_sha256, sha256_concat};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from opening a sealed message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChannelError {
+    /// The sealed message is too short to contain nonce and tag.
+    Truncated {
+        /// Actual length received.
+        len: usize,
+    },
+    /// The authentication tag did not verify.
+    BadTag,
+    /// The nonce was not strictly greater than the last accepted nonce.
+    Replayed {
+        /// The nonce carried by the rejected message.
+        nonce: u64,
+    },
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::Truncated { len } => {
+                write!(f, "sealed message too short ({len} bytes)")
+            }
+            ChannelError::BadTag => write!(f, "authentication tag mismatch"),
+            ChannelError::Replayed { nonce } => {
+                write!(f, "replayed or reordered nonce {nonce}")
+            }
+        }
+    }
+}
+
+impl Error for ChannelError {}
+
+const NONCE_LEN: usize = 8;
+const TAG_LEN: usize = 32;
+
+/// One direction of a protected connection.
+///
+/// The sender calls [`seal`](SecureChannel::seal); the receiver holds a
+/// channel constructed from the same secret and role and calls
+/// [`open`](SecureChannel::open). For a bidirectional connection create two
+/// channels with distinct roles (e.g. `"c2s"` and `"s2c"`).
+///
+/// ```
+/// use amnesia_net::SecureChannel;
+///
+/// let mut tx = SecureChannel::new(b"session secret", "c2s");
+/// let mut rx = SecureChannel::new(b"session secret", "c2s");
+/// let wire = tx.seal(b"password request");
+/// assert_ne!(&wire[8..wire.len() - 32], b"password request".as_slice());
+/// assert_eq!(rx.open(&wire).unwrap(), b"password request");
+/// ```
+#[derive(Clone)]
+pub struct SecureChannel {
+    enc_key: [u8; 32],
+    mac_key: [u8; 32],
+    send_nonce: u64,
+    recv_nonce: Option<u64>,
+}
+
+impl fmt::Debug for SecureChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecureChannel")
+            .field("send_nonce", &self.send_nonce)
+            .field("recv_nonce", &self.recv_nonce)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SecureChannel {
+    /// Derives a channel from a shared secret and a direction label.
+    pub fn new(shared_secret: &[u8], role: &str) -> Self {
+        let enc_key = hmac_sha256(shared_secret, format!("enc\0{role}").as_bytes());
+        let mac_key = hmac_sha256(shared_secret, format!("mac\0{role}").as_bytes());
+        SecureChannel {
+            enc_key,
+            mac_key,
+            send_nonce: 0,
+            recv_nonce: None,
+        }
+    }
+
+    /// The raw channel keys — exists solely so the attack harness can model
+    /// a "broken HTTPS" connection by stealing them.
+    pub fn export_keys_for_attack_model(&self) -> ([u8; 32], [u8; 32]) {
+        (self.enc_key, self.mac_key)
+    }
+
+    fn keystream_xor(enc_key: &[u8; 32], nonce: u64, data: &mut [u8]) {
+        for (block_index, chunk) in data.chunks_mut(32).enumerate() {
+            let block = sha256_concat(&[
+                enc_key,
+                &nonce.to_le_bytes(),
+                &(block_index as u64).to_le_bytes(),
+            ]);
+            for (b, k) in chunk.iter_mut().zip(block.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    /// Encrypts and authenticates `plaintext`, producing
+    /// `nonce ‖ ciphertext ‖ tag`.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let nonce = self.send_nonce;
+        self.send_nonce += 1;
+
+        let mut ciphertext = plaintext.to_vec();
+        Self::keystream_xor(&self.enc_key, nonce, &mut ciphertext);
+
+        let mut out = Vec::with_capacity(NONCE_LEN + ciphertext.len() + TAG_LEN);
+        out.extend_from_slice(&nonce.to_le_bytes());
+        out.extend_from_slice(&ciphertext);
+        let tag = hmac_sha256(&self.mac_key, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies and decrypts a message produced by [`seal`](Self::seal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::Truncated`] for undersized input,
+    /// [`ChannelError::BadTag`] when authentication fails (any bit flip),
+    /// and [`ChannelError::Replayed`] when a nonce repeats or goes
+    /// backwards.
+    pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        if sealed.len() < NONCE_LEN + TAG_LEN {
+            return Err(ChannelError::Truncated { len: sealed.len() });
+        }
+        let (body, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = hmac_sha256(&self.mac_key, body);
+        if !ct_eq(&expected, tag) {
+            return Err(ChannelError::BadTag);
+        }
+        let nonce = u64::from_le_bytes(body[..NONCE_LEN].try_into().expect("8 bytes"));
+        if let Some(last) = self.recv_nonce {
+            if nonce <= last {
+                return Err(ChannelError::Replayed { nonce });
+            }
+        }
+        self.recv_nonce = Some(nonce);
+
+        let mut plaintext = body[NONCE_LEN..].to_vec();
+        Self::keystream_xor(&self.enc_key, nonce, &mut plaintext);
+        Ok(plaintext)
+    }
+
+    /// Decrypts a captured message using stolen keys, bypassing replay
+    /// state — the passive-attacker decryption path used by
+    /// `amnesia-attacks` for the broken-HTTPS scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same tag/truncation errors as [`open`](Self::open).
+    pub fn decrypt_with_stolen_keys(
+        enc_key: &[u8; 32],
+        mac_key: &[u8; 32],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, ChannelError> {
+        if sealed.len() < NONCE_LEN + TAG_LEN {
+            return Err(ChannelError::Truncated { len: sealed.len() });
+        }
+        let (body, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        if !ct_eq(&hmac_sha256(mac_key, body), tag) {
+            return Err(ChannelError::BadTag);
+        }
+        let nonce = u64::from_le_bytes(body[..NONCE_LEN].try_into().expect("8 bytes"));
+        let mut plaintext = body[NONCE_LEN..].to_vec();
+        Self::keystream_xor(enc_key, nonce, &mut plaintext);
+        Ok(plaintext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (SecureChannel, SecureChannel) {
+        (
+            SecureChannel::new(b"secret", "c2s"),
+            SecureChannel::new(b"secret", "c2s"),
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (mut tx, mut rx) = pair();
+        for msg in [
+            b"".as_slice(),
+            b"a",
+            b"exactly-32-bytes-of-plaintext!!!",
+            &[0u8; 100],
+        ] {
+            let sealed = tx.seal(msg);
+            assert_eq!(rx.open(&sealed).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let (mut tx, _) = pair();
+        let msg = b"the generated password is hunter2";
+        let sealed = tx.seal(msg);
+        let body = &sealed[NONCE_LEN..sealed.len() - TAG_LEN];
+        assert_eq!(body.len(), msg.len());
+        assert_ne!(body, msg.as_slice());
+        // No window of the ciphertext equals the plaintext.
+        assert!(!sealed.windows(msg.len()).any(|w| w == msg.as_slice()));
+    }
+
+    #[test]
+    fn any_bitflip_is_rejected() {
+        let (mut tx, _) = pair();
+        let sealed = tx.seal(b"integrity matters");
+        for i in 0..sealed.len() {
+            let mut forged = sealed.clone();
+            forged[i] ^= 0x01;
+            let mut rx = SecureChannel::new(b"secret", "c2s");
+            assert_eq!(rx.open(&forged), Err(ChannelError::BadTag), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn replay_is_rejected() {
+        let (mut tx, mut rx) = pair();
+        let sealed = tx.seal(b"one");
+        assert!(rx.open(&sealed).is_ok());
+        assert_eq!(rx.open(&sealed), Err(ChannelError::Replayed { nonce: 0 }));
+    }
+
+    #[test]
+    fn reorder_is_rejected() {
+        let (mut tx, mut rx) = pair();
+        let first = tx.seal(b"first");
+        let second = tx.seal(b"second");
+        assert!(rx.open(&second).is_ok());
+        assert_eq!(rx.open(&first), Err(ChannelError::Replayed { nonce: 0 }));
+    }
+
+    #[test]
+    fn wrong_secret_or_role_fails() {
+        let mut tx = SecureChannel::new(b"secret", "c2s");
+        let sealed = tx.seal(b"msg");
+        let mut wrong_secret = SecureChannel::new(b"other", "c2s");
+        assert_eq!(wrong_secret.open(&sealed), Err(ChannelError::BadTag));
+        let mut wrong_role = SecureChannel::new(b"secret", "s2c");
+        assert_eq!(wrong_role.open(&sealed), Err(ChannelError::BadTag));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mut rx = SecureChannel::new(b"secret", "c2s");
+        assert_eq!(
+            rx.open(&[0u8; 10]),
+            Err(ChannelError::Truncated { len: 10 })
+        );
+    }
+
+    #[test]
+    fn stolen_keys_decrypt_wiretapped_ciphertext() {
+        // The broken-HTTPS attack path: wiretap + stolen keys = plaintext.
+        let (mut tx, _) = pair();
+        let (enc, mac) = tx.export_keys_for_attack_model();
+        let sealed = tx.seal(b"password: p4ss");
+        let plain = SecureChannel::decrypt_with_stolen_keys(&enc, &mac, &sealed).unwrap();
+        assert_eq!(plain, b"password: p4ss");
+    }
+
+    #[test]
+    fn distinct_messages_distinct_ciphertexts() {
+        let (mut tx, _) = pair();
+        let a = tx.seal(b"same plaintext");
+        let b = tx.seal(b"same plaintext");
+        assert_ne!(a, b, "nonce must vary the ciphertext");
+    }
+
+    #[test]
+    fn debug_hides_keys() {
+        let c = SecureChannel::new(b"secret", "x");
+        let dbg = format!("{c:?}");
+        assert!(!dbg.contains("enc_key"));
+    }
+}

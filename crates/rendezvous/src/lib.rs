@@ -1,0 +1,364 @@
+//! A Google-Cloud-Messaging-style rendezvous server.
+//!
+//! The Amnesia server cannot reach a phone directly (phones sit behind NAT
+//! and have no fixed address), so password requests `R` travel
+//! server → rendezvous → phone, while the token `T` returns phone → server
+//! directly because the Amnesia server's address is static (paper Fig. 1,
+//! §I). The paper used GCM; this crate reproduces its roles:
+//!
+//! * a device registers and receives an opaque **registration ID** — the
+//!   address the Amnesia server stores (in plaintext, per Table I) and uses
+//!   to push requests;
+//! * the rendezvous server **forwards** pushed payloads to the registered
+//!   device over the simulated network;
+//! * the link through the rendezvous is the §IV-B **eavesdropping surface**:
+//!   a wiretap on it observes every request `R` in transit.
+//!
+//! The service is deliberately oblivious to payload contents — exactly the
+//! trust the paper places in GCM.
+//!
+//! # Example
+//!
+//! ```
+//! use amnesia_net::{LatencyModel, LinkProfile, SimNet};
+//! use amnesia_rendezvous::{PushEnvelope, RendezvousServer};
+//!
+//! let mut net = SimNet::new(1);
+//! net.register("server");
+//! net.register("gcm");
+//! net.register("phone");
+//! net.connect("server", "gcm", LinkProfile::new(LatencyModel::constant_ms(20.0)));
+//! net.connect("gcm", "phone", LinkProfile::new(LatencyModel::constant_ms(30.0)));
+//!
+//! let mut gcm = RendezvousServer::new("gcm", 7);
+//! let reg_id = gcm.register_device("phone");
+//!
+//! // The Amnesia server pushes a request through the rendezvous.
+//! let envelope = PushEnvelope { registration_id: reg_id, data: b"request R".to_vec() };
+//! net.send("server", "gcm", envelope.to_wire().unwrap()).unwrap();
+//!
+//! // Orchestrator loop: deliver to GCM, let it forward, deliver to phone.
+//! let frame = net.step().unwrap();
+//! gcm.handle_frame(&frame, &mut net).unwrap();
+//! net.run_until_idle();
+//! let delivered = net.take_inbox("phone");
+//! assert_eq!(delivered[0].payload, b"request R");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use amnesia_crypto::{hex, SecretRng};
+use amnesia_net::{Frame, NetError, SimNet};
+use amnesia_store::codec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// An opaque device address issued by the rendezvous service
+/// (the paper's Table I stores it in plaintext on the Amnesia server).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegistrationId(String);
+
+impl RegistrationId {
+    /// The token text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for RegistrationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RegistrationId({}…)", &self.0[..12.min(self.0.len())])
+    }
+}
+
+impl fmt::Display for RegistrationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The wire format the Amnesia server sends *to* the rendezvous service.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PushEnvelope {
+    /// Which registered device to forward to.
+    pub registration_id: RegistrationId,
+    /// Opaque payload forwarded verbatim (Amnesia puts the request `R` and
+    /// origin metadata here).
+    pub data: Vec<u8>,
+}
+
+impl PushEnvelope {
+    /// Encodes the envelope for transmission.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec errors (practically unreachable for this type).
+    pub fn to_wire(&self) -> Result<Vec<u8>, codec::CodecError> {
+        codec::to_bytes(self)
+    }
+
+    /// Decodes an envelope received off the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error for malformed bytes.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, codec::CodecError> {
+        codec::from_bytes(bytes)
+    }
+}
+
+/// Errors produced by the rendezvous service.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RendezvousError {
+    /// The pushed registration ID is not (or no longer) registered.
+    UnknownRegistration(RegistrationId),
+    /// The frame payload was not a valid [`PushEnvelope`].
+    MalformedEnvelope(codec::CodecError),
+    /// Forwarding onto the simulated network failed.
+    Net(NetError),
+}
+
+impl fmt::Display for RendezvousError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RendezvousError::UnknownRegistration(id) => {
+                write!(f, "unknown registration id {id:?}")
+            }
+            RendezvousError::MalformedEnvelope(e) => write!(f, "malformed envelope: {e}"),
+            RendezvousError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for RendezvousError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RendezvousError::MalformedEnvelope(e) => Some(e),
+            RendezvousError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for RendezvousError {
+    fn from(e: NetError) -> Self {
+        RendezvousError::Net(e)
+    }
+}
+
+/// The rendezvous (push) service.
+///
+/// Holds the registration-ID → device-endpoint mapping and forwards pushed
+/// payloads. See the crate-level example for the full flow.
+#[derive(Debug)]
+pub struct RendezvousServer {
+    endpoint: String,
+    registry: BTreeMap<RegistrationId, String>,
+    rng: SecretRng,
+    forwarded: u64,
+    rejected: u64,
+}
+
+impl RendezvousServer {
+    /// Creates a service living at the given network endpoint name.
+    pub fn new(endpoint: impl Into<String>, seed: u64) -> Self {
+        RendezvousServer {
+            endpoint: endpoint.into(),
+            registry: BTreeMap::new(),
+            rng: SecretRng::seeded(seed),
+            forwarded: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The service's network endpoint name.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Registers a device endpoint and issues a fresh registration ID
+    /// (the phone does this during app installation; re-installing yields a
+    /// new ID, matching GCM behaviour).
+    pub fn register_device(&mut self, device_endpoint: &str) -> RegistrationId {
+        let token = self.rng.bytes::<24>();
+        let id = RegistrationId(format!("reg:{}", hex::encode(&token)));
+        self.registry
+            .insert(id.clone(), device_endpoint.to_string());
+        id
+    }
+
+    /// Revokes a registration ID; returns whether it existed.
+    pub fn unregister(&mut self, id: &RegistrationId) -> bool {
+        self.registry.remove(id).is_some()
+    }
+
+    /// Whether the ID is currently registered.
+    pub fn is_registered(&self, id: &RegistrationId) -> bool {
+        self.registry.contains_key(id)
+    }
+
+    /// Number of registered devices.
+    pub fn device_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Processes one frame addressed to the rendezvous service: decodes the
+    /// [`PushEnvelope`] and forwards `data` to the registered device.
+    ///
+    /// Returns the device endpoint the payload was forwarded to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RendezvousError::MalformedEnvelope`] for undecodable
+    /// frames, [`RendezvousError::UnknownRegistration`] for unregistered
+    /// IDs, and network errors from the forward hop.
+    pub fn handle_frame(
+        &mut self,
+        frame: &Frame,
+        net: &mut SimNet,
+    ) -> Result<String, RendezvousError> {
+        let envelope = PushEnvelope::from_wire(&frame.payload).map_err(|e| {
+            self.rejected += 1;
+            RendezvousError::MalformedEnvelope(e)
+        })?;
+        let device = match self.registry.get(&envelope.registration_id) {
+            Some(d) => d.clone(),
+            None => {
+                self.rejected += 1;
+                return Err(RendezvousError::UnknownRegistration(
+                    envelope.registration_id,
+                ));
+            }
+        };
+        net.send(&self.endpoint, &device, envelope.data)?;
+        self.forwarded += 1;
+        Ok(device)
+    }
+
+    /// Total payloads forwarded so far.
+    pub fn forwarded_count(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Total frames rejected (malformed or unknown registration).
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesia_net::{LatencyModel, LinkProfile};
+
+    fn harness() -> (SimNet, RendezvousServer) {
+        let mut net = SimNet::new(3);
+        net.register("server");
+        net.register("gcm");
+        net.register("phone");
+        net.connect(
+            "server",
+            "gcm",
+            LinkProfile::new(LatencyModel::constant_ms(10.0)),
+        );
+        net.connect(
+            "gcm",
+            "phone",
+            LinkProfile::new(LatencyModel::constant_ms(15.0)),
+        );
+        (net, RendezvousServer::new("gcm", 9))
+    }
+
+    fn push(
+        net: &mut SimNet,
+        gcm: &mut RendezvousServer,
+        id: &RegistrationId,
+        data: &[u8],
+    ) -> Result<String, RendezvousError> {
+        let env = PushEnvelope {
+            registration_id: id.clone(),
+            data: data.to_vec(),
+        };
+        net.send("server", "gcm", env.to_wire().unwrap()).unwrap();
+        let frame = net.step().unwrap();
+        gcm.handle_frame(&frame, net)
+    }
+
+    #[test]
+    fn forwards_to_registered_device() {
+        let (mut net, mut gcm) = harness();
+        let id = gcm.register_device("phone");
+        let device = push(&mut net, &mut gcm, &id, b"R-bytes").unwrap();
+        assert_eq!(device, "phone");
+        net.run_until_idle();
+        let frames = net.take_inbox("phone");
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].payload, b"R-bytes");
+        // Total path latency = 10ms (server→gcm) + 15ms (gcm→phone).
+        assert_eq!(frames[0].delivered_at.as_millis_f64(), 25.0);
+        assert_eq!(gcm.forwarded_count(), 1);
+    }
+
+    #[test]
+    fn unknown_registration_rejected() {
+        let (mut net, mut gcm) = harness();
+        let id = gcm.register_device("phone");
+        gcm.unregister(&id);
+        let err = push(&mut net, &mut gcm, &id, b"x").unwrap_err();
+        assert!(matches!(err, RendezvousError::UnknownRegistration(_)));
+        assert_eq!(gcm.rejected_count(), 1);
+        net.run_until_idle();
+        assert!(net.take_inbox("phone").is_empty());
+    }
+
+    #[test]
+    fn malformed_envelope_rejected() {
+        let (mut net, mut gcm) = harness();
+        net.send("server", "gcm", vec![0xff, 0xff, 0xff]).unwrap();
+        let frame = net.step().unwrap();
+        let err = gcm.handle_frame(&frame, &mut net).unwrap_err();
+        assert!(matches!(err, RendezvousError::MalformedEnvelope(_)));
+    }
+
+    #[test]
+    fn reinstall_issues_fresh_id() {
+        let (_, mut gcm) = harness();
+        let first = gcm.register_device("phone");
+        let second = gcm.register_device("phone");
+        assert_ne!(first, second);
+        assert!(gcm.is_registered(&first));
+        assert!(gcm.is_registered(&second));
+        assert_eq!(gcm.device_count(), 2);
+    }
+
+    #[test]
+    fn ids_are_unpredictable_per_seed_stream() {
+        let mut a = RendezvousServer::new("gcm", 1);
+        let mut b = RendezvousServer::new("gcm", 2);
+        assert_ne!(a.register_device("p"), b.register_device("p"));
+    }
+
+    #[test]
+    fn envelope_wire_roundtrip() {
+        let (_, mut gcm) = harness();
+        let env = PushEnvelope {
+            registration_id: gcm.register_device("phone"),
+            data: vec![1, 2, 3],
+        };
+        assert_eq!(
+            PushEnvelope::from_wire(&env.to_wire().unwrap()).unwrap(),
+            env
+        );
+    }
+
+    #[test]
+    fn debug_truncates_registration_id() {
+        let (_, mut gcm) = harness();
+        let id = gcm.register_device("phone");
+        assert!(format!("{id:?}").len() < 40);
+    }
+}

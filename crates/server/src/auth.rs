@@ -1,0 +1,266 @@
+//! Master-password verifiers and session management.
+
+use crate::error::ServerError;
+use amnesia_core::Salt;
+use amnesia_crypto::{ct_eq, hex, pbkdf2_hmac_sha256, SecretRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Number of consecutive failures after which an account locks.
+pub const LOCKOUT_THRESHOLD: u32 = 10;
+
+/// A salted password verifier (`H(MP + salt)` hardened with PBKDF2).
+///
+/// The paper stores a single salted hash; this type generalizes it with a
+/// configurable PBKDF2 iteration count (`iterations = 1` reproduces the
+/// paper's construction: one HMAC-SHA-256 application).
+///
+/// ```
+/// use amnesia_server::auth::Verifier;
+/// use amnesia_crypto::SecretRng;
+///
+/// let mut rng = SecretRng::seeded(1);
+/// let v = Verifier::derive(b"master password", 1000, &mut rng);
+/// assert!(v.verify(b"master password"));
+/// assert!(!v.verify(b"master passwore"));
+/// ```
+#[derive(Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Verifier {
+    salt: Salt,
+    hash: Vec<u8>,
+    iterations: u32,
+}
+
+impl fmt::Debug for Verifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Verifier(0x{}…, {} iters)",
+            &hex::encode(&self.hash)[..8],
+            self.iterations
+        )
+    }
+}
+
+impl Verifier {
+    /// Derives a verifier for `secret` with a fresh random salt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    pub fn derive(secret: &[u8], iterations: u32, rng: &mut SecretRng) -> Self {
+        let salt = Salt::random(rng);
+        let mut hash = vec![0u8; 32];
+        pbkdf2_hmac_sha256(secret, salt.as_bytes(), iterations, &mut hash);
+        Verifier {
+            salt,
+            hash,
+            iterations,
+        }
+    }
+
+    /// Checks `candidate` against the stored hash in constant time.
+    pub fn verify(&self, candidate: &[u8]) -> bool {
+        let mut hash = vec![0u8; 32];
+        pbkdf2_hmac_sha256(candidate, self.salt.as_bytes(), self.iterations, &mut hash);
+        ct_eq(&hash, &self.hash)
+    }
+
+    /// The verifier's salt (exposed so Table I can be rendered).
+    pub fn salt(&self) -> &Salt {
+        &self.salt
+    }
+
+    /// The stored hash bytes (exposed for Table I and the server-breach
+    /// attack model, which captures data at rest).
+    pub fn hash_bytes(&self) -> &[u8] {
+        &self.hash
+    }
+}
+
+/// An opaque session token issued after a successful login.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Session(String);
+
+impl Session {
+    fn random(rng: &mut SecretRng) -> Self {
+        Session(hex::encode(&rng.bytes::<16>()))
+    }
+
+    /// The token text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Session({}…)", &self.0[..8.min(self.0.len())])
+    }
+}
+
+/// Tracks live sessions and per-user failure counters.
+#[derive(Debug, Default)]
+pub struct SessionManager {
+    sessions: HashMap<Session, String>,
+    failures: HashMap<String, u32>,
+}
+
+impl SessionManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the user is currently locked out.
+    pub fn is_locked(&self, user_id: &str) -> bool {
+        self.failures.get(user_id).copied().unwrap_or(0) >= LOCKOUT_THRESHOLD
+    }
+
+    /// Records a failed login.
+    ///
+    /// Returns [`ServerError::AccountLocked`] once the threshold is crossed,
+    /// [`ServerError::BadCredentials`] before that.
+    pub fn record_failure(&mut self, user_id: &str) -> ServerError {
+        let count = self.failures.entry(user_id.to_string()).or_insert(0);
+        *count += 1;
+        if *count >= LOCKOUT_THRESHOLD {
+            ServerError::AccountLocked { failures: *count }
+        } else {
+            ServerError::BadCredentials
+        }
+    }
+
+    /// Clears the failure counter (successful login or admin unlock).
+    pub fn clear_failures(&mut self, user_id: &str) {
+        self.failures.remove(user_id);
+    }
+
+    /// Issues a session for `user_id`.
+    pub fn issue(&mut self, user_id: &str, rng: &mut SecretRng) -> Session {
+        let session = Session::random(rng);
+        self.sessions.insert(session.clone(), user_id.to_string());
+        session
+    }
+
+    /// Resolves a session to its user.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::InvalidSession`] for unknown tokens.
+    pub fn resolve(&self, session: &Session) -> Result<&str, ServerError> {
+        self.sessions
+            .get(session)
+            .map(String::as_str)
+            .ok_or(ServerError::InvalidSession)
+    }
+
+    /// Ends a session; returns whether it existed.
+    pub fn revoke(&mut self, session: &Session) -> bool {
+        self.sessions.remove(session).is_some()
+    }
+
+    /// Ends every session belonging to `user_id` (used after a master-
+    /// password change).
+    pub fn revoke_all_for(&mut self, user_id: &str) -> usize {
+        let before = self.sessions.len();
+        self.sessions.retain(|_, owner| owner != user_id);
+        before - self.sessions.len()
+    }
+
+    /// Number of live sessions.
+    pub fn live_count(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifier_accepts_only_exact_secret() {
+        let mut rng = SecretRng::seeded(1);
+        let v = Verifier::derive(b"correct horse", 10, &mut rng);
+        assert!(v.verify(b"correct horse"));
+        assert!(!v.verify(b"correct horsf"));
+        assert!(!v.verify(b""));
+    }
+
+    #[test]
+    fn same_password_different_salt_different_hash() {
+        let mut rng = SecretRng::seeded(2);
+        let a = Verifier::derive(b"mp", 10, &mut rng);
+        let b = Verifier::derive(b"mp", 10, &mut rng);
+        assert_ne!(a.hash_bytes(), b.hash_bytes());
+    }
+
+    #[test]
+    fn paper_mode_single_iteration() {
+        let mut rng = SecretRng::seeded(3);
+        let v = Verifier::derive(b"mp", 1, &mut rng);
+        assert!(v.verify(b"mp"));
+    }
+
+    #[test]
+    fn sessions_resolve_and_revoke() {
+        let mut rng = SecretRng::seeded(4);
+        let mut mgr = SessionManager::new();
+        let s = mgr.issue("alice", &mut rng);
+        assert_eq!(mgr.resolve(&s).unwrap(), "alice");
+        assert!(mgr.revoke(&s));
+        assert!(!mgr.revoke(&s));
+        assert_eq!(mgr.resolve(&s), Err(ServerError::InvalidSession));
+    }
+
+    #[test]
+    fn revoke_all_for_user() {
+        let mut rng = SecretRng::seeded(5);
+        let mut mgr = SessionManager::new();
+        let _a1 = mgr.issue("alice", &mut rng);
+        let _a2 = mgr.issue("alice", &mut rng);
+        let b = mgr.issue("bob", &mut rng);
+        assert_eq!(mgr.revoke_all_for("alice"), 2);
+        assert_eq!(mgr.live_count(), 1);
+        assert_eq!(mgr.resolve(&b).unwrap(), "bob");
+    }
+
+    #[test]
+    fn lockout_after_threshold() {
+        let mut mgr = SessionManager::new();
+        for i in 1..LOCKOUT_THRESHOLD {
+            assert_eq!(
+                mgr.record_failure("alice"),
+                ServerError::BadCredentials,
+                "attempt {i}"
+            );
+        }
+        assert!(matches!(
+            mgr.record_failure("alice"),
+            ServerError::AccountLocked { .. }
+        ));
+        assert!(mgr.is_locked("alice"));
+        mgr.clear_failures("alice");
+        assert!(!mgr.is_locked("alice"));
+    }
+
+    #[test]
+    fn tokens_are_unique() {
+        let mut rng = SecretRng::seeded(6);
+        let mut mgr = SessionManager::new();
+        let a = mgr.issue("u", &mut rng);
+        let b = mgr.issue("u", &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_redacts() {
+        let mut rng = SecretRng::seeded(7);
+        let v = Verifier::derive(b"mp", 1, &mut rng);
+        assert!(format!("{v:?}").len() < 40);
+        let mut mgr = SessionManager::new();
+        let s = mgr.issue("u", &mut rng);
+        assert!(!format!("{s:?}").contains(s.as_str()));
+    }
+}

@@ -1,0 +1,41 @@
+//! The Amnesia web server (paper §III-A2, §III-B, §III-C).
+//!
+//! The server holds the **server-side secret** `Ks = (Oid, {(µ, d, σ)})` and
+//! the functional variables `Vf = (H(MP+salt), Rid, H(Pid+salt))` of Table I.
+//! Its responsibilities, reproduced here:
+//!
+//! * **Authentication** ([`auth`]): users log in with the master password
+//!   `MP`; the server stores only a salted PBKDF2 verifier and issues
+//!   session tokens. Repeated failures throttle the account (the paper's
+//!   framework credits Amnesia with resilience to throttled guessing).
+//! * **Phone pairing** ([`AmnesiaServer::begin_phone_pairing`]): a CAPTCHA
+//!   code shown on the web page is typed into the phone; the phone submits
+//!   it with its `Pid` and rendezvous registration ID, and the server stores
+//!   the registration ID in plaintext and the `Pid` hashed and salted.
+//! * **Password generation** ([`AmnesiaServer::request_password`] /
+//!   [`AmnesiaServer::receive_token`]): derives `R = H(µ‖d‖σ)`, pushes it to
+//!   the phone through the rendezvous, and on receiving the token `T`
+//!   computes `p = SHA-512(T‖Oid‖σ)` and applies the account's template
+//!   policy.
+//! * **Recovery** ([`AmnesiaServer::recover_phone`],
+//!   [`AmnesiaServer::change_master_password`]): the two §III-C protocols.
+//!
+//! The server is a plain state machine over decoded protocol messages; the
+//! simulated network and channel encryption live in `amnesia-net` /
+//! `amnesia-system`. [`AmnesiaServer::handle_message`] adapts the
+//! direct-call API to the wire protocol in [`protocol`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+mod error;
+mod pending;
+pub mod protocol;
+mod server;
+pub mod storage;
+
+pub use error::ServerError;
+pub use pending::{PendingRequest, PendingRequests, RequestPurpose};
+pub use server::{AmnesiaServer, ServerConfig, SessionToken, TokenOutcome};
+pub use storage::{AccountKind, AccountRef, RecoveredCredential, StoredAccount, UserRecord};

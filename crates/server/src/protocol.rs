@@ -1,0 +1,291 @@
+//! The wire protocol between browser, Amnesia server and phone.
+//!
+//! Messages serialize with the `amnesia-store` codec; channel encryption is
+//! layered on by the deployment (`amnesia-system`), mirroring the paper
+//! where HTTPS wraps the application protocol.
+
+use crate::auth::Session;
+use crate::storage::{AccountRef, RecoveredCredential};
+use amnesia_core::{
+    Domain, EntryValue, GeneratedPassword, PasswordPolicy, PasswordRequest, PhoneId, Token,
+    Username,
+};
+use amnesia_net::SimInstant;
+use amnesia_rendezvous::RegistrationId;
+use amnesia_store::codec::{self, CodecError};
+use serde::{Deserialize, Serialize};
+
+/// The phone-side secret `Kp` as stored in the one-time cloud backup
+/// (§III-C1) and as uploaded back to the server during phone recovery.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KpBackup {
+    /// The phone ID `Pid`.
+    pub pid: PhoneId,
+    /// The entry table values `{e_i}` in order.
+    pub entries: Vec<EntryValue>,
+}
+
+/// Payload the server pushes to the phone through the rendezvous service.
+///
+/// Carries the request `R`, the origin metadata the paper shows in the
+/// confirmation screen (Fig. 2b includes the requesting IP), and the
+/// `tstart` timestamp of the §VI-B latency measurement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhonePush {
+    /// The password request `R`.
+    pub request: PasswordRequest,
+    /// Where the original browser request came from (shown to the user for
+    /// confirmation).
+    pub origin: String,
+    /// Server-side timestamp when `R` left for the rendezvous.
+    pub tstart: SimInstant,
+    /// Session-mechanism extension (§VIII): if this matches a grant the
+    /// phone previously issued, the phone auto-confirms without user
+    /// interaction.
+    pub session_grant: Option<SessionGrantToken>,
+}
+
+/// An opaque token the phone mints when the user enables a generation
+/// session (§VIII's "session mechanism ... in a fully fledged Amnesia
+/// system"). The phone keeps the authoritative use-count; the server merely
+/// echoes the token in pushes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SessionGrantToken(pub Vec<u8>);
+
+/// The phone's answer: the token `T` plus the echoed request and timestamp.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TokenResponse {
+    /// Echo of the request `R`, letting the server match the pending entry.
+    pub request: PasswordRequest,
+    /// The computed token `T`.
+    pub token: Token,
+    /// Echo of the server's `tstart` (per the paper's instrumented
+    /// prototype).
+    pub tstart: SimInstant,
+}
+
+/// Requests arriving at the Amnesia server (from browsers and phones).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // field meanings documented on the handler methods
+#[non_exhaustive]
+pub enum ToServer {
+    Register {
+        user_id: String,
+        master_password: String,
+        reply_to: String,
+    },
+    Login {
+        user_id: String,
+        master_password: String,
+        reply_to: String,
+    },
+    Logout {
+        session: Session,
+        reply_to: String,
+    },
+    BeginPhonePairing {
+        session: Session,
+        reply_to: String,
+    },
+    CompletePhonePairing {
+        user_id: String,
+        captcha: String,
+        pid: PhoneId,
+        registration_id: RegistrationId,
+        reply_to: String,
+    },
+    AddAccount {
+        session: Session,
+        username: Username,
+        domain: Domain,
+        policy: PasswordPolicy,
+        reply_to: String,
+    },
+    ListAccounts {
+        session: Session,
+        reply_to: String,
+    },
+    RotateSeed {
+        session: Session,
+        username: Username,
+        domain: Domain,
+        reply_to: String,
+    },
+    RequestPassword {
+        session: Session,
+        username: Username,
+        domain: Domain,
+        reply_to: String,
+    },
+    Token(TokenResponse),
+    /// Vault extension (§VIII): store a user-chosen password, sealed under
+    /// a bilaterally-derived key.
+    StoreChosenPassword {
+        session: Session,
+        username: Username,
+        domain: Domain,
+        chosen_password: String,
+        reply_to: String,
+    },
+    /// Session-mechanism extension (§VIII): the phone announces a grant the
+    /// user enabled on the device; pushes carrying it auto-confirm.
+    SessionGrant {
+        user_id: String,
+        grant: SessionGrantToken,
+        max_uses: u32,
+        reply_to: String,
+    },
+    RecoverPhone {
+        user_id: String,
+        master_password: String,
+        backup: KpBackup,
+        reply_to: String,
+    },
+    ChangeMasterPassword {
+        user_id: String,
+        old_master_password: String,
+        pid: PhoneId,
+        new_master_password: String,
+        reply_to: String,
+    },
+}
+
+/// Responses the server sends back to browser endpoints.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+#[non_exhaustive]
+pub enum FromServer {
+    Registered,
+    LoginOk {
+        session: Session,
+    },
+    LoggedOut,
+    PairingChallenge {
+        /// CAPTCHA code the user must type into the phone.
+        captcha: String,
+    },
+    PhonePaired,
+    AccountAdded,
+    Accounts {
+        accounts: Vec<AccountRef>,
+    },
+    SeedRotated,
+    /// Ack that the request `R` was pushed to the phone; the password
+    /// follows asynchronously as [`FromServer::PasswordReady`].
+    RequestPushed,
+    PasswordReady {
+        account: AccountRef,
+        password: GeneratedPassword,
+        /// The `tstart` the latency experiment subtracts from arrival time.
+        requested_at: SimInstant,
+    },
+    PhoneRecovered {
+        credentials: Vec<RecoveredCredential>,
+    },
+    /// Vault extension: the chosen password was sealed and stored.
+    ChosenPasswordStored {
+        account: AccountRef,
+    },
+    /// Session-mechanism extension: the grant is active server-side.
+    SessionGranted {
+        remaining_uses: u32,
+    },
+    MasterPasswordChanged,
+    Error {
+        message: String,
+    },
+}
+
+macro_rules! wire_impls {
+    ($ty:ty) => {
+        impl $ty {
+            /// Encodes for transmission.
+            ///
+            /// # Errors
+            ///
+            /// Propagates codec errors (practically unreachable here).
+            pub fn to_wire(&self) -> Result<Vec<u8>, CodecError> {
+                codec::to_bytes(self)
+            }
+
+            /// Decodes from received bytes.
+            ///
+            /// # Errors
+            ///
+            /// Returns a codec error for malformed input.
+            pub fn from_wire(bytes: &[u8]) -> Result<Self, CodecError> {
+                codec::from_bytes(bytes)
+            }
+        }
+    };
+}
+
+wire_impls!(ToServer);
+wire_impls!(FromServer);
+wire_impls!(PhonePush);
+wire_impls!(TokenResponse);
+wire_impls!(KpBackup);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amnesia_core::Seed;
+    use amnesia_crypto::SecretRng;
+
+    #[test]
+    fn to_server_roundtrip() {
+        let msg = ToServer::Login {
+            user_id: "alice".into(),
+            master_password: "mp".into(),
+            reply_to: "browser".into(),
+        };
+        assert_eq!(ToServer::from_wire(&msg.to_wire().unwrap()).unwrap(), msg);
+    }
+
+    #[test]
+    fn phone_push_roundtrip() {
+        let mut rng = SecretRng::seeded(1);
+        let push = PhonePush {
+            request: PasswordRequest::derive(
+                &Username::new("u").unwrap(),
+                &Domain::new("d").unwrap(),
+                &Seed::random(&mut rng),
+            ),
+            origin: "203.0.113.9".into(),
+            tstart: SimInstant::EPOCH,
+            session_grant: None,
+        };
+        assert_eq!(
+            PhonePush::from_wire(&push.to_wire().unwrap()).unwrap(),
+            push
+        );
+
+        let with_grant = PhonePush {
+            session_grant: Some(SessionGrantToken(vec![1, 2, 3])),
+            ..push
+        };
+        assert_eq!(
+            PhonePush::from_wire(&with_grant.to_wire().unwrap()).unwrap(),
+            with_grant
+        );
+    }
+
+    #[test]
+    fn kp_backup_roundtrip() {
+        let mut rng = SecretRng::seeded(2);
+        let backup = KpBackup {
+            pid: PhoneId::random(&mut rng),
+            entries: (0..10).map(|_| EntryValue::random(&mut rng)).collect(),
+        };
+        assert_eq!(
+            KpBackup::from_wire(&backup.to_wire().unwrap()).unwrap(),
+            backup
+        );
+    }
+
+    #[test]
+    fn malformed_wire_rejected() {
+        assert!(ToServer::from_wire(&[0xff; 3]).is_err());
+        assert!(FromServer::from_wire(&[]).is_err());
+    }
+}

@@ -1,0 +1,900 @@
+//! A compact, non-self-describing binary serde format ("abin").
+//!
+//! This is the wire/disk format used by every persisted row and every
+//! simulated network payload in the workspace. Encoding rules:
+//!
+//! * integers: fixed-width little-endian; `usize`/collection lengths as
+//!   LEB128 varints;
+//! * `bool`: one byte, `0` or `1`;
+//! * `str`/bytes: varint length followed by the raw bytes;
+//! * `Option`: one tag byte then the value if present;
+//! * structs/tuples: fields in declaration order, no field names;
+//! * enums: varint variant index then the payload.
+//!
+//! The format is not self-describing, so decoding requires the same type
+//! that encoded the value — exactly the property a typed table store needs,
+//! and it keeps rows small.
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct Row(String, u32);
+//!
+//! # fn main() -> Result<(), amnesia_store::codec::CodecError> {
+//! let bytes = amnesia_store::codec::to_bytes(&Row("x".into(), 7))?;
+//! let row: Row = amnesia_store::codec::from_bytes(&bytes)?;
+//! assert_eq!(row, Row("x".into(), 7));
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use serde::ser::{self, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while encoding or decoding the binary format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// Decoding finished but input bytes remained.
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// A char code point was invalid.
+    InvalidChar(u32),
+    /// String bytes were not valid UTF-8.
+    InvalidUtf8,
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// The serializer was given a sequence of unknown length.
+    LengthRequired,
+    /// A length prefix was implausibly large for the remaining input.
+    LengthOverflow {
+        /// The declared length.
+        declared: u64,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// Error raised by a `Serialize`/`Deserialize` implementation.
+    Message(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+            CodecError::InvalidBool(b) => write!(f, "invalid bool byte {b:#04x}"),
+            CodecError::InvalidChar(c) => write!(f, "invalid char code point {c:#x}"),
+            CodecError::InvalidUtf8 => write!(f, "string bytes are not valid UTF-8"),
+            CodecError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            CodecError::LengthRequired => {
+                write!(f, "sequences of unknown length are unsupported")
+            }
+            CodecError::LengthOverflow {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "declared length {declared} exceeds remaining input {remaining}"
+            ),
+            CodecError::Message(m) => f.write_str(m),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+impl ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Message(msg.to_string())
+    }
+}
+
+impl de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError::Message(msg.to_string())
+    }
+}
+
+/// Serializes `value` into the compact binary format.
+///
+/// # Errors
+///
+/// Returns [`CodecError::LengthRequired`] for iterators of unknown length
+/// or any error raised by the value's `Serialize` implementation.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError> {
+    let mut enc = Encoder { out: Vec::new() };
+    value.serialize(&mut enc)?;
+    Ok(enc.out)
+}
+
+/// Deserializes a value previously produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Fails on malformed input, type mismatches, or trailing bytes.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut dec = Decoder { input: bytes };
+    let value = T::deserialize(&mut dec)?;
+    if !dec.input.is_empty() {
+        return Err(CodecError::TrailingBytes {
+            remaining: dec.input.len(),
+        });
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
+struct Encoder {
+    out: Vec<u8>,
+}
+
+impl Encoder {
+    fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.out.push(byte);
+                return;
+            }
+            self.out.push(byte | 0x80);
+        }
+    }
+}
+
+impl ser::Serializer for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i128(self, v: i128) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
+        self.out.push(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u128(self, v: u128) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&(v as u32).to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.put_varint(v.len() as u64);
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.put_varint(v.len() as u64);
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.put_varint(variant_index as u64);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.put_varint(variant_index as u64);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or(CodecError::LengthRequired)?;
+        self.put_varint(len as u64);
+        Ok(self)
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.put_varint(variant_index as u64);
+        Ok(self)
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or(CodecError::LengthRequired)?;
+        self.put_varint(len as u64);
+        Ok(self)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.put_varint(variant_index as u64);
+        Ok(self)
+    }
+}
+
+impl ser::SerializeSeq for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+        key.serialize(&mut **self)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+struct Decoder<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Decoder<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+        if self.input.len() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        Ok(self.take(N)?.try_into().expect("exact length"))
+    }
+
+    fn get_varint(&mut self) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.take(1)?[0];
+            if shift >= 64 {
+                return Err(CodecError::VarintOverflow);
+            }
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn get_len(&mut self) -> Result<usize, CodecError> {
+        let declared = self.get_varint()?;
+        if declared > self.input.len() as u64 {
+            return Err(CodecError::LengthOverflow {
+                declared,
+                remaining: self.input.len(),
+            });
+        }
+        Ok(declared as usize)
+    }
+}
+
+macro_rules! de_fixed {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+            let arr = self.take_array::<{ std::mem::size_of::<$ty>() }>()?;
+            visitor.$visit(<$ty>::from_le_bytes(arr))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::Message(
+            "abin is not self-describing; deserialize_any is unsupported".into(),
+        ))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(CodecError::InvalidBool(b)),
+        }
+    }
+
+    de_fixed!(deserialize_i8, visit_i8, i8);
+    de_fixed!(deserialize_i16, visit_i16, i16);
+    de_fixed!(deserialize_i32, visit_i32, i32);
+    de_fixed!(deserialize_i64, visit_i64, i64);
+    de_fixed!(deserialize_i128, visit_i128, i128);
+    de_fixed!(deserialize_u16, visit_u16, u16);
+    de_fixed!(deserialize_u32, visit_u32, u32);
+    de_fixed!(deserialize_u64, visit_u64, u64);
+    de_fixed!(deserialize_u128, visit_u128, u128);
+    de_fixed!(deserialize_f32, visit_f32, f32);
+    de_fixed!(deserialize_f64, visit_f64, f64);
+
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_u8(self.take(1)?[0])
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let code = u32::from_le_bytes(self.take_array::<4>()?);
+        let c = char::from_u32(code).ok_or(CodecError::InvalidChar(code))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(CodecError::InvalidBool(b)),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_seq(CountedAccess {
+            decoder: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(CountedAccess {
+            decoder: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_map(CountedAccess {
+            decoder: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_enum(EnumAccess { decoder: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::Message(
+            "abin does not store identifiers".into(),
+        ))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::Message(
+            "abin cannot skip unknown values".into(),
+        ))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct CountedAccess<'a, 'de> {
+    decoder: &'a mut Decoder<'de>,
+    remaining: usize,
+}
+
+impl<'a, 'de> de::SeqAccess<'de> for CountedAccess<'a, 'de> {
+    type Error = CodecError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.decoder).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'a, 'de> de::MapAccess<'de> for CountedAccess<'a, 'de> {
+    type Error = CodecError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.decoder).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
+        seed.deserialize(&mut *self.decoder)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    decoder: &'a mut Decoder<'de>,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = CodecError;
+    type Variant = VariantAccess<'a, 'de>;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), CodecError> {
+        let index = self.decoder.get_varint()?;
+        let index = u32::try_from(index).map_err(|_| CodecError::VarintOverflow)?;
+        let value = seed.deserialize(index.into_deserializer())?;
+        Ok((
+            value,
+            VariantAccess {
+                decoder: self.decoder,
+            },
+        ))
+    }
+}
+
+struct VariantAccess<'a, 'de> {
+    decoder: &'a mut Decoder<'de>,
+}
+
+impl<'a, 'de> de::VariantAccess<'de> for VariantAccess<'a, 'de> {
+    type Error = CodecError;
+
+    fn unit_variant(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
+        seed.deserialize(self.decoder)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.decoder, len, visitor)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.decoder, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + fmt::Debug>(value: T) {
+        let bytes = to_bytes(&value).unwrap();
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Nested {
+        name: String,
+        tags: Vec<u32>,
+        blob: Vec<u8>,
+        maybe: Option<Box<Nested>>,
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Shape {
+        Unit,
+        Newtype(u64),
+        Tuple(i8, String),
+        Struct { x: f64, y: f64 },
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(i128::MIN);
+        roundtrip(u128::MAX);
+        roundtrip(3.5f32);
+        roundtrip(-0.25f64);
+        roundtrip('λ');
+        roundtrip(String::from("héllo"));
+        roundtrip(Option::<u32>::None);
+        roundtrip(Some(9u32));
+        roundtrip(());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<String>::new());
+        let mut map = BTreeMap::new();
+        map.insert("a".to_string(), 1u8);
+        map.insert("b".to_string(), 2u8);
+        roundtrip(map);
+        roundtrip((1u8, "two".to_string(), 3.0f64));
+    }
+
+    #[test]
+    fn nested_struct_roundtrip() {
+        roundtrip(Nested {
+            name: "outer".into(),
+            tags: vec![7, 8],
+            blob: vec![0, 255, 1],
+            maybe: Some(Box::new(Nested {
+                name: "inner".into(),
+                tags: vec![],
+                blob: vec![],
+                maybe: None,
+            })),
+        });
+    }
+
+    #[test]
+    fn enums_roundtrip() {
+        roundtrip(Shape::Unit);
+        roundtrip(Shape::Newtype(42));
+        roundtrip(Shape::Tuple(-3, "t".into()));
+        roundtrip(Shape::Struct { x: 1.0, y: -2.0 });
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0usize, 127, 128, 16383, 16384, 1 << 20] {
+            roundtrip(vec![0u8; v % 1000]); // length prefix exercises varint
+            roundtrip(v as u64);
+        }
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let bytes = to_bytes(&String::from("hello")).unwrap();
+        for cut in 0..bytes.len() {
+            let r: Result<String, _> = from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&7u8).unwrap();
+        bytes.push(0);
+        let r: Result<u8, _> = from_bytes(&bytes);
+        assert_eq!(r, Err(CodecError::TrailingBytes { remaining: 1 }));
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let r: Result<bool, _> = from_bytes(&[2]);
+        assert_eq!(r, Err(CodecError::InvalidBool(2)));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        // Length 2, bytes [0xff, 0xff] — invalid UTF-8.
+        let r: Result<String, _> = from_bytes(&[2, 0xff, 0xff]);
+        assert_eq!(r, Err(CodecError::InvalidUtf8));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        // Declares 2^62 elements with 1 byte of payload: must fail fast,
+        // not attempt allocation.
+        let mut bytes = Vec::new();
+        let mut v: u64 = 1 << 62;
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                bytes.push(b);
+                break;
+            }
+            bytes.push(b | 0x80);
+        }
+        bytes.push(0);
+        let r: Result<Vec<u8>, _> = from_bytes(&bytes);
+        assert!(matches!(r, Err(CodecError::LengthOverflow { .. })));
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // A struct of small values stays small: no field names stored.
+        let bytes = to_bytes(&(1u8, 2u8, 3u8)).unwrap();
+        assert_eq!(bytes.len(), 3);
+        let bytes = to_bytes(&String::from("abc")).unwrap();
+        assert_eq!(bytes.len(), 4); // 1 length byte + 3 payload
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let v = Shape::Struct { x: 0.5, y: 0.5 };
+        assert_eq!(to_bytes(&v).unwrap(), to_bytes(&v).unwrap());
+    }
+}

@@ -1,0 +1,299 @@
+//! The database: a set of named tables with checksummed snapshot
+//! persistence.
+
+use crate::codec;
+use crate::error::StoreError;
+use crate::table::{RawTable, TypedTable};
+use amnesia_crypto::{ct_eq, sha256};
+use parking_lot::RwLock;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Snapshot file magic: identifies the format and major version.
+const MAGIC: &[u8; 8] = b"ABINDB1\0";
+
+/// On-disk shape of one table: name plus raw `(key, value)` rows.
+type TableDump = (String, Vec<(Vec<u8>, Vec<u8>)>);
+
+/// A database of named tables — the reproduction's SQLite stand-in.
+///
+/// Create one [`in_memory`](Database::in_memory), hand out
+/// [`TypedTable`] handles, and optionally persist with
+/// [`save_to`](Database::save_to) / reload with [`open`](Database::open).
+/// Snapshots are atomic (temp file + rename) and integrity-checked with a
+/// SHA-256 trailer.
+///
+/// ```
+/// use amnesia_store::Database;
+///
+/// # fn main() -> Result<(), amnesia_store::StoreError> {
+/// let dir = std::env::temp_dir().join("amnesia-doc-db");
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("demo.adb");
+///
+/// let db = Database::in_memory();
+/// db.table::<String, u32>("counts").insert(&"hits".into(), &3)?;
+/// db.save_to(&path)?;
+///
+/// let reloaded = Database::open(&path)?;
+/// assert_eq!(reloaded.table::<String, u32>("counts").get(&"hits".into())?, Some(3));
+/// # std::fs::remove_file(&path)?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct Database {
+    tables: RwLock<BTreeMap<String, RawTable>>,
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tables = self.tables.read();
+        f.debug_struct("Database")
+            .field("tables", &tables.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl Database {
+    /// Creates an empty in-memory database.
+    pub fn in_memory() -> Self {
+        Database {
+            tables: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Returns a typed handle onto the named table, creating the table if it
+    /// does not exist.
+    ///
+    /// The caller chooses `K`/`V`; all handles onto one table must use the
+    /// same types or decoding will fail at access time.
+    pub fn table<K, V>(&self, name: &str) -> TypedTable<K, V>
+    where
+        K: Serialize + DeserializeOwned,
+        V: Serialize + DeserializeOwned,
+    {
+        let raw = {
+            let mut tables = self.tables.write();
+            Arc::clone(
+                tables
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(RwLock::new(BTreeMap::new()))),
+            )
+        };
+        TypedTable::new(name.to_string(), raw)
+    }
+
+    /// Names of all tables (including empty ones).
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Drops a table and all its rows; returns whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.tables.write().remove(name).is_some()
+    }
+
+    /// Serializes every table into the snapshot byte format (magic, payload,
+    /// SHA-256 trailer).
+    fn to_snapshot_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        let tables = self.tables.read();
+        let mut dump: Vec<TableDump> = Vec::new();
+        for (name, raw) in tables.iter() {
+            let rows: Vec<(Vec<u8>, Vec<u8>)> = raw
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            dump.push((name.clone(), rows));
+        }
+        drop(tables);
+        let payload = codec::to_bytes(&dump)?;
+        let mut out = Vec::with_capacity(MAGIC.len() + payload.len() + 32);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&sha256(&payload));
+        Ok(out)
+    }
+
+    /// Parses snapshot bytes produced by [`to_snapshot_bytes`].
+    fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        if bytes.len() < MAGIC.len() + 32 {
+            return Err(StoreError::Corrupt {
+                reason: format!("file too short ({} bytes)", bytes.len()),
+            });
+        }
+        let (magic, rest) = bytes.split_at(MAGIC.len());
+        if magic != MAGIC {
+            return Err(StoreError::Corrupt {
+                reason: "bad magic (not an amnesia-store snapshot)".into(),
+            });
+        }
+        let (payload, checksum) = rest.split_at(rest.len() - 32);
+        if !ct_eq(&sha256(payload), checksum) {
+            return Err(StoreError::Corrupt {
+                reason: "checksum mismatch".into(),
+            });
+        }
+        let dump: Vec<TableDump> = codec::from_bytes(payload)?;
+        let mut tables = BTreeMap::new();
+        for (name, rows) in dump {
+            let map: BTreeMap<Vec<u8>, Vec<u8>> = rows.into_iter().collect();
+            tables.insert(name, Arc::new(RwLock::new(map)));
+        }
+        Ok(Database {
+            tables: RwLock::new(tables),
+        })
+    }
+
+    /// Writes an atomic, checksummed snapshot of the database to `path`.
+    ///
+    /// The snapshot is first written to `path` + `.tmp` and then renamed, so
+    /// an interrupted save never corrupts an existing database file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the filesystem or codec errors from row
+    /// encoding.
+    pub fn save_to(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let path = path.as_ref();
+        let bytes = self.to_snapshot_bytes()?;
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a database from a snapshot file written by
+    /// [`save_to`](Database::save_to).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Corrupt`] if the file fails its magic or
+    /// checksum validation, plus I/O and codec errors.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let bytes = fs::read(path)?;
+        Self::from_snapshot_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("amnesia-store-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.adb", std::process::id()))
+    }
+
+    #[test]
+    fn save_and_reload_roundtrip() {
+        let db = Database::in_memory();
+        let t = db.table::<String, Vec<u8>>("blobs");
+        t.insert(&"k".into(), &vec![1, 2, 3]).unwrap();
+        db.table::<u32, String>("other")
+            .insert(&7, &"seven".into())
+            .unwrap();
+
+        let path = temp_path("roundtrip");
+        db.save_to(&path).unwrap();
+        let reloaded = Database::open(&path).unwrap();
+        assert_eq!(
+            reloaded
+                .table::<String, Vec<u8>>("blobs")
+                .get(&"k".into())
+                .unwrap(),
+            Some(vec![1, 2, 3])
+        );
+        assert_eq!(reloaded.table_names(), vec!["blobs", "other"]);
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let db = Database::in_memory();
+        db.table::<u8, u8>("t").insert(&1, &2).unwrap();
+        let path = temp_path("corrupt");
+        db.save_to(&path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let err = Database::open(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let path = temp_path("magic");
+        fs::write(
+            &path,
+            b"NOTADB!!--------------------------------------------",
+        )
+        .unwrap();
+        let err = Database::open(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }));
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let path = temp_path("short");
+        fs::write(&path, b"AB").unwrap();
+        let err = Database::open(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }));
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Database::open("/definitely/not/here.adb").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+    }
+
+    #[test]
+    fn empty_database_roundtrips() {
+        let db = Database::in_memory();
+        let path = temp_path("empty");
+        db.save_to(&path).unwrap();
+        let reloaded = Database::open(&path).unwrap();
+        assert!(reloaded.table_names().is_empty());
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn drop_table_works() {
+        let db = Database::in_memory();
+        db.table::<u8, u8>("gone").insert(&1, &1).unwrap();
+        assert!(db.drop_table("gone"));
+        assert!(!db.drop_table("gone"));
+        assert!(db.table::<u8, u8>("gone").is_empty());
+    }
+
+    #[test]
+    fn snapshot_excludes_nothing_and_is_deterministic() {
+        let db = Database::in_memory();
+        db.table::<u8, u8>("a").insert(&1, &1).unwrap();
+        db.table::<u8, u8>("b").insert(&2, &2).unwrap();
+        let s1 = db.to_snapshot_bytes().unwrap();
+        let s2 = db.to_snapshot_bytes().unwrap();
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the store.
+
+use crate::codec::CodecError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by database and table operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// A row or key failed to encode/decode.
+    Codec(CodecError),
+    /// Filesystem I/O failed.
+    Io(std::io::Error),
+    /// `insert` was called with a key that already exists.
+    DuplicateKey {
+        /// Table the insert targeted.
+        table: String,
+    },
+    /// A snapshot file was malformed or failed its integrity check.
+    Corrupt {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::DuplicateKey { table } => {
+                write!(f, "duplicate key in table {table:?}")
+            }
+            StoreError::Corrupt { reason } => write!(f, "corrupt snapshot: {reason}"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Codec(e) => Some(e),
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = StoreError::from(CodecError::UnexpectedEof);
+        assert!(e.to_string().contains("codec"));
+        assert!(e.source().is_some());
+
+        let e = StoreError::DuplicateKey {
+            table: "users".into(),
+        };
+        assert!(e.to_string().contains("users"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,49 @@
+//! Embedded storage substrate for the Amnesia reproduction.
+//!
+//! The paper's prototype keeps both the server state (`Ks`, hashed
+//! verifiers, registration IDs) and the phone state (`Kp`) in SQLite
+//! databases. This crate is the Rust stand-in: a small embedded store with
+//!
+//! * a **compact binary serde codec** ([`codec`]) so any
+//!   `Serialize`/`Deserialize` row type can be persisted without pulling an
+//!   external format crate,
+//! * **named typed tables** ([`TypedTable`]) with unique primary keys and
+//!   ordered iteration, guarded by `parking_lot` locks so server request
+//!   threads can share one database, and
+//! * **checksummed atomic snapshots** ([`Database::save_to`] /
+//!   [`Database::open`]) — the file carries a magic header, format version
+//!   and SHA-256 integrity checksum, and is written via a temp-file rename
+//!   so a crash never leaves a torn database.
+//!
+//! # Example
+//!
+//! ```
+//! use amnesia_store::{Database, TypedTable};
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct UserRow {
+//!     name: String,
+//!     logins: u32,
+//! }
+//!
+//! # fn main() -> Result<(), amnesia_store::StoreError> {
+//! let db = Database::in_memory();
+//! let users: TypedTable<String, UserRow> = db.table("users");
+//! users.insert(&"alice".to_string(), &UserRow { name: "Alice".into(), logins: 3 })?;
+//! assert_eq!(users.get(&"alice".to_string())?.unwrap().logins, 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod db;
+mod error;
+mod table;
+
+pub use db::Database;
+pub use error::StoreError;
+pub use table::TypedTable;

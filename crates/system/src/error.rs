@@ -1,0 +1,117 @@
+//! Error type for the deployment layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced while driving end-to-end flows.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SystemError {
+    /// No component is registered under this endpoint name.
+    UnknownComponent {
+        /// The endpoint name looked up.
+        endpoint: String,
+    },
+    /// The server rejected an operation (message carried over the wire).
+    ServerRejected {
+        /// The server's error text.
+        message: String,
+    },
+    /// A flow finished pumping without producing the expected reply.
+    MissingReply {
+        /// What the flow was waiting for.
+        expected: &'static str,
+    },
+    /// A browser-side failure (e.g. building a message without a session).
+    Browser(amnesia_client::BrowserError),
+    /// A phone-side failure.
+    Phone(amnesia_phone::PhoneError),
+    /// A direct server API failure.
+    Server(amnesia_server::ServerError),
+    /// A core-algorithm failure.
+    Core(amnesia_core::CoreError),
+    /// A cloud-provider failure.
+    Cloud(amnesia_cloud::CloudError),
+    /// A simulated-network failure.
+    Net(amnesia_net::NetError),
+    /// A sealed frame failed to open (tampering or key mismatch).
+    Channel(amnesia_net::ChannelError),
+    /// A wire payload failed to decode.
+    Codec(amnesia_store::codec::CodecError),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::UnknownComponent { endpoint } => {
+                write!(f, "unknown component endpoint {endpoint:?}")
+            }
+            SystemError::ServerRejected { message } => {
+                write!(f, "server rejected the request: {message}")
+            }
+            SystemError::MissingReply { expected } => {
+                write!(f, "flow completed without the expected {expected} reply")
+            }
+            SystemError::Browser(e) => write!(f, "browser error: {e}"),
+            SystemError::Phone(e) => write!(f, "phone error: {e}"),
+            SystemError::Server(e) => write!(f, "server error: {e}"),
+            SystemError::Core(e) => write!(f, "core error: {e}"),
+            SystemError::Cloud(e) => write!(f, "cloud error: {e}"),
+            SystemError::Net(e) => write!(f, "network error: {e}"),
+            SystemError::Channel(e) => write!(f, "channel error: {e}"),
+            SystemError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl Error for SystemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SystemError::Browser(e) => Some(e),
+            SystemError::Phone(e) => Some(e),
+            SystemError::Server(e) => Some(e),
+            SystemError::Core(e) => Some(e),
+            SystemError::Cloud(e) => Some(e),
+            SystemError::Net(e) => Some(e),
+            SystemError::Channel(e) => Some(e),
+            SystemError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! from_impl {
+    ($src:ty, $variant:ident) => {
+        impl From<$src> for SystemError {
+            fn from(e: $src) -> Self {
+                SystemError::$variant(e)
+            }
+        }
+    };
+}
+
+from_impl!(amnesia_client::BrowserError, Browser);
+from_impl!(amnesia_phone::PhoneError, Phone);
+from_impl!(amnesia_server::ServerError, Server);
+from_impl!(amnesia_core::CoreError, Core);
+from_impl!(amnesia_cloud::CloudError, Cloud);
+from_impl!(amnesia_net::NetError, Net);
+from_impl!(amnesia_net::ChannelError, Channel);
+from_impl!(amnesia_store::codec::CodecError, Codec);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: SystemError = amnesia_net::NetError::UnknownEndpoint { name: "x".into() }.into();
+        assert!(e.to_string().contains("network error"));
+        assert!(e.source().is_some());
+
+        let e = SystemError::MissingReply {
+            expected: "PasswordReady",
+        };
+        assert!(e.to_string().contains("PasswordReady"));
+    }
+}

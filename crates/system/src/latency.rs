@@ -1,0 +1,183 @@
+//! The Figure 3 latency experiment harness.
+//!
+//! The paper instruments the prototype: `tstart` is stamped when the server
+//! hands `R` to GCM, the phone auto-computes `T` (confirmation removed),
+//! and `tend` is taken after the server computes `P`;
+//! `latency = tend − tstart`, 100 trials per network condition.
+//! [`run_latency_trials`] reproduces that procedure over a calibrated
+//! [`NetProfile`].
+
+use crate::config::{NetProfile, SystemConfig};
+use crate::error::SystemError;
+use crate::system::AmnesiaSystem;
+use amnesia_core::{Domain, PasswordPolicy, Username};
+use amnesia_phone::ConfirmPolicy;
+
+/// Summary statistics over a set of latency samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyStats {
+    /// Profile name ("wifi", "4g").
+    pub profile: String,
+    /// Per-trial latencies in milliseconds, in trial order.
+    pub samples_ms: Vec<f64>,
+    /// Sample mean (the paper's x̄).
+    pub mean_ms: f64,
+    /// Sample standard deviation (the paper's σ, n−1 denominator).
+    pub std_ms: f64,
+}
+
+impl LatencyStats {
+    fn from_samples(profile: String, samples_ms: Vec<f64>) -> Self {
+        let n = samples_ms.len().max(1) as f64;
+        let mean = samples_ms.iter().sum::<f64>() / n;
+        let var = if samples_ms.len() > 1 {
+            samples_ms.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        LatencyStats {
+            profile,
+            samples_ms,
+            mean_ms: mean,
+            std_ms: var.sqrt(),
+        }
+    }
+
+    /// Smallest sample.
+    pub fn min_ms(&self) -> f64 {
+        self.samples_ms
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample.
+    pub fn max_ms(&self) -> f64 {
+        self.samples_ms.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// A crude text histogram (for the `fig3_latency` binary).
+    pub fn histogram(&self, buckets: usize) -> Vec<(f64, f64, usize)> {
+        if self.samples_ms.is_empty() || buckets == 0 {
+            return Vec::new();
+        }
+        let lo = self.min_ms();
+        let hi = self.max_ms() + f64::EPSILON;
+        let width = (hi - lo) / buckets as f64;
+        let mut counts = vec![0usize; buckets];
+        for &s in &self.samples_ms {
+            let idx = (((s - lo) / width) as usize).min(buckets - 1);
+            counts[idx] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (lo + i as f64 * width, lo + (i + 1) as f64 * width, c))
+            .collect()
+    }
+}
+
+/// Runs `trials` end-to-end password generations over `profile` with the
+/// phone in auto-confirm mode and returns the measured latency statistics.
+///
+/// # Errors
+///
+/// Propagates any flow failure (none are expected in this controlled
+/// experiment).
+pub fn run_latency_trials(
+    profile: NetProfile,
+    trials: usize,
+    seed: u64,
+) -> Result<LatencyStats, SystemError> {
+    let name = profile.name.clone();
+    let mut system = AmnesiaSystem::new(
+        SystemConfig::default()
+            .with_seed(seed)
+            .with_profile(profile),
+    );
+    system.add_browser("browser");
+    system.add_phone("phone", seed.wrapping_add(1));
+    system.setup_user("tester", "master password", "browser", "phone")?;
+    system
+        .phone_mut("phone")
+        .expect("phone installed")
+        .set_confirm_policy(ConfirmPolicy::AutoConfirm);
+
+    let username = Username::new("tester").expect("valid");
+    let domain = Domain::new("latency.example.com").expect("valid");
+    system.add_account(
+        "browser",
+        username.clone(),
+        domain.clone(),
+        PasswordPolicy::default(),
+    )?;
+
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let outcome = system.generate_password("browser", "phone", &username, &domain)?;
+        samples.push(outcome.latency.as_millis_f64());
+    }
+    Ok(LatencyStats::from_samples(name, samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wifi_trials_match_paper_statistics() {
+        // Paper: x̄ = 785.3 ms, σ = 171.5 ms over 100 trials. With 100
+        // stochastic samples the tolerance is generous; the bench binary
+        // reports exact values.
+        let stats = run_latency_trials(NetProfile::wifi(), 100, 42).unwrap();
+        assert_eq!(stats.samples_ms.len(), 100);
+        assert!(
+            (stats.mean_ms - 785.3).abs() < 60.0,
+            "mean {}",
+            stats.mean_ms
+        );
+        assert!((stats.std_ms - 171.5).abs() < 60.0, "std {}", stats.std_ms);
+    }
+
+    #[test]
+    fn cellular_trials_match_paper_statistics() {
+        let stats = run_latency_trials(NetProfile::cellular_4g(), 100, 43).unwrap();
+        assert!(
+            (stats.mean_ms - 978.7).abs() < 55.0,
+            "mean {}",
+            stats.mean_ms
+        );
+        assert!((stats.std_ms - 137.9).abs() < 55.0, "std {}", stats.std_ms);
+    }
+
+    #[test]
+    fn wifi_is_faster_than_4g_in_measurement() {
+        let wifi = run_latency_trials(NetProfile::wifi(), 60, 7).unwrap();
+        let cell = run_latency_trials(NetProfile::cellular_4g(), 60, 7).unwrap();
+        assert!(wifi.mean_ms < cell.mean_ms);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_latency_trials(NetProfile::wifi(), 10, 5).unwrap();
+        let b = run_latency_trials(NetProfile::wifi(), 10, 5).unwrap();
+        assert_eq!(a.samples_ms, b.samples_ms);
+        let c = run_latency_trials(NetProfile::wifi(), 10, 6).unwrap();
+        assert_ne!(a.samples_ms, c.samples_ms);
+    }
+
+    #[test]
+    fn histogram_partitions_all_samples() {
+        let stats = run_latency_trials(NetProfile::wifi(), 50, 8).unwrap();
+        let hist = stats.histogram(8);
+        assert_eq!(hist.iter().map(|(_, _, c)| c).sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn stats_handle_degenerate_inputs() {
+        let s = LatencyStats::from_samples("x".into(), vec![5.0]);
+        assert_eq!(s.mean_ms, 5.0);
+        assert_eq!(s.std_ms, 0.0);
+        assert!(s.histogram(0).is_empty());
+    }
+}

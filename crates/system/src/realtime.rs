@@ -1,0 +1,428 @@
+//! Real-threads runtime mode.
+//!
+//! The paper's prototype was a *threaded* deployment — CherryPy with a
+//! 10-thread pool on EC2, a GCM service, and an Android app all running
+//! concurrently. The simulated network ([`SimNet`](amnesia_net::SimNet))
+//! makes experiments deterministic, but it never proves the components are
+//! actually safe to run concurrently. This module does: each component runs
+//! on its own OS thread, frames travel over `crossbeam` channels, and the
+//! six-step protocol executes with genuine parallelism.
+//!
+//! Latency here is real compute latency (microseconds), not modelled
+//! network latency — use the simulated deployment for Figure 3.
+//!
+//! # Example
+//!
+//! ```
+//! use amnesia_system::realtime::RealtimeDeployment;
+//!
+//! let mut rt = RealtimeDeployment::start(7);
+//! rt.setup_user("alice", "master password").unwrap();
+//! rt.add_account("alice-acct", "mail.google.com").unwrap();
+//! let (password, elapsed) = rt.generate("alice-acct", "mail.google.com").unwrap();
+//! assert_eq!(password.len(), 32);
+//! assert!(elapsed.as_secs() < 5);
+//! rt.shutdown();
+//! ```
+
+use amnesia_core::{Domain, PasswordPolicy, Username};
+use amnesia_net::SimInstant;
+use amnesia_phone::{AmnesiaPhone, ConfirmPolicy, PhoneConfig, PushOutcome};
+use amnesia_rendezvous::{PushEnvelope, RegistrationId};
+use amnesia_server::protocol::{FromServer, ToServer};
+use amnesia_server::{AmnesiaServer, ServerConfig, SessionToken};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Errors from the threaded deployment.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RealtimeError {
+    /// A component thread hung up.
+    Disconnected,
+    /// The server replied with an error message.
+    ServerRejected(String),
+    /// A reply arrived out of protocol.
+    UnexpectedReply(String),
+    /// No reply arrived within the timeout.
+    Timeout,
+}
+
+impl std::fmt::Display for RealtimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RealtimeError::Disconnected => write!(f, "component thread disconnected"),
+            RealtimeError::ServerRejected(m) => write!(f, "server rejected: {m}"),
+            RealtimeError::UnexpectedReply(m) => write!(f, "unexpected reply: {m}"),
+            RealtimeError::Timeout => write!(f, "timed out waiting for a reply"),
+        }
+    }
+}
+
+impl std::error::Error for RealtimeError {}
+
+/// Messages entering the server thread.
+enum ServerInbound {
+    FromBrowser(ToServer),
+    FromPhone(ToServer),
+    Shutdown,
+}
+
+/// Messages entering the rendezvous thread.
+enum GcmInbound {
+    Register(RegistrationId, Sender<Vec<u8>>),
+    Push(PushEnvelope),
+    Shutdown,
+}
+
+/// A full Amnesia deployment on real threads: server, rendezvous and phone
+/// each own a thread; the caller plays the browser. See the module docs.
+pub struct RealtimeDeployment {
+    to_server: Sender<ServerInbound>,
+    to_gcm: Sender<GcmInbound>,
+    user_to_phone: Sender<Vec<u8>>,
+    browser_rx: Receiver<FromServer>,
+    session: Option<SessionToken>,
+    handles: Vec<JoinHandle<()>>,
+    timeout: Duration,
+}
+
+impl RealtimeDeployment {
+    /// Spawns the component threads and pairs the phone (registration +
+    /// CAPTCHA pairing happen during [`setup_user`](Self::setup_user)).
+    pub fn start(seed: u64) -> Self {
+        let (to_server, server_rx) = unbounded::<ServerInbound>();
+        let (to_gcm, gcm_rx) = unbounded::<GcmInbound>();
+        let (browser_tx, browser_rx) = unbounded::<FromServer>();
+        let (phone_tx, phone_rx) = unbounded::<Vec<u8>>();
+        // Direct user-to-phone line: the user physically types the pairing
+        // captcha on the device, bypassing the rendezvous.
+        let user_to_phone = phone_tx.clone();
+
+        // --- rendezvous thread: registration-ID → phone channel routing ----
+        let gcm_handle = std::thread::spawn(move || {
+            let mut registry: HashMap<RegistrationId, Sender<Vec<u8>>> = HashMap::new();
+            while let Ok(message) = gcm_rx.recv() {
+                match message {
+                    GcmInbound::Register(id, tx) => {
+                        registry.insert(id, tx);
+                    }
+                    GcmInbound::Push(envelope) => {
+                        if let Some(tx) = registry.get(&envelope.registration_id) {
+                            // A dead phone is dropped traffic, like GCM.
+                            let _ = tx.send(envelope.data);
+                        }
+                    }
+                    GcmInbound::Shutdown => break,
+                }
+            }
+        });
+
+        // --- server thread --------------------------------------------------
+        let server_to_gcm = to_gcm.clone();
+        let server_browser_tx = browser_tx;
+        let server_handle = std::thread::spawn(move || {
+            let mut server = AmnesiaServer::new(ServerConfig {
+                endpoint: "amnesia-server".into(),
+                seed,
+                pbkdf2_iterations: 1,
+            });
+            while let Ok(inbound) = server_rx.recv() {
+                let message = match inbound {
+                    ServerInbound::FromBrowser(m) | ServerInbound::FromPhone(m) => m,
+                    ServerInbound::Shutdown => break,
+                };
+                // Real time stands in for the simulated clock; latency
+                // numbers from this mode are compute-only.
+                let reaction = server.handle_message(message, SimInstant::EPOCH);
+                if let Some(push) = reaction.push {
+                    let _ = server_to_gcm.send(GcmInbound::Push(push));
+                }
+                for (_dest, reply) in reaction.replies {
+                    // Single-browser deployment: every reply goes to the
+                    // caller.
+                    let _ = server_browser_tx.send(reply);
+                }
+            }
+        });
+
+        // --- phone thread ----------------------------------------------------
+        let phone_to_server = to_server.clone();
+        let phone_to_gcm = to_gcm.clone();
+        let phone_handle = std::thread::spawn(move || {
+            let mut phone = AmnesiaPhone::new(
+                PhoneConfig::new("phone", seed.wrapping_add(1)).with_table_size(512),
+            );
+            phone.set_confirm_policy(ConfirmPolicy::AutoConfirm);
+
+            // Register with the rendezvous: mint the ID locally (the thread
+            // owns no RendezvousServer; the registry lives in the gcm
+            // thread).
+            let mut gcm_stub = amnesia_rendezvous::RendezvousServer::new("gcm", seed ^ 0xF00D);
+            let registration_id = phone.register_with_rendezvous(&mut gcm_stub);
+            let _ = phone_to_gcm.send(GcmInbound::Register(registration_id.clone(), phone_tx));
+
+            // Announce pairing material to the server thread out-of-band:
+            // the browser flow supplies the captcha; the phone waits for it
+            // as its first "push" (a tiny in-band bootstrap protocol).
+            // Format: first message on phone_rx that is valid UTF-8 of the
+            // form "pair:<user>:<captcha>" triggers pairing.
+            while let Ok(payload) = phone_rx.recv() {
+                if let Ok(text) = std::str::from_utf8(&payload) {
+                    if let Some(rest) = text.strip_prefix("pair:") {
+                        if let Some((user, captcha)) = rest.split_once(':') {
+                            let _ = phone_to_server.send(ServerInbound::FromPhone(
+                                ToServer::CompletePhonePairing {
+                                    user_id: user.to_string(),
+                                    captcha: captcha.to_string(),
+                                    pid: phone.pid().clone(),
+                                    registration_id: registration_id.clone(),
+                                    reply_to: "browser".into(),
+                                },
+                            ));
+                            continue;
+                        }
+                    }
+                }
+                // Ordinary password-request push.
+                if let Ok(PushOutcome::Respond(response)) =
+                    phone.handle_push(&payload, SimInstant::EPOCH)
+                {
+                    let _ =
+                        phone_to_server.send(ServerInbound::FromPhone(ToServer::Token(response)));
+                }
+            }
+        });
+
+        RealtimeDeployment {
+            to_server,
+            to_gcm,
+            user_to_phone,
+            browser_rx,
+            session: None,
+            handles: vec![gcm_handle, server_handle, phone_handle],
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    fn recv_reply(&self) -> Result<FromServer, RealtimeError> {
+        self.browser_rx
+            .recv_timeout(self.timeout)
+            .map_err(|_| RealtimeError::Timeout)
+    }
+
+    fn send_browser(&self, message: ToServer) -> Result<(), RealtimeError> {
+        self.to_server
+            .send(ServerInbound::FromBrowser(message))
+            .map_err(|_| RealtimeError::Disconnected)
+    }
+
+    fn expect<T>(
+        &self,
+        what: &'static str,
+        extract: impl Fn(FromServer) -> Result<T, FromServer>,
+    ) -> Result<T, RealtimeError> {
+        // Skip intermediate acks (RequestPushed) while hunting the target.
+        for _ in 0..8 {
+            match self.recv_reply()? {
+                FromServer::Error { message } => {
+                    return Err(RealtimeError::ServerRejected(message))
+                }
+                reply => match extract(reply) {
+                    Ok(value) => return Ok(value),
+                    Err(FromServer::RequestPushed) => continue,
+                    Err(other) => {
+                        return Err(RealtimeError::UnexpectedReply(format!(
+                            "waiting for {what}, got {other:?}"
+                        )))
+                    }
+                },
+            }
+        }
+        Err(RealtimeError::Timeout)
+    }
+
+    /// Registers the user, logs in, and completes phone pairing across the
+    /// live threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server rejections and channel failures.
+    pub fn setup_user(
+        &mut self,
+        user_id: &str,
+        master_password: &str,
+    ) -> Result<(), RealtimeError> {
+        self.send_browser(ToServer::Register {
+            user_id: user_id.into(),
+            master_password: master_password.into(),
+            reply_to: "browser".into(),
+        })?;
+        self.expect("Registered", |r| match r {
+            FromServer::Registered => Ok(()),
+            other => Err(other),
+        })?;
+
+        self.send_browser(ToServer::Login {
+            user_id: user_id.into(),
+            master_password: master_password.into(),
+            reply_to: "browser".into(),
+        })?;
+        let session = self.expect("LoginOk", |r| match r {
+            FromServer::LoginOk { session } => Ok(session),
+            other => Err(other),
+        })?;
+        self.session = Some(session.clone());
+
+        self.send_browser(ToServer::BeginPhonePairing {
+            session,
+            reply_to: "browser".into(),
+        })?;
+        let captcha = self.expect("PairingChallenge", |r| match r {
+            FromServer::PairingChallenge { captcha } => Ok(captcha),
+            other => Err(other),
+        })?;
+
+        // Hand the captcha to the phone thread directly — the user types it
+        // on the device (Fig. 2a).
+        self.user_to_phone
+            .send(format!("pair:{user_id}:{captcha}").into_bytes())
+            .map_err(|_| RealtimeError::Disconnected)?;
+        self.expect("PhonePaired", |r| match r {
+            FromServer::PhonePaired => Ok(()),
+            other => Err(other),
+        })
+    }
+
+    /// Adds a managed account over the live threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server rejections and channel failures.
+    pub fn add_account(&self, username: &str, domain: &str) -> Result<(), RealtimeError> {
+        let session = self.session.clone().ok_or(RealtimeError::Disconnected)?;
+        self.send_browser(ToServer::AddAccount {
+            session,
+            username: Username::new(username).expect("valid username"),
+            domain: Domain::new(domain).expect("valid domain"),
+            policy: PasswordPolicy::default(),
+            reply_to: "browser".into(),
+        })?;
+        self.expect("AccountAdded", |r| match r {
+            FromServer::AccountAdded => Ok(()),
+            other => Err(other),
+        })
+    }
+
+    /// Runs the six-step generation across the threads and returns the
+    /// password with the wall-clock time it took.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server rejections and channel failures.
+    pub fn generate(
+        &self,
+        username: &str,
+        domain: &str,
+    ) -> Result<(String, Duration), RealtimeError> {
+        let session = self.session.clone().ok_or(RealtimeError::Disconnected)?;
+        let start = Instant::now();
+        self.send_browser(ToServer::RequestPassword {
+            session,
+            username: Username::new(username).expect("valid username"),
+            domain: Domain::new(domain).expect("valid domain"),
+            reply_to: "browser".into(),
+        })?;
+        let password = self.expect("PasswordReady", |r| match r {
+            FromServer::PasswordReady { password, .. } => Ok(password),
+            other => Err(other),
+        })?;
+        Ok((password.as_str().to_string(), start.elapsed()))
+    }
+
+    /// Stops the component threads and joins them.
+    pub fn shutdown(mut self) {
+        let _ = self.to_server.send(ServerInbound::Shutdown);
+        let _ = self.to_gcm.send(GcmInbound::Shutdown);
+        // The phone thread exits when every sender onto its channel is gone:
+        // ours here, and the registry copy inside the (now stopping) gcm
+        // thread. Drop ours before joining or the join deadlocks.
+        let RealtimeDeployment {
+            to_server,
+            to_gcm,
+            user_to_phone,
+            browser_rx,
+            mut handles,
+            ..
+        } = self;
+        drop(user_to_phone);
+        drop(to_server);
+        drop(to_gcm);
+        drop(browser_rx);
+        for handle in handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threaded_generation_end_to_end() {
+        let mut rt = RealtimeDeployment::start(100);
+        rt.setup_user("alice", "mp").unwrap();
+        rt.add_account("alice", "threads.example.com").unwrap();
+        let (p1, elapsed) = rt.generate("alice", "threads.example.com").unwrap();
+        assert_eq!(p1.len(), 32);
+        assert!(elapsed < Duration::from_secs(5));
+        // Regeneration across live threads is deterministic.
+        let (p2, _) = rt.generate("alice", "threads.example.com").unwrap();
+        assert_eq!(p1, p2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn same_seed_same_password_across_deployments() {
+        let run = |seed: u64| {
+            let mut rt = RealtimeDeployment::start(seed);
+            rt.setup_user("bob", "mp").unwrap();
+            rt.add_account("bob", "x.example.com").unwrap();
+            let (p, _) = rt.generate("bob", "x.example.com").unwrap();
+            rt.shutdown();
+            p
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn wrong_master_password_rejected_across_threads() {
+        let mut rt = RealtimeDeployment::start(9);
+        rt.setup_user("carol", "mp").unwrap();
+        // A second login attempt with the wrong password errors.
+        rt.send_browser(ToServer::Login {
+            user_id: "carol".into(),
+            master_password: "wrong".into(),
+            reply_to: "browser".into(),
+        })
+        .unwrap();
+        let err = rt
+            .expect("LoginOk", |r| match r {
+                FromServer::LoginOk { session } => Ok(session),
+                other => Err(other),
+            })
+            .unwrap_err();
+        assert!(matches!(err, RealtimeError::ServerRejected(_)));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_without_activity() {
+        let rt = RealtimeDeployment::start(10);
+        rt.shutdown(); // must not deadlock
+    }
+}

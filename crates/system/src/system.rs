@@ -1,0 +1,1047 @@
+//! The deployment object and its end-to-end flows.
+
+use crate::config::SystemConfig;
+use crate::error::SystemError;
+use amnesia_client::Browser;
+use amnesia_cloud::CloudProvider;
+use amnesia_core::{Domain, GeneratedPassword, PasswordPolicy, Username};
+use amnesia_crypto::SecretRng;
+use amnesia_net::{Frame, LinkProfile, SecureChannel, SimDuration, SimInstant, SimNet};
+use amnesia_phone::{AmnesiaPhone, PhoneConfig, PushOutcome};
+use amnesia_rendezvous::RendezvousServer;
+use amnesia_server::protocol::{FromServer, ToServer};
+use amnesia_server::storage::AccountRef;
+use amnesia_server::{AmnesiaServer, ServerConfig};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Endpoint name of the Amnesia server.
+pub const SERVER_ENDPOINT: &str = "amnesia-server";
+/// Endpoint name of the rendezvous service.
+pub const GCM_ENDPOINT: &str = "gcm";
+
+/// Result of one end-to-end password generation.
+#[derive(Clone, Debug)]
+pub struct GenerationOutcome {
+    /// The account the password belongs to.
+    pub account: AccountRef,
+    /// The generated password, as delivered to the browser.
+    pub password: GeneratedPassword,
+    /// The paper's measured latency: server `tend` − `tstart`
+    /// (push creation to password completion).
+    pub latency: SimDuration,
+}
+
+/// Result of the phone-compromise recovery flow.
+#[derive(Clone, Debug)]
+pub struct RecoveryOutcome {
+    /// Old passwords regenerated from the uploaded backup, which the user
+    /// must now change on each website.
+    pub credentials: Vec<amnesia_server::RecoveredCredential>,
+}
+
+/// The assembled deployment. See the crate-level docs and example.
+pub struct AmnesiaSystem {
+    config: SystemConfig,
+    net: SimNet,
+    server: AmnesiaServer,
+    gcm: RendezvousServer,
+    cloud: CloudProvider,
+    phones: BTreeMap<String, AmnesiaPhone>,
+    browsers: BTreeMap<String, Browser>,
+    channels: HashMap<(String, String), SecureChannel>,
+    channel_rng: SecretRng,
+    generation_latencies: Vec<SimDuration>,
+    faults: Vec<String>,
+}
+
+impl fmt::Debug for AmnesiaSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AmnesiaSystem")
+            .field("profile", &self.config.profile.name)
+            .field("phones", &self.phones.keys().collect::<Vec<_>>())
+            .field("browsers", &self.browsers.keys().collect::<Vec<_>>())
+            .field("now", &self.net.now())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AmnesiaSystem {
+    /// Builds a deployment with a server, rendezvous service and cloud
+    /// provider; add browsers and phones afterwards.
+    pub fn new(config: SystemConfig) -> Self {
+        let mut seed_rng = SecretRng::seeded(config.seed);
+        let mut net = SimNet::new(seed_rng.next_u64());
+        net.register(SERVER_ENDPOINT);
+        net.register(GCM_ENDPOINT);
+        net.connect(
+            SERVER_ENDPOINT,
+            GCM_ENDPOINT,
+            LinkProfile::new(config.profile.server_gcm.clone()),
+        );
+
+        let server = AmnesiaServer::new(ServerConfig {
+            endpoint: SERVER_ENDPOINT.into(),
+            seed: seed_rng.next_u64(),
+            pbkdf2_iterations: config.pbkdf2_iterations,
+        });
+        let gcm = RendezvousServer::new(GCM_ENDPOINT, seed_rng.next_u64());
+        let channel_rng = seed_rng.fork();
+
+        AmnesiaSystem {
+            config,
+            net,
+            server,
+            gcm,
+            cloud: CloudProvider::new("sim-cloud"),
+            phones: BTreeMap::new(),
+            browsers: BTreeMap::new(),
+            channels: HashMap::new(),
+            channel_rng,
+            generation_latencies: Vec::new(),
+            faults: Vec::new(),
+        }
+    }
+
+    // -- topology -----------------------------------------------------------
+
+    fn provision_channel_pair(&mut self, a: &str, b: &str) {
+        // Stand-in for the TLS handshake: both directions keyed from one
+        // fresh shared secret.
+        let secret = self.channel_rng.bytes::<32>();
+        self.channels.insert(
+            (a.to_string(), b.to_string()),
+            SecureChannel::new(&secret, "fwd"),
+        );
+        self.channels.insert(
+            (b.to_string(), a.to_string()),
+            SecureChannel::new(&secret, "rev"),
+        );
+    }
+
+    /// Adds a browser endpoint connected to the server over the profile's
+    /// HTTPS link.
+    pub fn add_browser(&mut self, name: &str) {
+        self.net.register(name);
+        self.net.connect_bidirectional(
+            name,
+            SERVER_ENDPOINT,
+            LinkProfile::new(self.config.profile.browser_server.clone()),
+        );
+        self.provision_channel_pair(name, SERVER_ENDPOINT);
+        self.browsers.insert(name.to_string(), Browser::new(name));
+    }
+
+    /// Adds a browser running *on the phone* (paper §III: "The process is
+    /// the same for a user using a mobile browser. In this case, the phone
+    /// would also take on the role of the PC."): its HTTPS link to the
+    /// server uses the phone's access-network latency instead of the
+    /// computer's.
+    pub fn add_mobile_browser(&mut self, name: &str) {
+        self.net.register(name);
+        self.net.connect_bidirectional(
+            name,
+            SERVER_ENDPOINT,
+            LinkProfile::new(self.config.profile.phone_server.clone()),
+        );
+        self.provision_channel_pair(name, SERVER_ENDPOINT);
+        self.browsers.insert(name.to_string(), Browser::new(name));
+    }
+
+    /// Installs a phone: endpoint, push link from the rendezvous, direct
+    /// link to the server, and a protected phone↔server channel.
+    pub fn add_phone(&mut self, name: &str, seed: u64) {
+        self.net.register(name);
+        self.net.connect(
+            GCM_ENDPOINT,
+            name,
+            LinkProfile::new(self.config.profile.gcm_phone.clone())
+                .with_drop_probability(self.config.profile.push_drop_probability),
+        );
+        self.net.connect(
+            name,
+            SERVER_ENDPOINT,
+            LinkProfile::new(self.config.profile.phone_server.clone()),
+        );
+        self.provision_channel_pair(name, SERVER_ENDPOINT);
+        let phone =
+            AmnesiaPhone::new(PhoneConfig::new(name, seed).with_table_size(self.config.table_size));
+        self.phones.insert(name.to_string(), phone);
+    }
+
+    /// Removes a phone component (a lost/stolen device leaving the
+    /// deployment). Its network endpoint remains but nothing handles its
+    /// frames.
+    pub fn remove_phone(&mut self, name: &str) -> Option<AmnesiaPhone> {
+        self.phones.remove(name)
+    }
+
+    // -- channel plumbing ------------------------------------------------------
+
+    fn seal(&mut self, from: &str, to: &str, bytes: Vec<u8>) -> Vec<u8> {
+        if !self.config.secure_channels {
+            return bytes;
+        }
+        match self.channels.get_mut(&(from.to_string(), to.to_string())) {
+            Some(channel) => channel.seal(&bytes),
+            None => bytes,
+        }
+    }
+
+    fn open(&mut self, from: &str, to: &str, bytes: &[u8]) -> Result<Vec<u8>, SystemError> {
+        if !self.config.secure_channels {
+            return Ok(bytes.to_vec());
+        }
+        match self.channels.get_mut(&(from.to_string(), to.to_string())) {
+            Some(channel) => channel.open(bytes).map_err(SystemError::from),
+            None => Ok(bytes.to_vec()),
+        }
+    }
+
+    /// Exports the channel keys for one direction — the §IV-A broken-HTTPS
+    /// attack model ("the attacker is somehow able to compromise the
+    /// connection").
+    pub fn export_channel_keys_for_attack_model(
+        &self,
+        from: &str,
+        to: &str,
+    ) -> Option<([u8; 32], [u8; 32])> {
+        self.channels
+            .get(&(from.to_string(), to.to_string()))
+            .map(SecureChannel::export_keys_for_attack_model)
+    }
+
+    // -- dispatch ----------------------------------------------------------------
+
+    /// Delivers and dispatches frames until the network is idle.
+    ///
+    /// Component-level rejections (unknown registrations, malformed pushes,
+    /// replayed tokens) are recorded in [`faults`](Self::faults) rather than
+    /// aborting the pump — on a real network they are just dropped traffic.
+    pub fn pump(&mut self) {
+        while let Some(frame) = self.net.step() {
+            if let Err(e) = self.dispatch(frame) {
+                self.faults.push(e.to_string());
+            }
+        }
+    }
+
+    fn dispatch(&mut self, frame: Frame) -> Result<(), SystemError> {
+        let to = frame.to.clone();
+        if to == SERVER_ENDPOINT {
+            self.dispatch_to_server(frame)
+        } else if to == GCM_ENDPOINT {
+            self.gcm
+                .handle_frame(&frame, &mut self.net)
+                .map(|_| ())
+                .map_err(|e| SystemError::ServerRejected {
+                    message: format!("rendezvous: {e}"),
+                })
+        } else if self.phones.contains_key(&to) {
+            self.dispatch_to_phone(frame)
+        } else if self.browsers.contains_key(&to) {
+            self.dispatch_to_browser(frame)
+        } else {
+            // Endpoint exists but no live component (e.g. removed phone).
+            Err(SystemError::UnknownComponent { endpoint: to })
+        }
+    }
+
+    fn dispatch_to_server(&mut self, frame: Frame) -> Result<(), SystemError> {
+        let plaintext = self.open(&frame.from, SERVER_ENDPOINT, &frame.payload)?;
+        let message = ToServer::from_wire(&plaintext)?;
+        match &message {
+            ToServer::RequestPassword { .. } => {
+                self.net.advance(self.config.profile.request_compute);
+            }
+            ToServer::Token(_) => {
+                self.net.advance(self.config.profile.password_compute);
+            }
+            _ => {}
+        }
+        let now = self.net.now();
+        let reaction = self.server.handle_message(message, now);
+        if let Some(push) = reaction.push {
+            self.net
+                .send(SERVER_ENDPOINT, GCM_ENDPOINT, push.to_wire()?)?;
+        }
+        for (dest, reply) in reaction.replies {
+            if let FromServer::PasswordReady { requested_at, .. } = &reply {
+                self.generation_latencies
+                    .push(self.net.now().duration_since(*requested_at));
+            }
+            let bytes = reply.to_wire()?;
+            let sealed = self.seal(SERVER_ENDPOINT, &dest, bytes);
+            self.net.send(SERVER_ENDPOINT, &dest, sealed)?;
+        }
+        Ok(())
+    }
+
+    fn dispatch_to_phone(&mut self, frame: Frame) -> Result<(), SystemError> {
+        let now = self.net.now();
+        let outcome = {
+            let phone = self.phones.get_mut(&frame.to).expect("checked by dispatch");
+            phone.handle_push(&frame.payload, now)?
+        };
+        match outcome {
+            PushOutcome::Respond(response) => {
+                self.net.advance(self.config.profile.token_compute);
+                self.send_token_from_phone(&frame.to.clone(), response)?;
+            }
+            PushOutcome::AwaitingConfirmation | PushOutcome::Rejected => {}
+        }
+        Ok(())
+    }
+
+    fn send_token_from_phone(
+        &mut self,
+        phone_endpoint: &str,
+        response: amnesia_server::protocol::TokenResponse,
+    ) -> Result<(), SystemError> {
+        let bytes = ToServer::Token(response).to_wire()?;
+        let sealed = self.seal(phone_endpoint, SERVER_ENDPOINT, bytes);
+        self.net.send(phone_endpoint, SERVER_ENDPOINT, sealed)?;
+        Ok(())
+    }
+
+    fn dispatch_to_browser(&mut self, frame: Frame) -> Result<(), SystemError> {
+        let plaintext = self.open(&frame.from, &frame.to, &frame.payload)?;
+        let reply = FromServer::from_wire(&plaintext)?;
+        self.browsers
+            .get_mut(&frame.to)
+            .expect("checked by dispatch")
+            .handle_reply(reply);
+        Ok(())
+    }
+
+    // -- flow helpers --------------------------------------------------------------
+
+    fn browser(&self, name: &str) -> Result<&Browser, SystemError> {
+        self.browsers
+            .get(name)
+            .ok_or_else(|| SystemError::UnknownComponent {
+                endpoint: name.into(),
+            })
+    }
+
+    fn send_from_browser(&mut self, browser: &str, message: ToServer) -> Result<(), SystemError> {
+        let bytes = message.to_wire()?;
+        let sealed = self.seal(browser, SERVER_ENDPOINT, bytes);
+        self.net.send(browser, SERVER_ENDPOINT, sealed)?;
+        self.pump();
+        Ok(())
+    }
+
+    fn take_browser_inbox(&mut self, browser: &str) -> Result<Vec<FromServer>, SystemError> {
+        Ok(self
+            .browsers
+            .get_mut(browser)
+            .ok_or_else(|| SystemError::UnknownComponent {
+                endpoint: browser.into(),
+            })?
+            .take_inbox())
+    }
+
+    fn expect_reply<T>(
+        &mut self,
+        browser: &str,
+        expected: &'static str,
+        extract: impl Fn(&FromServer) -> Option<T>,
+    ) -> Result<T, SystemError> {
+        let inbox = self.take_browser_inbox(browser)?;
+        for reply in &inbox {
+            if let Some(value) = extract(reply) {
+                return Ok(value);
+            }
+            if let FromServer::Error { message } = reply {
+                return Err(SystemError::ServerRejected {
+                    message: message.clone(),
+                });
+            }
+        }
+        Err(SystemError::MissingReply { expected })
+    }
+
+    // -- end-to-end flows -----------------------------------------------------------
+
+    /// Registers an Amnesia account, logs the browser in, pairs the phone
+    /// (CAPTCHA flow), and performs the one-time cloud backup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any rejection along the flow.
+    pub fn setup_user(
+        &mut self,
+        user_id: &str,
+        master_password: &str,
+        browser: &str,
+        phone: &str,
+    ) -> Result<(), SystemError> {
+        // 1. Create the Amnesia account.
+        let msg = self
+            .browser(browser)?
+            .register_message(user_id, master_password);
+        self.send_from_browser(browser, msg)?;
+        self.expect_reply(browser, "Registered", |r| {
+            matches!(r, FromServer::Registered).then_some(())
+        })?;
+
+        // 2. Log in.
+        self.login(browser, user_id, master_password)?;
+
+        // 3. Pair the phone: captcha displayed on the web page…
+        let msg = self.browser(browser)?.begin_pairing_message()?;
+        self.send_from_browser(browser, msg)?;
+        let captcha = self.expect_reply(browser, "PairingChallenge", |r| match r {
+            FromServer::PairingChallenge { captcha } => Some(captcha.clone()),
+            _ => None,
+        })?;
+
+        // …the phone registers with the rendezvous and submits the code with
+        // its Pid and registration ID.
+        let (pid, registration_id) = {
+            let phone_agent =
+                self.phones
+                    .get_mut(phone)
+                    .ok_or_else(|| SystemError::UnknownComponent {
+                        endpoint: phone.into(),
+                    })?;
+            let reg = phone_agent.register_with_rendezvous(&mut self.gcm);
+            (phone_agent.pid().clone(), reg)
+        };
+        let pairing = ToServer::CompletePhonePairing {
+            user_id: user_id.into(),
+            captcha,
+            pid,
+            registration_id,
+            reply_to: browser.into(),
+        };
+        let bytes = pairing.to_wire()?;
+        let sealed = self.seal(phone, SERVER_ENDPOINT, bytes);
+        self.net.send(phone, SERVER_ENDPOINT, sealed)?;
+        self.pump();
+        self.expect_reply(browser, "PhonePaired", |r| {
+            matches!(r, FromServer::PhonePaired).then_some(())
+        })?;
+
+        // 4. One-time Kp backup to the cloud provider.
+        self.phones
+            .get(phone)
+            .expect("phone present")
+            .backup_to_cloud(&mut self.cloud, user_id)?;
+        Ok(())
+    }
+
+    /// Logs a browser into the Amnesia server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates login rejections.
+    pub fn login(
+        &mut self,
+        browser: &str,
+        user_id: &str,
+        master_password: &str,
+    ) -> Result<(), SystemError> {
+        let msg = self
+            .browser(browser)?
+            .login_message(user_id, master_password);
+        self.send_from_browser(browser, msg)?;
+        self.expect_reply(browser, "LoginOk", |r| {
+            matches!(r, FromServer::LoginOk { .. }).then_some(())
+        })
+    }
+
+    /// Adds a managed website account.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server rejections.
+    pub fn add_account(
+        &mut self,
+        browser: &str,
+        username: Username,
+        domain: Domain,
+        policy: PasswordPolicy,
+    ) -> Result<(), SystemError> {
+        let msg = self
+            .browser(browser)?
+            .add_account_message(username, domain, policy)?;
+        self.send_from_browser(browser, msg)?;
+        self.expect_reply(browser, "AccountAdded", |r| {
+            matches!(r, FromServer::AccountAdded).then_some(())
+        })
+    }
+
+    /// Lists the logged-in user's managed accounts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server rejections.
+    pub fn list_accounts(&mut self, browser: &str) -> Result<Vec<AccountRef>, SystemError> {
+        let msg = self.browser(browser)?.list_accounts_message()?;
+        self.send_from_browser(browser, msg)?;
+        self.expect_reply(browser, "Accounts", |r| match r {
+            FromServer::Accounts { accounts } => Some(accounts.clone()),
+            _ => None,
+        })
+    }
+
+    /// Rotates an account's seed — changing its generated password.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server rejections.
+    pub fn rotate_seed(
+        &mut self,
+        browser: &str,
+        username: Username,
+        domain: Domain,
+    ) -> Result<(), SystemError> {
+        let msg = self
+            .browser(browser)?
+            .rotate_seed_message(username, domain)?;
+        self.send_from_browser(browser, msg)?;
+        self.expect_reply(browser, "SeedRotated", |r| {
+            matches!(r, FromServer::SeedRotated).then_some(())
+        })
+    }
+
+    /// Runs the full six-step generation flow and returns the password with
+    /// its measured latency. If the phone's policy is `Manual`, the pending
+    /// confirmation is accepted (the user taps "accept").
+    ///
+    /// # Errors
+    ///
+    /// Propagates rejections anywhere along the flow.
+    pub fn generate_password(
+        &mut self,
+        browser: &str,
+        phone: &str,
+        username: &Username,
+        domain: &Domain,
+    ) -> Result<GenerationOutcome, SystemError> {
+        let msg = self
+            .browser(browser)?
+            .request_password_message(username.clone(), domain.clone())?;
+        self.send_from_browser(browser, msg)?;
+
+        // Under the Manual policy the pump stalls at the confirmation; the
+        // simulated user now accepts.
+        let maybe_response = {
+            match self.phones.get_mut(phone) {
+                Some(agent) if !agent.pending_requests().is_empty() => Some(agent.confirm(0)?),
+                _ => None,
+            }
+        };
+        if let Some(response) = maybe_response {
+            self.net.advance(self.config.profile.token_compute);
+            self.send_token_from_phone(phone, response)?;
+            self.pump();
+        }
+
+        let (account, password, requested_at) =
+            self.expect_reply(browser, "PasswordReady", |r| match r {
+                FromServer::PasswordReady {
+                    account,
+                    password,
+                    requested_at,
+                } => Some((account.clone(), password.clone(), *requested_at)),
+                _ => None,
+            })?;
+        let latency = self
+            .generation_latencies
+            .last()
+            .copied()
+            .unwrap_or(SimDuration::ZERO);
+        let _ = requested_at;
+        Ok(GenerationOutcome {
+            account,
+            password,
+            latency,
+        })
+    }
+
+    /// [`generate_password`](Self::generate_password) with bounded retries
+    /// for lossy push delivery: mobile push is best-effort, and a dropped
+    /// push leaves the request pending forever, so real clients re-request.
+    /// Retries re-enter the full flow (a fresh `R` push).
+    ///
+    /// # Errors
+    ///
+    /// Returns the final attempt's error if all `attempts` fail.
+    pub fn generate_password_with_retry(
+        &mut self,
+        browser: &str,
+        phone: &str,
+        username: &Username,
+        domain: &Domain,
+        attempts: u32,
+    ) -> Result<GenerationOutcome, SystemError> {
+        let mut last_err = SystemError::MissingReply {
+            expected: "PasswordReady",
+        };
+        for _ in 0..attempts.max(1) {
+            match self.generate_password(browser, phone, username, domain) {
+                Ok(outcome) => return Ok(outcome),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Vault extension (§VIII): stores a user-chosen password for
+    /// `(username, domain)`. The phone round obtains the token that keys the
+    /// sealing; under the `Manual` policy the pending confirmation is
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rejections anywhere along the flow.
+    pub fn store_chosen_password(
+        &mut self,
+        browser: &str,
+        phone: &str,
+        username: Username,
+        domain: Domain,
+        chosen_password: &str,
+    ) -> Result<AccountRef, SystemError> {
+        let session = self
+            .browser(browser)?
+            .session()
+            .cloned()
+            .ok_or(SystemError::Browser(
+                amnesia_client::BrowserError::NotLoggedIn,
+            ))?;
+        let msg = ToServer::StoreChosenPassword {
+            session,
+            username,
+            domain,
+            chosen_password: chosen_password.to_string(),
+            reply_to: browser.into(),
+        };
+        self.send_from_browser(browser, msg)?;
+
+        let maybe_response = {
+            match self.phones.get_mut(phone) {
+                Some(agent) if !agent.pending_requests().is_empty() => Some(agent.confirm(0)?),
+                _ => None,
+            }
+        };
+        if let Some(response) = maybe_response {
+            self.net.advance(self.config.profile.token_compute);
+            self.send_token_from_phone(phone, response)?;
+            self.pump();
+        }
+        self.expect_reply(browser, "ChosenPasswordStored", |r| match r {
+            FromServer::ChosenPasswordStored { account } => Some(account.clone()),
+            _ => None,
+        })
+    }
+
+    /// Session-mechanism extension (§VIII): the user enables a generation
+    /// session on the phone; the grant travels to the server and subsequent
+    /// generations auto-confirm without phone interaction, up to `max_uses`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rejections anywhere along the flow.
+    pub fn enable_generation_session(
+        &mut self,
+        user_id: &str,
+        phone: &str,
+        browser: &str,
+        max_uses: u32,
+    ) -> Result<u32, SystemError> {
+        let grant = {
+            let agent =
+                self.phones
+                    .get_mut(phone)
+                    .ok_or_else(|| SystemError::UnknownComponent {
+                        endpoint: phone.into(),
+                    })?;
+            agent.grant_session(max_uses, &mut self.channel_rng)
+        };
+        let msg = ToServer::SessionGrant {
+            user_id: user_id.into(),
+            grant,
+            max_uses,
+            reply_to: browser.into(),
+        };
+        let bytes = msg.to_wire()?;
+        let sealed = self.seal(phone, SERVER_ENDPOINT, bytes);
+        self.net.send(phone, SERVER_ENDPOINT, sealed)?;
+        self.pump();
+        self.expect_reply(browser, "SessionGranted", |r| match r {
+            FromServer::SessionGranted { remaining_uses } => Some(*remaining_uses),
+            _ => None,
+        })
+    }
+
+    /// Phone-compromise recovery (§III-C1), end to end: downloads the cloud
+    /// backup, uploads it to the server, collects the regenerated old
+    /// passwords, purges the old phone at the rendezvous, installs and pairs
+    /// a replacement phone, and re-runs the cloud backup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rejections anywhere along the flow.
+    pub fn recover_phone(
+        &mut self,
+        user_id: &str,
+        master_password: &str,
+        browser: &str,
+        new_phone: &str,
+        new_phone_seed: u64,
+    ) -> Result<RecoveryOutcome, SystemError> {
+        // The user fetches their backup from the cloud provider…
+        let backup = AmnesiaPhone::download_backup_from_cloud(&mut self.cloud, user_id)?;
+
+        // …notes the to-be-purged registration, and uploads the backup.
+        let old_registration = self.server.user_record(user_id)?.registration_id.clone();
+
+        let msg = ToServer::RecoverPhone {
+            user_id: user_id.into(),
+            master_password: master_password.into(),
+            backup,
+            reply_to: browser.into(),
+        };
+        self.send_from_browser(browser, msg)?;
+        let credentials = self.expect_reply(browser, "PhoneRecovered", |r| match r {
+            FromServer::PhoneRecovered { credentials } => Some(credentials.clone()),
+            _ => None,
+        })?;
+
+        if let Some(reg) = old_registration {
+            self.gcm.unregister(&reg);
+        }
+
+        // Fresh install on the new phone, then the normal pairing flow.
+        self.add_phone(new_phone, new_phone_seed);
+        self.login(browser, user_id, master_password)?;
+        let msg = self.browser(browser)?.begin_pairing_message()?;
+        self.send_from_browser(browser, msg)?;
+        let captcha = self.expect_reply(browser, "PairingChallenge", |r| match r {
+            FromServer::PairingChallenge { captcha } => Some(captcha.clone()),
+            _ => None,
+        })?;
+        let (pid, registration_id) = {
+            let agent = self.phones.get_mut(new_phone).expect("just added");
+            let reg = agent.register_with_rendezvous(&mut self.gcm);
+            (agent.pid().clone(), reg)
+        };
+        let pairing = ToServer::CompletePhonePairing {
+            user_id: user_id.into(),
+            captcha,
+            pid,
+            registration_id,
+            reply_to: browser.into(),
+        };
+        let bytes = pairing.to_wire()?;
+        let sealed = self.seal(new_phone, SERVER_ENDPOINT, bytes);
+        self.net.send(new_phone, SERVER_ENDPOINT, sealed)?;
+        self.pump();
+        self.expect_reply(browser, "PhonePaired", |r| {
+            matches!(r, FromServer::PhonePaired).then_some(())
+        })?;
+        self.phones
+            .get(new_phone)
+            .expect("phone present")
+            .backup_to_cloud(&mut self.cloud, user_id)?;
+
+        Ok(RecoveryOutcome { credentials })
+    }
+
+    /// Master-password-compromise recovery (§III-C2): the phone proves
+    /// possession of `Pid` and the master password changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rejections anywhere along the flow.
+    pub fn change_master_password(
+        &mut self,
+        user_id: &str,
+        old_master_password: &str,
+        new_master_password: &str,
+        browser: &str,
+        phone: &str,
+    ) -> Result<(), SystemError> {
+        let pid = self
+            .phones
+            .get(phone)
+            .ok_or_else(|| SystemError::UnknownComponent {
+                endpoint: phone.into(),
+            })?
+            .pid()
+            .clone();
+        let msg = ToServer::ChangeMasterPassword {
+            user_id: user_id.into(),
+            old_master_password: old_master_password.into(),
+            pid,
+            new_master_password: new_master_password.into(),
+            reply_to: browser.into(),
+        };
+        let bytes = msg.to_wire()?;
+        let sealed = self.seal(phone, SERVER_ENDPOINT, bytes);
+        self.net.send(phone, SERVER_ENDPOINT, sealed)?;
+        self.pump();
+        self.expect_reply(browser, "MasterPasswordChanged", |r| {
+            matches!(r, FromServer::MasterPasswordChanged).then_some(())
+        })
+    }
+
+    // -- accessors -----------------------------------------------------------------
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The simulated network (attach wiretaps here).
+    pub fn net_mut(&mut self) -> &mut SimNet {
+        &mut self.net
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimInstant {
+        self.net.now()
+    }
+
+    /// The Amnesia server.
+    pub fn server(&self) -> &AmnesiaServer {
+        &self.server
+    }
+
+    /// Mutable access to the server (attack models, direct inspection).
+    pub fn server_mut(&mut self) -> &mut AmnesiaServer {
+        &mut self.server
+    }
+
+    /// The rendezvous service.
+    pub fn gcm_mut(&mut self) -> &mut RendezvousServer {
+        &mut self.gcm
+    }
+
+    /// The cloud provider.
+    pub fn cloud_mut(&mut self) -> &mut CloudProvider {
+        &mut self.cloud
+    }
+
+    /// A phone agent by endpoint name.
+    pub fn phone(&self, name: &str) -> Option<&AmnesiaPhone> {
+        self.phones.get(name)
+    }
+
+    /// Mutable phone access (confirmation policies, compromise models).
+    pub fn phone_mut(&mut self, name: &str) -> Option<&mut AmnesiaPhone> {
+        self.phones.get_mut(name)
+    }
+
+    /// A browser by endpoint name.
+    pub fn browser_ref(&self, name: &str) -> Option<&Browser> {
+        self.browsers.get(name)
+    }
+
+    /// Measured generation latencies, in completion order (the Figure 3
+    /// samples).
+    pub fn generation_latencies(&self) -> &[SimDuration] {
+        &self.generation_latencies
+    }
+
+    /// Dispatch faults recorded during pumping (dropped/rejected traffic).
+    pub fn faults(&self) -> &[String] {
+        &self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetProfile;
+    use amnesia_phone::ConfirmPolicy;
+
+    fn small() -> SystemConfig {
+        SystemConfig::default().with_table_size(64)
+    }
+
+    fn setup() -> (AmnesiaSystem, Username, Domain) {
+        let mut sys = AmnesiaSystem::new(small().with_seed(1));
+        sys.add_browser("browser");
+        sys.add_phone("phone", 11);
+        sys.setup_user("alice", "correct horse", "browser", "phone")
+            .unwrap();
+        let u = Username::new("Alice").unwrap();
+        let d = Domain::new("mail.google.com").unwrap();
+        sys.add_account("browser", u.clone(), d.clone(), PasswordPolicy::default())
+            .unwrap();
+        (sys, u, d)
+    }
+
+    #[test]
+    fn full_setup_and_generation() {
+        let (mut sys, u, d) = setup();
+        let outcome = sys.generate_password("browser", "phone", &u, &d).unwrap();
+        assert_eq!(outcome.password.as_str().len(), 32);
+        assert_eq!(outcome.account.username, u);
+        assert!(outcome.latency > SimDuration::ZERO);
+        assert!(sys.faults().is_empty(), "{:?}", sys.faults());
+
+        // Deterministic: a second generation yields the same password.
+        let again = sys.generate_password("browser", "phone", &u, &d).unwrap();
+        assert_eq!(outcome.password, again.password);
+    }
+
+    #[test]
+    fn generation_equals_logical_derivation() {
+        let (mut sys, u, d) = setup();
+        let outcome = sys.generate_password("browser", "phone", &u, &d).unwrap();
+        let record = sys.server().user_record("alice").unwrap();
+        let account = record.find_account(&u, &d).unwrap();
+        let expected = amnesia_core::derive_password(
+            &account.entry,
+            &record.oid,
+            sys.phone("phone").unwrap().entry_table(),
+            &account.policy,
+        )
+        .unwrap();
+        assert_eq!(outcome.password, expected);
+    }
+
+    #[test]
+    fn auto_confirm_policy_works_through_push_path() {
+        let (mut sys, u, d) = setup();
+        sys.phone_mut("phone")
+            .unwrap()
+            .set_confirm_policy(ConfirmPolicy::AutoConfirm);
+        let outcome = sys.generate_password("browser", "phone", &u, &d).unwrap();
+        assert_eq!(outcome.password.as_str().len(), 32);
+    }
+
+    #[test]
+    fn rejecting_user_blocks_generation() {
+        let (mut sys, u, d) = setup();
+        sys.phone_mut("phone")
+            .unwrap()
+            .set_confirm_policy(ConfirmPolicy::AutoReject);
+        let err = sys
+            .generate_password("browser", "phone", &u, &d)
+            .unwrap_err();
+        assert!(matches!(err, SystemError::MissingReply { .. }));
+    }
+
+    #[test]
+    fn seed_rotation_changes_password() {
+        let (mut sys, u, d) = setup();
+        let before = sys.generate_password("browser", "phone", &u, &d).unwrap();
+        sys.rotate_seed("browser", u.clone(), d.clone()).unwrap();
+        let after = sys.generate_password("browser", "phone", &u, &d).unwrap();
+        assert_ne!(before.password, after.password);
+    }
+
+    #[test]
+    fn list_accounts_flow() {
+        let (mut sys, u, d) = setup();
+        let accounts = sys.list_accounts("browser").unwrap();
+        assert_eq!(accounts.len(), 1);
+        assert_eq!(accounts[0].username, u);
+        assert_eq!(accounts[0].domain, d);
+    }
+
+    #[test]
+    fn phone_recovery_end_to_end() {
+        let (mut sys, u, d) = setup();
+        let before = sys.generate_password("browser", "phone", &u, &d).unwrap();
+
+        // The phone is stolen: remove it, recover onto a new device.
+        sys.remove_phone("phone");
+        let recovery = sys
+            .recover_phone("alice", "correct horse", "browser", "phone-2", 999)
+            .unwrap();
+        assert_eq!(recovery.credentials.len(), 1);
+        // The recovered (old) password matches what the user had.
+        assert_eq!(recovery.credentials[0].old_password, before.password);
+
+        // Generating with the new phone produces a *different* password
+        // (new entry table), restoring bilateral security.
+        let after = sys.generate_password("browser", "phone-2", &u, &d).unwrap();
+        assert_ne!(after.password, before.password);
+    }
+
+    #[test]
+    fn master_password_change_end_to_end() {
+        let (mut sys, _, _) = setup();
+        sys.change_master_password("alice", "correct horse", "new mp", "browser", "phone")
+            .unwrap();
+        // Old password no longer logs in; the new one does.
+        assert!(sys.login("browser", "alice", "correct horse").is_err());
+        sys.login("browser", "alice", "new mp").unwrap();
+    }
+
+    #[test]
+    fn wrong_master_password_rejected_over_wire() {
+        let mut sys = AmnesiaSystem::new(small().with_seed(2));
+        sys.add_browser("browser");
+        sys.add_phone("phone", 3);
+        sys.setup_user("bob", "mp", "browser", "phone").unwrap();
+        let err = sys.login("browser", "bob", "wrong").unwrap_err();
+        assert!(matches!(err, SystemError::ServerRejected { .. }));
+    }
+
+    #[test]
+    fn wiretap_on_https_sees_only_ciphertext() {
+        let mut sys = AmnesiaSystem::new(small().with_seed(3));
+        sys.add_browser("browser");
+        sys.add_phone("phone", 4);
+        let tap = sys.net_mut().tap("browser", SERVER_ENDPOINT);
+        sys.setup_user("carol", "super secret mp", "browser", "phone")
+            .unwrap();
+        assert!(!tap.is_empty());
+        for record in tap.records() {
+            assert!(
+                !record
+                    .payload
+                    .windows(b"super secret mp".len())
+                    .any(|w| w == b"super secret mp"),
+                "master password visible on the wire"
+            );
+        }
+    }
+
+    #[test]
+    fn insecure_channels_expose_plaintext() {
+        // Ablation: with secure_channels off the same tap sees the secret.
+        let mut sys = AmnesiaSystem::new(small().with_seed(4).with_secure_channels(false));
+        sys.add_browser("browser");
+        sys.add_phone("phone", 5);
+        let tap = sys.net_mut().tap("browser", SERVER_ENDPOINT);
+        sys.setup_user("dave", "super secret mp", "browser", "phone")
+            .unwrap();
+        let seen = tap.records().iter().any(|r| {
+            r.payload
+                .windows(b"super secret mp".len())
+                .any(|w| w == b"super secret mp")
+        });
+        assert!(seen, "plaintext should be visible without channel crypto");
+    }
+
+    #[test]
+    fn latency_accumulates_per_generation() {
+        let mut sys = AmnesiaSystem::new(small().with_seed(5).with_profile(NetProfile::wifi()));
+        sys.add_browser("browser");
+        sys.add_phone("phone", 6);
+        sys.setup_user("erin", "mp", "browser", "phone").unwrap();
+        let u = Username::new("erin").unwrap();
+        let d = Domain::new("site.com").unwrap();
+        sys.add_account("browser", u.clone(), d.clone(), PasswordPolicy::default())
+            .unwrap();
+        for _ in 0..5 {
+            sys.generate_password("browser", "phone", &u, &d).unwrap();
+        }
+        assert_eq!(sys.generation_latencies().len(), 5);
+        for l in sys.generation_latencies() {
+            // Plausible wifi-profile window.
+            let ms = l.as_millis_f64();
+            assert!((200.0..2000.0).contains(&ms), "latency {ms}ms");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Edge cases of the deployment's dispatch and configuration layer.
+
+use amnesia_core::{Domain, PasswordPolicy, Username};
+use amnesia_system::{AmnesiaSystem, NetProfile, SystemConfig, GCM_ENDPOINT, SERVER_ENDPOINT};
+
+fn base(seed: u64) -> AmnesiaSystem {
+    let mut sys = AmnesiaSystem::new(SystemConfig::default().with_seed(seed).with_table_size(64));
+    sys.add_browser("browser");
+    sys.add_phone("phone", seed + 1);
+    sys.setup_user("alice", "mp", "browser", "phone").unwrap();
+    sys
+}
+
+#[test]
+fn frames_to_a_removed_phone_become_faults_not_panics() {
+    let mut sys = base(1);
+    let u = Username::new("alice").unwrap();
+    let d = Domain::new("gone.example.com").unwrap();
+    sys.add_account("browser", u.clone(), d.clone(), PasswordPolicy::default())
+        .unwrap();
+
+    // The phone vanishes (powered off / stolen) but its endpoint and GCM
+    // registration remain — the push is delivered into the void.
+    sys.remove_phone("phone");
+    let err = sys
+        .generate_password("browser", "phone", &u, &d)
+        .unwrap_err();
+    // The flow fails cleanly with a missing-reply error…
+    assert!(err.to_string().contains("PasswordReady"), "{err}");
+    // …and the undeliverable push is recorded as a dispatch fault.
+    assert!(
+        sys.faults().iter().any(|f| f.contains("phone")),
+        "push to a dead endpoint must be recorded: {:?}",
+        sys.faults()
+    );
+}
+
+#[test]
+fn channel_key_export_unknown_pair_is_none() {
+    let sys = base(2);
+    assert!(sys
+        .export_channel_keys_for_attack_model("nonexistent", SERVER_ENDPOINT)
+        .is_none());
+    assert!(sys
+        .export_channel_keys_for_attack_model("browser", SERVER_ENDPOINT)
+        .is_some());
+    // The rendezvous legs deliberately have no channel (GCM must read the
+    // envelope) — there is nothing to export.
+    assert!(sys
+        .export_channel_keys_for_attack_model(SERVER_ENDPOINT, GCM_ENDPOINT)
+        .is_none());
+}
+
+#[test]
+fn flows_against_unknown_components_error_cleanly() {
+    let mut sys = base(3);
+    let u = Username::new("alice").unwrap();
+    let d = Domain::new("x.example.com").unwrap();
+    assert!(sys
+        .generate_password("no-such-browser", "phone", &u, &d)
+        .is_err());
+    assert!(sys
+        .enable_generation_session("alice", "no-such-phone", "browser", 1)
+        .is_err());
+    assert!(sys
+        .store_chosen_password("browser", "no-such-phone", u, d, "pw")
+        .is_err());
+}
+
+#[test]
+fn vault_store_requires_login() {
+    let mut sys = AmnesiaSystem::new(SystemConfig::default().with_seed(4).with_table_size(64));
+    sys.add_browser("fresh-browser");
+    sys.add_phone("phone", 5);
+    let err = sys
+        .store_chosen_password(
+            "fresh-browser",
+            "phone",
+            Username::new("alice").unwrap(),
+            Domain::new("d.example.com").unwrap(),
+            "pw",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("session"), "{err}");
+}
+
+#[test]
+#[should_panic(expected = "probability")]
+fn invalid_push_drop_probability_panics() {
+    let _ = NetProfile::lan().with_push_drop_probability(1.5);
+}
+
+#[test]
+fn outcome_debug_does_not_leak_nothing_useful() {
+    let mut sys = base(6);
+    let u = Username::new("alice").unwrap();
+    let d = Domain::new("dbg.example.com").unwrap();
+    sys.add_account("browser", u.clone(), d.clone(), PasswordPolicy::default())
+        .unwrap();
+    let outcome = sys.generate_password("browser", "phone", &u, &d).unwrap();
+    // GenerationOutcome's Debug goes through GeneratedPassword's redacted
+    // Debug — the password text must not appear.
+    let dbg = format!("{outcome:?}");
+    assert!(!dbg.contains(outcome.password.as_str()));
+    assert!(dbg.contains("GenerationOutcome"));
+}
+
+#[test]
+fn session_grant_for_unknown_user_rejected_over_wire() {
+    let mut sys = base(7);
+    let err = sys
+        .enable_generation_session("nobody", "phone", "browser", 3)
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown user"), "{err}");
+}
+
+#[test]
+fn system_debug_summarizes_topology() {
+    let sys = base(8);
+    let dbg = format!("{sys:?}");
+    assert!(dbg.contains("phone"));
+    assert!(dbg.contains("browser"));
+}

@@ -1,0 +1,41 @@
+//! Synthetic reproduction of the paper's user study (§VII).
+//!
+//! The original study recruited 31 Amazon Mechanical Turk workers who drove
+//! the real prototype through six tasks and answered a survey. Human
+//! subjects cannot ship in a library, so this crate substitutes a
+//! **pinned synthetic population**: 31 [`Participant`]s whose attributes
+//! exactly reproduce every marginal the paper reports (gender split, age
+//! statistics, hours online, account counts, the four Figure 4 habit
+//! histograms, and the §VII-C/D/E survey outcomes). The six tasks are then
+//! executed for real — each participant gets a browser and phone in a live
+//! [`AmnesiaSystem`](amnesia_system::AmnesiaSystem) and walks the full
+//! protocol, so the system-side behaviour (pairing, generation, dummy-site
+//! signup) is genuinely exercised rather than assumed.
+//!
+//! [`run_study`] produces a [`StudyReport`] whose render methods regenerate
+//! Figure 4(a–d) and the §VII statistics; [`entropy`] adds the
+//! security-comparison arithmetic behind "27 of 31 believe Amnesia
+//! increases password security".
+//!
+//! # Example
+//!
+//! ```
+//! let report = amnesia_userstudy::run_study(7).unwrap();
+//! assert_eq!(report.population.len(), 31);
+//! assert_eq!(report.completed_tasks, 31 * 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod entropy;
+pub mod population;
+pub mod survey;
+pub mod tasks;
+
+pub use population::{
+    AccountCountBucket, ChangeFrequency, CreationTechnique, Gender, HoursOnline, LengthBucket,
+    Participant, Population, ReuseFrequency,
+};
+pub use survey::SurveyTabulation;
+pub use tasks::{run_study, StudyReport, TaskOutcome};

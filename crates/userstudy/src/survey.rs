@@ -1,0 +1,324 @@
+//! Survey tabulation — regenerates Figure 4 and the §VII statistics.
+
+use crate::population::{
+    AccountCountBucket, ChangeFrequency, CreationTechnique, Gender, HoursOnline, LengthBucket,
+    Population, ReuseFrequency,
+};
+
+/// A labelled histogram (one Figure 4 subplot).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Subplot title, e.g. `"Password Reuse"`.
+    pub title: String,
+    /// `(category label, participant count)` in category order.
+    pub bars: Vec<(String, usize)>,
+}
+
+impl Histogram {
+    /// Total participants across the bars.
+    pub fn total(&self) -> usize {
+        self.bars.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Renders ASCII bars, one row per category.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        let width = self
+            .bars
+            .iter()
+            .map(|(label, _)| label.len())
+            .max()
+            .unwrap_or(0);
+        for (label, count) in &self.bars {
+            out.push_str(&format!(
+                "  {label:width$} | {:2} {}\n",
+                count,
+                "#".repeat(*count)
+            ));
+        }
+        out
+    }
+}
+
+/// The full tabulation of the study survey.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SurveyTabulation {
+    /// Figure 4(a): password reuse.
+    pub reuse: Histogram,
+    /// Figure 4(b): password length.
+    pub length: Histogram,
+    /// Figure 4(c): creation technique.
+    pub technique: Histogram,
+    /// Figure 4(d): change frequency.
+    pub change: Histogram,
+    /// Demographics: male count (of 31).
+    pub male: usize,
+    /// Demographics: female count.
+    pub female: usize,
+    /// Demographics: age mean and sample σ.
+    pub age_mean: f64,
+    /// Age standard deviation.
+    pub age_std: f64,
+    /// Hours-online histogram.
+    pub hours: Histogram,
+    /// Account-count histogram.
+    pub accounts: Histogram,
+    /// §VII-C: believe Amnesia increases security.
+    pub believes_more_secure: usize,
+    /// §VII-D: registration convenient.
+    pub registration_convenient: usize,
+    /// §VII-D: adding an account easy.
+    pub add_account_easy: usize,
+    /// §VII-D: generating a password easy.
+    pub generation_easy: usize,
+    /// §VII-E: prefer Amnesia overall.
+    pub prefers_amnesia: usize,
+    /// §VII-E: participants already using a password manager.
+    pub uses_password_manager: usize,
+    /// §VII-E: manager users who prefer Amnesia.
+    pub pm_users_preferring: usize,
+    /// §VII-E: non-manager users who prefer Amnesia.
+    pub non_pm_users_preferring: usize,
+}
+
+impl SurveyTabulation {
+    /// Tabulates a population.
+    pub fn from_population(population: &Population) -> Self {
+        use ReuseFrequency as RF;
+        let reuse = Histogram {
+            title: "Figure 4(a): Password Reuse".into(),
+            bars: [
+                ("Never", RF::Never),
+                ("Rarely", RF::Rarely),
+                ("Sometimes", RF::Sometimes),
+                ("Mostly", RF::Mostly),
+                ("Always", RF::Always),
+            ]
+            .into_iter()
+            .map(|(label, v)| (label.to_string(), population.count_where(|p| p.reuse == v)))
+            .collect(),
+        };
+        let length = Histogram {
+            title: "Figure 4(b): Password Length".into(),
+            bars: [
+                ("6~8", LengthBucket::L6To8),
+                ("9~11", LengthBucket::L9To11),
+                ("12~14", LengthBucket::L12To14),
+                ("14+", LengthBucket::L14Plus),
+            ]
+            .into_iter()
+            .map(|(label, v)| (label.to_string(), population.count_where(|p| p.length == v)))
+            .collect(),
+        };
+        let technique = Histogram {
+            title: "Figure 4(c): Password Creation Techniques".into(),
+            bars: [
+                ("Personal Info", CreationTechnique::PersonalInfo),
+                ("Mnemonic", CreationTechnique::Mnemonic),
+                ("Other", CreationTechnique::Other),
+            ]
+            .into_iter()
+            .map(|(label, v)| {
+                (
+                    label.to_string(),
+                    population.count_where(|p| p.technique == v),
+                )
+            })
+            .collect(),
+        };
+        use ChangeFrequency as CF;
+        let change = Histogram {
+            title: "Figure 4(d): Password Change Frequency".into(),
+            bars: [
+                ("Never", CF::Never),
+                ("Rarely", CF::Rarely),
+                ("Yearly", CF::Yearly),
+                ("Monthly", CF::Monthly),
+                ("Frequently", CF::Frequently),
+            ]
+            .into_iter()
+            .map(|(label, v)| (label.to_string(), population.count_where(|p| p.change == v)))
+            .collect(),
+        };
+        let hours = Histogram {
+            title: "Hours online per day".into(),
+            bars: [
+                ("1-4h", HoursOnline::H1To4),
+                ("4-8h", HoursOnline::H4To8),
+                ("8-12h", HoursOnline::H8To12),
+                ("12h+", HoursOnline::H12Plus),
+            ]
+            .into_iter()
+            .map(|(label, v)| {
+                (
+                    label.to_string(),
+                    population.count_where(|p| p.hours_online == v),
+                )
+            })
+            .collect(),
+        };
+        let accounts = Histogram {
+            title: "Unique online accounts".into(),
+            bars: [
+                ("<=10", AccountCountBucket::UpTo10),
+                ("11-20", AccountCountBucket::From11To20),
+            ]
+            .into_iter()
+            .map(|(label, v)| {
+                (
+                    label.to_string(),
+                    population.count_where(|p| p.accounts == v),
+                )
+            })
+            .collect(),
+        };
+        let (age_mean, age_std) = population.age_stats();
+        SurveyTabulation {
+            reuse,
+            length,
+            technique,
+            change,
+            male: population.count_where(|p| p.gender == Gender::Male),
+            female: population.count_where(|p| p.gender == Gender::Female),
+            age_mean,
+            age_std,
+            hours,
+            accounts,
+            believes_more_secure: population.count_where(|p| p.believes_more_secure),
+            registration_convenient: population.count_where(|p| p.registration_convenient),
+            add_account_easy: population.count_where(|p| p.add_account_easy),
+            generation_easy: population.count_where(|p| p.generation_easy),
+            prefers_amnesia: population.count_where(|p| p.prefers_amnesia),
+            uses_password_manager: population.count_where(|p| p.uses_password_manager),
+            pm_users_preferring: population
+                .count_where(|p| p.uses_password_manager && p.prefers_amnesia),
+            non_pm_users_preferring: population
+                .count_where(|p| !p.uses_password_manager && p.prefers_amnesia),
+        }
+    }
+
+    /// Percentage helper over the 31 participants.
+    fn pct(count: usize) -> f64 {
+        count as f64 * 100.0 / crate::population::PARTICIPANTS as f64
+    }
+
+    /// Renders all four Figure 4 subplots.
+    pub fn render_figure4(&self) -> String {
+        format!(
+            "{}\n{}\n{}\n{}",
+            self.reuse.render(),
+            self.length.render(),
+            self.technique.render(),
+            self.change.render()
+        )
+    }
+
+    /// Renders the §VII-B demographics block.
+    pub fn render_demographics(&self) -> String {
+        format!(
+            "Participants: 31 ({} male, {} female)\n\
+             Age: mean {:.2}, sd {:.2} (paper: 33.32, 9.92; range 20-61)\n\n{}\n{}",
+            self.male,
+            self.female,
+            self.age_mean,
+            self.age_std,
+            self.hours.render(),
+            self.accounts.render()
+        )
+    }
+
+    /// Renders the §VII-C/D/E statistics with percentages.
+    pub fn render_usability(&self) -> String {
+        format!(
+            "Believe Amnesia increases password security: {}/31 ({:.1}%)\n\
+             Registration convenient:                     {}/31 ({:.1}%)\n\
+             Adding an account easy:                      {}/31 ({:.1}%)\n\
+             Generating a password easy:                  {}/31 ({:.1}%)\n\
+             Prefer Amnesia over current method:          {}/31 ({:.1}%)\n\
+             - of {} password-manager users:              {} prefer\n\
+             - of {} non-manager users:                   {} prefer\n",
+            self.believes_more_secure,
+            Self::pct(self.believes_more_secure),
+            self.registration_convenient,
+            Self::pct(self.registration_convenient),
+            self.add_account_easy,
+            Self::pct(self.add_account_easy),
+            self.generation_easy,
+            Self::pct(self.generation_easy),
+            self.prefers_amnesia,
+            Self::pct(self.prefers_amnesia),
+            self.uses_password_manager,
+            self.pm_users_preferring,
+            31 - self.uses_password_manager,
+            self.non_pm_users_preferring,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tab() -> SurveyTabulation {
+        SurveyTabulation::from_population(&Population::generate(1))
+    }
+
+    #[test]
+    fn every_histogram_sums_to_31() {
+        let t = tab();
+        for h in [
+            &t.reuse,
+            &t.length,
+            &t.technique,
+            &t.change,
+            &t.hours,
+            &t.accounts,
+        ] {
+            assert_eq!(h.total(), 31, "{}", h.title);
+        }
+    }
+
+    #[test]
+    fn paper_percentages_reproduce() {
+        let t = tab();
+        // 24/31 = 77.4%, 26/31 = 83.8%, 22/31 = 70.9% — the §VII figures.
+        assert_eq!(t.registration_convenient, 24);
+        assert!((SurveyTabulation::pct(24) - 77.4).abs() < 0.1);
+        assert_eq!(t.add_account_easy, 26);
+        assert!((SurveyTabulation::pct(26) - 83.8).abs() < 0.1);
+        assert_eq!(t.prefers_amnesia, 22);
+        assert!((SurveyTabulation::pct(22) - 70.9).abs() < 0.1);
+    }
+
+    #[test]
+    fn renders_contain_labels_and_counts() {
+        let t = tab();
+        let fig4 = t.render_figure4();
+        for label in [
+            "Password Reuse",
+            "Sometimes",
+            "6~8",
+            "Personal Info",
+            "Yearly",
+        ] {
+            assert!(fig4.contains(label), "missing {label}");
+        }
+        let usability = t.render_usability();
+        assert!(usability.contains("77.4%"));
+        assert!(usability.contains("83.9%")); // 26/31 = 83.87% (the paper rounds it to 83.8%)
+        assert!(usability.contains("71.0%")); // 22/31 = 70.97% (the paper rounds it to 70.9%)
+        let demo = t.render_demographics();
+        assert!(demo.contains("21 male"));
+    }
+
+    #[test]
+    fn histogram_render_bars_scale_with_count() {
+        let h = Histogram {
+            title: "t".into(),
+            bars: vec![("a".into(), 3), ("b".into(), 0)],
+        };
+        let text = h.render();
+        assert!(text.contains("###"));
+        assert_eq!(h.total(), 3);
+    }
+}

@@ -1,0 +1,201 @@
+//! The six study tasks (§VII-A), executed against the real system.
+//!
+//! "The users are required to perform a number of tasks ...:
+//!  1) Create an Amnesia account
+//!  2) Download and register the Android application
+//!  3) Create an account on Amnesia for the dummy website
+//!  4) Generate a password for the dummy website
+//!  5) Create an account on the dummy website using the generated password
+//!  6) Post a comment on the dummy website containing the generated
+//!     password."
+
+use crate::population::{Participant, Population};
+use crate::survey::SurveyTabulation;
+use amnesia_client::{DummyWebsite, SitePolicy};
+use amnesia_core::{Domain, PasswordPolicy, Username};
+use amnesia_system::{AmnesiaSystem, SystemConfig, SystemError};
+
+/// The dummy website's domain in the study deployment.
+pub const DUMMY_DOMAIN: &str = "dummy.study.example";
+
+/// Per-participant record of the six tasks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskOutcome {
+    /// Participant id.
+    pub participant: usize,
+    /// Task 1–2: Amnesia account created and application registered/paired.
+    pub setup_ok: bool,
+    /// Task 3: dummy-site account added to Amnesia.
+    pub account_added: bool,
+    /// Task 4: password generated.
+    pub password_generated: bool,
+    /// Task 5: dummy-website signup with the generated password succeeded.
+    pub website_signup_ok: bool,
+    /// Task 6: comment containing the password posted.
+    pub comment_posted: bool,
+    /// Measured generation latency (ms) for task 4.
+    pub generation_latency_ms: f64,
+}
+
+impl TaskOutcome {
+    /// Number of the six tasks completed (tasks 1–2 count as two).
+    pub fn completed(&self) -> usize {
+        [
+            self.setup_ok,
+            self.setup_ok,
+            self.account_added,
+            self.password_generated,
+            self.website_signup_ok,
+            self.comment_posted,
+        ]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+    }
+}
+
+/// The complete study output.
+#[derive(Debug)]
+pub struct StudyReport {
+    /// The pinned synthetic population.
+    pub population: Population,
+    /// Per-participant task results, in id order.
+    pub outcomes: Vec<TaskOutcome>,
+    /// The survey tabulation (Figure 4 + §VII statistics).
+    pub tabulation: SurveyTabulation,
+    /// Total tasks completed across all participants (31 × 6 when all
+    /// succeed).
+    pub completed_tasks: usize,
+    /// Comments posted on the dummy website (task 6 artifacts).
+    pub website_comments: usize,
+    /// Mean generation latency across participants (ms).
+    pub mean_generation_latency_ms: f64,
+}
+
+fn participant_username(p: &Participant) -> String {
+    format!("participant{:02}", p.id)
+}
+
+/// Runs the full study: builds one deployment, walks all 31 participants
+/// through the six tasks, and tabulates the survey.
+///
+/// The deployment uses the idealized LAN profile — task *feasibility* is
+/// what the study measures here; latency distributions are the Figure 3
+/// experiment's job.
+///
+/// # Errors
+///
+/// Propagates any system failure (none are expected; a failure indicates a
+/// harness bug rather than a participant drop-out).
+pub fn run_study(seed: u64) -> Result<StudyReport, SystemError> {
+    let population = Population::generate(seed);
+    let mut system = AmnesiaSystem::new(
+        SystemConfig::default()
+            .with_seed(seed)
+            // A smaller per-phone table keeps the 31-phone study fast; the
+            // scheme is size-independent and Figure 3 uses the full 5000.
+            .with_table_size(512),
+    );
+    let mut website = DummyWebsite::new(DUMMY_DOMAIN, SitePolicy::permissive(), seed);
+
+    let mut outcomes = Vec::with_capacity(population.len());
+    for participant in &population {
+        let user = participant_username(participant);
+        let browser = format!("{user}-browser");
+        let phone = format!("{user}-phone");
+        system.add_browser(&browser);
+        system.add_phone(&phone, seed ^ (participant.id as u64) << 8);
+
+        // Tasks 1–2: Amnesia account + application registration/pairing.
+        let master_password = format!("{user} master passphrase");
+        system.setup_user(&user, &master_password, &browser, &phone)?;
+        let setup_ok = true;
+
+        // Task 3: add the dummy-site account.
+        let username = Username::new(user.clone()).expect("valid");
+        let domain = Domain::new(DUMMY_DOMAIN).expect("valid");
+        system.add_account(
+            &browser,
+            username.clone(),
+            domain.clone(),
+            PasswordPolicy::default(),
+        )?;
+        let account_added = true;
+
+        // Task 4: generate the password.
+        let generation = system.generate_password(&browser, &phone, &username, &domain)?;
+        let password_generated = true;
+
+        // Task 5: sign up on the dummy website with the generated password.
+        let website_signup_ok = website.signup(&user, generation.password.as_str()).is_ok();
+
+        // Task 6: post a comment containing the generated password.
+        let comment_posted = website
+            .post_comment(
+                &user,
+                generation.password.as_str(),
+                &format!("my generated password is {}", generation.password),
+            )
+            .is_ok();
+
+        outcomes.push(TaskOutcome {
+            participant: participant.id,
+            setup_ok,
+            account_added,
+            password_generated,
+            website_signup_ok,
+            comment_posted,
+            generation_latency_ms: generation.latency.as_millis_f64(),
+        });
+    }
+
+    let completed_tasks = outcomes.iter().map(TaskOutcome::completed).sum();
+    let website_comments = website.comments().len();
+    let mean_generation_latency_ms = outcomes
+        .iter()
+        .map(|o| o.generation_latency_ms)
+        .sum::<f64>()
+        / outcomes.len().max(1) as f64;
+    let tabulation = SurveyTabulation::from_population(&population);
+
+    Ok(StudyReport {
+        population,
+        outcomes,
+        tabulation,
+        completed_tasks,
+        website_comments,
+        mean_generation_latency_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_participants_complete_all_tasks() {
+        let report = run_study(11).unwrap();
+        assert_eq!(report.outcomes.len(), 31);
+        assert_eq!(report.completed_tasks, 31 * 6);
+        assert_eq!(report.website_comments, 31);
+        for o in &report.outcomes {
+            assert_eq!(o.completed(), 6, "participant {}", o.participant);
+            assert!(o.generation_latency_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn tabulation_comes_from_the_same_population() {
+        let report = run_study(12).unwrap();
+        assert_eq!(report.tabulation.prefers_amnesia, 22);
+        assert_eq!(report.population.len(), 31);
+    }
+
+    #[test]
+    fn study_is_deterministic_per_seed() {
+        let a = run_study(13).unwrap();
+        let b = run_study(13).unwrap();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.mean_generation_latency_ms, b.mean_generation_latency_ms);
+    }
+}

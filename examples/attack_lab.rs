@@ -1,0 +1,28 @@
+//! Attack lab: executes the paper's §IV security analysis against live
+//! deployments — both single-surface attacks (which must fail) and the
+//! two-factor combinations (which define the security boundary).
+//!
+//! ```sh
+//! cargo run --example attack_lab
+//! ```
+
+use amnesia::attacks::{guessing::GuessingReport, run_all};
+
+fn main() {
+    println!("Amnesia attack lab — every §IV vector, executed\n");
+    let reports = run_all(0xDEAD);
+    for report in &reports {
+        print!("{}", report.render());
+        println!();
+    }
+
+    let breaches = reports.iter().filter(|r| r.success).count();
+    println!(
+        "summary: {breaches}/{} vectors yield passwords — exactly the two-factor \
+         combinations plus a broken browser-side HTTPS session",
+        reports.len()
+    );
+    println!("\nwhy brute force fails (paper §IV-C/§IV-E):");
+    println!("  {}", GuessingReport::token_guessing().summary());
+    println!("  {}", GuessingReport::server_secret_guessing().summary());
+}

@@ -1,0 +1,63 @@
+//! Multi-computer access (paper §I: "a user can have access to the password
+//! manager on multiple computers without installing any software on those
+//! computers"): the same user generates from a home laptop and an office
+//! desktop; only the one paired phone authorizes both.
+//!
+//! ```sh
+//! cargo run --example multi_device
+//! ```
+
+use amnesia::core::{Domain, PasswordPolicy, Username};
+use amnesia::phone::ConfirmPolicy;
+use amnesia::system::{AmnesiaSystem, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut system = AmnesiaSystem::new(SystemConfig::default().with_seed(8));
+    system.add_browser("home-laptop");
+    system.add_browser("office-desktop");
+    system.add_phone("phone", 80);
+    system.setup_user("dana", "master password", "home-laptop", "phone")?;
+
+    let username = Username::new("dana")?;
+    let domain = Domain::new("intranet.example.com")?;
+    system.add_account(
+        "home-laptop",
+        username.clone(),
+        domain.clone(),
+        PasswordPolicy::default(),
+    )?;
+
+    // From home: the phone prompts and Dana confirms.
+    let from_home = system.generate_password("home-laptop", "phone", &username, &domain)?;
+    println!(
+        "home laptop    : {} ({} confirmations so far)",
+        from_home.password,
+        system.phone("phone").unwrap().tokens_computed()
+    );
+
+    // At the office: log in with just the master password — no software to
+    // install, no secrets on the desktop.
+    system.login("office-desktop", "dana", "master password")?;
+    let accounts = system.list_accounts("office-desktop")?;
+    println!(
+        "office desktop : sees {} managed account(s) after plain web login",
+        accounts.len()
+    );
+
+    let from_office = system.generate_password("office-desktop", "phone", &username, &domain)?;
+    println!("office desktop : {}", from_office.password);
+    assert_eq!(from_home.password, from_office.password);
+    println!("same password from both computers; every generation touched the phone");
+
+    // A thief with the desktop alone gets nothing: the phone's owner
+    // rejects the unsolicited request.
+    system
+        .phone_mut("phone")
+        .unwrap()
+        .set_confirm_policy(ConfirmPolicy::AutoReject);
+    match system.generate_password("office-desktop", "phone", &username, &domain) {
+        Err(_) => println!("with the user rejecting on the phone, the desktop session is useless"),
+        Ok(_) => unreachable!("rejected confirmations cannot produce passwords"),
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Policy adaptation (§III-B4): websites impose wildly different password
+//! rules; Amnesia adapts by narrowing the character table and length per
+//! account. This example enrolls one user on three sites with conflicting
+//! policies and shows every generated password passing its site's checks.
+//!
+//! ```sh
+//! cargo run --example policy_adaptation
+//! ```
+
+use amnesia::client::{DummyWebsite, SitePolicy};
+use amnesia::core::{CharClass, Domain, Username};
+use amnesia::system::{AmnesiaSystem, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut system = AmnesiaSystem::new(SystemConfig::default().with_seed(3));
+    system.add_browser("browser");
+    system.add_phone("phone", 30);
+    system.setup_user("carol", "master password", "browser", "phone")?;
+
+    // Three sites, three conflicting password policies.
+    let sites: Vec<(&str, SitePolicy)> = vec![
+        (
+            "bank.example.com",
+            SitePolicy::new(8, 12)
+                .forbid(CharClass::Special)
+                .require(CharClass::Digit),
+        ),
+        (
+            "legacy.example.com",
+            SitePolicy::new(6, 8)
+                .forbid(CharClass::Special)
+                .forbid(CharClass::Upper),
+        ),
+        ("modern.example.com", SitePolicy::new(12, 128)),
+    ];
+
+    let username = Username::new("carol")?;
+    for (domain_str, site_policy) in &sites {
+        let domain = Domain::new(*domain_str)?;
+        // The Amnesia-side template policy is derived from the site's rules.
+        let amnesia_policy = site_policy.to_amnesia_policy()?;
+        system.add_account(
+            "browser",
+            username.clone(),
+            domain.clone(),
+            amnesia_policy.clone(),
+        )?;
+
+        let outcome = system.generate_password("browser", "phone", &username, &domain)?;
+        let password = outcome.password.as_str();
+
+        let mut website = DummyWebsite::new(*domain_str, site_policy.clone(), 77);
+        match website.signup("carol", password) {
+            Ok(()) => println!(
+                "{domain_str:<22} len={:2} charset={:2} -> {password}  [accepted]",
+                amnesia_policy.length(),
+                amnesia_policy.charset().len(),
+            ),
+            Err(e) => println!("{domain_str:<22} REJECTED: {e}"),
+        }
+        println!(
+            "{:<22} password space: {} combinations",
+            "",
+            amnesia::core::analysis::password_space(&amnesia_policy).scientific()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,237 @@
+//! Interactive (and pipeable) demo shell driving a full Amnesia deployment.
+//!
+//! ```sh
+//! cargo run --bin amnesia-demo
+//! # or scripted:
+//! printf 'setup alice secret\nadd alice mail.google.com\ngen alice mail.google.com\nquit\n' \
+//!   | cargo run --bin amnesia-demo
+//! ```
+
+use amnesia::core::{Domain, PasswordPolicy, Username};
+use amnesia::system::{AmnesiaSystem, SystemConfig};
+use std::io::{self, BufRead, Write};
+
+const BROWSER: &str = "browser";
+const PHONE: &str = "phone";
+
+struct Shell {
+    system: AmnesiaSystem,
+    user: Option<(String, String)>, // (user_id, master password)
+    phone_generation: u64,
+    current_phone: String,
+}
+
+impl Shell {
+    fn new(seed: u64) -> Self {
+        let mut system = AmnesiaSystem::new(SystemConfig::default().with_seed(seed));
+        system.add_browser(BROWSER);
+        system.add_phone(PHONE, seed ^ 0x5a5a);
+        Shell {
+            system,
+            user: None,
+            phone_generation: 0,
+            current_phone: PHONE.to_string(),
+        }
+    }
+
+    fn account(&self, username: &str, domain: &str) -> Result<(Username, Domain), String> {
+        Ok((
+            Username::new(username).map_err(|e| e.to_string())?,
+            Domain::new(domain).map_err(|e| e.to_string())?,
+        ))
+    }
+
+    fn require_user(&self) -> Result<(String, String), String> {
+        self.user
+            .clone()
+            .ok_or_else(|| "no user: run `setup <user> <mp>` first".into())
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<Option<String>, String> {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [] | ["#", ..] => Ok(None),
+            ["help"] => Ok(Some(HELP.trim().to_string())),
+            ["quit"] | ["exit"] => Err("__quit__".into()),
+
+            ["setup", user, mp] => {
+                self.system
+                    .setup_user(user, mp, BROWSER, &self.current_phone)
+                    .map_err(|e| e.to_string())?;
+                self.user = Some((user.to_string(), mp.to_string()));
+                Ok(Some(format!(
+                    "registered {user}, phone paired via captcha, Kp backed up to the cloud"
+                )))
+            }
+            ["login", user, mp] => {
+                self.system
+                    .login(BROWSER, user, mp)
+                    .map_err(|e| e.to_string())?;
+                self.user = Some((user.to_string(), mp.to_string()));
+                Ok(Some(format!("logged in as {user}")))
+            }
+            ["add", username, domain] => {
+                let (u, d) = self.account(username, domain)?;
+                self.system
+                    .add_account(BROWSER, u, d, PasswordPolicy::default())
+                    .map_err(|e| e.to_string())?;
+                Ok(Some(format!("managing {username}@{domain}")))
+            }
+            ["gen", username, domain] => {
+                let (u, d) = self.account(username, domain)?;
+                let phone = self.current_phone.clone();
+                let outcome = self
+                    .system
+                    .generate_password(BROWSER, &phone, &u, &d)
+                    .map_err(|e| e.to_string())?;
+                Ok(Some(format!(
+                    "{}  ({} end-to-end)",
+                    outcome.password, outcome.latency
+                )))
+            }
+            ["vault", username, domain, password] => {
+                let (u, d) = self.account(username, domain)?;
+                let phone = self.current_phone.clone();
+                self.system
+                    .store_chosen_password(BROWSER, &phone, u, d, password)
+                    .map_err(|e| e.to_string())?;
+                Ok(Some(
+                    "chosen password sealed under the bilateral key".into(),
+                ))
+            }
+            ["session", uses] => {
+                let uses: u32 = uses
+                    .parse()
+                    .map_err(|_| "uses must be a number".to_string())?;
+                let (user, _) = self.require_user()?;
+                let phone = self.current_phone.clone();
+                let granted = self
+                    .system
+                    .enable_generation_session(&user, &phone, BROWSER, uses)
+                    .map_err(|e| e.to_string())?;
+                Ok(Some(format!(
+                    "session active: {granted} auto-confirmed generations"
+                )))
+            }
+            ["list"] => {
+                let accounts = self
+                    .system
+                    .list_accounts(BROWSER)
+                    .map_err(|e| e.to_string())?;
+                let mut out = format!("{} account(s):\n", accounts.len());
+                for a in accounts {
+                    out.push_str(&format!("  {a}\n"));
+                }
+                Ok(Some(out.trim_end().to_string()))
+            }
+            ["rotate", username, domain] => {
+                let (u, d) = self.account(username, domain)?;
+                self.system
+                    .rotate_seed(BROWSER, u, d)
+                    .map_err(|e| e.to_string())?;
+                Ok(Some(
+                    "seed rotated: the account now generates a new password".into(),
+                ))
+            }
+            ["recover"] => {
+                let (user, mp) = self.require_user()?;
+                let old_phone = self.current_phone.clone();
+                self.system.remove_phone(&old_phone);
+                self.phone_generation += 1;
+                let new_phone = format!("{PHONE}-{}", self.phone_generation);
+                let outcome = self
+                    .system
+                    .recover_phone(
+                        &user,
+                        &mp,
+                        BROWSER,
+                        &new_phone,
+                        0x9e + self.phone_generation,
+                    )
+                    .map_err(|e| e.to_string())?;
+                self.current_phone = new_phone.clone();
+                let mut out = format!(
+                    "recovered onto {new_phone}; reset these old passwords on their sites:\n"
+                );
+                for c in outcome.credentials {
+                    out.push_str(&format!(
+                        "  {}@{} -> {}\n",
+                        c.username, c.domain, c.old_password
+                    ));
+                }
+                Ok(Some(out.trim_end().to_string()))
+            }
+            ["chpass", old_mp, new_mp] => {
+                let (user, _) = self.require_user()?;
+                let phone = self.current_phone.clone();
+                self.system
+                    .change_master_password(&user, old_mp, new_mp, BROWSER, &phone)
+                    .map_err(|e| e.to_string())?;
+                self.user = Some((user, new_mp.to_string()));
+                Ok(Some(
+                    "master password changed (phone Pid served as proof)".into(),
+                ))
+            }
+            ["tablei"] => {
+                let (user, _) = self.require_user()?;
+                let record = self
+                    .system
+                    .server()
+                    .user_record(&user)
+                    .map_err(|e| e.to_string())?;
+                Ok(Some(record.render_table_i()))
+            }
+            other => Err(format!("unknown command {:?}; try `help`", other.join(" "))),
+        }
+    }
+}
+
+const HELP: &str = r#"
+commands:
+  setup <user> <mp>              register + pair phone + cloud backup
+  login <user> <mp>              log the browser in
+  add <username> <domain>        manage a website account
+  gen <username> <domain>        generate its password (phone confirms)
+  vault <u> <d> <password>       store a chosen password (sealed)
+  session <uses>                 enable N auto-confirmed generations
+  list                           list managed accounts
+  rotate <username> <domain>     change an account's generated password
+  recover                        lost phone: recover onto a new device
+  chpass <old-mp> <new-mp>       rotate the master password
+  tablei                         show the server's data at rest (Table I)
+  help | quit
+"#;
+
+fn main() {
+    let mut shell = Shell::new(0xDE40);
+    let stdin = io::stdin();
+    let interactive = atty_stdin();
+    if interactive {
+        println!("amnesia-demo — type `help` for commands");
+    }
+    loop {
+        if interactive {
+            print!("amnesia> ");
+            io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        match shell.dispatch(line.trim()) {
+            Ok(None) => {}
+            Ok(Some(output)) => println!("{output}"),
+            Err(e) if e == "__quit__" => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+/// Minimal TTY check without adding a dependency: assume non-interactive
+/// when the `AMNESIA_DEMO_BATCH` env var is set, interactive otherwise.
+/// (Piped usage works either way; the prompt just goes to stdout.)
+fn atty_stdin() -> bool {
+    std::env::var_os("AMNESIA_DEMO_BATCH").is_none()
+}

