@@ -5,13 +5,12 @@ use amnesia_core::{
 };
 use amnesia_crypto::{aead, pbkdf2_hmac_sha256, SecretRng};
 use amnesia_store::codec;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
 /// One stored website credential (retrieval managers store these verbatim;
 /// Amnesia stores none).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SiteCredential {
     /// Website identifier.
     pub site: String,
@@ -20,6 +19,7 @@ pub struct SiteCredential {
     /// The password itself.
     pub password: String,
 }
+amnesia_store::record_struct! { SiteCredential { site, username, password } }
 
 /// Errors from the baseline managers.
 #[derive(Clone, Debug, PartialEq, Eq)]

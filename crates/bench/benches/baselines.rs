@@ -6,8 +6,8 @@ use amnesia_baselines::{
     CloudVaultManager, DualPossessionManager, GenerativeBilateralManager, LocalVaultManager,
     SiteCredential,
 };
+use amnesia_bench::timing::Harness;
 use amnesia_crypto::SecretRng;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn credential(i: usize) -> SiteCredential {
@@ -18,75 +18,78 @@ fn credential(i: usize) -> SiteCredential {
     }
 }
 
-fn bench_add_cost_by_vault_size(c: &mut Criterion) {
-    let mut group = c.benchmark_group("manager_add_at_size");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new("baselines");
+
+    h.sample_size(20);
     for size in [10usize, 100, 1000] {
-        group.bench_with_input(BenchmarkId::new("local_vault", size), &size, |b, &size| {
+        {
             let mut m = LocalVaultManager::new("mp", 10, SecretRng::seeded(1));
             for i in 0..size {
                 m.add("mp", credential(i)).unwrap();
             }
-            b.iter(|| m.add("mp", black_box(credential(size))).unwrap())
-        });
-        group.bench_with_input(
-            BenchmarkId::new("amnesia_generative", size),
-            &size,
-            |b, &size| {
-                let mut m = GenerativeBilateralManager::new(SecretRng::seeded(2), 256);
-                let mut rng = SecretRng::seeded(3);
-                for i in 0..size {
-                    m.add(&format!("site{i}.example.com"), "alice", &mut rng)
-                        .unwrap();
-                }
-                let mut n = size;
-                b.iter(|| {
+            h.bench(&format!("manager_add_at_size/local_vault/{size}"), || {
+                m.add("mp", black_box(credential(size))).unwrap()
+            });
+        }
+        {
+            let mut m = GenerativeBilateralManager::new(SecretRng::seeded(2), 256);
+            let mut rng = SecretRng::seeded(3);
+            for i in 0..size {
+                m.add(&format!("site{i}.example.com"), "alice", &mut rng)
+                    .unwrap();
+            }
+            let mut n = size;
+            h.bench(
+                &format!("manager_add_at_size/amnesia_generative/{size}"),
+                || {
                     n += 1;
                     m.add(&format!("site{n}.example.com"), "alice", &mut rng)
                         .unwrap()
-                })
-            },
-        );
+                },
+            );
+        }
     }
-    group.finish();
-}
 
-fn bench_retrieve_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("manager_retrieve_100");
     const N: usize = 100;
-
-    group.bench_function("local_vault", |b| {
+    {
         let mut m = LocalVaultManager::new("mp", 10, SecretRng::seeded(4));
         for i in 0..N {
             m.add("mp", credential(i)).unwrap();
         }
-        b.iter(|| m.retrieve("mp", black_box("site50.example.com")).unwrap())
-    });
-    group.bench_function("cloud_vault", |b| {
+        h.bench("manager_retrieve_100/local_vault", || {
+            m.retrieve("mp", black_box("site50.example.com")).unwrap()
+        });
+    }
+    {
         let mut m = CloudVaultManager::new("mp", 10, SecretRng::seeded(5));
         for i in 0..N {
             m.add("mp", credential(i)).unwrap();
         }
-        b.iter(|| m.retrieve("mp", black_box("site50.example.com")).unwrap())
-    });
-    group.bench_function("dual_possession", |b| {
+        h.bench("manager_retrieve_100/cloud_vault", || {
+            m.retrieve("mp", black_box("site50.example.com")).unwrap()
+        });
+    }
+    {
         let mut m = DualPossessionManager::new(SecretRng::seeded(6));
         for i in 0..N {
             m.add(credential(i)).unwrap();
         }
-        b.iter(|| m.retrieve(black_box("site50.example.com")).unwrap())
-    });
-    group.bench_function("amnesia_generative", |b| {
+        h.bench("manager_retrieve_100/dual_possession", || {
+            m.retrieve(black_box("site50.example.com")).unwrap()
+        });
+    }
+    {
         let mut m = GenerativeBilateralManager::new(SecretRng::seeded(7), 5000);
         let mut rng = SecretRng::seeded(8);
         for i in 0..N {
             m.add(&format!("site{i}.example.com"), "alice", &mut rng)
                 .unwrap();
         }
-        b.iter(|| m.retrieve(black_box("site50.example.com")).unwrap())
-    });
-    group.finish();
-}
+        h.bench("manager_retrieve_100/amnesia_generative", || {
+            m.retrieve(black_box("site50.example.com")).unwrap()
+        });
+    }
 
-criterion_group!(benches, bench_add_cost_by_vault_size, bench_retrieve_cost);
-criterion_main!(benches);
+    h.finish();
+}

@@ -2,47 +2,33 @@
 //! potential bottleneck; these benches quantify every primitive on the
 //! generation path.
 
+use amnesia_bench::timing::Harness;
 use amnesia_crypto::{hmac_sha256, pbkdf2_hmac_sha256, sha256, sha512};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_hashes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hash");
+fn main() {
+    let mut h = Harness::new("crypto");
+
     for size in [64usize, 512, 4096] {
         let data = vec![0xabu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
-            b.iter(|| sha256(black_box(d)))
-        });
-        group.bench_with_input(BenchmarkId::new("sha512", size), &data, |b, d| {
-            b.iter(|| sha512(black_box(d)))
-        });
+        h.bench(&format!("hash/sha256/{size}"), || sha256(black_box(&data)));
+        h.bench(&format!("hash/sha512/{size}"), || sha512(black_box(&data)));
     }
-    group.finish();
-}
 
-fn bench_hmac(c: &mut Criterion) {
     let key = [7u8; 32];
     let msg = [1u8; 256];
-    c.bench_function("hmac_sha256_256B", |b| {
-        b.iter(|| hmac_sha256(black_box(&key), black_box(&msg)))
+    h.bench("hmac_sha256_256B", || {
+        hmac_sha256(black_box(&key), black_box(&msg))
     });
-}
 
-fn bench_pbkdf2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pbkdf2");
-    group.sample_size(20);
+    h.sample_size(20);
     for iters in [1u32, 1000] {
-        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &i| {
-            b.iter(|| {
-                let mut out = [0u8; 32];
-                pbkdf2_hmac_sha256(black_box(b"master password"), b"salt", i, &mut out);
-                out
-            })
+        h.bench(&format!("pbkdf2/{iters}"), || {
+            let mut out = [0u8; 32];
+            pbkdf2_hmac_sha256(black_box(b"master password"), b"salt", iters, &mut out);
+            out
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_hashes, bench_hmac, bench_pbkdf2);
-criterion_main!(benches);
+    h.finish();
+}

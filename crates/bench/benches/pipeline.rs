@@ -1,12 +1,12 @@
 //! The generative pipeline, stage by stage, plus the entry-table-size and
 //! password-policy ablations DESIGN.md calls out.
 
+use amnesia_bench::timing::Harness;
 use amnesia_core::{
     derive_intermediate, derive_password, AccountEntry, CharClass, CharacterTable, Domain,
     EntryTable, OnlineId, PasswordPolicy, PasswordRequest, Seed, Username,
 };
 use amnesia_crypto::SecretRng;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn fixture() -> (AccountEntry, OnlineId) {
@@ -21,53 +21,40 @@ fn fixture() -> (AccountEntry, OnlineId) {
     )
 }
 
-fn bench_request(c: &mut Criterion) {
-    let (entry, _) = fixture();
-    c.bench_function("request_derive", |b| {
-        b.iter(|| {
-            PasswordRequest::derive(
-                black_box(entry.username()),
-                black_box(entry.domain()),
-                black_box(entry.seed()),
-            )
-        })
-    });
-}
+fn main() {
+    let mut h = Harness::new("pipeline");
+    let (entry, oid) = fixture();
 
-fn bench_token_by_table_size(c: &mut Criterion) {
+    h.bench("request_derive", || {
+        PasswordRequest::derive(
+            black_box(entry.username()),
+            black_box(entry.domain()),
+            black_box(entry.seed()),
+        )
+    });
+
     // Ablation: N ∈ {50, 500, 5000, 50000} — token cost is 16 lookups +
     // one SHA-256 regardless; table *generation* scales linearly.
-    let (entry, _) = fixture();
     let request = PasswordRequest::derive(entry.username(), entry.domain(), entry.seed());
-    let mut group = c.benchmark_group("token_table_size");
     for n in [50usize, 500, 5000, 50000] {
         let mut rng = SecretRng::seeded(n as u64);
         let table = EntryTable::random(&mut rng, n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &table, |b, t| {
-            b.iter(|| t.token(black_box(&request)).expect("token"))
+        h.bench(&format!("token_table_size/{n}"), || {
+            table.token(black_box(&request)).expect("token")
         });
     }
-    group.finish();
-}
 
-fn bench_table_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table_generation");
-    group.sample_size(20);
+    h.sample_size(20);
     for n in [500usize, 5000] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut rng = SecretRng::seeded(7);
-                EntryTable::random(&mut rng, black_box(n))
-            })
+        h.bench(&format!("table_generation/{n}"), || {
+            let mut rng = SecretRng::seeded(7);
+            EntryTable::random(&mut rng, black_box(n))
         });
     }
-    group.finish();
-}
 
-fn bench_template(c: &mut Criterion) {
     // Ablation: length and charset (§III-B4 per-site policies).
+    h.sample_size(30);
     let p = amnesia_crypto::sha512(b"intermediate");
-    let mut group = c.benchmark_group("template_render");
     for (label, policy) in [
         ("len32_full94", PasswordPolicy::default()),
         (
@@ -88,42 +75,27 @@ fn bench_template(c: &mut Criterion) {
             .expect("valid"),
         ),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, pol| {
-            b.iter(|| pol.render(black_box(&p)))
+        h.bench(&format!("template_render/{label}"), || {
+            policy.render(black_box(&p))
         });
     }
-    group.finish();
-}
 
-fn bench_full_pipeline(c: &mut Criterion) {
-    let (entry, oid) = fixture();
     let mut rng = SecretRng::seeded(2);
     let table = EntryTable::random(&mut rng, EntryTable::DEFAULT_SIZE);
     let policy = PasswordPolicy::default();
-    c.bench_function("derive_password_full", |b| {
-        b.iter(|| {
-            derive_password(
-                black_box(&entry),
-                black_box(&oid),
-                black_box(&table),
-                black_box(&policy),
-            )
-            .expect("derive")
-        })
+    h.bench("derive_password_full", || {
+        derive_password(
+            black_box(&entry),
+            black_box(&oid),
+            black_box(&table),
+            black_box(&policy),
+        )
+        .expect("derive")
     });
-    let request = PasswordRequest::derive(entry.username(), entry.domain(), entry.seed());
     let token = table.token(&request).expect("token");
-    c.bench_function("derive_intermediate", |b| {
-        b.iter(|| derive_intermediate(black_box(&token), black_box(&oid), black_box(entry.seed())))
+    h.bench("derive_intermediate", || {
+        derive_intermediate(black_box(&token), black_box(&oid), black_box(entry.seed()))
     });
-}
 
-criterion_group!(
-    benches,
-    bench_request,
-    bench_token_by_table_size,
-    bench_table_generation,
-    bench_template,
-    bench_full_pipeline
-);
-criterion_main!(benches);
+    h.finish();
+}

@@ -2,74 +2,56 @@
 //! simulator, server throughput vs account count (§VIII's "the server
 //! computes a hash ... may be a bottleneck"), and wire-codec costs.
 
+use amnesia_bench::timing::Harness;
 use amnesia_bench::{account, standard_deployment};
 use amnesia_server::protocol::ToServer;
 use amnesia_store::codec;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_end_to_end_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end_generation");
-    group.sample_size(30);
-    group.bench_function("lan_profile", |b| {
+fn main() {
+    let mut h = Harness::new("system");
+
+    h.sample_size(30);
+    {
         let mut system = standard_deployment(11, 1);
         let (u, d) = account(0);
-        b.iter(|| {
+        h.bench("end_to_end_generation/lan_profile", || {
             system
                 .generate_password("browser", "phone", black_box(&u), black_box(&d))
                 .expect("generation")
-        })
-    });
-    group.finish();
-}
-
-fn bench_server_throughput_by_accounts(c: &mut Criterion) {
-    // §VIII ablation: does per-user account count affect generation cost?
-    let mut group = c.benchmark_group("server_throughput_accounts");
-    group.sample_size(20);
-    for accounts in [1usize, 10, 100] {
-        group.bench_with_input(BenchmarkId::from_parameter(accounts), &accounts, |b, &n| {
-            let mut system = standard_deployment(n as u64, n);
-            let (u, d) = account(n / 2);
-            b.iter(|| {
-                system
-                    .generate_password("browser", "phone", &u, &d)
-                    .expect("generation")
-            })
         });
     }
-    group.finish();
-}
 
-fn bench_setup_flow(c: &mut Criterion) {
-    let mut group = c.benchmark_group("setup_user_flow");
-    group.sample_size(10);
-    group.bench_function("register_pair_backup", |b| {
-        b.iter(|| standard_deployment(black_box(3), 0))
+    // §VIII ablation: does per-user account count affect generation cost?
+    h.sample_size(20);
+    for accounts in [1usize, 10, 100] {
+        let mut system = standard_deployment(accounts as u64, accounts);
+        let (u, d) = account(accounts / 2);
+        h.bench(&format!("server_throughput_accounts/{accounts}"), || {
+            system
+                .generate_password("browser", "phone", &u, &d)
+                .expect("generation")
+        });
+    }
+
+    h.sample_size(10);
+    h.bench("setup_user_flow/register_pair_backup", || {
+        standard_deployment(black_box(3), 0)
     });
-    group.finish();
-}
 
-fn bench_codec(c: &mut Criterion) {
+    h.sample_size(30);
     let msg = ToServer::Login {
         user_id: "alice".into(),
         master_password: "master password".into(),
         reply_to: "browser".into(),
     };
     let bytes = codec::to_bytes(&msg).expect("encode");
-    c.bench_function("codec_encode_login", |b| {
-        b.iter(|| codec::to_bytes(black_box(&msg)).expect("encode"))
+    h.bench("codec_encode_login", || {
+        codec::to_bytes(black_box(&msg)).expect("encode")
     });
-    c.bench_function("codec_decode_login", |b| {
-        b.iter(|| codec::from_bytes::<ToServer>(black_box(&bytes)).expect("decode"))
+    h.bench("codec_decode_login", || {
+        codec::from_bytes::<ToServer>(black_box(&bytes)).expect("decode")
     });
-}
 
-criterion_group!(
-    benches,
-    bench_end_to_end_generation,
-    bench_server_throughput_by_accounts,
-    bench_setup_flow,
-    bench_codec
-);
-criterion_main!(benches);
+    h.finish();
+}

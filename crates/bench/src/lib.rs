@@ -1,13 +1,15 @@
 //! Shared fixtures for the evaluation harness.
 //!
 //! The binaries in `src/bin/` regenerate every table and figure of the
-//! paper's evaluation (see DESIGN.md §4 for the index); the Criterion
-//! benches in `benches/` measure the primitive and end-to-end costs,
-//! including the ablations DESIGN.md calls out (entry-table size, password
-//! length/charset, server throughput).
+//! paper's evaluation (see DESIGN.md §4 for the index); the benches in
+//! `benches/`, built on the in-repo [`timing`] harness, measure the
+//! primitive and end-to-end costs, including the ablations DESIGN.md calls
+//! out (entry-table size, password length/charset, server throughput).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod timing;
 
 use amnesia_core::{Domain, PasswordPolicy, Username};
 use amnesia_system::{AmnesiaSystem, SystemConfig};

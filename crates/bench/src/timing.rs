@@ -1,0 +1,208 @@
+//! Minimal wall-clock timing harness for the `benches/` targets.
+//!
+//! A deliberately small, zero-dependency replacement for an external
+//! benchmark framework. Each benchmark is timed as:
+//!
+//! 1. **Warmup** — the closure runs for a short fixed window so caches,
+//!    branch predictors and lazy initialization settle, and so the harness
+//!    can estimate the per-iteration cost;
+//! 2. **Sampling** — the closure runs in batches sized from that estimate
+//!    (each batch long enough to dwarf timer overhead), producing one
+//!    per-iteration time per batch;
+//! 3. **Reporting** — the *median* batch time is the headline number
+//!    (robust to scheduler noise), with min/max retained for spread.
+//!
+//! Results print human-readably to stderr as they complete, and
+//! [`Harness::finish`] emits one JSON document on stdout so scripts can
+//! scrape `cargo bench` output.
+//!
+//! ```no_run
+//! use amnesia_bench::timing::Harness;
+//!
+//! let mut h = Harness::new("example");
+//! h.bench("sum", || (0..1000u64).sum::<u64>());
+//! h.finish();
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock length of one timed batch.
+const TARGET_BATCH: Duration = Duration::from_millis(2);
+/// Warmup window before sampling begins.
+const WARMUP: Duration = Duration::from_millis(20);
+/// Default number of timed batches per benchmark.
+const DEFAULT_SAMPLES: usize = 30;
+
+/// One benchmark's timing summary, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark name (unique within the suite).
+    pub name: String,
+    /// Median per-iteration time across batches.
+    pub median_ns: u128,
+    /// Fastest batch's per-iteration time.
+    pub min_ns: u128,
+    /// Slowest batch's per-iteration time.
+    pub max_ns: u128,
+    /// Number of timed batches.
+    pub samples: usize,
+    /// Iterations per batch.
+    pub iters_per_sample: u64,
+}
+
+/// Collects measurements for one bench target ("suite") and prints a JSON
+/// summary at the end.
+pub struct Harness {
+    suite: String,
+    samples: usize,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Creates a harness for the named suite with the default sample count.
+    pub fn new(suite: &str) -> Self {
+        Harness {
+            suite: suite.to_string(),
+            samples: DEFAULT_SAMPLES,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the number of timed batches for subsequent benchmarks
+    /// (lower it for expensive end-to-end benches).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Times `f` and records the measurement under `name`.
+    ///
+    /// The closure's return value is passed through [`std::hint::black_box`]
+    /// so the computation cannot be optimized away; callers should likewise
+    /// `black_box` interior inputs where constant-folding is plausible.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Warmup, doubling as the per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP || warm_iters < 3 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est_per_iter = warm_start.elapsed().as_nanos() / warm_iters as u128;
+        let iters = (TARGET_BATCH.as_nanos() / est_per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter_ns: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() / iters as u128);
+        }
+        per_iter_ns.sort_unstable();
+        let m = Measurement {
+            name: name.to_string(),
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            min_ns: per_iter_ns[0],
+            max_ns: per_iter_ns[per_iter_ns.len() - 1],
+            samples: self.samples,
+            iters_per_sample: iters,
+        };
+        eprintln!(
+            "{}/{}: median {} min {} max {} ({} samples x {} iters)",
+            self.suite,
+            m.name,
+            fmt_ns(m.median_ns),
+            fmt_ns(m.min_ns),
+            fmt_ns(m.max_ns),
+            m.samples,
+            m.iters_per_sample,
+        );
+        self.results.push(m);
+    }
+
+    /// Prints the suite's results as one JSON document on stdout.
+    pub fn finish(self) {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"suite\":{},\"benchmarks\":[",
+            json_string(&self.suite)
+        ));
+        for (i, m) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\
+                 \"samples\":{},\"iters_per_sample\":{}}}",
+                json_string(&m.name),
+                m.median_ns,
+                m.min_ns,
+                m.max_ns,
+                m.samples,
+                m.iters_per_sample
+            ));
+        }
+        out.push_str("]}");
+        println!("{out}");
+    }
+}
+
+/// Human-readable nanosecond count (ns/µs/ms bands).
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 10_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Minimal JSON string escaping — benchmark names are ASCII identifiers,
+/// but quote-and-backslash safety costs nothing.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
+    }
+
+    #[test]
+    fn fmt_ns_bands() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(25_000), "25.0µs");
+        assert_eq!(fmt_ns(12_000_000), "12.0ms");
+    }
+
+    #[test]
+    fn measurements_are_recorded_and_ordered() {
+        let mut h = Harness::new("self-test");
+        h.sample_size(3);
+        h.bench("noop", || 1u64 + 1);
+        assert_eq!(h.results.len(), 1);
+        let m = &h.results[0];
+        assert_eq!(m.name, "noop");
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        assert!(m.iters_per_sample >= 1);
+    }
+}

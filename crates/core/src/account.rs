@@ -3,7 +3,6 @@
 
 use crate::error::CoreError;
 use crate::ids::Seed;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The account username `µ`.
@@ -20,8 +19,9 @@ use std::fmt;
 /// assert!(Username::new("").is_err());
 /// # Ok::<(), amnesia_core::CoreError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Username(String);
+amnesia_store::record_tuple! { Username(name) }
 
 impl Username {
     /// Validates and wraps a username.
@@ -69,8 +69,9 @@ impl fmt::Display for Username {
 /// assert_eq!(d.to_string(), "mail.google.com");
 /// # Ok::<(), amnesia_core::CoreError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Domain(String);
+amnesia_store::record_tuple! { Domain(domain) }
 
 impl Domain {
     /// Validates and wraps a domain identifier.
@@ -123,12 +124,13 @@ impl fmt::Display for Domain {
 /// assert_eq!(entry.username().as_str(), "Alice");
 /// # Ok::<(), amnesia_core::CoreError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AccountEntry {
     username: Username,
     domain: Domain,
     seed: Seed,
 }
+amnesia_store::record_struct! { AccountEntry { username, domain, seed } }
 
 impl AccountEntry {
     /// Assembles an account entry.

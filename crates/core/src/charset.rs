@@ -6,11 +6,10 @@
 //! to various website password policy", e.g. excluding special characters.
 
 use crate::error::CoreError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The four character classes the paper's strength analysis counts (§IV-E).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CharClass {
     /// `a`–`z` (26 characters).
     Lower,
@@ -21,6 +20,7 @@ pub enum CharClass {
     /// The 32 printable ASCII punctuation/symbol characters.
     Special,
 }
+amnesia_store::record_enum! { CharClass { 0 => Lower, 1 => Upper, 2 => Digit, 3 => Special } }
 
 impl CharClass {
     /// All four classes in canonical order.
@@ -79,10 +79,11 @@ impl fmt::Display for CharClass {
 /// assert_eq!(no_special.len(), 62);
 /// # Ok::<(), amnesia_core::CoreError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CharacterTable {
     chars: Vec<char>,
 }
+amnesia_store::record_struct! { CharacterTable { chars } }
 
 impl CharacterTable {
     /// The default full table: 26 lower + 26 upper + 10 digits + 32 special

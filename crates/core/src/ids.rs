@@ -14,11 +14,9 @@
 //!
 //! All types compare in constant time where they guard secrets, render as
 //! truncated hex in `Debug` (mirroring the paper's `0xa457fe1…` tables), and
-//! serialize as raw bytes through serde.
+//! encode as their raw fixed-size bytes through the store codec.
 
 use amnesia_crypto::{ct_eq, hex, SecretRng};
-use serde::de::{self, Visitor};
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
 
 macro_rules! fixed_bytes_newtype {
@@ -92,43 +90,16 @@ macro_rules! fixed_bytes_newtype {
             }
         }
 
-        impl Serialize for $name {
-            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-                serializer.serialize_bytes(&self.0)
+        impl amnesia_store::codec::Record for $name {
+            fn encode(&self, out: &mut Vec<u8>) {
+                // Raw fixed-size bytes, no length prefix ($expecting).
+                out.extend_from_slice(&self.0);
             }
-        }
 
-        impl<'de> Deserialize<'de> for $name {
-            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-                struct BytesVisitor;
-                impl<'de> Visitor<'de> for BytesVisitor {
-                    type Value = $name;
-
-                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                        write!(f, $expecting)
-                    }
-
-                    fn visit_bytes<E: de::Error>(self, v: &[u8]) -> Result<$name, E> {
-                        let arr: [u8; $len] = v
-                            .try_into()
-                            .map_err(|_| E::invalid_length(v.len(), &self))?;
-                        Ok($name(arr))
-                    }
-
-                    fn visit_seq<A: de::SeqAccess<'de>>(
-                        self,
-                        mut seq: A,
-                    ) -> Result<$name, A::Error> {
-                        let mut arr = [0u8; $len];
-                        for (i, slot) in arr.iter_mut().enumerate() {
-                            *slot = seq
-                                .next_element()?
-                                .ok_or_else(|| de::Error::invalid_length(i, &self))?;
-                        }
-                        Ok($name(arr))
-                    }
-                }
-                deserializer.deserialize_bytes(BytesVisitor)
+            fn decode(
+                r: &mut amnesia_store::codec::Reader<'_>,
+            ) -> Result<Self, amnesia_store::codec::CodecError> {
+                Ok($name(r.take_array::<$len>()?))
             }
         }
     };

@@ -3,7 +3,6 @@
 use crate::account::{Domain, Username};
 use crate::ids::Seed;
 use amnesia_crypto::{hex, sha256_concat};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of 4-hex-digit segments a request splits into.
@@ -37,8 +36,9 @@ pub const SEGMENT_COUNT: usize = 16;
 /// assert_eq!(r.segments().len(), 16);
 /// # Ok::<(), amnesia_core::CoreError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct PasswordRequest([u8; 32]);
+amnesia_store::record_tuple! { PasswordRequest(bytes) }
 
 impl PasswordRequest {
     /// Derives `R = SHA-256(µ ‖ 0x00 ‖ d ‖ 0x00 ‖ σ)`.

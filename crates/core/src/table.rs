@@ -5,7 +5,6 @@ use crate::ids::EntryValue;
 use crate::request::{PasswordRequest, SEGMENT_COUNT};
 use crate::token::Token;
 use amnesia_crypto::{SecretRng, Sha256};
-use serde::{Deserialize, Serialize};
 
 /// The entry table `TE = {e_i}` of `N` random 256-bit values stored in the
 /// Amnesia mobile application (paper Table II).
@@ -20,10 +19,11 @@ use serde::{Deserialize, Serialize};
 /// let table = EntryTable::random(&mut SecretRng::seeded(1), EntryTable::DEFAULT_SIZE);
 /// assert_eq!(table.len(), 5000);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EntryTable {
     entries: Vec<EntryValue>,
 }
+amnesia_store::record_struct! { EntryTable { entries } }
 
 impl EntryTable {
     /// The paper's table size, `N = 5000`.

@@ -3,7 +3,6 @@
 
 use crate::charset::{CharClass, CharacterTable};
 use crate::error::CoreError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of 4-hex-digit segments in the 128-hex-digit intermediate value,
@@ -29,11 +28,12 @@ pub const MAX_PASSWORD_LEN: usize = 32;
 /// assert_eq!(constrained.length(), 16);
 /// # Ok::<(), amnesia_core::CoreError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PasswordPolicy {
     charset: CharacterTable,
     length: usize,
 }
+amnesia_store::record_struct! { PasswordPolicy { charset, length } }
 
 impl PasswordPolicy {
     /// Creates a policy with the given table and length.
@@ -116,8 +116,9 @@ impl Default for PasswordPolicy {
 /// assert_eq!(p.as_str().len(), 32);
 /// assert_eq!(format!("{p:?}"), "GeneratedPassword(********)");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct GeneratedPassword(String);
+amnesia_store::record_tuple! { GeneratedPassword(password) }
 
 impl GeneratedPassword {
     /// Wraps an existing password string.

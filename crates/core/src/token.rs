@@ -1,7 +1,6 @@
 //! The token `T` computed by the phone (paper §III-B3).
 
 use amnesia_crypto::{ct_eq, hex};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The 256-bit token `T = SHA-256(e_{i0} ‖ … ‖ e_{i15})` the phone returns to
@@ -16,8 +15,9 @@ use std::fmt;
 /// let t = Token::from_bytes([0u8; 32]);
 /// assert_eq!(t.to_hex().len(), 64);
 /// ```
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Token([u8; 32]);
+amnesia_store::record_tuple! { Token(bytes) }
 
 impl Token {
     /// Wraps raw token bytes.

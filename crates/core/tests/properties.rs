@@ -1,20 +1,24 @@
-//! Property-based tests of the generative core's structural invariants.
+//! Property-based tests of the generative core's structural invariants, on
+//! the in-repo `amnesia-testkit` harness.
 
 use amnesia_core::analysis::index_bias;
 use amnesia_core::{
     CharClass, CharacterTable, Domain, EntryTable, PasswordPolicy, PasswordRequest, Seed, Username,
 };
 use amnesia_crypto::{hex, SecretRng};
-use proptest::prelude::*;
+use amnesia_testkit::{for_all, require, require_eq, Gen};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u32 = 128;
 
-    /// Segment parsing agrees with hex-string slicing for arbitrary
-    /// requests — the exact construction of Algorithm 1.
-    #[test]
-    fn segments_match_hex_slices(user in "[a-zA-Z0-9]{1,16}", seed in any::<u64>()) {
-        let mut rng = SecretRng::seeded(seed);
+/// Segment parsing agrees with hex-string slicing for arbitrary requests —
+/// the exact construction of Algorithm 1.
+#[test]
+fn segments_match_hex_slices() {
+    const ALNUM: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    for_all("segments match hex slices", CASES, |g: &mut Gen| {
+        let len = g.usize_in(1, 16);
+        let user: String = (0..len).map(|_| *g.pick(ALNUM) as char).collect();
+        let mut rng = SecretRng::seeded(g.next_u64());
         let r = PasswordRequest::derive(
             &Username::new(user).unwrap(),
             &Domain::new("segments.example.com").unwrap(),
@@ -23,15 +27,19 @@ proptest! {
         let hex_str = r.to_hex();
         for (i, segment) in r.segments().iter().enumerate() {
             let parsed = hex::parse_segment(&hex_str[4 * i..4 * i + 4]).unwrap();
-            prop_assert_eq!(*segment, parsed);
+            require_eq!(*segment, parsed);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Token indices stay in bounds for every admissible table size, and the
-    /// token is invariant under re-computation.
-    #[test]
-    fn token_indices_in_bounds(size in 1usize..=4096, seed in any::<u64>()) {
-        let mut rng = SecretRng::seeded(seed);
+/// Token indices stay in bounds for every admissible table size, and the
+/// token is invariant under re-computation.
+#[test]
+fn token_indices_in_bounds() {
+    for_all("token indices in bounds", CASES, |g: &mut Gen| {
+        let size = g.usize_in(1, 4096);
+        let mut rng = SecretRng::seeded(g.next_u64());
         let table = EntryTable::random(&mut rng, size);
         let r = PasswordRequest::derive(
             &Username::new("u").unwrap(),
@@ -39,17 +47,23 @@ proptest! {
             &Seed::random(&mut rng),
         );
         for idx in table.indices(&r) {
-            prop_assert!(idx < size);
+            require!(idx < size, "index {idx} out of bounds for size {size}");
         }
-        prop_assert_eq!(table.token(&r).unwrap(), table.token(&r).unwrap());
-    }
+        require_eq!(table.token(&r).unwrap(), table.token(&r).unwrap());
+        Ok(())
+    });
+}
 
-    /// The template renders only charset members at exactly the policy
-    /// length, for arbitrary intermediate values.
-    #[test]
-    fn template_respects_charset(p in proptest::array::uniform32(any::<u16>()),
-                                 length in 1usize..=32,
-                                 classes_mask in 1u8..16) {
+/// The template renders only charset members at exactly the policy length,
+/// for arbitrary intermediate values.
+#[test]
+fn template_respects_charset() {
+    for_all("template respects charset", CASES, |g: &mut Gen| {
+        let p: Vec<u16> = (0..32)
+            .map(|_| g.u64_in(0, u16::MAX as u64) as u16)
+            .collect();
+        let length = g.usize_in(1, 32);
+        let classes_mask = g.u64_in(1, 15) as u8;
         let classes: Vec<CharClass> = CharClass::ALL
             .into_iter()
             .enumerate()
@@ -63,40 +77,53 @@ proptest! {
             bytes[2 * i..2 * i + 2].copy_from_slice(&v.to_be_bytes());
         }
         let password = policy.render(&bytes);
-        prop_assert_eq!(password.len(), length);
+        require_eq!(password.len(), length);
         for c in password.as_str().chars() {
-            prop_assert!(charset.contains(c));
+            require!(charset.contains(c), "{c:?} outside charset");
         }
         // The rendering is the exact modular indexing of the spec.
         for (i, c) in password.as_str().chars().enumerate() {
             let expected = charset.get(p[i] as usize % charset.len()).unwrap();
-            prop_assert_eq!(c, expected);
+            require_eq!(c, expected);
         }
-    }
-
-    /// Index-bias arithmetic: multiplicities always account for the whole
-    /// 16-bit segment space.
-    #[test]
-    fn index_bias_partitions_segment_space(size in 1usize..=65536) {
-        let bias = index_bias(size);
-        let total = bias.overrepresented as u64 * bias.high_multiplicity
-            + (size as u64 - bias.overrepresented as u64) * bias.low_multiplicity;
-        prop_assert_eq!(total, 65536);
-        prop_assert!(bias.ratio() >= 1.0);
-    }
-
-    /// Entry-table restores are exact: any table roundtrips through its
-    /// entry vector with identical tokens.
-    #[test]
-    fn table_restore_roundtrip(size in 1usize..=512, seed in any::<u64>()) {
-        let mut rng = SecretRng::seeded(seed);
-        let table = EntryTable::random(&mut rng, size);
-        let restored = EntryTable::from_entries(table.iter().cloned().collect()).unwrap();
-        prop_assert_eq!(&table, &restored);
-    }
+        Ok(())
+    });
 }
 
-/// Statistical check (not a proptest): observed index frequencies over many
+/// Index-bias arithmetic: multiplicities always account for the whole
+/// 16-bit segment space.
+#[test]
+fn index_bias_partitions_segment_space() {
+    for_all(
+        "index bias partitions segment space",
+        CASES,
+        |g: &mut Gen| {
+            let size = g.usize_in(1, 65536);
+            let bias = index_bias(size);
+            let total = bias.overrepresented as u64 * bias.high_multiplicity
+                + (size as u64 - bias.overrepresented as u64) * bias.low_multiplicity;
+            require_eq!(total, 65536);
+            require!(bias.ratio() >= 1.0, "ratio below 1: {}", bias.ratio());
+            Ok(())
+        },
+    );
+}
+
+/// Entry-table restores are exact: any table roundtrips through its entry
+/// vector with identical tokens.
+#[test]
+fn table_restore_roundtrip() {
+    for_all("table restore roundtrip", CASES, |g: &mut Gen| {
+        let size = g.usize_in(1, 512);
+        let mut rng = SecretRng::seeded(g.next_u64());
+        let table = EntryTable::random(&mut rng, size);
+        let restored = EntryTable::from_entries(table.iter().cloned().collect()).unwrap();
+        require_eq!(&table, &restored);
+        Ok(())
+    });
+}
+
+/// Statistical check (not a property): observed index frequencies over many
 /// requests track the closed-form bias prediction.
 #[test]
 fn index_distribution_tracks_bias_prediction() {

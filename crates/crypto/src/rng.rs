@@ -1,13 +1,17 @@
 //! Random generation of the scheme's secret values.
+//!
+//! Implemented as an HMAC-SHA-256 deterministic random bit generator in the
+//! style of NIST SP 800-90A (HMAC_DRBG), built entirely on the crate's own
+//! [`hmac_sha256`] — no external RNG crate.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::hmac::hmac_sha256;
 use std::fmt;
 
 /// Source of secret random material (`Oid`, `Pid`, seeds `σ`, entry tables,
 /// salts).
 ///
-/// Wraps a cryptographically strong PRNG. Two construction modes:
+/// An HMAC-SHA-256 DRBG (NIST SP 800-90A construction). Two construction
+/// modes:
 ///
 /// * [`SecretRng::from_entropy`] — seeded from the operating system, used for
 ///   real deployments of the library.
@@ -22,7 +26,10 @@ use std::fmt;
 /// assert_eq!(a.bytes::<32>(), b.bytes::<32>());
 /// ```
 pub struct SecretRng {
-    inner: StdRng,
+    /// HMAC key `K` from SP 800-90A.
+    k: [u8; 32],
+    /// Chaining value `V` from SP 800-90A.
+    v: [u8; 32],
 }
 
 impl fmt::Debug for SecretRng {
@@ -33,35 +40,72 @@ impl fmt::Debug for SecretRng {
 }
 
 impl SecretRng {
-    /// Creates a generator seeded from operating-system entropy.
-    pub fn from_entropy() -> Self {
-        SecretRng {
-            inner: StdRng::from_rng(&mut rand::rng()),
+    /// Instantiates the DRBG from raw seed material of any length.
+    fn instantiate(seed_material: &[u8]) -> Self {
+        let mut rng = SecretRng {
+            k: [0x00; 32],
+            v: [0x01; 32],
+        };
+        rng.update(seed_material);
+        rng
+    }
+
+    /// The SP 800-90A `HMAC_DRBG_Update` step: folds `data` (possibly empty)
+    /// into the `K`/`V` state.
+    fn update(&mut self, data: &[u8]) {
+        let mut msg = Vec::with_capacity(33 + data.len());
+        msg.extend_from_slice(&self.v);
+        msg.push(0x00);
+        msg.extend_from_slice(data);
+        self.k = hmac_sha256(&self.k, &msg);
+        self.v = hmac_sha256(&self.k, &self.v);
+        if data.is_empty() {
+            return;
         }
+        msg.clear();
+        msg.extend_from_slice(&self.v);
+        msg.push(0x01);
+        msg.extend_from_slice(data);
+        self.k = hmac_sha256(&self.k, &msg);
+        self.v = hmac_sha256(&self.k, &self.v);
+    }
+
+    /// Creates a generator seeded from operating-system entropy
+    /// (`/dev/urandom`, with a time/pid fallback for exotic platforms).
+    pub fn from_entropy() -> Self {
+        let seed = os_entropy();
+        SecretRng::instantiate(&seed)
     }
 
     /// Creates a deterministic generator from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
-        SecretRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        SecretRng::instantiate(&seed.to_le_bytes())
     }
 
-    /// Fills `buf` with random bytes.
+    /// Fills `buf` with random bytes (the SP 800-90A `Generate` step).
     pub fn fill(&mut self, buf: &mut [u8]) {
-        self.inner.fill_bytes(buf);
+        let mut filled = 0;
+        while filled < buf.len() {
+            self.v = hmac_sha256(&self.k, &self.v);
+            let n = (buf.len() - filled).min(32);
+            buf[filled..filled + n].copy_from_slice(&self.v[..n]);
+            filled += n;
+        }
+        // Post-generate state refresh, so past output can't be reconstructed
+        // from a captured state (backtracking resistance).
+        self.update(&[]);
     }
 
     /// Returns `N` random bytes as a fixed-size array.
     pub fn bytes<const N: usize>(&mut self) -> [u8; N] {
         let mut out = [0u8; N];
-        self.inner.fill_bytes(&mut out);
+        self.fill(&mut out);
         out
     }
 
     /// Returns a uniformly random `u64`.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        u64::from_le_bytes(self.bytes::<8>())
     }
 
     /// Derives an independent child generator; useful for giving each
@@ -71,9 +115,40 @@ impl SecretRng {
     }
 }
 
+/// Gathers 48 bytes of seed material from the operating system.
+fn os_entropy() -> [u8; 48] {
+    use std::io::Read;
+
+    let mut seed = [0u8; 48];
+    if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+        if f.read_exact(&mut seed).is_ok() {
+            return seed;
+        }
+    }
+    // Fallback: hash together whatever uniqueness the platform gives us.
+    // Far weaker than the OS pool, but only reachable where /dev/urandom
+    // does not exist.
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default();
+    let pid = std::process::id();
+    let addr = &seed as *const _ as usize; // ASLR juice
+    let a = crate::sha256_concat(&[
+        b"amnesia-entropy-fallback",
+        &now.as_nanos().to_le_bytes(),
+        &pid.to_le_bytes(),
+        &addr.to_le_bytes(),
+    ]);
+    let b = crate::sha256_concat(&[b"amnesia-entropy-fallback-2", &a]);
+    seed[..32].copy_from_slice(&a);
+    seed[32..].copy_from_slice(&b[..16]);
+    seed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hex;
 
     #[test]
     fn seeded_is_reproducible() {
@@ -116,5 +191,49 @@ mod tests {
         let s = format!("{rng:?}");
         assert!(s.contains("SecretRng"));
         assert!(!s.contains("inner"));
+        assert!(!s.contains("k:"));
     }
+
+    /// Known-answer test pinning the DRBG output stream. If this ever
+    /// changes, every seeded experiment artifact in the repo changes with
+    /// it — treat a failure here as a wire-format break, not a flake.
+    #[test]
+    fn known_answer_seed_zero() {
+        let mut rng = SecretRng::seeded(0);
+        let out = rng.bytes::<64>();
+        assert_eq!(hex::encode(&out), KAT_SEED_0);
+    }
+
+    #[test]
+    fn known_answer_seed_42() {
+        let mut rng = SecretRng::seeded(42);
+        let out = rng.bytes::<64>();
+        assert_eq!(hex::encode(&out), KAT_SEED_42);
+    }
+
+    /// The stream must not depend on read granularity: one 64-byte read and
+    /// sixty-four 1-byte reads traverse different `Generate` calls, but the
+    /// single-read form is the canonical stream the KATs pin.
+    #[test]
+    fn single_read_matches_kat_regardless_of_later_reads() {
+        let mut rng = SecretRng::seeded(0);
+        let first: [u8; 32] = rng.bytes();
+        let mut rng2 = SecretRng::seeded(0);
+        let both: [u8; 64] = rng2.bytes();
+        // First 32 bytes of a longer read match a shorter read: within one
+        // Generate call the stream is a pure function of the seed.
+        assert_eq!(first, both[..32]);
+    }
+
+    // Pinned first 64 bytes of the stream for fixed seeds. Derived once from
+    // this implementation (HMAC_DRBG/SHA-256, seed material = 8-byte LE
+    // integer) and frozen.
+    const KAT_SEED_0: &str = "56bf5265dbb807133943771ddcd50685\
+c064a37db3fab6ed3812367902bc98ab\
+e0850106cc2b89303740fe94ae5bd196\
+715792ee599c3ef4528a8dd7c48359a6";
+    const KAT_SEED_42: &str = "46f02e8ad2dd0658c0621e77696626f6\
+82db3013064a7b14b8e72afc08d4454e\
+ec2921fd70fc1dc9302e43822c026b4e\
+6b0c7c1ec1e2c4b86de82edd7bf9133f";
 }

@@ -1,147 +1,203 @@
-//! Property-based tests for the cryptographic primitives.
+//! Property-based tests for the cryptographic primitives, on the in-repo
+//! `amnesia-testkit` harness.
 
 use amnesia_crypto::{
     aead, ct_eq, hex, hmac_sha256, pbkdf2_hmac_sha256, sha256, sha512, Hmac, SecretRng, Sha256,
     Sha512,
 };
-use proptest::prelude::*;
+use amnesia_testkit::{for_all, require, require_eq, require_ne, Gen};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u32 = 128;
 
-    /// Streaming over arbitrary chunk splits equals one-shot hashing.
-    #[test]
-    fn sha256_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
-                                       splits in proptest::collection::vec(any::<u16>(), 0..8)) {
+/// Streaming over arbitrary chunk splits equals one-shot hashing.
+#[test]
+fn sha256_streaming_equals_oneshot() {
+    for_all("sha256 streaming equals oneshot", CASES, |g: &mut Gen| {
+        let data = g.bytes_upto(2048);
         let mut h = Sha256::new();
         let mut rest: &[u8] = &data;
-        for s in splits {
-            let cut = (s as usize) % (rest.len() + 1);
+        for _ in 0..g.usize_in(0, 7) {
+            let cut = g.usize_in(0, rest.len());
             let (head, tail) = rest.split_at(cut);
             h.update(head);
             rest = tail;
         }
         h.update(rest);
-        prop_assert_eq!(h.finalize(), sha256(&data));
-    }
+        require_eq!(h.finalize(), sha256(&data));
+        Ok(())
+    });
+}
 
-    /// Same for SHA-512.
-    #[test]
-    fn sha512_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
-                                       cut in any::<u16>()) {
-        let cut = (cut as usize) % (data.len() + 1);
+/// Same for SHA-512.
+#[test]
+fn sha512_streaming_equals_oneshot() {
+    for_all("sha512 streaming equals oneshot", CASES, |g: &mut Gen| {
+        let data = g.bytes_upto(2048);
+        let cut = g.usize_in(0, data.len());
         let mut h = Sha512::new();
         h.update(&data[..cut]);
         h.update(&data[cut..]);
-        prop_assert_eq!(h.finalize(), sha512(&data));
-    }
+        require_eq!(h.finalize(), sha512(&data));
+        Ok(())
+    });
+}
 
-    /// Hex encode/decode is a bijection on byte strings.
-    #[test]
-    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+/// Hex encode/decode is a bijection on byte strings.
+#[test]
+fn hex_roundtrip() {
+    for_all("hex roundtrip", CASES, |g: &mut Gen| {
+        let data = g.bytes_upto(512);
         let encoded = hex::encode(&data);
-        prop_assert_eq!(encoded.len(), data.len() * 2);
-        prop_assert_eq!(hex::decode(&encoded).unwrap(), data);
-    }
+        require_eq!(encoded.len(), data.len() * 2);
+        require_eq!(hex::decode(&encoded).unwrap(), data);
+        Ok(())
+    });
+}
 
-    /// Decoding arbitrary strings never panics; success implies canonical
-    /// re-encoding (modulo case).
-    #[test]
-    fn hex_decode_total(s in "[0-9a-fA-F]{0,64}") {
+/// Decoding arbitrary hex-alphabet strings never panics; success implies
+/// canonical re-encoding (modulo case).
+#[test]
+fn hex_decode_total() {
+    const HEX_DIGITS: &[u8] = b"0123456789abcdefABCDEF";
+    for_all("hex decode total", CASES, |g: &mut Gen| {
+        let len = g.usize_in(0, 64);
+        let s: String = (0..len).map(|_| *g.pick(HEX_DIGITS) as char).collect();
         match hex::decode(&s) {
-            Ok(bytes) => prop_assert_eq!(hex::encode(&bytes), s.to_lowercase()),
-            Err(_) => prop_assert!(s.len() % 2 == 1),
+            Ok(bytes) => require_eq!(hex::encode(&bytes), s.to_lowercase()),
+            Err(_) => require!(s.len() % 2 == 1, "even-length hex rejected: {s:?}"),
         }
-    }
+        Ok(())
+    });
+}
 
-    /// HMAC differs whenever the key differs (no trivial key collisions in
-    /// the sampled space).
-    #[test]
-    fn hmac_keys_separate(k1 in proptest::collection::vec(any::<u8>(), 0..100),
-                          k2 in proptest::collection::vec(any::<u8>(), 0..100),
-                          msg in proptest::collection::vec(any::<u8>(), 0..100)) {
-        prop_assume!(k1 != k2);
+/// HMAC differs whenever the key differs (no trivial key collisions in the
+/// sampled space).
+#[test]
+fn hmac_keys_separate() {
+    for_all("hmac keys separate", CASES, |g: &mut Gen| {
+        let k1 = g.bytes_upto(99);
+        let k2 = g.bytes_upto(99);
+        let msg = g.bytes_upto(99);
+        if k1 == k2 {
+            return Ok(());
+        }
         // Keys that normalize to the same block (e.g. trailing zeros) are a
-        // documented HMAC property; exclude the padding-equivalent case.
+        // documented HMAC property; skip the padding-equivalent case.
         let mut n1 = k1.clone();
         let mut n2 = k2.clone();
-        let target = n1.len().max(n2.len());
-        if target <= 64 {
+        if n1.len().max(n2.len()) <= 64 {
             n1.resize(64, 0);
             n2.resize(64, 0);
-            prop_assume!(n1 != n2);
+            if n1 == n2 {
+                return Ok(());
+            }
         }
-        prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
-    }
+        require_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+        Ok(())
+    });
+}
 
-    /// Streaming HMAC equals one-shot.
-    #[test]
-    fn hmac_streaming(key in proptest::collection::vec(any::<u8>(), 0..130),
-                      msg in proptest::collection::vec(any::<u8>(), 0..500),
-                      cut in any::<u16>()) {
-        let cut = (cut as usize) % (msg.len() + 1);
+/// Streaming HMAC equals one-shot.
+#[test]
+fn hmac_streaming() {
+    for_all("hmac streaming", CASES, |g: &mut Gen| {
+        let key = g.bytes_upto(130);
+        let msg = g.bytes_upto(500);
+        let cut = g.usize_in(0, msg.len());
         let mut m = Hmac::<Sha256>::new(&key);
         m.update(&msg[..cut]);
         m.update(&msg[cut..]);
-        prop_assert_eq!(m.finalize(), hmac_sha256(&key, &msg).to_vec());
-    }
+        require_eq!(m.finalize(), hmac_sha256(&key, &msg).to_vec());
+        Ok(())
+    });
+}
 
-    /// PBKDF2 output prefixes agree across requested lengths.
-    #[test]
-    fn pbkdf2_prefix_consistency(pw in proptest::collection::vec(any::<u8>(), 0..32),
-                                 salt in proptest::collection::vec(any::<u8>(), 0..32),
-                                 iters in 1u32..4) {
+/// PBKDF2 output prefixes agree across requested lengths.
+#[test]
+fn pbkdf2_prefix_consistency() {
+    for_all("pbkdf2 prefix consistency", CASES, |g: &mut Gen| {
+        let pw = g.bytes_upto(31);
+        let salt = g.bytes_upto(31);
+        let iters = g.u64_in(1, 3) as u32;
         let mut short = [0u8; 16];
         let mut long = [0u8; 48];
         pbkdf2_hmac_sha256(&pw, &salt, iters, &mut short);
         pbkdf2_hmac_sha256(&pw, &salt, iters, &mut long);
-        prop_assert_eq!(&short[..], &long[..16]);
-    }
+        require_eq!(&short[..], &long[..16]);
+        Ok(())
+    });
+}
 
-    /// AEAD roundtrips for arbitrary keys, plaintexts and AAD.
-    #[test]
-    fn aead_roundtrip(key in proptest::collection::vec(any::<u8>(), 0..64),
-                      pt in proptest::collection::vec(any::<u8>(), 0..300),
-                      aad in proptest::collection::vec(any::<u8>(), 0..64),
-                      seed in any::<u64>()) {
-        let mut rng = SecretRng::seeded(seed);
+/// AEAD roundtrips for arbitrary keys, plaintexts and AAD.
+#[test]
+fn aead_roundtrip() {
+    for_all("aead roundtrip", CASES, |g: &mut Gen| {
+        let key = g.bytes_upto(64);
+        let pt = g.bytes_upto(300);
+        let aad = g.bytes_upto(64);
+        let mut rng = SecretRng::seeded(g.next_u64());
         let sealed = aead::seal(&key, &pt, &aad, &mut rng);
-        prop_assert_eq!(aead::open(&key, &sealed, &aad).unwrap(), pt);
-    }
+        require_eq!(aead::open(&key, &sealed, &aad).unwrap(), pt);
+        Ok(())
+    });
+}
 
-    /// Any single-byte corruption of a sealed blob is rejected.
-    #[test]
-    fn aead_tamper_detected(pt in proptest::collection::vec(any::<u8>(), 1..100),
-                            idx in any::<u16>(),
-                            flip in 1u8..=255,
-                            seed in any::<u64>()) {
-        let mut rng = SecretRng::seeded(seed);
+/// Any single-byte corruption of a sealed blob is rejected.
+#[test]
+fn aead_tamper_detected() {
+    for_all("aead tamper detected", CASES, |g: &mut Gen| {
+        let pt_len = g.usize_in(1, 100);
+        let pt = g.bytes(pt_len);
+        let mut rng = SecretRng::seeded(g.next_u64());
         let mut sealed = aead::seal(b"key", &pt, b"aad", &mut rng);
-        let idx = (idx as usize) % sealed.len();
+        let idx = g.usize_in(0, sealed.len() - 1);
+        let flip = g.u64_in(1, 255) as u8;
         sealed[idx] ^= flip;
-        prop_assert!(aead::open(b"key", &sealed, b"aad").is_err());
-    }
+        require!(
+            aead::open(b"key", &sealed, b"aad").is_err(),
+            "corruption at byte {idx} (xor {flip:#04x}) not detected"
+        );
+        Ok(())
+    });
+}
 
-    /// Constant-time equality agrees with `==`.
-    #[test]
-    fn ct_eq_is_equality(a in proptest::collection::vec(any::<u8>(), 0..64),
-                         b in proptest::collection::vec(any::<u8>(), 0..64)) {
-        prop_assert_eq!(ct_eq(&a, &b), a == b);
-    }
+/// Constant-time equality agrees with `==`.
+#[test]
+fn ct_eq_is_equality() {
+    for_all("ct_eq is equality", CASES, |g: &mut Gen| {
+        let a = g.bytes_upto(64);
+        // Half the cases compare equal inputs, half independent ones.
+        let b = if g.next_bool() {
+            a.clone()
+        } else {
+            g.bytes_upto(64)
+        };
+        require_eq!(ct_eq(&a, &b), a == b);
+        Ok(())
+    });
+}
 
-    /// Digests never collide in the sampled space and avalanche on a single
-    /// bit flip.
-    #[test]
-    fn sha256_avalanche(data in proptest::collection::vec(any::<u8>(), 1..256),
-                        idx in any::<u16>(), bit in 0u8..8) {
+/// Digests never collide in the sampled space and avalanche on a single bit
+/// flip.
+#[test]
+fn sha256_avalanche() {
+    for_all("sha256 avalanche", CASES, |g: &mut Gen| {
+        let data_len = g.usize_in(1, 256);
+        let data = g.bytes(data_len);
         let mut flipped = data.clone();
-        let idx = (idx as usize) % flipped.len();
+        let idx = g.usize_in(0, flipped.len() - 1);
+        let bit = g.usize_in(0, 7);
         flipped[idx] ^= 1 << bit;
         let a = sha256(&data);
         let b = sha256(&flipped);
-        prop_assert_ne!(a, b);
+        require_ne!(a, b);
         // Hamming distance should be substantial (>= 64 of 256 bits).
-        let distance: u32 = a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
-        prop_assert!(distance >= 64, "weak avalanche: {distance} bits");
-    }
+        let distance: u32 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        require!(distance >= 64, "weak avalanche: {distance} bits");
+        Ok(())
+    });
 }

@@ -7,7 +7,6 @@
 
 use crate::time::SimDuration;
 use amnesia_crypto::SecretRng;
-use serde::{Deserialize, Serialize};
 
 /// A distribution over per-hop latencies.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// let sample = model.sample(&mut rng);
 /// assert!(sample.as_millis_f64() >= 50.0);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
 pub enum LatencyModel {
     /// A fixed latency.
@@ -54,6 +53,12 @@ pub enum LatencyModel {
         sigma: f64,
     },
 }
+amnesia_store::record_enum! { LatencyModel {
+    0 => Constant { millis },
+    1 => Uniform { min_ms, max_ms },
+    2 => Normal { mean_ms, std_ms, min_ms },
+    3 => LogNormal { mu, sigma },
+} }
 
 impl LatencyModel {
     /// A fixed latency of `millis` milliseconds.

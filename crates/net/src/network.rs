@@ -4,11 +4,10 @@ use crate::error::NetError;
 use crate::latency::LatencyModel;
 use crate::time::{SimClock, SimDuration, SimInstant};
 use amnesia_crypto::SecretRng;
-use parking_lot::Mutex;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Per-link delivery characteristics.
 ///
@@ -132,23 +131,33 @@ pub struct Wiretap {
 }
 
 impl Wiretap {
+    /// Locks the record list, explicitly recovering from poisoning: a
+    /// panicking observer thread leaves the `Vec` fully intact (push is the
+    /// only mutation), so the data is safe to keep using — we make that
+    /// decision here, once, rather than unwrapping at every call site.
+    fn lock_records(&self) -> MutexGuard<'_, Vec<WiretapRecord>> {
+        self.records
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     fn observe(&self, record: WiretapRecord) {
-        self.records.lock().push(record);
+        self.lock_records().push(record);
     }
 
     /// A snapshot of everything observed so far.
     pub fn records(&self) -> Vec<WiretapRecord> {
-        self.records.lock().clone()
+        self.lock_records().clone()
     }
 
     /// Number of frames observed.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.lock_records().len()
     }
 
     /// Whether nothing has been observed.
     pub fn is_empty(&self) -> bool {
-        self.records.lock().is_empty()
+        self.lock_records().is_empty()
     }
 }
 

@@ -4,7 +4,6 @@
 //! and take microseconds of wall-clock time regardless of how many seconds
 //! of simulated latency they model.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -16,12 +15,11 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(d.as_micros(), 1500);
 /// assert_eq!(d.as_millis_f64(), 1.5);
 /// ```
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimDuration {
     micros: u64,
 }
+amnesia_store::record_struct! { SimDuration { micros } }
 
 impl SimDuration {
     /// The zero duration.
@@ -99,12 +97,11 @@ impl fmt::Display for SimDuration {
 /// let t1 = t0 + SimDuration::from_millis(5);
 /// assert_eq!((t1 - t0).as_millis_f64(), 5.0);
 /// ```
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimInstant {
     micros: u64,
 }
+amnesia_store::record_struct! { SimInstant { micros } }
 
 impl SimInstant {
     /// The simulation epoch (time zero).

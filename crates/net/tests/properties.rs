@@ -1,7 +1,10 @@
-//! Property-based tests of the simulated network's delivery invariants.
+//! Property-based tests of the simulated network's delivery invariants, on
+//! the in-repo `amnesia-testkit` harness.
 
 use amnesia_net::{LatencyModel, LinkProfile, SimNet};
-use proptest::prelude::*;
+use amnesia_testkit::{for_all, require, require_eq, Gen};
+
+const CASES: u32 = 64;
 
 /// Builds a clique of `n` endpoints with the given latency model.
 fn clique(n: usize, seed: u64, latency: LatencyModel, drop: f64) -> (SimNet, Vec<String>) {
@@ -24,42 +27,44 @@ fn clique(n: usize, seed: u64, latency: LatencyModel, drop: f64) -> (SimNet, Vec
     (net, names)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Conservation: every sent frame is delivered exactly once or counted
-    /// as dropped; nothing is duplicated or lost silently.
-    #[test]
-    fn frames_conserved(
-        seed in any::<u64>(),
-        n in 2usize..5,
-        sends in proptest::collection::vec((any::<u8>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..16)), 1..40),
-        drop in 0.0f64..0.5,
-    ) {
+/// Conservation: every sent frame is delivered exactly once or counted as
+/// dropped; nothing is duplicated or lost silently.
+#[test]
+fn frames_conserved() {
+    for_all("frames conserved", CASES, |g: &mut Gen| {
+        let seed = g.next_u64();
+        let n = g.usize_in(2, 4);
+        let send_count = g.usize_in(1, 39);
+        let drop = g.f64_in(0.0, 0.5);
         let (mut net, names) = clique(n, seed, LatencyModel::uniform_ms(1.0, 50.0), drop);
         let mut sent = 0u64;
-        for (a, b, payload) in sends {
-            let from = &names[a as usize % n];
-            let to = &names[b as usize % n];
+        for _ in 0..send_count {
+            let a = g.next_u8() as usize % n;
+            let b = g.next_u8() as usize % n;
+            let payload_len = g.usize_in(0, 15);
+            let payload = g.bytes(payload_len);
+            let (from, to) = (&names[a], &names[b]);
             if from != to {
                 net.send(from, to, payload).unwrap();
                 sent += 1;
             }
         }
         let delivered = net.run_until_idle() as u64;
-        prop_assert_eq!(delivered + net.dropped_count(), sent);
+        require_eq!(delivered + net.dropped_count(), sent);
         let in_inboxes: usize = names.iter().map(|name| net.take_inbox(name).len()).sum();
-        prop_assert_eq!(in_inboxes as u64, delivered);
-        prop_assert_eq!(net.pending_count(), 0);
-    }
+        require_eq!(in_inboxes as u64, delivered);
+        require_eq!(net.pending_count(), 0);
+        Ok(())
+    });
+}
 
-    /// Causality and monotonicity: deliveries happen at non-decreasing
-    /// times, each no earlier than its send time.
-    #[test]
-    fn delivery_times_are_causal(
-        seed in any::<u64>(),
-        count in 1usize..30,
-    ) {
+/// Causality and monotonicity: deliveries happen at non-decreasing times,
+/// each no earlier than its send time.
+#[test]
+fn delivery_times_are_causal() {
+    for_all("delivery times are causal", CASES, |g: &mut Gen| {
+        let seed = g.next_u64();
+        let count = g.usize_in(1, 29);
         let (mut net, names) = clique(3, seed, LatencyModel::normal_ms(20.0, 10.0, 0.5), 0.0);
         for i in 0..count {
             let from = &names[i % 3];
@@ -68,41 +73,53 @@ proptest! {
         }
         let mut last = net.now();
         while let Some(frame) = net.step() {
-            prop_assert!(frame.delivered_at >= frame.sent_at);
-            prop_assert!(frame.delivered_at >= last, "clock went backwards");
-            prop_assert_eq!(frame.delivered_at, net.now());
+            require!(frame.delivered_at >= frame.sent_at, "delivered before sent");
+            require!(frame.delivered_at >= last, "clock went backwards");
+            require_eq!(frame.delivered_at, net.now());
             last = frame.delivered_at;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Wiretaps observe every frame on their link — including dropped ones —
-    /// and only frames on their link.
-    #[test]
-    fn wiretap_completeness(
-        seed in any::<u64>(),
-        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..8), 1..20),
-        drop in 0.0f64..1.0,
-    ) {
+/// Wiretaps observe every frame on their link — including dropped ones —
+/// and only frames on their link.
+#[test]
+fn wiretap_completeness() {
+    for_all("wiretap completeness", CASES, |g: &mut Gen| {
+        let seed = g.next_u64();
+        let payload_count = g.usize_in(1, 19);
+        let drop = g.f64_in(0.0, 1.0);
+        let payloads: Vec<Vec<u8>> = (0..payload_count)
+            .map(|_| {
+                let len = g.usize_in(0, 7);
+                g.bytes(len)
+            })
+            .collect();
         let (mut net, names) = clique(3, seed, LatencyModel::constant_ms(1.0), drop);
         let tap01 = net.tap(&names[0], &names[1]);
         for p in &payloads {
             net.send(&names[0], &names[1], p.clone()).unwrap();
             net.send(&names[1], &names[2], p.clone()).unwrap();
         }
-        prop_assert_eq!(tap01.len(), payloads.len());
+        require_eq!(tap01.len(), payloads.len());
         for (record, expected) in tap01.records().iter().zip(&payloads) {
-            prop_assert_eq!(&record.payload, expected);
-            prop_assert_eq!(&record.from, &names[0]);
+            require_eq!(&record.payload, expected);
+            require_eq!(&record.from, &names[0]);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Determinism: identical seeds and send sequences produce identical
-    /// delivery schedules even with stochastic latency and loss.
-    #[test]
-    fn schedules_deterministic(seed in any::<u64>(), count in 1usize..20) {
+/// Determinism: identical seeds and send sequences produce identical
+/// delivery schedules even with stochastic latency and loss.
+#[test]
+fn schedules_deterministic() {
+    for_all("schedules deterministic", CASES, |g: &mut Gen| {
+        let seed = g.next_u64();
+        let count = g.usize_in(1, 19);
         let run = |seed: u64| {
-            let (mut net, names) =
-                clique(2, seed, LatencyModel::log_normal(2.0, 0.7), 0.2);
+            let (mut net, names) = clique(2, seed, LatencyModel::log_normal(2.0, 0.7), 0.2);
             let mut times = Vec::new();
             for i in 0..count {
                 let r = net
@@ -113,6 +130,7 @@ proptest! {
             }
             times
         };
-        prop_assert_eq!(run(seed), run(seed));
-    }
+        require_eq!(run(seed), run(seed));
+        Ok(())
+    });
 }

@@ -51,15 +51,15 @@
 use amnesia_crypto::{hex, SecretRng};
 use amnesia_net::{Frame, NetError, SimNet};
 use amnesia_store::codec;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
 /// An opaque device address issued by the rendezvous service
 /// (the paper's Table I stores it in plaintext on the Amnesia server).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegistrationId(String);
+amnesia_store::record_tuple! { RegistrationId(token) }
 
 impl RegistrationId {
     /// The token text.
@@ -81,7 +81,7 @@ impl fmt::Display for RegistrationId {
 }
 
 /// The wire format the Amnesia server sends *to* the rendezvous service.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PushEnvelope {
     /// Which registered device to forward to.
     pub registration_id: RegistrationId,
@@ -89,6 +89,7 @@ pub struct PushEnvelope {
     /// origin metadata here).
     pub data: Vec<u8>,
 }
+amnesia_store::record_struct! { PushEnvelope { registration_id, data } }
 
 impl PushEnvelope {
     /// Encodes the envelope for transmission.

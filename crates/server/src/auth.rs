@@ -3,7 +3,6 @@
 use crate::error::ServerError;
 use amnesia_core::Salt;
 use amnesia_crypto::{ct_eq, hex, pbkdf2_hmac_sha256, SecretRng};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -25,12 +24,13 @@ pub const LOCKOUT_THRESHOLD: u32 = 10;
 /// assert!(v.verify(b"master password"));
 /// assert!(!v.verify(b"master passwore"));
 /// ```
-#[derive(Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Verifier {
     salt: Salt,
     hash: Vec<u8>,
     iterations: u32,
 }
+amnesia_store::record_struct! { Verifier { salt, hash, iterations } }
 
 impl fmt::Debug for Verifier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -80,8 +80,9 @@ impl Verifier {
 }
 
 /// An opaque session token issued after a successful login.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Session(String);
+amnesia_store::record_tuple! { Session(token) }
 
 impl Session {
     fn random(rng: &mut SecretRng) -> Self {

@@ -13,24 +13,24 @@ use amnesia_core::{
 use amnesia_net::SimInstant;
 use amnesia_rendezvous::RegistrationId;
 use amnesia_store::codec::{self, CodecError};
-use serde::{Deserialize, Serialize};
 
 /// The phone-side secret `Kp` as stored in the one-time cloud backup
 /// (§III-C1) and as uploaded back to the server during phone recovery.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct KpBackup {
     /// The phone ID `Pid`.
     pub pid: PhoneId,
     /// The entry table values `{e_i}` in order.
     pub entries: Vec<EntryValue>,
 }
+amnesia_store::record_struct! { KpBackup { pid, entries } }
 
 /// Payload the server pushes to the phone through the rendezvous service.
 ///
 /// Carries the request `R`, the origin metadata the paper shows in the
 /// confirmation screen (Fig. 2b includes the requesting IP), and the
 /// `tstart` timestamp of the §VI-B latency measurement.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PhonePush {
     /// The password request `R`.
     pub request: PasswordRequest,
@@ -44,16 +44,18 @@ pub struct PhonePush {
     /// interaction.
     pub session_grant: Option<SessionGrantToken>,
 }
+amnesia_store::record_struct! { PhonePush { request, origin, tstart, session_grant } }
 
 /// An opaque token the phone mints when the user enables a generation
 /// session (§VIII's "session mechanism ... in a fully fledged Amnesia
 /// system"). The phone keeps the authoritative use-count; the server merely
 /// echoes the token in pushes.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SessionGrantToken(pub Vec<u8>);
+amnesia_store::record_tuple! { SessionGrantToken(token) }
 
 /// The phone's answer: the token `T` plus the echoed request and timestamp.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TokenResponse {
     /// Echo of the request `R`, letting the server match the pending entry.
     pub request: PasswordRequest,
@@ -63,9 +65,10 @@ pub struct TokenResponse {
     /// prototype).
     pub tstart: SimInstant,
 }
+amnesia_store::record_struct! { TokenResponse { request, token, tstart } }
 
 /// Requests arriving at the Amnesia server (from browsers and phones).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 #[allow(missing_docs)] // field meanings documented on the handler methods
 #[non_exhaustive]
 pub enum ToServer {
@@ -149,9 +152,25 @@ pub enum ToServer {
         reply_to: String,
     },
 }
+amnesia_store::record_enum! { ToServer {
+    0 => Register { user_id, master_password, reply_to },
+    1 => Login { user_id, master_password, reply_to },
+    2 => Logout { session, reply_to },
+    3 => BeginPhonePairing { session, reply_to },
+    4 => CompletePhonePairing { user_id, captcha, pid, registration_id, reply_to },
+    5 => AddAccount { session, username, domain, policy, reply_to },
+    6 => ListAccounts { session, reply_to },
+    7 => RotateSeed { session, username, domain, reply_to },
+    8 => RequestPassword { session, username, domain, reply_to },
+    9 => Token(response),
+    10 => StoreChosenPassword { session, username, domain, chosen_password, reply_to },
+    11 => SessionGrant { user_id, grant, max_uses, reply_to },
+    12 => RecoverPhone { user_id, master_password, backup, reply_to },
+    13 => ChangeMasterPassword { user_id, old_master_password, pid, new_master_password, reply_to },
+} }
 
 /// Responses the server sends back to browser endpoints.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 #[allow(missing_docs)]
 #[non_exhaustive]
 pub enum FromServer {
@@ -195,6 +214,23 @@ pub enum FromServer {
         message: String,
     },
 }
+amnesia_store::record_enum! { FromServer {
+    0 => Registered,
+    1 => LoginOk { session },
+    2 => LoggedOut,
+    3 => PairingChallenge { captcha },
+    4 => PhonePaired,
+    5 => AccountAdded,
+    6 => Accounts { accounts },
+    7 => SeedRotated,
+    8 => RequestPushed,
+    9 => PasswordReady { account, password, requested_at },
+    10 => PhoneRecovered { credentials },
+    11 => ChosenPasswordStored { account },
+    12 => SessionGranted { remaining_uses },
+    13 => MasterPasswordChanged,
+    14 => Error { message },
+} }
 
 macro_rules! wire_impls {
     ($ty:ty) => {

@@ -4,17 +4,17 @@ use crate::auth::Verifier;
 use amnesia_core::{AccountEntry, Domain, GeneratedPassword, OnlineId, PasswordPolicy, Username};
 use amnesia_crypto::hex;
 use amnesia_rendezvous::RegistrationId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A `(username, domain)` pair naming one managed website account.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AccountRef {
     /// The account username `µ`.
     pub username: Username,
     /// The account domain `d`.
     pub domain: Domain,
 }
+amnesia_store::record_struct! { AccountRef { username, domain } }
 
 impl fmt::Display for AccountRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -29,7 +29,7 @@ impl fmt::Display for AccountRef {
 /// variant stores the chosen password sealed under the bilateral key
 /// `k = SHA-512(T ‖ Oid ‖ σ)`, so the ciphertext at rest is useless without
 /// a token from the phone — data-breach resistance is preserved.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum AccountKind {
     /// Password is rendered from the template function (the paper's §III-B).
     Generated,
@@ -39,10 +39,11 @@ pub enum AccountKind {
         ciphertext: Vec<u8>,
     },
 }
+amnesia_store::record_enum! { AccountKind { 0 => Generated, 1 => Vaulted { ciphertext } } }
 
 /// One managed account: the `(µ, d, σ)` entry of `Ks` plus the per-account
 /// template policy (§III-B4 lets users adjust charset and length per site).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StoredAccount {
     /// The `(µ, d, σ)` entry.
     pub entry: AccountEntry,
@@ -51,6 +52,7 @@ pub struct StoredAccount {
     /// Generated (template) or vaulted (chosen, sealed).
     pub kind: AccountKind,
 }
+amnesia_store::record_struct! { StoredAccount { entry, policy, kind } }
 
 impl StoredAccount {
     /// The account's reference key.
@@ -63,7 +65,7 @@ impl StoredAccount {
 }
 
 /// Everything the Amnesia server stores about one user (paper Table I).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct UserRecord {
     /// Login name for the Amnesia web account.
     pub user_id: String,
@@ -78,6 +80,9 @@ pub struct UserRecord {
     pub registration_id: Option<RegistrationId>,
     /// Managed website accounts `{(µ, d, σ)}`.
     pub accounts: Vec<StoredAccount>,
+}
+amnesia_store::record_struct! {
+    UserRecord { user_id, oid, mp_verifier, pid_verifier, registration_id, accounts }
 }
 
 impl UserRecord {
@@ -158,7 +163,7 @@ impl UserRecord {
 /// One regenerated credential handed to the user during phone recovery
 /// (§III-C1): the *old* password, which the user needs in order to log into
 /// the website and change it.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RecoveredCredential {
     /// The account username.
     pub username: Username,
@@ -167,6 +172,7 @@ pub struct RecoveredCredential {
     /// The password as generated with the old phone's entry table.
     pub old_password: GeneratedPassword,
 }
+amnesia_store::record_struct! { RecoveredCredential { username, domain, old_password } }
 
 #[cfg(test)]
 mod tests {

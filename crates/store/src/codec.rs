@@ -1,25 +1,30 @@
-//! A compact, non-self-describing binary serde format ("abin").
+//! A compact, non-self-describing binary codec ("abin"), built on the
+//! in-repo [`Record`] trait — no external serialization framework.
 //!
 //! This is the wire/disk format used by every persisted row and every
 //! simulated network payload in the workspace. Encoding rules:
 //!
-//! * integers: fixed-width little-endian; `usize`/collection lengths as
-//!   LEB128 varints;
+//! * integers: fixed-width little-endian; collection lengths and enum
+//!   variant indices as LEB128 varints;
 //! * `bool`: one byte, `0` or `1`;
-//! * `str`/bytes: varint length followed by the raw bytes;
+//! * `str`: varint length followed by the raw UTF-8 bytes;
 //! * `Option`: one tag byte then the value if present;
 //! * structs/tuples: fields in declaration order, no field names;
-//! * enums: varint variant index then the payload.
+//! * enums: varint variant index then the payload;
+//! * fixed byte arrays `[u8; N]`: the raw `N` bytes, no length prefix.
 //!
 //! The format is not self-describing, so decoding requires the same type
 //! that encoded the value — exactly the property a typed table store needs,
 //! and it keeps rows small.
 //!
-//! ```
-//! use serde::{Deserialize, Serialize};
+//! Types opt in by implementing [`Record`], usually via the
+//! [`record_struct!`](crate::record_struct), [`record_tuple!`](crate::record_tuple)
+//! and [`record_enum!`](crate::record_enum) helper macros:
 //!
-//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! ```
+//! #[derive(PartialEq, Debug)]
 //! struct Row(String, u32);
+//! amnesia_store::record_tuple! { Row(name, count) }
 //!
 //! # fn main() -> Result<(), amnesia_store::codec::CodecError> {
 //! let bytes = amnesia_store::codec::to_bytes(&Row("x".into(), 7))?;
@@ -29,8 +34,7 @@
 //! # }
 //! ```
 
-use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
-use serde::ser::{self, Serialize};
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -53,8 +57,6 @@ pub enum CodecError {
     InvalidUtf8,
     /// A varint exceeded 64 bits.
     VarintOverflow,
-    /// The serializer was given a sequence of unknown length.
-    LengthRequired,
     /// A length prefix was implausibly large for the remaining input.
     LengthOverflow {
         /// The declared length.
@@ -62,8 +64,8 @@ pub enum CodecError {
         /// Bytes actually remaining.
         remaining: usize,
     },
-    /// Error raised by a `Serialize`/`Deserialize` implementation.
-    Message(String),
+    /// An enum variant index had no corresponding variant.
+    InvalidVariant(u64),
 }
 
 impl fmt::Display for CodecError {
@@ -77,9 +79,6 @@ impl fmt::Display for CodecError {
             CodecError::InvalidChar(c) => write!(f, "invalid char code point {c:#x}"),
             CodecError::InvalidUtf8 => write!(f, "string bytes are not valid UTF-8"),
             CodecError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
-            CodecError::LengthRequired => {
-                write!(f, "sequences of unknown length are unsupported")
-            }
             CodecError::LengthOverflow {
                 declared,
                 remaining,
@@ -87,35 +86,40 @@ impl fmt::Display for CodecError {
                 f,
                 "declared length {declared} exceeds remaining input {remaining}"
             ),
-            CodecError::Message(m) => f.write_str(m),
+            CodecError::InvalidVariant(idx) => write!(f, "unknown enum variant index {idx}"),
         }
     }
 }
 
 impl Error for CodecError {}
 
-impl ser::Error for CodecError {
-    fn custom<T: fmt::Display>(msg: T) -> Self {
-        CodecError::Message(msg.to_string())
-    }
-}
+/// A value encodable to and decodable from the abin byte format.
+///
+/// Implementations must be lossless and deterministic: `decode(encode(v))`
+/// yields a value equal to `v`, and equal values encode to identical bytes
+/// (the checksummed snapshots depend on this).
+pub trait Record: Sized {
+    /// Appends this value's encoding to `out`. Encoding is infallible.
+    fn encode(&self, out: &mut Vec<u8>);
 
-impl de::Error for CodecError {
-    fn custom<T: fmt::Display>(msg: T) -> Self {
-        CodecError::Message(msg.to_string())
-    }
+    /// Reads one value from the front of `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
 }
 
 /// Serializes `value` into the compact binary format.
 ///
 /// # Errors
 ///
-/// Returns [`CodecError::LengthRequired`] for iterators of unknown length
-/// or any error raised by the value's `Serialize` implementation.
-pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError> {
-    let mut enc = Encoder { out: Vec::new() };
-    value.serialize(&mut enc)?;
-    Ok(enc.out)
+/// Encoding itself cannot fail; the `Result` is kept so call sites share one
+/// error-handling shape with [`from_bytes`].
+pub fn to_bytes<T: Record>(value: &T) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    Ok(out)
 }
 
 /// Deserializes a value previously produced by [`to_bytes`].
@@ -123,312 +127,54 @@ pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError>
 /// # Errors
 ///
 /// Fails on malformed input, type mismatches, or trailing bytes.
-pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
-    let mut dec = Decoder { input: bytes };
-    let value = T::deserialize(&mut dec)?;
-    if !dec.input.is_empty() {
+pub fn from_bytes<T: Record>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut r = Reader { input: bytes };
+    let value = T::decode(&mut r)?;
+    if !r.input.is_empty() {
         return Err(CodecError::TrailingBytes {
-            remaining: dec.input.len(),
+            remaining: r.input.len(),
         });
     }
     Ok(value)
 }
 
-// ---------------------------------------------------------------------------
-// Encoder
-// ---------------------------------------------------------------------------
-
-struct Encoder {
-    out: Vec<u8>,
-}
-
-impl Encoder {
-    fn put_varint(&mut self, mut v: u64) {
-        loop {
-            let byte = (v & 0x7f) as u8;
-            v >>= 7;
-            if v == 0 {
-                self.out.push(byte);
-                return;
-            }
-            self.out.push(byte | 0x80);
+/// Appends `v` to `out` as a LEB128 varint.
+pub fn write_varint(v: u64, out: &mut Vec<u8>) {
+    let mut v = v;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
         }
+        out.push(byte | 0x80);
     }
 }
 
-impl ser::Serializer for &mut Encoder {
-    type Ok = ();
-    type Error = CodecError;
-    type SerializeSeq = Self;
-    type SerializeTuple = Self;
-    type SerializeTupleStruct = Self;
-    type SerializeTupleVariant = Self;
-    type SerializeMap = Self;
-    type SerializeStruct = Self;
-    type SerializeStructVariant = Self;
-
-    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
-        self.out.push(v as u8);
-        Ok(())
-    }
-
-    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_i128(self, v: i128) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
-        self.out.push(v);
-        Ok(())
-    }
-    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_u128(self, v: u128) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
-    }
-    fn serialize_char(self, v: char) -> Result<(), CodecError> {
-        self.out.extend_from_slice(&(v as u32).to_le_bytes());
-        Ok(())
-    }
-
-    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
-        self.put_varint(v.len() as u64);
-        self.out.extend_from_slice(v.as_bytes());
-        Ok(())
-    }
-
-    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
-        self.put_varint(v.len() as u64);
-        self.out.extend_from_slice(v);
-        Ok(())
-    }
-
-    fn serialize_none(self) -> Result<(), CodecError> {
-        self.out.push(0);
-        Ok(())
-    }
-
-    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
-        self.out.push(1);
-        value.serialize(self)
-    }
-
-    fn serialize_unit(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-
-    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
-        Ok(())
-    }
-
-    fn serialize_unit_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-    ) -> Result<(), CodecError> {
-        self.put_varint(variant_index as u64);
-        Ok(())
-    }
-
-    fn serialize_newtype_struct<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(self)
-    }
-
-    fn serialize_newtype_variant<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        self.put_varint(variant_index as u64);
-        value.serialize(self)
-    }
-
-    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
-        let len = len.ok_or(CodecError::LengthRequired)?;
-        self.put_varint(len as u64);
-        Ok(self)
-    }
-
-    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
-        Ok(self)
-    }
-
-    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
-        Ok(self)
-    }
-
-    fn serialize_tuple_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Self, CodecError> {
-        self.put_varint(variant_index as u64);
-        Ok(self)
-    }
-
-    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
-        let len = len.ok_or(CodecError::LengthRequired)?;
-        self.put_varint(len as u64);
-        Ok(self)
-    }
-
-    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
-        Ok(self)
-    }
-
-    fn serialize_struct_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Self, CodecError> {
-        self.put_varint(variant_index as u64);
-        Ok(self)
-    }
+/// A cursor over the bytes being decoded.
+pub struct Reader<'a> {
+    input: &'a [u8],
 }
 
-impl ser::SerializeSeq for &mut Encoder {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-        value.serialize(&mut **self)
+impl<'a> Reader<'a> {
+    /// Wraps `bytes` for decoding. Most callers want [`from_bytes`], which
+    /// additionally rejects trailing input.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { input: bytes }
     }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
 
-impl ser::SerializeTuple for &mut Encoder {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-        value.serialize(&mut **self)
+    /// Unread bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.input.len()
     }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
 
-impl ser::SerializeTupleStruct for &mut Encoder {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-
-impl ser::SerializeTupleVariant for &mut Encoder {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-
-impl ser::SerializeMap for &mut Encoder {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
-        key.serialize(&mut **self)
-    }
-    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-
-impl ser::SerializeStruct for &mut Encoder {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-
-impl ser::SerializeStructVariant for &mut Encoder {
-    type Ok = ();
-    type Error = CodecError;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<(), CodecError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Decoder
-// ---------------------------------------------------------------------------
-
-struct Decoder<'de> {
-    input: &'de [u8],
-}
-
-impl<'de> Decoder<'de> {
-    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+    /// Consumes and returns the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.input.len() < n {
             return Err(CodecError::UnexpectedEof);
         }
@@ -437,11 +183,21 @@ impl<'de> Decoder<'de> {
         Ok(head)
     }
 
-    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+    /// Consumes the next `N` bytes as a fixed-size array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] on short input.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
         Ok(self.take(N)?.try_into().expect("exact length"))
     }
 
-    fn get_varint(&mut self) -> Result<u64, CodecError> {
+    /// Reads a LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::VarintOverflow`] past 64 bits, or EOF.
+    pub fn varint(&mut self) -> Result<u64, CodecError> {
         let mut v: u64 = 0;
         let mut shift = 0u32;
         loop {
@@ -457,8 +213,15 @@ impl<'de> Decoder<'de> {
         }
     }
 
-    fn get_len(&mut self) -> Result<usize, CodecError> {
-        let declared = self.get_varint()?;
+    /// Reads a varint length prefix and sanity-checks it against the
+    /// remaining input, so hostile prefixes fail fast instead of driving a
+    /// huge allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::LengthOverflow`] for implausible lengths.
+    pub fn length(&mut self) -> Result<usize, CodecError> {
+        let declared = self.varint()?;
         if declared > self.input.len() as u64 {
             return Err(CodecError::LengthOverflow {
                 declared,
@@ -469,309 +232,350 @@ impl<'de> Decoder<'de> {
     }
 }
 
-macro_rules! de_fixed {
-    ($method:ident, $visit:ident, $ty:ty) => {
-        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-            let arr = self.take_array::<{ std::mem::size_of::<$ty>() }>()?;
-            visitor.$visit(<$ty>::from_le_bytes(arr))
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_record_le {
+    ($($ty:ty),+) => {
+        $(
+            impl Record for $ty {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    out.extend_from_slice(&self.to_le_bytes());
+                }
+                fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                    Ok(<$ty>::from_le_bytes(r.take_array()?))
+                }
+            }
+        )+
+    };
+}
+
+impl_record_le!(i8, i16, i32, i64, i128, u16, u32, u64, u128, f32, f64);
+
+impl Record for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(r.take(1)?[0])
+    }
+}
+
+impl Record for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CodecError::InvalidBool(b)),
+        }
+    }
+}
+
+// `usize` travels as u64 so 32- and 64-bit encodings agree.
+impl Record for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| CodecError::LengthOverflow {
+            declared: v,
+            remaining: r.remaining(),
+        })
+    }
+}
+
+impl Record for char {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u32).encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let code = u32::decode(r)?;
+        char::from_u32(code).ok_or(CodecError::InvalidChar(code))
+    }
+}
+
+impl Record for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(())
+    }
+}
+
+impl Record for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(self.len() as u64, out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = r.length()?;
+        let bytes = r.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| CodecError::InvalidUtf8)
+    }
+}
+
+impl<const N: usize> Record for [u8; N] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.take_array()
+    }
+}
+
+impl<T: Record> Record for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(self.len() as u64, out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = r.length()?;
+        let mut out = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Record> Record for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(CodecError::InvalidBool(b)),
+        }
+    }
+}
+
+impl<T: Record> Record for Box<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (**self).encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Box::new(T::decode(r)?))
+    }
+}
+
+impl<K: Record + Ord, V: Record> Record for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(self.len() as u64, out);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = r.length()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_record_tuple {
+    ($(($($t:ident . $idx:tt),+))+) => {
+        $(
+            impl<$($t: Record),+> Record for ($($t,)+) {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    $( self.$idx.encode(out); )+
+                }
+                fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                    Ok(($($t::decode(r)?,)+))
+                }
+            }
+        )+
+    };
+}
+
+impl_record_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------------
+// Derive-style helper macros
+// ---------------------------------------------------------------------------
+
+/// Implements [`Record`](crate::codec::Record) for a struct with named
+/// fields, encoding the listed fields in order.
+///
+/// ```
+/// #[derive(PartialEq, Debug)]
+/// struct Point { x: f64, y: f64 }
+/// amnesia_store::record_struct! { Point { x, y } }
+///
+/// let bytes = amnesia_store::codec::to_bytes(&Point { x: 1.0, y: -2.0 }).unwrap();
+/// assert_eq!(bytes.len(), 16);
+/// ```
+#[macro_export]
+macro_rules! record_struct {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::codec::Record for $name {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $( $crate::codec::Record::encode(&self.$field, out); )+
+            }
+            fn decode(
+                r: &mut $crate::codec::Reader<'_>,
+            ) -> Result<Self, $crate::codec::CodecError> {
+                Ok($name {
+                    $( $field: $crate::codec::Record::decode(r)?, )+
+                })
+            }
         }
     };
 }
 
-impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
-    type Error = CodecError;
-
-    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
-        Err(CodecError::Message(
-            "abin is not self-describing; deserialize_any is unsupported".into(),
-        ))
-    }
-
-    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        match self.take(1)?[0] {
-            0 => visitor.visit_bool(false),
-            1 => visitor.visit_bool(true),
-            b => Err(CodecError::InvalidBool(b)),
+/// Implements [`Record`](crate::codec::Record) for a tuple struct; the
+/// identifiers are binders naming each positional field.
+///
+/// ```
+/// #[derive(PartialEq, Debug)]
+/// struct Pair(u8, String);
+/// amnesia_store::record_tuple! { Pair(a, b) }
+/// ```
+#[macro_export]
+macro_rules! record_tuple {
+    ($name:ident ( $($field:ident),+ $(,)? )) => {
+        impl $crate::codec::Record for $name {
+            fn encode(&self, out: &mut Vec<u8>) {
+                let $name($($field),+) = self;
+                $( $crate::codec::Record::encode($field, out); )+
+            }
+            fn decode(
+                r: &mut $crate::codec::Reader<'_>,
+            ) -> Result<Self, $crate::codec::CodecError> {
+                Ok($name($( $crate::__record_decode_one!(r, $field) ),+))
+            }
         }
-    }
+    };
+}
 
-    de_fixed!(deserialize_i8, visit_i8, i8);
-    de_fixed!(deserialize_i16, visit_i16, i16);
-    de_fixed!(deserialize_i32, visit_i32, i32);
-    de_fixed!(deserialize_i64, visit_i64, i64);
-    de_fixed!(deserialize_i128, visit_i128, i128);
-    de_fixed!(deserialize_u16, visit_u16, u16);
-    de_fixed!(deserialize_u32, visit_u32, u32);
-    de_fixed!(deserialize_u64, visit_u64, u64);
-    de_fixed!(deserialize_u128, visit_u128, u128);
-    de_fixed!(deserialize_f32, visit_f32, f32);
-    de_fixed!(deserialize_f64, visit_f64, f64);
-
-    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        visitor.visit_u8(self.take(1)?[0])
-    }
-
-    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let code = u32::from_le_bytes(self.take_array::<4>()?);
-        let c = char::from_u32(code).ok_or(CodecError::InvalidChar(code))?;
-        visitor.visit_char(c)
-    }
-
-    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.get_len()?;
-        let bytes = self.take(len)?;
-        let s = std::str::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)?;
-        visitor.visit_borrowed_str(s)
-    }
-
-    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        self.deserialize_str(visitor)
-    }
-
-    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.get_len()?;
-        visitor.visit_borrowed_bytes(self.take(len)?)
-    }
-
-    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        self.deserialize_bytes(visitor)
-    }
-
-    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        match self.take(1)?[0] {
-            0 => visitor.visit_none(),
-            1 => visitor.visit_some(self),
-            b => Err(CodecError::InvalidBool(b)),
+/// Implements [`Record`](crate::codec::Record) for an enum. Each variant is
+/// listed with an explicit wire index (documenting the format and keeping it
+/// stable under reordering), and tuple/struct payload fields are named as
+/// binders.
+///
+/// ```
+/// #[derive(PartialEq, Debug)]
+/// enum Shape {
+///     Unit,
+///     Newtype(u64),
+///     Tuple(i8, String),
+///     Struct { x: f64, y: f64 },
+/// }
+/// amnesia_store::record_enum! { Shape {
+///     0 => Unit,
+///     1 => Newtype(v),
+///     2 => Tuple(a, b),
+///     3 => Struct { x, y },
+/// } }
+/// ```
+#[macro_export]
+macro_rules! record_enum {
+    ($name:ident {
+        $(
+            $idx:literal => $variant:ident
+                $( ( $($tfield:ident),+ $(,)? ) )?
+                $( { $($sfield:ident),+ $(,)? } )?
+        ),+ $(,)?
+    }) => {
+        impl $crate::codec::Record for $name {
+            fn encode(&self, out: &mut Vec<u8>) {
+                match self {
+                    $(
+                        $name::$variant
+                            $( ( $($tfield),+ ) )?
+                            $( { $($sfield),+ } )?
+                        => {
+                            $crate::codec::write_varint($idx as u64, out);
+                            $( $( $crate::codec::Record::encode($tfield, out); )+ )?
+                            $( $( $crate::codec::Record::encode($sfield, out); )+ )?
+                        }
+                    )+
+                }
+            }
+            fn decode(
+                r: &mut $crate::codec::Reader<'_>,
+            ) -> Result<Self, $crate::codec::CodecError> {
+                match r.varint()? {
+                    $(
+                        $idx => Ok($name::$variant
+                            $( ( $( $crate::__record_decode_one!(r, $tfield) ),+ ) )?
+                            $( { $( $sfield: $crate::codec::Record::decode(r)? ),+ } )?
+                        ),
+                    )+
+                    other => Err($crate::codec::CodecError::InvalidVariant(other)),
+                }
+            }
         }
-    }
-
-    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        visitor.visit_unit()
-    }
-
-    fn deserialize_unit_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_unit()
-    }
-
-    fn deserialize_newtype_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_newtype_struct(self)
-    }
-
-    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.get_len()?;
-        visitor.visit_seq(CountedAccess {
-            decoder: self,
-            remaining: len,
-        })
-    }
-
-    fn deserialize_tuple<V: Visitor<'de>>(
-        self,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(CountedAccess {
-            decoder: self,
-            remaining: len,
-        })
-    }
-
-    fn deserialize_tuple_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        self.deserialize_tuple(len, visitor)
-    }
-
-    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
-        let len = self.get_len()?;
-        visitor.visit_map(CountedAccess {
-            decoder: self,
-            remaining: len,
-        })
-    }
-
-    fn deserialize_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        self.deserialize_tuple(fields.len(), visitor)
-    }
-
-    fn deserialize_enum<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        _variants: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        visitor.visit_enum(EnumAccess { decoder: self })
-    }
-
-    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
-        Err(CodecError::Message(
-            "abin does not store identifiers".into(),
-        ))
-    }
-
-    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
-        Err(CodecError::Message(
-            "abin cannot skip unknown values".into(),
-        ))
-    }
-
-    fn is_human_readable(&self) -> bool {
-        false
-    }
+    };
 }
 
-struct CountedAccess<'a, 'de> {
-    decoder: &'a mut Decoder<'de>,
-    remaining: usize,
-}
-
-impl<'a, 'de> de::SeqAccess<'de> for CountedAccess<'a, 'de> {
-    type Error = CodecError;
-
-    fn next_element_seed<T: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: T,
-    ) -> Result<Option<T::Value>, CodecError> {
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        self.remaining -= 1;
-        seed.deserialize(&mut *self.decoder).map(Some)
-    }
-
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.remaining)
-    }
-}
-
-impl<'a, 'de> de::MapAccess<'de> for CountedAccess<'a, 'de> {
-    type Error = CodecError;
-
-    fn next_key_seed<K: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: K,
-    ) -> Result<Option<K::Value>, CodecError> {
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        self.remaining -= 1;
-        seed.deserialize(&mut *self.decoder).map(Some)
-    }
-
-    fn next_value_seed<V: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: V,
-    ) -> Result<V::Value, CodecError> {
-        seed.deserialize(&mut *self.decoder)
-    }
-
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.remaining)
-    }
-}
-
-struct EnumAccess<'a, 'de> {
-    decoder: &'a mut Decoder<'de>,
-}
-
-impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
-    type Error = CodecError;
-    type Variant = VariantAccess<'a, 'de>;
-
-    fn variant_seed<V: de::DeserializeSeed<'de>>(
-        self,
-        seed: V,
-    ) -> Result<(V::Value, Self::Variant), CodecError> {
-        let index = self.decoder.get_varint()?;
-        let index = u32::try_from(index).map_err(|_| CodecError::VarintOverflow)?;
-        let value = seed.deserialize(index.into_deserializer())?;
-        Ok((
-            value,
-            VariantAccess {
-                decoder: self.decoder,
-            },
-        ))
-    }
-}
-
-struct VariantAccess<'a, 'de> {
-    decoder: &'a mut Decoder<'de>,
-}
-
-impl<'a, 'de> de::VariantAccess<'de> for VariantAccess<'a, 'de> {
-    type Error = CodecError;
-
-    fn unit_variant(self) -> Result<(), CodecError> {
-        Ok(())
-    }
-
-    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
-        self,
-        seed: T,
-    ) -> Result<T::Value, CodecError> {
-        seed.deserialize(self.decoder)
-    }
-
-    fn tuple_variant<V: Visitor<'de>>(
-        self,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        de::Deserializer::deserialize_tuple(self.decoder, len, visitor)
-    }
-
-    fn struct_variant<V: Visitor<'de>>(
-        self,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        de::Deserializer::deserialize_tuple(self.decoder, fields.len(), visitor)
-    }
+/// Internal: expands to one decode call per ignored field binder.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __record_decode_one {
+    ($r:ident, $field:ident) => {
+        $crate::codec::Record::decode($r)?
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde::{Deserialize, Serialize};
-    use std::collections::BTreeMap;
 
-    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + fmt::Debug>(value: T) {
+    fn roundtrip<T: Record + PartialEq + fmt::Debug>(value: T) {
         let bytes = to_bytes(&value).unwrap();
         let back: T = from_bytes(&bytes).unwrap();
         assert_eq!(back, value);
     }
 
-    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    #[derive(PartialEq, Debug)]
     struct Nested {
         name: String,
         tags: Vec<u32>,
         blob: Vec<u8>,
         maybe: Option<Box<Nested>>,
     }
+    crate::record_struct! { Nested { name, tags, blob, maybe } }
 
-    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    #[derive(PartialEq, Debug)]
     enum Shape {
         Unit,
         Newtype(u64),
         Tuple(i8, String),
         Struct { x: f64, y: f64 },
     }
+    crate::record_enum! { Shape {
+        0 => Unit,
+        1 => Newtype(v),
+        2 => Tuple(a, b),
+        3 => Struct { x, y },
+    } }
 
     #[test]
     fn primitives_roundtrip() {
@@ -789,6 +593,8 @@ mod tests {
         roundtrip(Option::<u32>::None);
         roundtrip(Some(9u32));
         roundtrip(());
+        roundtrip(usize::MAX);
+        roundtrip([0xabu8; 17]);
     }
 
     #[test]
@@ -823,6 +629,15 @@ mod tests {
         roundtrip(Shape::Newtype(42));
         roundtrip(Shape::Tuple(-3, "t".into()));
         roundtrip(Shape::Struct { x: 1.0, y: -2.0 });
+    }
+
+    #[test]
+    fn enum_wire_index_is_explicit() {
+        // The macro's explicit indices are the wire format.
+        assert_eq!(to_bytes(&Shape::Unit).unwrap(), vec![0]);
+        assert_eq!(to_bytes(&Shape::Newtype(1)).unwrap()[0], 1);
+        let r: Result<Shape, _> = from_bytes(&[9]);
+        assert_eq!(r, Err(CodecError::InvalidVariant(9)));
     }
 
     #[test]
@@ -868,16 +683,7 @@ mod tests {
         // Declares 2^62 elements with 1 byte of payload: must fail fast,
         // not attempt allocation.
         let mut bytes = Vec::new();
-        let mut v: u64 = 1 << 62;
-        loop {
-            let b = (v & 0x7f) as u8;
-            v >>= 7;
-            if v == 0 {
-                bytes.push(b);
-                break;
-            }
-            bytes.push(b | 0x80);
-        }
+        write_varint(1 << 62, &mut bytes);
         bytes.push(0);
         let r: Result<Vec<u8>, _> = from_bytes(&bytes);
         assert!(matches!(r, Err(CodecError::LengthOverflow { .. })));
@@ -890,6 +696,11 @@ mod tests {
         assert_eq!(bytes.len(), 3);
         let bytes = to_bytes(&String::from("abc")).unwrap();
         assert_eq!(bytes.len(), 4); // 1 length byte + 3 payload
+    }
+
+    #[test]
+    fn fixed_arrays_have_no_length_prefix() {
+        assert_eq!(to_bytes(&[7u8; 32]).unwrap().len(), 32);
     }
 
     #[test]

@@ -1,19 +1,16 @@
 //! The database: a set of named tables with checksummed snapshot
 //! persistence.
 
-use crate::codec;
+use crate::codec::{self, Record};
 use crate::error::StoreError;
 use crate::table::{RawTable, TypedTable};
 use amnesia_crypto::{ct_eq, sha256};
-use parking_lot::RwLock;
-use serde::de::DeserializeOwned;
-use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io::Write;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Snapshot file magic: identifies the format and major version.
 const MAGIC: &[u8; 8] = b"ABINDB1\0";
@@ -53,7 +50,7 @@ pub struct Database {
 
 impl fmt::Debug for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let tables = self.tables.read();
+        let tables = self.read_tables();
         f.debug_struct("Database")
             .field("tables", &tables.keys().collect::<Vec<_>>())
             .finish()
@@ -74,6 +71,22 @@ impl Database {
         }
     }
 
+    /// Read lock on the table registry, explicitly recovering from
+    /// poisoning (see [`crate::table::read_lock`] for why this is sound).
+    fn read_tables(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, RawTable>> {
+        self.tables
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Write lock on the table registry, explicitly recovering from
+    /// poisoning.
+    fn write_tables(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, RawTable>> {
+        self.tables
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Returns a typed handle onto the named table, creating the table if it
     /// does not exist.
     ///
@@ -81,11 +94,11 @@ impl Database {
     /// same types or decoding will fail at access time.
     pub fn table<K, V>(&self, name: &str) -> TypedTable<K, V>
     where
-        K: Serialize + DeserializeOwned,
-        V: Serialize + DeserializeOwned,
+        K: Record,
+        V: Record,
     {
         let raw = {
-            let mut tables = self.tables.write();
+            let mut tables = self.write_tables();
             Arc::clone(
                 tables
                     .entry(name.to_string())
@@ -97,22 +110,21 @@ impl Database {
 
     /// Names of all tables (including empty ones).
     pub fn table_names(&self) -> Vec<String> {
-        self.tables.read().keys().cloned().collect()
+        self.read_tables().keys().cloned().collect()
     }
 
     /// Drops a table and all its rows; returns whether it existed.
     pub fn drop_table(&self, name: &str) -> bool {
-        self.tables.write().remove(name).is_some()
+        self.write_tables().remove(name).is_some()
     }
 
     /// Serializes every table into the snapshot byte format (magic, payload,
     /// SHA-256 trailer).
     fn to_snapshot_bytes(&self) -> Result<Vec<u8>, StoreError> {
-        let tables = self.tables.read();
+        let tables = self.read_tables();
         let mut dump: Vec<TableDump> = Vec::new();
         for (name, raw) in tables.iter() {
-            let rows: Vec<(Vec<u8>, Vec<u8>)> = raw
-                .read()
+            let rows: Vec<(Vec<u8>, Vec<u8>)> = crate::table::read_lock(raw)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect();

@@ -4,12 +4,14 @@
 //! verifiers, registration IDs) and the phone state (`Kp`) in SQLite
 //! databases. This crate is the Rust stand-in: a small embedded store with
 //!
-//! * a **compact binary serde codec** ([`codec`]) so any
-//!   `Serialize`/`Deserialize` row type can be persisted without pulling an
-//!   external format crate,
+//! * a **compact binary codec** ([`codec`]) built on the in-repo
+//!   [`codec::Record`] trait, so any row type can be persisted without
+//!   pulling an external serialization crate — types opt in via the
+//!   [`record_struct!`], [`record_tuple!`] and [`record_enum!`] macros,
 //! * **named typed tables** ([`TypedTable`]) with unique primary keys and
-//!   ordered iteration, guarded by `parking_lot` locks so server request
-//!   threads can share one database, and
+//!   ordered iteration, guarded by `std::sync` locks (lock poisoning is
+//!   recovered explicitly) so server request threads can share one
+//!   database, and
 //! * **checksummed atomic snapshots** ([`Database::save_to`] /
 //!   [`Database::open`]) — the file carries a magic header, format version
 //!   and SHA-256 integrity checksum, and is written via a temp-file rename
@@ -18,14 +20,14 @@
 //! # Example
 //!
 //! ```
-//! use amnesia_store::{Database, TypedTable};
-//! use serde::{Deserialize, Serialize};
+//! use amnesia_store::{record_struct, Database, TypedTable};
 //!
-//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! #[derive(PartialEq, Debug)]
 //! struct UserRow {
 //!     name: String,
 //!     logins: u32,
 //! }
+//! record_struct! { UserRow { name, logins } }
 //!
 //! # fn main() -> Result<(), amnesia_store::StoreError> {
 //! let db = Database::in_memory();

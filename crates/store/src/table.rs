@@ -1,23 +1,37 @@
 //! Typed table handles over the raw byte store.
 
-use crate::codec;
+use crate::codec::{self, Record};
 use crate::error::StoreError;
-use parking_lot::RwLock;
-use serde::de::DeserializeOwned;
-use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-pub(crate) type RawTable = Arc<RwLock<BTreeMap<Vec<u8>, Vec<u8>>>>;
+pub(crate) type RawMap = BTreeMap<Vec<u8>, Vec<u8>>;
+pub(crate) type RawTable = Arc<RwLock<RawMap>>;
+
+/// Acquires the read lock, explicitly recovering from poisoning.
+///
+/// A poisoned lock means some writer panicked mid-update. For this store the
+/// map is always left structurally valid (every mutation is a single
+/// `BTreeMap` call, which is panic-atomic for the map itself), so recovering
+/// the guard is sound; we do it deliberately rather than unwrapping.
+pub(crate) fn read_lock(raw: &RwLock<RawMap>) -> RwLockReadGuard<'_, RawMap> {
+    raw.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Acquires the write lock, explicitly recovering from poisoning (see
+/// [`read_lock`]).
+pub(crate) fn write_lock(raw: &RwLock<RawMap>) -> RwLockWriteGuard<'_, RawMap> {
+    raw.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// A typed view over one named table of a [`Database`](crate::Database).
 ///
-/// Keys and rows are any serde-serializable types; the table enforces key
-/// uniqueness and orders iteration by the encoded key bytes. Handles are
-/// cheap to clone and safe to share across threads (the server's request
-/// threads all hold handles onto the same tables).
+/// Keys and rows are any [`Record`] types; the table enforces key uniqueness
+/// and orders iteration by the encoded key bytes. Handles are cheap to clone
+/// and safe to share across threads (the server's request threads all hold
+/// handles onto the same tables).
 ///
 /// ```
 /// use amnesia_store::{Database, TypedTable};
@@ -52,15 +66,15 @@ impl<K, V> fmt::Debug for TypedTable<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TypedTable")
             .field("name", &self.name)
-            .field("rows", &self.raw.read().len())
+            .field("rows", &read_lock(&self.raw).len())
             .finish()
     }
 }
 
 impl<K, V> TypedTable<K, V>
 where
-    K: Serialize + DeserializeOwned,
-    V: Serialize + DeserializeOwned,
+    K: Record,
+    V: Record,
 {
     pub(crate) fn new(name: String, raw: RawTable) -> Self {
         TypedTable {
@@ -84,7 +98,7 @@ where
     pub fn insert(&self, key: &K, value: &V) -> Result<(), StoreError> {
         let k = codec::to_bytes(key)?;
         let v = codec::to_bytes(value)?;
-        let mut raw = self.raw.write();
+        let mut raw = write_lock(&self.raw);
         if raw.contains_key(&k) {
             return Err(StoreError::DuplicateKey {
                 table: self.name.clone(),
@@ -102,7 +116,7 @@ where
     pub fn put(&self, key: &K, value: &V) -> Result<Option<V>, StoreError> {
         let k = codec::to_bytes(key)?;
         let v = codec::to_bytes(value)?;
-        let old = self.raw.write().insert(k, v);
+        let old = write_lock(&self.raw).insert(k, v);
         old.map(|bytes| codec::from_bytes(&bytes).map_err(StoreError::from))
             .transpose()
     }
@@ -114,7 +128,7 @@ where
     /// Returns a codec error if encoding or decoding fails.
     pub fn get(&self, key: &K) -> Result<Option<V>, StoreError> {
         let k = codec::to_bytes(key)?;
-        let raw = self.raw.read();
+        let raw = read_lock(&self.raw);
         raw.get(&k)
             .map(|bytes| codec::from_bytes(bytes).map_err(StoreError::from))
             .transpose()
@@ -127,7 +141,7 @@ where
     /// Returns a codec error if encoding or decoding fails.
     pub fn remove(&self, key: &K) -> Result<Option<V>, StoreError> {
         let k = codec::to_bytes(key)?;
-        let old = self.raw.write().remove(&k);
+        let old = write_lock(&self.raw).remove(&k);
         old.map(|bytes| codec::from_bytes(&bytes).map_err(StoreError::from))
             .transpose()
     }
@@ -139,22 +153,22 @@ where
     /// Returns a codec error if the key fails to encode.
     pub fn contains(&self, key: &K) -> Result<bool, StoreError> {
         let k = codec::to_bytes(key)?;
-        Ok(self.raw.read().contains_key(&k))
+        Ok(read_lock(&self.raw).contains_key(&k))
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.raw.read().len()
+        read_lock(&self.raw).len()
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.raw.read().is_empty()
+        read_lock(&self.raw).is_empty()
     }
 
     /// Removes every row.
     pub fn clear(&self) {
-        self.raw.write().clear();
+        write_lock(&self.raw).clear();
     }
 
     /// Decodes and returns all rows, ordered by encoded key.
@@ -167,7 +181,7 @@ where
     /// Returns a codec error if any stored row fails to decode (indicating
     /// the table was written with a different row type).
     pub fn scan(&self) -> Result<Vec<(K, V)>, StoreError> {
-        let raw = self.raw.read();
+        let raw = read_lock(&self.raw);
         raw.iter()
             .map(|(k, v)| {
                 Ok((
@@ -188,7 +202,7 @@ where
     /// Returns a codec error if encoding or decoding fails.
     pub fn update<F: FnOnce(&mut V)>(&self, key: &K, f: F) -> Result<bool, StoreError> {
         let k = codec::to_bytes(key)?;
-        let mut raw = self.raw.write();
+        let mut raw = write_lock(&self.raw);
         match raw.get(&k) {
             None => Ok(false),
             Some(bytes) => {
@@ -205,13 +219,13 @@ where
 #[cfg(test)]
 mod tests {
     use crate::Database;
-    use serde::{Deserialize, Serialize};
 
-    #[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+    #[derive(PartialEq, Debug, Clone)]
     struct Row {
         v: u64,
         label: String,
     }
+    crate::record_struct! { Row { v, label } }
 
     fn row(v: u64) -> Row {
         Row {
@@ -298,6 +312,26 @@ mod tests {
             }
         });
         assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn table_usable_after_poisoning_panic() {
+        // A reader panicking while holding the lock poisons it; the store
+        // recovers explicitly instead of propagating the poison forever.
+        let db = std::sync::Arc::new(Database::in_memory());
+        let t = db.table::<u32, Row>("p");
+        t.insert(&1, &row(1)).unwrap();
+        let t2 = t.clone();
+        let _ = std::thread::spawn(move || {
+            // Panic inside `update` — the write guard is held, so this
+            // poisons the lock.
+            let _ = t2.update(&1, |_| panic!("poison the lock"));
+        })
+        .join();
+        // Still fully usable afterwards.
+        assert_eq!(t.get(&1).unwrap(), Some(row(1)));
+        t.put(&2, &row(2)).unwrap();
+        assert_eq!(t.len(), 2);
     }
 
     #[test]

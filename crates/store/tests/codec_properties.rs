@@ -1,14 +1,15 @@
 //! Property-based tests of the binary codec over rich, recursive value
-//! shapes.
+//! shapes, on the in-repo `amnesia-testkit` harness.
 
 use amnesia_store::codec::{from_bytes, to_bytes};
-use proptest::prelude::*;
-use serde::{Deserialize, Serialize};
+use amnesia_store::record_enum;
+use amnesia_testkit::{for_all, require, require_eq, require_ne, Gen};
 use std::collections::BTreeMap;
 
-/// A recursive value covering every serde data-model case the codec
-/// supports.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+const CASES: u32 = 256;
+
+/// A recursive value covering every shape the codec supports.
+#[derive(Clone, Debug, PartialEq)]
 enum Value {
     Unit,
     Bool(bool),
@@ -28,57 +29,110 @@ enum Value {
     },
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Unit),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        any::<u128>().prop_map(Value::Big),
-        any::<u64>().prop_map(Value::Float),
-        ".{0,24}".prop_map(Value::Text),
-        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Blob),
-    ];
-    leaf.prop_recursive(3, 48, 6, |inner| {
-        prop_oneof![
-            proptest::option::of(inner.clone().prop_map(Box::new)).prop_map(Value::Maybe),
-            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
-            proptest::collection::btree_map("[a-z]{0,6}", inner.clone(), 0..5).prop_map(Value::Map),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Value::Pair(Box::new(a), Box::new(b))),
-            (
-                any::<u32>(),
-                "[a-z]{0,8}",
-                proptest::collection::vec("[a-z]{0,5}".prop_map(String::from), 0..4)
-            )
-                .prop_map(|(id, name, tags)| Value::Record { id, name, tags }),
-        ]
-    })
+record_enum! {
+    Value {
+        0 => Unit,
+        1 => Bool(b),
+        2 => Int(v),
+        3 => Big(v),
+        4 => Float(bits),
+        5 => Text(s),
+        6 => Blob(bytes),
+        7 => Maybe(inner),
+        8 => List(items),
+        9 => Map(entries),
+        10 => Pair(a, b),
+        11 => Record { id, name, tags },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn leaf(g: &mut Gen) -> Value {
+    match g.usize_in(0, 6) {
+        0 => Value::Unit,
+        1 => Value::Bool(g.next_bool()),
+        2 => Value::Int(g.next_u64() as i64),
+        3 => Value::Big(((g.next_u64() as u128) << 64) | g.next_u64() as u128),
+        4 => Value::Float(g.next_u64()),
+        5 => Value::Text(g.ascii_string(24)),
+        _ => Value::Blob(g.bytes_upto(31)),
+    }
+}
 
-    /// Every representable value roundtrips exactly.
-    #[test]
-    fn roundtrip(value in arb_value()) {
+/// Recursive generator with bounded depth; biased toward leaves so trees
+/// stay small.
+fn arb_value(g: &mut Gen, depth: usize) -> Value {
+    if depth == 0 || g.usize_in(0, 2) == 0 {
+        return leaf(g);
+    }
+    match g.usize_in(0, 4) {
+        0 => {
+            if g.next_bool() {
+                Value::Maybe(None)
+            } else {
+                Value::Maybe(Some(Box::new(arb_value(g, depth - 1))))
+            }
+        }
+        1 => {
+            let n = g.usize_in(0, 5);
+            Value::List((0..n).map(|_| arb_value(g, depth - 1)).collect())
+        }
+        2 => {
+            let n = g.usize_in(0, 4);
+            let mut entries = BTreeMap::new();
+            for _ in 0..n {
+                let key = g.ident(6);
+                let value = arb_value(g, depth - 1);
+                entries.insert(key, value);
+            }
+            Value::Map(entries)
+        }
+        3 => {
+            let a = arb_value(g, depth - 1);
+            let b = arb_value(g, depth - 1);
+            Value::Pair(Box::new(a), Box::new(b))
+        }
+        _ => {
+            let id = g.next_u64() as u32;
+            let name = g.ident(8);
+            let tag_count = g.usize_in(0, 3);
+            let tags = (0..tag_count).map(|_| g.ident(5)).collect();
+            Value::Record { id, name, tags }
+        }
+    }
+}
+
+/// Every representable value roundtrips exactly.
+#[test]
+fn roundtrip() {
+    for_all("codec roundtrip", CASES, |g: &mut Gen| {
+        let value = arb_value(g, 3);
         let bytes = to_bytes(&value).unwrap();
         let back: Value = from_bytes(&bytes).unwrap();
-        prop_assert_eq!(back, value);
-    }
+        require_eq!(back, value);
+        Ok(())
+    });
+}
 
-    /// Encoding is deterministic (required for the checksummed snapshots).
-    #[test]
-    fn deterministic(value in arb_value()) {
-        prop_assert_eq!(to_bytes(&value).unwrap(), to_bytes(&value).unwrap());
-    }
+/// Encoding is deterministic (required for the checksummed snapshots).
+#[test]
+fn deterministic() {
+    for_all("codec deterministic", CASES, |g: &mut Gen| {
+        let value = arb_value(g, 3);
+        require_eq!(to_bytes(&value).unwrap(), to_bytes(&value).unwrap());
+        Ok(())
+    });
+}
 
-    /// Truncating an encoding at any point yields an error, never a panic
-    /// or a silent success.
-    #[test]
-    fn truncation_always_errors(value in arb_value(), cut_ratio in 0.0f64..1.0) {
+/// Truncating an encoding at any point yields an error, never a panic or a
+/// silent success.
+#[test]
+fn truncation_always_errors() {
+    for_all("codec truncation", CASES, |g: &mut Gen| {
+        let value = arb_value(g, 3);
         let bytes = to_bytes(&value).unwrap();
-        prop_assume!(!bytes.is_empty());
-        let cut = ((bytes.len() as f64) * cut_ratio) as usize;
-        prop_assume!(cut < bytes.len());
+        // Every encoding starts with a variant tag, so it is never empty,
+        // and f64_unit < 1 keeps the cut strictly inside the buffer.
+        let cut = (bytes.len() as f64 * g.f64_unit()) as usize;
         let result: Result<Value, _> = from_bytes(&bytes[..cut]);
         // Truncation may accidentally decode to a *different* valid value
         // only if the prefix happens to be self-delimiting — but then the
@@ -86,35 +140,53 @@ proptest! {
         // decoding the truncated buffer must not reproduce the original.
         match result {
             Err(_) => {}
-            Ok(decoded) => prop_assert_ne!(decoded, value),
+            Ok(decoded) => require_ne!(decoded, value),
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Appending garbage after a valid encoding is rejected.
-    #[test]
-    fn trailing_garbage_rejected(value in arb_value(), extra in 1usize..8) {
+/// Appending garbage after a valid encoding is rejected.
+#[test]
+fn trailing_garbage_rejected() {
+    for_all("codec trailing garbage", CASES, |g: &mut Gen| {
+        let value = arb_value(g, 3);
         let mut bytes = to_bytes(&value).unwrap();
+        let extra = g.usize_in(1, 7);
         bytes.extend(std::iter::repeat_n(0u8, extra));
         let result: Result<Value, _> = from_bytes(&bytes);
-        prop_assert!(result.is_err());
-    }
+        require!(result.is_err(), "trailing garbage accepted");
+        Ok(())
+    });
+}
 
-    /// Random byte soup never panics the decoder.
-    #[test]
-    fn fuzz_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// Random byte soup never panics the decoder.
+#[test]
+fn fuzz_decode_never_panics() {
+    for_all("codec fuzz decode", CASES, |g: &mut Gen| {
+        let bytes = g.bytes_upto(255);
         let _: Result<Value, _> = from_bytes(&bytes);
-    }
+        Ok(())
+    });
+}
 
-    /// Tuples, strings and maps preserve ordering and length exactly.
-    #[test]
-    fn containers_preserve_structure(
-        items in proptest::collection::vec(any::<i32>(), 0..64),
-        map in proptest::collection::btree_map("[a-z]{1,4}", any::<u16>(), 0..16),
-    ) {
+/// Tuples, strings and maps preserve ordering and length exactly.
+#[test]
+fn containers_preserve_structure() {
+    for_all("codec containers", CASES, |g: &mut Gen| {
+        let item_count = g.usize_in(0, 63);
+        let items: Vec<i32> = (0..item_count).map(|_| g.next_u64() as i32).collect();
+        let entry_count = g.usize_in(0, 15);
+        let mut map: BTreeMap<String, u16> = BTreeMap::new();
+        for _ in 0..entry_count {
+            let key = g.ident(4);
+            let value = g.u64_in(0, u16::MAX as u64) as u16;
+            map.insert(key, value);
+        }
         let bytes = to_bytes(&(items.clone(), map.clone())).unwrap();
-        let (back_items, back_map): (Vec<i32>, BTreeMap<String, u16>) =
-            from_bytes(&bytes).unwrap();
-        prop_assert_eq!(back_items, items);
-        prop_assert_eq!(back_map, map);
-    }
+        let (back_items, back_map): (Vec<i32>, BTreeMap<String, u16>) = from_bytes(&bytes).unwrap();
+        require_eq!(back_items, items);
+        require_eq!(back_map, map);
+        Ok(())
+    });
 }

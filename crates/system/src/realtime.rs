@@ -5,8 +5,10 @@
 //! concurrently. The simulated network ([`SimNet`](amnesia_net::SimNet))
 //! makes experiments deterministic, but it never proves the components are
 //! actually safe to run concurrently. This module does: each component runs
-//! on its own OS thread, frames travel over `crossbeam` channels, and the
-//! six-step protocol executes with genuine parallelism.
+//! on its own OS thread, frames travel over `std::sync::mpsc` channels
+//! (senders are cloned wherever several components feed one inbox; every
+//! receiver has exactly one consumer), and the six-step protocol executes
+//! with genuine parallelism.
 //!
 //! Latency here is real compute latency (microseconds), not modelled
 //! network latency — use the simulated deployment for Figure 3.
@@ -31,8 +33,8 @@ use amnesia_phone::{AmnesiaPhone, ConfirmPolicy, PhoneConfig, PushOutcome};
 use amnesia_rendezvous::{PushEnvelope, RegistrationId};
 use amnesia_server::protocol::{FromServer, ToServer};
 use amnesia_server::{AmnesiaServer, ServerConfig, SessionToken};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -93,10 +95,10 @@ impl RealtimeDeployment {
     /// Spawns the component threads and pairs the phone (registration +
     /// CAPTCHA pairing happen during [`setup_user`](Self::setup_user)).
     pub fn start(seed: u64) -> Self {
-        let (to_server, server_rx) = unbounded::<ServerInbound>();
-        let (to_gcm, gcm_rx) = unbounded::<GcmInbound>();
-        let (browser_tx, browser_rx) = unbounded::<FromServer>();
-        let (phone_tx, phone_rx) = unbounded::<Vec<u8>>();
+        let (to_server, server_rx) = channel::<ServerInbound>();
+        let (to_gcm, gcm_rx) = channel::<GcmInbound>();
+        let (browser_tx, browser_rx) = channel::<FromServer>();
+        let (phone_tx, phone_rx) = channel::<Vec<u8>>();
         // Direct user-to-phone line: the user physically types the pairing
         // captcha on the device, bypassing the rendezvous.
         let user_to_phone = phone_tx.clone();
@@ -343,7 +345,7 @@ impl RealtimeDeployment {
     }
 
     /// Stops the component threads and joins them.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
         let _ = self.to_server.send(ServerInbound::Shutdown);
         let _ = self.to_gcm.send(GcmInbound::Shutdown);
         // The phone thread exits when every sender onto its channel is gone:

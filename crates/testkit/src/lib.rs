@@ -1,0 +1,458 @@
+//! Minimal property-based testing harness for the Amnesia workspace.
+//!
+//! A deliberately small, zero-dependency replacement for an external
+//! property-testing framework. It provides:
+//!
+//! * [`Gen`] — a seeded xorshift64* pseudo-random generator with helpers for
+//!   the value shapes the workspace's properties need (ints in ranges, byte
+//!   vectors, ASCII strings, picks from slices);
+//! * [`for_all`] — a runner that executes a property over many generated
+//!   cases, reporting the failing case and its seed;
+//! * [`Shrink`] — greedy input shrinking, so failures are reported on the
+//!   smallest reproduction the shrinker can reach;
+//! * [`require!`]/[`require_eq!`]/[`require_ne!`] — assertion macros that
+//!   return an error instead of panicking, so the runner can shrink.
+//!
+//! Failures are deterministic: the run seed is derived from the property
+//! name, so a red property stays red until the code (or the property)
+//! changes.
+//!
+//! ```
+//! use amnesia_testkit::{for_all, require, Gen};
+//!
+//! for_all("addition commutes", 64, |g: &mut Gen| {
+//!     let (a, b) = (g.next_u64() >> 1, g.next_u64() >> 1);
+//!     require!(a + b == b + a, "a={a} b={b}");
+//!     Ok(())
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A property's verdict on one input: `Ok(())` passes, `Err(msg)` fails with
+/// a human-readable reason.
+pub type PropResult = Result<(), String>;
+
+/// Seeded xorshift64* pseudo-random generator.
+///
+/// Not cryptographic — it only drives test-case generation, where speed and
+/// reproducibility matter and unpredictability does not.
+#[derive(Clone, Debug)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates a generator from `seed` (zero is remapped, xorshift requires
+    /// nonzero state).
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform `u8`.
+    pub fn next_u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// Uniform `bool`.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform `usize` in `lo..=hi` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// Uniform `u64` in `lo..=hi` (inclusive).
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            return self.next_u64(); // full range
+        }
+        lo + self.next_u64() % span
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64_unit() * (hi - lo)
+    }
+
+    /// `len` uniform random bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u8()).collect()
+    }
+
+    /// A byte vector with length in `0..=max_len`.
+    pub fn bytes_upto(&mut self, max_len: usize) -> Vec<u8> {
+        let len = self.usize_in(0, max_len);
+        self.bytes(len)
+    }
+
+    /// A vector of `len` items drawn from `item`.
+    pub fn vec_of<T>(&mut self, len: usize, mut item: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        (0..len).map(|_| item(self)).collect()
+    }
+
+    /// A printable-ASCII string with length in `0..=max_len`.
+    pub fn ascii_string(&mut self, max_len: usize) -> String {
+        let len = self.usize_in(0, max_len);
+        (0..len)
+            .map(|_| (self.usize_in(0x20, 0x7e) as u8) as char)
+            .collect()
+    }
+
+    /// A lowercase alphanumeric string with length in `1..=max_len`.
+    pub fn ident(&mut self, max_len: usize) -> String {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        let len = self.usize_in(1, max_len.max(1));
+        (0..len)
+            .map(|_| ALPHABET[self.usize_in(0, ALPHABET.len() - 1)] as char)
+            .collect()
+    }
+
+    /// Picks one element of a nonempty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.usize_in(0, items.len() - 1)]
+    }
+}
+
+/// Types whose failing values can be shrunk toward simpler reproductions.
+///
+/// `shrink` yields candidate simplifications of `self`, simplest first.
+/// The runner keeps any candidate that still fails and repeats greedily.
+/// The default implementation yields nothing (no shrinking).
+pub trait Shrink: Sized {
+    /// Candidate simplifications, simplest first.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+impl Shrink for u64 {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if *self != 0 {
+            out.push(0);
+            out.push(*self / 2);
+            out.push(*self - 1);
+        }
+        out.dedup();
+        out
+    }
+}
+
+impl Shrink for usize {
+    fn shrink(&self) -> Vec<Self> {
+        (*self as u64)
+            .shrink()
+            .into_iter()
+            .map(|v| v as usize)
+            .collect()
+    }
+}
+
+impl Shrink for u8 {
+    fn shrink(&self) -> Vec<Self> {
+        (*self as u64)
+            .shrink()
+            .into_iter()
+            .map(|v| v as u8)
+            .collect()
+    }
+}
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl<T: Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.is_empty() {
+            return out;
+        }
+        out.push(Vec::new());
+        out.push(self[..self.len() / 2].to_vec());
+        out.push(self[..self.len() - 1].to_vec());
+        out.push(self[1..].to_vec());
+        out
+    }
+}
+
+impl Shrink for String {
+    fn shrink(&self) -> Vec<Self> {
+        let chars: Vec<char> = self.chars().collect();
+        chars
+            .shrink()
+            .into_iter()
+            .map(|cs| cs.into_iter().collect())
+            .collect()
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone> Shrink for (A, B) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = self
+            .0
+            .shrink()
+            .into_iter()
+            .map(|a| (a, self.1.clone()))
+            .collect();
+        out.extend(self.1.shrink().into_iter().map(|b| (self.0.clone(), b)));
+        out
+    }
+}
+
+/// Derives a stable 64-bit run seed from the property name, so each property
+/// explores its own input stream and failures replay exactly.
+fn seed_from_name(name: &str) -> u64 {
+    // FNV-1a; stability matters more than quality here (Gen scrambles it).
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Runs `prop` against `cases` generated inputs.
+///
+/// The property draws whatever values it needs from the supplied [`Gen`].
+/// On failure the panic message includes the property name, case index, and
+/// failure reason. For shrinkable inputs, use [`for_all_shrink`].
+///
+/// # Panics
+///
+/// Panics if any case fails — this is the test failure.
+pub fn for_all(name: &str, cases: u32, mut prop: impl FnMut(&mut Gen) -> PropResult) {
+    let base = seed_from_name(name);
+    for case in 0..cases {
+        let mut g = Gen::new(
+            base.wrapping_add(case as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15),
+        );
+        if let Err(msg) = prop(&mut g) {
+            panic!("property '{name}' failed on case {case}/{cases}: {msg}");
+        }
+    }
+}
+
+/// Runs `prop` against `cases` inputs produced by `gen`, shrinking failures.
+///
+/// Unlike [`for_all`], generation and checking are split so a failing value
+/// can be shrunk: candidates from [`Shrink::shrink`] that still fail replace
+/// the original, greedily, up to an iteration cap.
+///
+/// # Panics
+///
+/// Panics if any case fails, reporting the shrunk value and reason.
+pub fn for_all_shrink<T: Shrink + Clone + std::fmt::Debug>(
+    name: &str,
+    cases: u32,
+    mut gen: impl FnMut(&mut Gen) -> T,
+    mut prop: impl FnMut(&T) -> PropResult,
+) {
+    let base = seed_from_name(name);
+    for case in 0..cases {
+        let mut g = Gen::new(
+            base.wrapping_add(case as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15),
+        );
+        let value = gen(&mut g);
+        if let Err(first_msg) = prop(&value) {
+            // Greedy shrink: take the first still-failing candidate, repeat.
+            let mut current = value;
+            let mut msg = first_msg;
+            let mut steps = 0;
+            'outer: while steps < 512 {
+                for candidate in current.shrink() {
+                    steps += 1;
+                    if let Err(m) = prop(&candidate) {
+                        current = candidate;
+                        msg = m;
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            panic!(
+                "property '{name}' failed on case {case}/{cases}\n\
+                 shrunk input: {current:?}\nreason: {msg}"
+            );
+        }
+    }
+}
+
+/// Fails the property with a message unless the condition holds.
+///
+/// The second argument is a format string evaluated lazily.
+#[macro_export]
+macro_rules! require {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("requirement failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the property unless the two expressions are equal, showing both.
+#[macro_export]
+macro_rules! require_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "requirement failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Fails the property unless the two expressions differ.
+#[macro_export]
+macro_rules! require_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "requirement failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_is_deterministic_per_seed() {
+        let mut a = Gen::new(7);
+        let mut b = Gen::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut g = Gen::new(1);
+        for _ in 0..10_000 {
+            let v = g.usize_in(3, 9);
+            assert!((3..=9).contains(&v));
+            let f = g.f64_in(-2.0, 2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_endpoints_reachable() {
+        let mut g = Gen::new(2);
+        let samples: Vec<usize> = (0..1000).map(|_| g.usize_in(0, 3)).collect();
+        for target in 0..=3 {
+            assert!(samples.contains(&target), "endpoint {target} never drawn");
+        }
+    }
+
+    #[test]
+    fn passing_property_passes() {
+        for_all("tautology", 256, |g| {
+            let v = g.next_u64();
+            require!(v == v);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'contradiction' failed")]
+    fn failing_property_panics_with_name() {
+        for_all("contradiction", 16, |g| {
+            let v = g.next_u64();
+            require!(v != v, "impossible");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn shrinking_minimizes_vec() {
+        // Property: vectors shorter than 3 pass. A random failing vector
+        // should shrink down to exactly length 3.
+        let result = std::panic::catch_unwind(|| {
+            for_all_shrink(
+                "short vectors only",
+                64,
+                |g| {
+                    let len = g.usize_in(0, 64).max(10);
+                    g.bytes(len)
+                },
+                |v| {
+                    if v.len() < 3 {
+                        Ok(())
+                    } else {
+                        Err(format!("len {} >= 3", v.len()))
+                    }
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("len 3 >= 3"), "not fully shrunk: {msg}");
+    }
+
+    #[test]
+    fn ident_is_nonempty_lowercase() {
+        let mut g = Gen::new(5);
+        for _ in 0..500 {
+            let s = g.ident(12);
+            assert!(!s.is_empty() && s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn distinct_properties_get_distinct_streams() {
+        assert_ne!(seed_from_name("a"), seed_from_name("b"));
+    }
+}

@@ -7,21 +7,21 @@
 //! sums to 31 per subplot and is flagged in EXPERIMENTS.md.
 
 use amnesia_crypto::SecretRng;
-use serde::{Deserialize, Serialize};
 
 /// Number of study participants.
 pub const PARTICIPANTS: usize = 31;
 
 /// Participant gender (paper: 21 male, 10 female).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Gender {
     Male,
     Female,
 }
+amnesia_store::record_enum! { Gender { 0 => Male, 1 => Female } }
 
 /// Daily time online (paper: 4 / 13 / 8 / 6 split).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum HoursOnline {
     H1To4,
@@ -29,17 +29,19 @@ pub enum HoursOnline {
     H8To12,
     H12Plus,
 }
+amnesia_store::record_enum! { HoursOnline { 0 => H1To4, 1 => H4To8, 2 => H8To12, 3 => H12Plus } }
 
 /// Unique online accounts (paper: 17 with ≤10, 14 with 11–20).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum AccountCountBucket {
     UpTo10,
     From11To20,
 }
+amnesia_store::record_enum! { AccountCountBucket { 0 => UpTo10, 1 => From11To20 } }
 
 /// Figure 4(a): password reuse frequency.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum ReuseFrequency {
     Never,
@@ -48,9 +50,10 @@ pub enum ReuseFrequency {
     Mostly,
     Always,
 }
+amnesia_store::record_enum! { ReuseFrequency { 0 => Never, 1 => Rarely, 2 => Sometimes, 3 => Mostly, 4 => Always } }
 
 /// Figure 4(b): typical password length.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum LengthBucket {
     L6To8,
@@ -58,6 +61,7 @@ pub enum LengthBucket {
     L12To14,
     L14Plus,
 }
+amnesia_store::record_enum! { LengthBucket { 0 => L6To8, 1 => L9To11, 2 => L12To14, 3 => L14Plus } }
 
 impl LengthBucket {
     /// A representative length for synthesis and entropy estimation.
@@ -72,16 +76,17 @@ impl LengthBucket {
 }
 
 /// Figure 4(c): password creation technique.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum CreationTechnique {
     PersonalInfo,
     Mnemonic,
     Other,
 }
+amnesia_store::record_enum! { CreationTechnique { 0 => PersonalInfo, 1 => Mnemonic, 2 => Other } }
 
 /// Figure 4(d): password change frequency.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum ChangeFrequency {
     Never,
@@ -90,9 +95,10 @@ pub enum ChangeFrequency {
     Monthly,
     Frequently,
 }
+amnesia_store::record_enum! { ChangeFrequency { 0 => Never, 1 => Rarely, 2 => Yearly, 3 => Monthly, 4 => Frequently } }
 
 /// One synthetic study participant.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Participant {
     /// Stable participant index (0-based).
     pub id: usize,
@@ -125,12 +131,20 @@ pub struct Participant {
     /// §VII-E: prefers Amnesia over their current method (22 of 31, 70.9%).
     pub prefers_amnesia: bool,
 }
+amnesia_store::record_struct! {
+    Participant {
+        id, gender, age, hours_online, accounts, reuse, length, technique, change,
+        uses_password_manager, believes_more_secure, registration_convenient,
+        add_account_easy, generation_easy, prefers_amnesia,
+    }
+}
 
 /// The full 31-participant population.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Population {
     participants: Vec<Participant>,
 }
+amnesia_store::record_struct! { Population { participants } }
 
 /// Expands a `(value, count)` histogram into a flat attribute list.
 fn expand<T: Copy>(spec: &[(T, usize)]) -> Vec<T> {

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Full offline verification of the workspace: the build must succeed with no
+# crates registry, no vendored sources, and no network — the workspace has
+# zero external dependencies (see DESIGN.md §6).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline --locked"
+cargo build --release --offline --locked --workspace
+
+echo "==> cargo test --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> no external dependencies declared"
+if grep -rn 'serde\|rand\|proptest\|criterion\|crossbeam\|parking_lot\|bytes' \
+    --include=Cargo.toml Cargo.toml crates/*/Cargo.toml; then
+    echo "error: external dependency mention found in a manifest" >&2
+    exit 1
+fi
+
+echo "OK: offline build, tests, formatting, and zero-dependency check passed"
