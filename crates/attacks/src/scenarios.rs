@@ -102,7 +102,11 @@ pub fn broken_https_browser_link(seed: u64) -> AttackReport {
     let mut report = AttackReport::new(AttackVector::BrokenHttpsBrowserLink);
     let mut victim = Victim::standard(seed);
 
-    let tap = victim.system.net_mut().tap(SERVER_ENDPOINT, victim.browser);
+    let tap = victim
+        .system
+        .net_mut()
+        .tap(SERVER_ENDPOINT, victim.browser)
+        .expect("link exists");
     let keys = victim
         .system
         .export_channel_keys_for_attack_model(SERVER_ENDPOINT, victim.browser)
@@ -141,7 +145,11 @@ pub fn broken_https_phone_link(seed: u64) -> AttackReport {
     let mut report = AttackReport::new(AttackVector::BrokenHttpsPhoneLink);
     let mut victim = Victim::standard(seed);
 
-    let tap = victim.system.net_mut().tap(victim.phone, SERVER_ENDPOINT);
+    let tap = victim
+        .system
+        .net_mut()
+        .tap(victim.phone, SERVER_ENDPOINT)
+        .expect("link exists");
     let keys = victim
         .system
         .export_channel_keys_for_attack_model(victim.phone, SERVER_ENDPOINT)
@@ -181,7 +189,11 @@ pub fn rendezvous_eavesdrop(seed: u64) -> AttackReport {
     let mut report = AttackReport::new(AttackVector::RendezvousEavesdrop);
     let mut victim = Victim::standard(seed);
 
-    let tap = victim.system.net_mut().tap(GCM_ENDPOINT, victim.phone);
+    let tap = victim
+        .system
+        .net_mut()
+        .tap(GCM_ENDPOINT, victim.phone)
+        .expect("link exists");
     report.note("attacker observes rendezvous routing to the phone");
 
     let _ = victim.ground_truth_password(0);

@@ -1,0 +1,114 @@
+//! Per-step latency breakdown of the Amnesia Figure 1 flow, produced from
+//! the `amnesia-telemetry` registry rather than ad-hoc instrumentation.
+//!
+//! Runs instrumented simulated deployments under the calibrated Wifi and 4G
+//! profiles (with a small push-drop probability so the retry path is
+//! exercised), with a wiretap on the GCM→phone link so passive-observer
+//! counters are non-zero, and prints one JSON document on stdout:
+//! `{"wifi": <snapshot>, "4g": <snapshot>}` where each snapshot follows the
+//! `amnesia-telemetry` schema (counters / gauges / histograms with
+//! p50/p90/p99). A human-readable step table goes to stderr.
+
+use amnesia_core::{Domain, PasswordPolicy, Username};
+use amnesia_phone::ConfirmPolicy;
+use amnesia_system::{AmnesiaSystem, NetProfile, SystemConfig, GCM_ENDPOINT};
+use amnesia_telemetry::Snapshot;
+
+const TRIALS: usize = 30;
+const RETRY_ATTEMPTS: u32 = 5;
+const PUSH_DROP: f64 = 0.05;
+const SEED: u64 = 0x7E1E;
+
+/// The Fig. 1 step histograms, in protocol order, with display labels.
+const STEPS: [(&str, &str); 8] = [
+    ("steps.step1_request_upload_us", "1 request upload"),
+    ("steps.step2_server_to_gcm_us", "2 server->GCM"),
+    ("steps.step3_push_delivery_us", "3 push delivery"),
+    ("steps.step4_token_upload_us", "4 token upload"),
+    ("steps.step5_password_compute_us", "5 password compute"),
+    ("steps.step6_password_download_us", "6 password download"),
+    ("system.generate_password_us", "measured window"),
+    ("system.generate_password_e2e_us", "end-to-end"),
+];
+
+fn run_profile(profile: NetProfile, seed: u64) -> Snapshot {
+    let name = profile.name.clone();
+    let mut system = AmnesiaSystem::new(
+        SystemConfig::default()
+            .with_seed(seed)
+            .with_profile(profile.with_push_drop_probability(PUSH_DROP)),
+    );
+    system.add_browser("browser");
+    system.add_phone("phone", seed.wrapping_add(1));
+    system
+        .setup_user("tester", "master password", "browser", "phone")
+        .expect("setup");
+    system
+        .phone_mut("phone")
+        .expect("phone installed")
+        .set_confirm_policy(ConfirmPolicy::AutoConfirm);
+
+    let username = Username::new("tester").expect("valid");
+    let domain = Domain::new("telemetry.example.com").expect("valid");
+    system
+        .add_account(
+            "browser",
+            username.clone(),
+            domain.clone(),
+            PasswordPolicy::default(),
+        )
+        .expect("account");
+
+    // Passive observer on the push link: every delivered push also lands in
+    // this wiretap, incrementing `net.wiretap_hits`.
+    let _tap = system
+        .net_mut()
+        .tap(GCM_ENDPOINT, "phone")
+        .expect("link exists");
+
+    for trial in 0..TRIALS {
+        system
+            .generate_password_with_retry("browser", "phone", &username, &domain, RETRY_ATTEMPTS)
+            .unwrap_or_else(|e| panic!("{name} trial {trial}: {e}"));
+    }
+    system.telemetry().snapshot()
+}
+
+fn print_summary(name: &str, snap: &Snapshot) {
+    eprintln!("== {name} ({TRIALS} generations, push drop {PUSH_DROP}) ==");
+    eprintln!(
+        "{:<22} {:>7} {:>10} {:>10} {:>10}",
+        "step", "count", "p50", "p90", "p99"
+    );
+    for (key, label) in STEPS {
+        let Some(h) = snap.histograms.get(key) else {
+            continue;
+        };
+        let q = |p: f64| h.quantile(p).unwrap_or(0);
+        eprintln!(
+            "{:<22} {:>7} {:>8.1}ms {:>8.1}ms {:>8.1}ms",
+            label,
+            h.count(),
+            q(0.5) as f64 / 1e3,
+            q(0.9) as f64 / 1e3,
+            q(0.99) as f64 / 1e3,
+        );
+    }
+    for key in [
+        "rendezvous.push_forwarded",
+        "system.generation_retries",
+        "net.frames_dropped",
+        "net.wiretap_hits",
+    ] {
+        eprintln!("{key:<26} {}", snap.counters.get(key).copied().unwrap_or(0));
+    }
+    eprintln!();
+}
+
+fn main() {
+    let wifi = run_profile(NetProfile::wifi(), SEED);
+    let cell = run_profile(NetProfile::cellular_4g(), SEED.wrapping_add(0x100));
+    print_summary("wifi", &wifi);
+    print_summary("4g", &cell);
+    println!("{{\"wifi\":{},\"4g\":{}}}", wifi.to_json(), cell.to_json());
+}

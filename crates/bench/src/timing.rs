@@ -9,8 +9,10 @@
 //! 2. **Sampling** — the closure runs in batches sized from that estimate
 //!    (each batch long enough to dwarf timer overhead), producing one
 //!    per-iteration time per batch;
-//! 3. **Reporting** — the *median* batch time is the headline number
-//!    (robust to scheduler noise), with min/max retained for spread.
+//! 3. **Reporting** — batch times accumulate into an
+//!    [`amnesia_telemetry::Histogram`] (the same type the runtime metrics
+//!    use), and the *median* batch time is the headline number (robust to
+//!    scheduler noise), with exact min/max retained for spread.
 //!
 //! Results print human-readably to stderr as they complete, and
 //! [`Harness::finish`] emits one JSON document on stdout so scripts can
@@ -24,6 +26,7 @@
 //! h.finish();
 //! ```
 
+use amnesia_telemetry::{json_string, Histogram};
 use std::time::{Duration, Instant};
 
 /// Target wall-clock length of one timed batch.
@@ -38,16 +41,33 @@ const DEFAULT_SAMPLES: usize = 30;
 pub struct Measurement {
     /// Benchmark name (unique within the suite).
     pub name: String,
-    /// Median per-iteration time across batches.
-    pub median_ns: u128,
-    /// Fastest batch's per-iteration time.
-    pub min_ns: u128,
-    /// Slowest batch's per-iteration time.
-    pub max_ns: u128,
-    /// Number of timed batches.
-    pub samples: usize,
+    /// Per-batch per-iteration times (ns) as a log-scale histogram.
+    pub histogram: Histogram,
     /// Iterations per batch.
     pub iters_per_sample: u64,
+}
+
+impl Measurement {
+    /// Median per-iteration time across batches (≤ ~3.1% above the true
+    /// median, per the histogram's bucket-width bound).
+    pub fn median_ns(&self) -> u64 {
+        self.histogram.quantile(0.5).unwrap_or(0)
+    }
+
+    /// Fastest batch's per-iteration time (exact).
+    pub fn min_ns(&self) -> u64 {
+        self.histogram.min().unwrap_or(0)
+    }
+
+    /// Slowest batch's per-iteration time (exact).
+    pub fn max_ns(&self) -> u64 {
+        self.histogram.max().unwrap_or(0)
+    }
+
+    /// Number of timed batches.
+    pub fn samples(&self) -> u64 {
+        self.histogram.count()
+    }
 }
 
 /// Collects measurements for one bench target ("suite") and prints a JSON
@@ -91,31 +111,28 @@ impl Harness {
         let est_per_iter = warm_start.elapsed().as_nanos() / warm_iters as u128;
         let iters = (TARGET_BATCH.as_nanos() / est_per_iter.max(1)).clamp(1, 1_000_000) as u64;
 
-        let mut per_iter_ns: Vec<u128> = Vec::with_capacity(self.samples);
+        let mut histogram = Histogram::new();
         for _ in 0..self.samples {
             let start = Instant::now();
             for _ in 0..iters {
                 std::hint::black_box(f());
             }
-            per_iter_ns.push(start.elapsed().as_nanos() / iters as u128);
+            let per_iter = start.elapsed().as_nanos() / iters as u128;
+            histogram.record(u64::try_from(per_iter).unwrap_or(u64::MAX));
         }
-        per_iter_ns.sort_unstable();
         let m = Measurement {
             name: name.to_string(),
-            median_ns: per_iter_ns[per_iter_ns.len() / 2],
-            min_ns: per_iter_ns[0],
-            max_ns: per_iter_ns[per_iter_ns.len() - 1],
-            samples: self.samples,
+            histogram,
             iters_per_sample: iters,
         };
         eprintln!(
             "{}/{}: median {} min {} max {} ({} samples x {} iters)",
             self.suite,
             m.name,
-            fmt_ns(m.median_ns),
-            fmt_ns(m.min_ns),
-            fmt_ns(m.max_ns),
-            m.samples,
+            fmt_ns(m.median_ns()),
+            fmt_ns(m.min_ns()),
+            fmt_ns(m.max_ns()),
+            m.samples(),
             m.iters_per_sample,
         );
         self.results.push(m);
@@ -136,10 +153,10 @@ impl Harness {
                 "{{\"name\":{},\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\
                  \"samples\":{},\"iters_per_sample\":{}}}",
                 json_string(&m.name),
-                m.median_ns,
-                m.min_ns,
-                m.max_ns,
-                m.samples,
+                m.median_ns(),
+                m.min_ns(),
+                m.max_ns(),
+                m.samples(),
                 m.iters_per_sample
             ));
         }
@@ -149,7 +166,7 @@ impl Harness {
 }
 
 /// Human-readable nanosecond count (ns/µs/ms bands).
-fn fmt_ns(ns: u128) -> String {
+fn fmt_ns(ns: u64) -> String {
     if ns >= 10_000_000 {
         format!("{:.1}ms", ns as f64 / 1e6)
     } else if ns >= 10_000 {
@@ -157,23 +174,6 @@ fn fmt_ns(ns: u128) -> String {
     } else {
         format!("{ns}ns")
     }
-}
-
-/// Minimal JSON string escaping — benchmark names are ASCII identifiers,
-/// but quote-and-backslash safety costs nothing.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]
@@ -184,7 +184,7 @@ mod tests {
     fn json_escaping_handles_specials() {
         assert_eq!(json_string("plain"), "\"plain\"");
         assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
-        assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
+        assert_eq!(json_string("x\ny"), "\"x\\ny\"");
     }
 
     #[test]
@@ -202,7 +202,8 @@ mod tests {
         assert_eq!(h.results.len(), 1);
         let m = &h.results[0];
         assert_eq!(m.name, "noop");
-        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        assert!(m.min_ns() <= m.median_ns() && m.median_ns() <= m.max_ns());
+        assert_eq!(m.samples(), 3);
         assert!(m.iters_per_sample >= 1);
     }
 }

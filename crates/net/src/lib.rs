@@ -34,7 +34,7 @@
 //!
 //! net.send("browser", "server", b"hello".to_vec()).unwrap();
 //! net.run_until_idle();
-//! let frame = net.take_inbox("server").pop().unwrap();
+//! let frame = net.take_inbox("server").unwrap().pop().unwrap();
 //! assert_eq!(frame.payload, b"hello");
 //! assert_eq!(frame.delivered_at.as_millis_f64(), 10.0);
 //! ```

@@ -4,6 +4,7 @@ use crate::error::NetError;
 use crate::latency::LatencyModel;
 use crate::time::{SimClock, SimDuration, SimInstant};
 use amnesia_crypto::SecretRng;
+use amnesia_telemetry::Registry;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
@@ -121,7 +122,7 @@ pub struct WiretapRecord {
 /// net.register("a");
 /// net.register("b");
 /// net.connect("a", "b", LinkProfile::new(LatencyModel::constant_ms(1.0)));
-/// let tap = net.tap("a", "b");
+/// let tap = net.tap("a", "b").unwrap();
 /// net.send("a", "b", vec![1, 2, 3]).unwrap();
 /// assert_eq!(tap.records()[0].payload, vec![1, 2, 3]);
 /// ```
@@ -203,6 +204,7 @@ pub struct SimNet {
     queue: BinaryHeap<Pending>,
     seq: u64,
     dropped: u64,
+    telemetry: Registry,
 }
 
 impl fmt::Debug for SimNet {
@@ -228,7 +230,27 @@ impl SimNet {
             queue: BinaryHeap::new(),
             seq: 0,
             dropped: 0,
+            telemetry: Registry::new(),
         }
+    }
+
+    /// Replaces the metrics registry this network records into. The system
+    /// orchestrator injects its deployment-wide registry here so one snapshot
+    /// covers every component.
+    pub fn set_telemetry(&mut self, registry: Registry) {
+        self.telemetry = registry;
+    }
+
+    /// The metrics registry this network records into.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// A shared handle to the simulated clock. The handle observes every
+    /// subsequent advance, so it can drive `amnesia-telemetry` spans while
+    /// the network itself is borrowed mutably.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
     }
 
     /// Registers an endpoint.
@@ -274,17 +296,20 @@ impl SimNet {
     /// Attaches a wiretap to the directed link `from → to` and returns the
     /// observer handle.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the link does not exist.
-    pub fn tap(&mut self, from: &str, to: &str) -> Wiretap {
+    /// Returns [`NetError::NoLink`] if the link does not exist.
+    pub fn tap(&mut self, from: &str, to: &str) -> Result<Wiretap, NetError> {
         let link = self
             .links
             .get_mut(&(from.to_string(), to.to_string()))
-            .unwrap_or_else(|| panic!("no link from {from:?} to {to:?}"));
+            .ok_or_else(|| NetError::NoLink {
+                from: from.into(),
+                to: to.into(),
+            })?;
         let tap = Wiretap::default();
         link.taps.push(tap.clone());
-        tap
+        Ok(tap)
     }
 
     /// The current simulated time.
@@ -330,6 +355,12 @@ impl SimNet {
             })?;
 
         let sent_at = self.clock.now();
+        self.telemetry.counter("net.frames_sent").inc();
+        if !link.taps.is_empty() {
+            self.telemetry
+                .counter("net.wiretap_hits")
+                .add(link.taps.len() as u64);
+        }
         for tap in &link.taps {
             tap.observe(WiretapRecord {
                 from: from.to_string(),
@@ -345,6 +376,7 @@ impl SimNet {
         };
         if dropped {
             self.dropped += 1;
+            self.telemetry.counter("net.frames_dropped").inc();
             return Ok(None);
         }
 
@@ -367,6 +399,9 @@ impl SimNet {
             frame,
         });
         self.seq += 1;
+        self.telemetry
+            .gauge("net.queue_depth")
+            .set(self.queue.len() as i64);
         Ok(Some(deliver_at))
     }
 
@@ -376,6 +411,15 @@ impl SimNet {
         let pending = self.queue.pop()?;
         self.clock.advance_to(pending.deliver_at);
         let frame = pending.frame;
+        let latency = (frame.delivered_at - frame.sent_at).as_micros();
+        self.telemetry.record("net.delivery_latency_us", latency);
+        self.telemetry.record(
+            &format!("net.link.{}->{}.latency_us", frame.from, frame.to),
+            latency,
+        );
+        self.telemetry
+            .gauge("net.queue_depth")
+            .set(self.queue.len() as i64);
         self.inboxes
             .get_mut(&frame.to)
             .expect("endpoint validated at send time")
@@ -397,15 +441,14 @@ impl SimNet {
 
     /// Drains and returns the endpoint's inbox (delivery order).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the endpoint is unregistered.
-    pub fn take_inbox(&mut self, name: &str) -> Vec<Frame> {
-        std::mem::take(
-            self.inboxes
-                .get_mut(name)
-                .unwrap_or_else(|| panic!("unknown endpoint {name:?}")),
-        )
+    /// Returns [`NetError::UnknownEndpoint`] if the endpoint is unregistered.
+    pub fn take_inbox(&mut self, name: &str) -> Result<Vec<Frame>, NetError> {
+        self.inboxes
+            .get_mut(name)
+            .map(std::mem::take)
+            .ok_or_else(|| NetError::UnknownEndpoint { name: name.into() })
     }
 
     /// Frames dropped by lossy links so far.
@@ -438,7 +481,7 @@ mod tests {
         assert_eq!(net.pending_count(), 1);
         net.run_until_idle();
         assert_eq!(net.now().as_millis_f64(), 25.0);
-        let frames = net.take_inbox("b");
+        let frames = net.take_inbox("b").unwrap();
         assert_eq!(frames.len(), 1);
         assert_eq!(frames[0].payload, vec![9]);
         assert_eq!(frames[0].sent_at.as_millis_f64(), 0.0);
@@ -455,7 +498,12 @@ mod tests {
         net.send("a", "b", vec![2]).unwrap();
         net.send("a", "b", vec![3]).unwrap();
         net.run_until_idle();
-        let payloads: Vec<u8> = net.take_inbox("b").iter().map(|f| f.payload[0]).collect();
+        let payloads: Vec<u8> = net
+            .take_inbox("b")
+            .unwrap()
+            .iter()
+            .map(|f| f.payload[0])
+            .collect();
         assert_eq!(payloads, vec![1, 2, 3]);
     }
 
@@ -488,14 +536,80 @@ mod tests {
             "b",
             LinkProfile::new(LatencyModel::constant_ms(1.0)).with_drop_probability(1.0),
         );
-        let tap = net.tap("a", "b");
+        let tap = net.tap("a", "b").unwrap();
         let outcome = net.send("a", "b", vec![7]).unwrap();
         assert!(outcome.is_none(), "frame should be dropped");
         assert_eq!(net.dropped_count(), 1);
         assert_eq!(tap.len(), 1);
         assert_eq!(tap.records()[0].payload, vec![7]);
         net.run_until_idle();
-        assert!(net.take_inbox("b").is_empty());
+        assert!(net.take_inbox("b").unwrap().is_empty());
+    }
+
+    #[test]
+    fn tap_on_missing_link_is_an_error() {
+        let mut net = two_node_net(LatencyModel::constant_ms(1.0));
+        assert_eq!(
+            net.tap("a", "ghost").unwrap_err(),
+            NetError::NoLink {
+                from: "a".into(),
+                to: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn take_inbox_of_unknown_endpoint_is_an_error() {
+        let mut net = two_node_net(LatencyModel::constant_ms(1.0));
+        assert_eq!(
+            net.take_inbox("ghost").unwrap_err(),
+            NetError::UnknownEndpoint {
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn telemetry_records_traffic_and_latency() {
+        let mut net = SimNet::new(11);
+        net.register("a");
+        net.register("b");
+        net.connect("a", "b", LinkProfile::new(LatencyModel::constant_ms(10.0)));
+        net.connect(
+            "b",
+            "a",
+            LinkProfile::new(LatencyModel::constant_ms(1.0)).with_drop_probability(1.0),
+        );
+        let _tap = net.tap("a", "b").unwrap();
+
+        net.send("a", "b", vec![1]).unwrap();
+        net.send("b", "a", vec![2]).unwrap(); // dropped, but tapped links only a→b
+        net.run_until_idle();
+
+        let snapshot = net.telemetry().snapshot();
+        assert_eq!(snapshot.counters["net.frames_sent"], 2);
+        assert_eq!(snapshot.counters["net.frames_dropped"], 1);
+        assert_eq!(snapshot.counters["net.wiretap_hits"], 1);
+        assert_eq!(snapshot.gauges["net.queue_depth"], 0);
+        let delivery = &snapshot.histograms["net.delivery_latency_us"];
+        assert_eq!(delivery.count(), 1);
+        assert_eq!(delivery.min(), Some(10_000));
+        assert_eq!(
+            snapshot.histograms["net.link.a->b.latency_us"].count(),
+            1,
+            "per-link histogram tracks the delivered frame"
+        );
+    }
+
+    #[test]
+    fn shared_clock_handle_drives_sim_time_spans() {
+        use amnesia_telemetry::Registry;
+        let mut net = two_node_net(LatencyModel::constant_ms(25.0));
+        let registry = Registry::new();
+        let span = registry.span("roundtrip_us", net.clock());
+        net.send("a", "b", vec![]).unwrap();
+        net.run_until_idle();
+        assert_eq!(span.finish(), 25_000);
     }
 
     #[test]

@@ -158,43 +158,56 @@ impl fmt::Display for SimInstant {
 /// The simulation's clock.
 ///
 /// Owned by [`SimNet`](crate::SimNet); advanced monotonically as delivery
-/// events are processed.
+/// events are processed. Clones share the same underlying counter, so a
+/// handle obtained before a simulation run observes the advanced time — this
+/// is what lets `amnesia-telemetry` spans measure simulated durations while
+/// the network is driven through a mutable reference.
 ///
 /// ```
 /// use amnesia_net::{SimClock, SimDuration};
 /// let mut clock = SimClock::new();
+/// let observer = clock.clone();
 /// clock.advance(SimDuration::from_millis(3));
-/// assert_eq!(clock.now().as_millis_f64(), 3.0);
+/// assert_eq!(observer.now().as_millis_f64(), 3.0);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SimClock {
-    now: SimInstant,
+    micros: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl SimClock {
     /// A clock at the epoch.
     pub fn new() -> Self {
-        SimClock {
-            now: SimInstant::EPOCH,
-        }
+        SimClock::default()
     }
 
     /// The current simulated time.
     pub fn now(&self) -> SimInstant {
-        self.now
+        SimInstant {
+            micros: self.micros.load(std::sync::atomic::Ordering::SeqCst),
+        }
     }
 
     /// Advances the clock by `d`.
     pub fn advance(&mut self, d: SimDuration) {
-        self.now = self.now + d;
+        self.micros
+            .fetch_add(d.as_micros(), std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Advances the clock to `t` if `t` is in the future; a no-op otherwise
     /// (events may be processed at identical timestamps).
     pub fn advance_to(&mut self, t: SimInstant) {
-        if t > self.now {
-            self.now = t;
-        }
+        self.micros
+            .fetch_max(t.as_micros(), std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+/// Simulated time doubles as a telemetry time source: spans opened against a
+/// [`SimClock`] handle measure simulated microseconds, in the same unit that
+/// [`WallClock`](amnesia_telemetry::WallClock) spans measure real ones.
+impl amnesia_telemetry::Clock for SimClock {
+    fn now_micros(&self) -> u64 {
+        self.now().as_micros()
     }
 }
 

@@ -51,7 +51,10 @@ fn frames_conserved() {
         }
         let delivered = net.run_until_idle() as u64;
         require_eq!(delivered + net.dropped_count(), sent);
-        let in_inboxes: usize = names.iter().map(|name| net.take_inbox(name).len()).sum();
+        let in_inboxes: usize = names
+            .iter()
+            .map(|name| net.take_inbox(name).unwrap().len())
+            .sum();
         require_eq!(in_inboxes as u64, delivered);
         require_eq!(net.pending_count(), 0);
         Ok(())
@@ -97,7 +100,7 @@ fn wiretap_completeness() {
             })
             .collect();
         let (mut net, names) = clique(3, seed, LatencyModel::constant_ms(1.0), drop);
-        let tap01 = net.tap(&names[0], &names[1]);
+        let tap01 = net.tap(&names[0], &names[1]).unwrap();
         for p in &payloads {
             net.send(&names[0], &names[1], p.clone()).unwrap();
             net.send(&names[1], &names[2], p.clone()).unwrap();

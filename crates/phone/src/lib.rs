@@ -49,6 +49,7 @@ use amnesia_net::SimInstant;
 use amnesia_rendezvous::{RegistrationId, RendezvousServer};
 use amnesia_server::protocol::{KpBackup, PhonePush, SessionGrantToken, TokenResponse};
 use amnesia_store::{codec, Database};
+use amnesia_telemetry::Registry;
 use std::error::Error;
 use std::fmt;
 use std::path::Path;
@@ -184,6 +185,7 @@ pub struct AmnesiaPhone {
     notifications: Vec<Notification>,
     tokens_computed: u64,
     session_grant: Option<(SessionGrantToken, u32)>,
+    telemetry: Registry,
 }
 
 impl fmt::Debug for AmnesiaPhone {
@@ -218,7 +220,14 @@ impl AmnesiaPhone {
             notifications: Vec::new(),
             tokens_computed: 0,
             session_grant: None,
+            telemetry: Registry::new(),
         }
+    }
+
+    /// Replaces the metrics registry this phone records into (`phone.*`
+    /// counters and the push-to-confirm latency histogram).
+    pub fn set_telemetry(&mut self, registry: Registry) {
+        self.telemetry = registry;
     }
 
     /// The phone's network endpoint name.
@@ -264,7 +273,17 @@ impl AmnesiaPhone {
     pub fn compute_token(&mut self, request: &PasswordRequest) -> Result<Token, PhoneError> {
         let token = self.table.token(request)?;
         self.tokens_computed += 1;
+        self.telemetry.counter("phone.tokens_computed").inc();
         Ok(token)
+    }
+
+    /// Records how long a push waited between leaving the server (`tstart`)
+    /// and being confirmed on the phone at `now`.
+    fn note_confirm_latency(&self, tstart: SimInstant, now: SimInstant) {
+        self.telemetry.record(
+            "phone.confirm_latency_us",
+            now.as_micros().saturating_sub(tstart.as_micros()),
+        );
     }
 
     /// Handles a push delivered from the rendezvous service.
@@ -285,6 +304,7 @@ impl AmnesiaPhone {
             return Err(PhoneError::NotRegistered);
         }
         let push = PhonePush::from_wire(payload).map_err(PhoneError::MalformedPush)?;
+        self.telemetry.counter("phone.pushes_received").inc();
         self.notifications.push(Notification {
             origin: push.origin.clone(),
             arrived_at: now,
@@ -295,6 +315,7 @@ impl AmnesiaPhone {
         if let Some(grant) = &push.session_grant {
             if self.redeem_session_grant(grant) {
                 let token = self.compute_token(&push.request)?;
+                self.note_confirm_latency(push.tstart, now);
                 return Ok(PushOutcome::Respond(TokenResponse {
                     request: push.request,
                     token,
@@ -305,6 +326,7 @@ impl AmnesiaPhone {
         match self.policy {
             ConfirmPolicy::AutoConfirm => {
                 let token = self.compute_token(&push.request)?;
+                self.note_confirm_latency(push.tstart, now);
                 Ok(PushOutcome::Respond(TokenResponse {
                     request: push.request,
                     token,
@@ -340,6 +362,23 @@ impl AmnesiaPhone {
             token,
             tstart: push.tstart,
         })
+    }
+
+    /// [`confirm`](Self::confirm), additionally recording the push-to-confirm
+    /// latency (`now - tstart`) in the phone's telemetry — the simulated
+    /// analogue of how long the notification sat in the tray.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhoneError::NoSuchPending`] for an out-of-range index.
+    pub fn confirm_at(
+        &mut self,
+        index: usize,
+        now: SimInstant,
+    ) -> Result<TokenResponse, PhoneError> {
+        let response = self.confirm(index)?;
+        self.note_confirm_latency(response.tstart, now);
+        Ok(response)
     }
 
     /// The user dismisses the pending request at `index`.
@@ -491,6 +530,7 @@ impl AmnesiaPhone {
             notifications: Vec::new(),
             tokens_computed: 0,
             session_grant: None,
+            telemetry: Registry::new(),
         })
     }
 

@@ -41,7 +41,7 @@
 //! let frame = net.step().unwrap();
 //! gcm.handle_frame(&frame, &mut net).unwrap();
 //! net.run_until_idle();
-//! let delivered = net.take_inbox("phone");
+//! let delivered = net.take_inbox("phone").unwrap();
 //! assert_eq!(delivered[0].payload, b"request R");
 //! ```
 
@@ -51,6 +51,7 @@
 use amnesia_crypto::{hex, SecretRng};
 use amnesia_net::{Frame, NetError, SimNet};
 use amnesia_store::codec;
+use amnesia_telemetry::Registry;
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -162,6 +163,7 @@ pub struct RendezvousServer {
     rng: SecretRng,
     forwarded: u64,
     rejected: u64,
+    telemetry: Registry,
 }
 
 impl RendezvousServer {
@@ -173,7 +175,14 @@ impl RendezvousServer {
             rng: SecretRng::seeded(seed),
             forwarded: 0,
             rejected: 0,
+            telemetry: Registry::new(),
         }
+    }
+
+    /// Replaces the metrics registry this service records into
+    /// (`rendezvous.*` counters and the registered-device gauge).
+    pub fn set_telemetry(&mut self, registry: Registry) {
+        self.telemetry = registry;
     }
 
     /// The service's network endpoint name.
@@ -189,12 +198,19 @@ impl RendezvousServer {
         let id = RegistrationId(format!("reg:{}", hex::encode(&token)));
         self.registry
             .insert(id.clone(), device_endpoint.to_string());
+        self.telemetry
+            .gauge("rendezvous.devices")
+            .set(self.registry.len() as i64);
         id
     }
 
     /// Revokes a registration ID; returns whether it existed.
     pub fn unregister(&mut self, id: &RegistrationId) -> bool {
-        self.registry.remove(id).is_some()
+        let existed = self.registry.remove(id).is_some();
+        self.telemetry
+            .gauge("rendezvous.devices")
+            .set(self.registry.len() as i64);
+        existed
     }
 
     /// Whether the ID is currently registered.
@@ -224,12 +240,14 @@ impl RendezvousServer {
     ) -> Result<String, RendezvousError> {
         let envelope = PushEnvelope::from_wire(&frame.payload).map_err(|e| {
             self.rejected += 1;
+            self.telemetry.counter("rendezvous.push_rejected").inc();
             RendezvousError::MalformedEnvelope(e)
         })?;
         let device = match self.registry.get(&envelope.registration_id) {
             Some(d) => d.clone(),
             None => {
                 self.rejected += 1;
+                self.telemetry.counter("rendezvous.push_rejected").inc();
                 return Err(RendezvousError::UnknownRegistration(
                     envelope.registration_id,
                 ));
@@ -237,6 +255,7 @@ impl RendezvousServer {
         };
         net.send(&self.endpoint, &device, envelope.data)?;
         self.forwarded += 1;
+        self.telemetry.counter("rendezvous.push_forwarded").inc();
         Ok(device)
     }
 
@@ -296,7 +315,7 @@ mod tests {
         let device = push(&mut net, &mut gcm, &id, b"R-bytes").unwrap();
         assert_eq!(device, "phone");
         net.run_until_idle();
-        let frames = net.take_inbox("phone");
+        let frames = net.take_inbox("phone").unwrap();
         assert_eq!(frames.len(), 1);
         assert_eq!(frames[0].payload, b"R-bytes");
         // Total path latency = 10ms (server→gcm) + 15ms (gcm→phone).
@@ -313,7 +332,7 @@ mod tests {
         assert!(matches!(err, RendezvousError::UnknownRegistration(_)));
         assert_eq!(gcm.rejected_count(), 1);
         net.run_until_idle();
-        assert!(net.take_inbox("phone").is_empty());
+        assert!(net.take_inbox("phone").unwrap().is_empty());
     }
 
     #[test]
@@ -354,6 +373,22 @@ mod tests {
             PushEnvelope::from_wire(&env.to_wire().unwrap()).unwrap(),
             env
         );
+    }
+
+    #[test]
+    fn telemetry_tracks_forwards_rejections_and_devices() {
+        let (mut net, mut gcm) = harness();
+        let registry = Registry::new();
+        gcm.set_telemetry(registry.clone());
+        let id = gcm.register_device("phone");
+        push(&mut net, &mut gcm, &id, b"ok").unwrap();
+        gcm.unregister(&id);
+        push(&mut net, &mut gcm, &id, b"stale").unwrap_err();
+
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters["rendezvous.push_forwarded"], 1);
+        assert_eq!(snapshot.counters["rendezvous.push_rejected"], 1);
+        assert_eq!(snapshot.gauges["rendezvous.devices"], 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use amnesia_crypto::{aead, SecretRng};
 use amnesia_net::SimInstant;
 use amnesia_rendezvous::{PushEnvelope, RegistrationId};
 use amnesia_store::{Database, TypedTable};
+use amnesia_telemetry::{Registry, WallClock};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
@@ -95,6 +96,7 @@ pub struct AmnesiaServer {
     captchas: HashMap<String, String>,
     session_grants: HashMap<String, (SessionGrantToken, u32)>,
     stats: ServerStats,
+    telemetry: Registry,
 }
 
 impl fmt::Debug for AmnesiaServer {
@@ -128,12 +130,25 @@ impl AmnesiaServer {
             captchas: HashMap::new(),
             session_grants: HashMap::new(),
             stats: ServerStats::default(),
+            telemetry: Registry::new(),
         }
     }
 
     /// The server's network endpoint name.
     pub fn endpoint(&self) -> &str {
         &self.config.endpoint
+    }
+
+    /// Replaces the metrics registry this server records into (`server.*`
+    /// counters, the pending-request gauge, and per-step compute spans).
+    pub fn set_telemetry(&mut self, registry: Registry) {
+        self.telemetry = registry;
+    }
+
+    fn note_pending_depth(&self) {
+        self.telemetry
+            .gauge("server.pending_requests")
+            .set(self.pending.len() as i64);
     }
 
     /// Evaluation counters.
@@ -222,6 +237,7 @@ impl AmnesiaServer {
             Ok(record)
         } else {
             self.stats.failed_logins += 1;
+            self.telemetry.counter("server.failed_logins").inc();
             Err(self.sessions.record_failure(user_id))
         }
     }
@@ -388,6 +404,9 @@ impl AmnesiaServer {
         reply_to: &str,
         now: SimInstant,
     ) -> Result<PushEnvelope, ServerError> {
+        let _step2 = self
+            .telemetry
+            .span("server.step2_derive_request_us", WallClock::new());
         let record = self.session_user(session)?;
         let registration_id = record
             .registration_id
@@ -415,6 +434,8 @@ impl AmnesiaServer {
             session_grant: self.consume_session_grant(&record.user_id),
         };
         self.stats.requests_pushed += 1;
+        self.telemetry.counter("server.requests_pushed").inc();
+        self.note_pending_depth();
         Ok(PushEnvelope {
             registration_id,
             data: push
@@ -473,6 +494,8 @@ impl AmnesiaServer {
             session_grant: self.consume_session_grant(&record.user_id),
         };
         self.stats.requests_pushed += 1;
+        self.telemetry.counter("server.requests_pushed").inc();
+        self.note_pending_depth();
         Ok(PushEnvelope {
             registration_id,
             data: push
@@ -535,10 +558,15 @@ impl AmnesiaServer {
     /// the echoed `R`, and [`ServerError::VaultCorrupt`] if a vault
     /// ciphertext fails authentication.
     pub fn receive_token(&mut self, response: &TokenResponse) -> Result<TokenOutcome, ServerError> {
+        let _step5 = self
+            .telemetry
+            .span("server.step5_assemble_password_us", WallClock::new());
         let pending = self.pending.claim(&response.request).ok_or_else(|| {
             self.stats.tokens_rejected += 1;
+            self.telemetry.counter("server.tokens_rejected").inc();
             ServerError::UnknownRequest
         })?;
+        self.note_pending_depth();
         let mut record = self.load_user(&pending.user_id)?;
         match pending.purpose.clone() {
             RequestPurpose::Generate => {
@@ -562,6 +590,7 @@ impl AmnesiaServer {
                     }
                 };
                 self.stats.passwords_generated += 1;
+                self.telemetry.counter("server.passwords_generated").inc();
                 Ok(TokenOutcome::PasswordReady { pending, password })
             }
             RequestPurpose::StoreVaulted {

@@ -1,0 +1,112 @@
+//! Time sources for spans and latency measurements.
+//!
+//! Telemetry never reads `std::time` directly: every duration comes from a
+//! [`Clock`], so the same instrumentation works against real wall time and
+//! against the discrete-event simulated clock in `amnesia-net` (which
+//! implements [`Clock`] on its side of the dependency edge).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic microsecond counter. Implementations must never go backwards.
+pub trait Clock {
+    /// Microseconds elapsed since an arbitrary but fixed origin.
+    fn now_micros(&self) -> u64;
+}
+
+/// Wall-clock time, anchored at the moment the clock was created.
+#[derive(Clone, Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock whose origin is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_micros(&self) -> u64 {
+        let micros = self.origin.elapsed().as_micros();
+        u64::try_from(micros).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-driven clock for tests: time only moves when [`ManualClock::advance`]
+/// is called. Clones share the same underlying counter.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Creates a manual clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `micros` microseconds.
+    pub fn advance(&self, micros: u64) {
+        self.micros.fetch_add(micros, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute microsecond value.
+    pub fn set(&self, micros: u64) {
+        self.micros.store(micros, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for &C {
+    fn now_micros(&self) -> u64 {
+        (**self).now_micros()
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for Arc<C> {
+    fn now_micros(&self) -> u64 {
+        (**self).now_micros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = WallClock::new();
+        let a = clock.now_micros();
+        let b = clock.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_on_advance() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_micros(), 0);
+        clock.advance(1500);
+        assert_eq!(clock.now_micros(), 1500);
+        let shared = clock.clone();
+        shared.advance(500);
+        assert_eq!(clock.now_micros(), 2000);
+        clock.set(10);
+        assert_eq!(shared.now_micros(), 10);
+    }
+}

@@ -1,0 +1,333 @@
+//! Process-wide registry of named metrics.
+//!
+//! A [`Registry`] is a cheaply cloneable handle to a shared table of named
+//! [`Counter`]s, [`Gauge`]s, and [`Histogram`](crate::Histogram)s. Components
+//! hold their own clone and record into it; a snapshot or JSON report reads a
+//! consistent view of all three tables at once. Lookup happens once per
+//! metric handle (`counter("net.frames_sent")`), after which recording is a
+//! single atomic operation (counters/gauges) or a short mutex-guarded bucket
+//! increment (histograms).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::clock::Clock;
+use crate::histogram::Histogram;
+use crate::report::Snapshot;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, map sizes).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta to the gauge.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared handle to a named [`Histogram`].
+#[derive(Clone, Debug, Default)]
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.lock().record(value);
+    }
+
+    /// Copies out the current histogram state.
+    pub fn snapshot(&self) -> Histogram {
+        self.lock().clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Histogram> {
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, HistogramHandle>,
+}
+
+/// Cloneable handle to a shared metrics table. See the module docs.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide default registry used by the [`span!`](crate::span!)
+    /// macro. Created on first use; lives for the rest of the process.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Returns the counter registered under `name`, creating it if needed.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.lock()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it if needed.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.lock()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it if needed.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Records one sample into the histogram named `name`.
+    pub fn record(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// Starts a span that records its duration (in microseconds, as measured
+    /// by `clock`) into the histogram named `name` when dropped or
+    /// [`finish`](Span::finish)ed.
+    pub fn span<C: Clock>(&self, name: &str, clock: C) -> Span<C> {
+        Span {
+            histogram: self.histogram(name),
+            started_at: clock.now_micros(),
+            clock,
+            done: false,
+        }
+    }
+
+    /// Reads a consistent snapshot of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Resets every registered metric to its empty state, keeping the handles
+    /// other components already hold valid and connected.
+    pub fn reset(&self) {
+        let inner = self.lock();
+        for counter in inner.counters.values() {
+            counter.0.store(0, Ordering::Relaxed);
+        }
+        for gauge in inner.gauges.values() {
+            gauge.0.store(0, Ordering::Relaxed);
+        }
+        for histogram in inner.histograms.values() {
+            *histogram.lock() = Histogram::new();
+        }
+    }
+}
+
+/// An in-flight timing measurement. Records the elapsed microseconds into its
+/// histogram exactly once, either on [`finish`](Span::finish) or on drop.
+#[must_use = "a span measures the time until it is dropped or finished"]
+pub struct Span<C: Clock> {
+    histogram: HistogramHandle,
+    started_at: u64,
+    clock: C,
+    done: bool,
+}
+
+impl<C: Clock> Span<C> {
+    /// Ends the span now and returns the elapsed microseconds.
+    pub fn finish(mut self) -> u64 {
+        self.record_once()
+    }
+
+    /// Drops the span without recording anything.
+    pub fn cancel(mut self) {
+        self.done = true;
+    }
+
+    fn record_once(&mut self) -> u64 {
+        if self.done {
+            return 0;
+        }
+        self.done = true;
+        let elapsed = self.clock.now_micros().saturating_sub(self.started_at);
+        self.histogram.record(elapsed);
+        elapsed
+    }
+}
+
+impl<C: Clock> Drop for Span<C> {
+    fn drop(&mut self) {
+        self.record_once();
+    }
+}
+
+/// Times the enclosing scope against the global registry's wall clock.
+///
+/// `span!("server.derive_R")` returns a guard; the elapsed wall time in
+/// microseconds is recorded into the global histogram of that name when the
+/// guard goes out of scope. Pass a registry and/or clock explicitly to record
+/// elsewhere: `span!(registry, "name")` or `span!(registry, "name", clock)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Registry::global().span($name, $crate::WallClock::new())
+    };
+    ($registry:expr, $name:expr) => {
+        ($registry).span($name, $crate::WallClock::new())
+    };
+    ($registry:expr, $name:expr, $clock:expr) => {
+        ($registry).span($name, $clock)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn counters_and_gauges_are_shared_by_name() {
+        let registry = Registry::new();
+        registry.counter("hits").inc();
+        registry.counter("hits").add(4);
+        assert_eq!(registry.counter("hits").get(), 5);
+
+        registry.gauge("depth").set(7);
+        registry.gauge("depth").add(-3);
+        assert_eq!(registry.gauge("depth").get(), 4);
+    }
+
+    #[test]
+    fn span_records_elapsed_micros_on_drop() {
+        let registry = Registry::new();
+        let clock = ManualClock::new();
+        {
+            let _span = registry.span("op", clock.clone());
+            clock.advance(250);
+        }
+        let h = registry.histogram("op").snapshot();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Some(250));
+    }
+
+    #[test]
+    fn finished_span_does_not_double_record() {
+        let registry = Registry::new();
+        let clock = ManualClock::new();
+        let span = registry.span("op", clock.clone());
+        clock.advance(10);
+        assert_eq!(span.finish(), 10);
+        assert_eq!(registry.histogram("op").snapshot().count(), 1);
+    }
+
+    #[test]
+    fn cancelled_span_records_nothing() {
+        let registry = Registry::new();
+        let span = registry.span("op", ManualClock::new());
+        span.cancel();
+        assert_eq!(registry.histogram("op").snapshot().count(), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_existing_handles() {
+        let registry = Registry::new();
+        let counter = registry.counter("c");
+        counter.add(9);
+        registry.record("h", 42);
+        registry.reset();
+        assert_eq!(counter.get(), 0);
+        assert_eq!(registry.histogram("h").snapshot().count(), 0);
+        counter.inc();
+        assert_eq!(registry.counter("c").get(), 1, "handles stay connected");
+    }
+
+    #[test]
+    fn clones_share_the_same_tables() {
+        let registry = Registry::new();
+        let clone = registry.clone();
+        clone.counter("shared").inc();
+        assert_eq!(registry.counter("shared").get(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Point-in-time metric snapshots and their JSON rendering.
+//!
+//! The JSON schema is deliberately flat and stable so bench bins and external
+//! tooling can consume it without a parser generator:
+//!
+//! ```json
+//! {
+//!   "counters": {"net.frames_sent": 12},
+//!   "gauges": {"server.pending_requests": 0},
+//!   "histograms": {
+//!     "system.generate_password_us": {
+//!       "count": 100, "min_us": 701234, "max_us": 912345,
+//!       "mean_us": 785300, "p50_us": 780000, "p90_us": 860000,
+//!       "p99_us": 900000
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! Keys are emitted in sorted order (the tables are `BTreeMap`s), so two
+//! snapshots of the same run render byte-identically.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::histogram::Histogram;
+
+/// A consistent copy of every metric in a
+/// [`Registry`](crate::Registry) at one instant.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Full histogram state by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// Renders the snapshot as a compact single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_entries(&mut out, &self.counters, |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\"gauges\":{");
+        push_entries(&mut out, &self.gauges, |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\"histograms\":{");
+        push_entries(&mut out, &self.histograms, |out, h| {
+            out.push_str(&histogram_json(h));
+        });
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_entries<V>(
+    out: &mut String,
+    entries: &BTreeMap<String, V>,
+    mut render: impl FnMut(&mut String, &V),
+) {
+    for (i, (name, value)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(name));
+        out.push(':');
+        render(out, value);
+    }
+}
+
+/// Renders one histogram as a JSON object with count, min/max/mean, and the
+/// p50/p90/p99 representative quantiles, all in the recorded unit
+/// (microseconds by convention). An empty histogram renders `{"count":0}`.
+pub fn histogram_json(h: &Histogram) -> String {
+    if h.is_empty() {
+        return String::from("{\"count\":0}");
+    }
+    format!(
+        "{{\"count\":{},\"min_us\":{},\"max_us\":{},\"mean_us\":{},\
+         \"p50_us\":{},\"p90_us\":{},\"p99_us\":{}}}",
+        h.count(),
+        h.min().unwrap(),
+        h.max().unwrap(),
+        h.mean().unwrap(),
+        h.quantile(0.50).unwrap(),
+        h.quantile(0.90).unwrap(),
+        h.quantile(0.99).unwrap(),
+    )
+}
+
+/// Escapes `s` as a JSON string literal, including the surrounding quotes.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("back\\slash"), "\"back\\\\slash\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn snapshot_renders_all_sections() {
+        let registry = Registry::new();
+        registry.counter("a.count").add(3);
+        registry.gauge("b.depth").set(-2);
+        registry.record("c.latency_us", 100);
+        registry.record("c.latency_us", 200);
+        let json = registry.snapshot().to_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"a.count\":3"));
+        assert!(json.contains("\"b.depth\":-2"));
+        assert!(json.contains("\"c.latency_us\":{\"count\":2,\"min_us\":100"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_skeleton() {
+        let json = Registry::new().snapshot().to_json();
+        assert_eq!(json, "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+    }
+
+    #[test]
+    fn empty_histogram_renders_count_zero() {
+        assert_eq!(histogram_json(&Histogram::new()), "{\"count\":0}");
+    }
+}

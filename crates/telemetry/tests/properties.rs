@@ -1,0 +1,106 @@
+//! Property tests for the log-scale histogram, checked against brute force.
+
+use amnesia_telemetry::Histogram;
+use amnesia_testkit::{for_all, require, require_eq, Gen};
+
+/// Draws a sample set spanning several orders of magnitude, including the
+/// exact low range, mid-range values, and occasional huge outliers.
+fn arbitrary_samples(g: &mut Gen) -> Vec<u64> {
+    let len = g.usize_in(1, 400);
+    g.vec_of(len, |g| match g.usize_in(0, 3) {
+        0 => g.u64_in(0, 31),
+        1 => g.u64_in(32, 10_000),
+        2 => g.u64_in(10_000, 10_000_000),
+        _ => g.u64_in(10_000_000, u64::MAX),
+    })
+}
+
+#[test]
+fn quantile_bounds_bracket_true_order_statistic() {
+    for_all("quantile_bounds_bracket", 200, |g| {
+        let samples = arbitrary_samples(g);
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        for &q in &[0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let (lo, hi) = h
+                .quantile_bounds(q)
+                .ok_or_else(|| "non-empty histogram returned no bounds".to_string())?;
+            require!(
+                lo <= truth && truth <= hi,
+                "q={q}: true order statistic {truth} outside [{lo}, {hi}] (n={})",
+                sorted.len()
+            );
+            // The reported interval must respect the 1/32 relative-width
+            // guarantee (up to the ±1 of the unit buckets).
+            require!(
+                hi - lo <= lo / 32 + 1,
+                "q={q}: interval [{lo}, {hi}] wider than one sub-bucket"
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn exact_statistics_match_brute_force() {
+    for_all("exact_statistics", 200, |g| {
+        let samples = arbitrary_samples(g);
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        require_eq!(h.count(), samples.len() as u64);
+        require_eq!(h.min(), samples.iter().copied().min());
+        require_eq!(h.max(), samples.iter().copied().max());
+        let sum: u128 = samples.iter().map(|&s| u128::from(s)).sum();
+        require_eq!(h.sum(), sum);
+        require_eq!(h.mean(), Some((sum / samples.len() as u128) as u64));
+        Ok(())
+    });
+}
+
+#[test]
+fn merge_equals_histogram_of_concatenation() {
+    for_all("merge_is_concatenation", 200, |g| {
+        let left = arbitrary_samples(g);
+        let right = if g.next_bool() {
+            arbitrary_samples(g)
+        } else {
+            Vec::new() // merging an empty histogram must be the identity
+        };
+
+        let mut merged = Histogram::new();
+        for &s in &left {
+            merged.record(s);
+        }
+        let mut other = Histogram::new();
+        for &s in &right {
+            other.record(s);
+        }
+        merged.merge(&other);
+
+        let mut concatenated = Histogram::new();
+        for &s in left.iter().chain(right.iter()) {
+            concatenated.record(s);
+        }
+
+        require!(
+            merged == concatenated,
+            "merge of {} + {} samples differs from direct concatenation",
+            left.len(),
+            right.len()
+        );
+        // Spot-check that the agreement extends to derived statistics.
+        for &q in &[0.5, 0.9, 0.99] {
+            require_eq!(merged.quantile_bounds(q), concatenated.quantile_bounds(q));
+        }
+        Ok(())
+    });
+}

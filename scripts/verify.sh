@@ -22,4 +22,8 @@ if grep -rn 'serde\|rand\|proptest\|criterion\|crossbeam\|parking_lot\|bytes' \
     exit 1
 fi
 
-echo "OK: offline build, tests, formatting, and zero-dependency check passed"
+echo "==> telemetry report smoke run"
+cargo run -q --release --offline --locked -p amnesia-bench \
+    --bin telemetry_report >/dev/null
+
+echo "OK: offline build, tests, formatting, zero-dependency check, and telemetry smoke run passed"

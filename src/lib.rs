@@ -19,4 +19,5 @@ pub use amnesia_rendezvous as rendezvous;
 pub use amnesia_server as server;
 pub use amnesia_store as store;
 pub use amnesia_system as system;
+pub use amnesia_telemetry as telemetry;
 pub use amnesia_userstudy as userstudy;

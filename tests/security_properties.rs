@@ -147,9 +147,9 @@ fn wiretaps_see_no_secrets_on_protected_channels() {
     let mut sys = AmnesiaSystem::new(SystemConfig::default().with_seed(9).with_table_size(128));
     sys.add_browser("browser");
     sys.add_phone("phone", 90);
-    let tap_up = sys.net_mut().tap("browser", SERVER_ENDPOINT);
-    let tap_down = sys.net_mut().tap(SERVER_ENDPOINT, "browser");
-    let tap_phone = sys.net_mut().tap("phone", SERVER_ENDPOINT);
+    let tap_up = sys.net_mut().tap("browser", SERVER_ENDPOINT).unwrap();
+    let tap_down = sys.net_mut().tap(SERVER_ENDPOINT, "browser").unwrap();
+    let tap_phone = sys.net_mut().tap("phone", SERVER_ENDPOINT).unwrap();
 
     sys.setup_user("kate", "hunter2 master", "browser", "phone")
         .unwrap();
