@@ -74,6 +74,13 @@ macro_rules! fixed_bytes_newtype {
             }
         }
 
+        impl Drop for $name {
+            fn drop(&mut self) {
+                // Secrets must not linger in freed memory.
+                amnesia_crypto::zeroize(&mut self.0);
+            }
+        }
+
         impl Eq for $name {}
 
         impl std::hash::Hash for $name {

@@ -19,11 +19,37 @@ use amnesia_crypto::{SecretRng, Sha256};
 /// let table = EntryTable::random(&mut SecretRng::seeded(1), EntryTable::DEFAULT_SIZE);
 /// assert_eq!(table.len(), 5000);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Eq)]
 pub struct EntryTable {
     entries: Vec<EntryValue>,
 }
 amnesia_store::record_struct! { EntryTable { entries } }
+
+/// The table *is* the phone half-secret `Kp`, so `Debug` shows only the
+/// entry count — never the values.
+impl std::fmt::Debug for EntryTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EntryTable")
+            .field("len", &self.entries.len())
+            .field("entries", &"<secret>")
+            .finish()
+    }
+}
+
+/// Constant-time over the full table: every entry is compared even after a
+/// mismatch, so timing reveals only the (public) table length.
+impl PartialEq for EntryTable {
+    fn eq(&self, other: &Self) -> bool {
+        if self.entries.len() != other.entries.len() {
+            return false;
+        }
+        let mut equal = true;
+        for (a, b) in self.entries.iter().zip(&other.entries) {
+            equal &= amnesia_crypto::ct_eq(a.as_bytes(), b.as_bytes());
+        }
+        equal
+    }
+}
 
 impl EntryTable {
     /// The paper's table size, `N = 5000`.

@@ -57,6 +57,13 @@ impl PartialEq for Token {
 
 impl Eq for Token {}
 
+/// `T` is half of the password derivation input; wipe it on drop.
+impl Drop for Token {
+    fn drop(&mut self) {
+        amnesia_crypto::zeroize(&mut self.0);
+    }
+}
+
 impl fmt::Debug for Token {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Token(0x{}…)", &self.to_hex()[..8])

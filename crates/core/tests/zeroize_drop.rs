@@ -1,0 +1,40 @@
+//! Read-back tests for drop-zeroization of the secret newtypes.
+//!
+//! `amnesia-core` forbids `unsafe`, so the raw-pointer checks live in this
+//! integration test: drop the value in place inside a [`ManuallyDrop`] slot,
+//! then `read_volatile` the slot's bytes — any surviving secret byte fails.
+
+use amnesia_core::{EntryValue, OnlineId, PhoneId, Salt, Seed, Token};
+use std::mem::ManuallyDrop;
+
+/// Runs `v`'s destructor in place and returns the bytes left in the slot.
+fn bytes_after_drop<T>(mut v: ManuallyDrop<T>) -> Vec<u8> {
+    let p = (&*v) as *const T as *const u8;
+    unsafe { ManuallyDrop::drop(&mut v) };
+    (0..std::mem::size_of::<T>())
+        .map(|i| unsafe { p.add(i).read_volatile() })
+        .collect()
+}
+
+macro_rules! wiped_on_drop {
+    ($test:ident, $ty:ident, $len:expr) => {
+        #[test]
+        fn $test() {
+            let v = $ty::from_bytes([0xA7u8; $len]);
+            let after = bytes_after_drop(ManuallyDrop::new(v));
+            assert_eq!(after.len(), $len);
+            assert!(
+                after.iter().all(|&b| b == 0),
+                concat!(stringify!($ty), " bytes survived drop: {:02x?}"),
+                after
+            );
+        }
+    };
+}
+
+wiped_on_drop!(online_id_wiped, OnlineId, 64);
+wiped_on_drop!(phone_id_wiped, PhoneId, 64);
+wiped_on_drop!(seed_wiped, Seed, 32);
+wiped_on_drop!(entry_value_wiped, EntryValue, 32);
+wiped_on_drop!(salt_wiped, Salt, 16);
+wiped_on_drop!(token_wiped, Token, 32);

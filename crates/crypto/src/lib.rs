@@ -21,6 +21,7 @@
 //! * [`ct_eq`] — constant-time equality for secret comparison.
 //! * [`SecretRng`] — a seedable CSPRNG-style byte source for generating
 //!   `Oid`, `Pid`, seeds `σ` and entry tables.
+//! * [`zeroize`] — best-effort wiping of secret buffers on drop.
 //!
 //! # Example
 //!
@@ -47,6 +48,7 @@ mod pbkdf2;
 mod rng;
 mod sha256;
 mod sha512;
+mod zeroize;
 
 pub use ct::ct_eq;
 pub use digest::Digest;
@@ -55,6 +57,7 @@ pub use pbkdf2::{pbkdf2_hmac_sha256, pbkdf2_hmac_sha512};
 pub use rng::SecretRng;
 pub use sha256::{sha256, Sha256};
 pub use sha512::{sha512, Sha512};
+pub use zeroize::zeroize;
 
 /// Convenience: SHA-256 over the concatenation of several byte slices.
 ///

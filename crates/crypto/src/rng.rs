@@ -5,6 +5,7 @@
 //! [`hmac_sha256`] — no external RNG crate.
 
 use crate::hmac::hmac_sha256;
+use crate::zeroize::zeroize;
 use std::fmt;
 
 /// Source of secret random material (`Oid`, `Pid`, seeds `σ`, entry tables,
@@ -36,6 +37,15 @@ impl fmt::Debug for SecretRng {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Never expose internal RNG state.
         f.debug_struct("SecretRng").finish_non_exhaustive()
+    }
+}
+
+/// The `K`/`V` state determines every future output, so it is wiped when the
+/// generator goes away rather than left for the allocator to recycle.
+impl Drop for SecretRng {
+    fn drop(&mut self) {
+        zeroize(&mut self.k);
+        zeroize(&mut self.v);
     }
 }
 
@@ -73,8 +83,12 @@ impl SecretRng {
     /// Creates a generator seeded from operating-system entropy
     /// (`/dev/urandom`, with a time/pid fallback for exotic platforms).
     pub fn from_entropy() -> Self {
-        let seed = os_entropy();
-        SecretRng::instantiate(&seed)
+        let mut seed = os_entropy();
+        let rng = SecretRng::instantiate(&seed);
+        // The seed can reconstruct the initial K/V state; wipe the stack
+        // copy once it has been folded into the DRBG.
+        zeroize(&mut seed);
+        rng
     }
 
     /// Creates a deterministic generator from a 64-bit seed.
@@ -127,10 +141,11 @@ fn os_entropy() -> [u8; 48] {
     }
     // Fallback: hash together whatever uniqueness the platform gives us.
     // Far weaker than the OS pool, but only reachable where /dev/urandom
-    // does not exist.
-    let now = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .unwrap_or_default();
+    // does not exist. The wall-clock read below is the point, not a leak of
+    // nondeterminism into library logic: this path *is* the entropy source,
+    // runs only outside the simulation, and never feeds seeded experiments.
+    // lint: allow(determinism) wall time is this fallback's entropy source
+    let now = std::time::UNIX_EPOCH.elapsed().unwrap_or_default();
     let pid = std::process::id();
     let addr = &seed as *const _ as usize; // ASLR juice
     let a = crate::sha256_concat(&[

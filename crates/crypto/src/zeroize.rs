@@ -1,0 +1,47 @@
+//! Best-effort zeroization of secret buffers, without `unsafe`.
+//!
+//! The crate forbids `unsafe`, so this cannot use `ptr::write_volatile`.
+//! Instead it writes zeros through ordinary stores and then pins the buffer
+//! with [`std::hint::black_box`] behind a [`compiler_fence`]: the fence
+//! orders the stores, and `black_box` makes the zeroed bytes observable so
+//! the optimizer cannot prove the writes dead and elide them. That is the
+//! same contract the popular `zeroize` crate documents — a best-effort
+//! barrier against dead-store elimination, not a defense against swap,
+//! registers, or hibernation images.
+//!
+//! Used on drop for every long-lived half-secret: the DRBG state `K`/`V`,
+//! the fixed-byte newtypes (`Seed`, `EntryValue`, `OnlineId`, `PhoneId`,
+//! `Salt`) and the token `T`. Integration tests in `tests/zeroize_drop.rs`
+//! read the freed bytes back through a raw pointer to check the wipe
+//! actually happened.
+
+use std::sync::atomic::{compiler_fence, Ordering};
+
+/// Overwrites `buf` with zeros and forces the writes to stick.
+pub fn zeroize(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        *b = 0;
+    }
+    compiler_fence(Ordering::SeqCst);
+    // An opaque observation of the zeroed bytes: the compiler must assume
+    // they are read, so the stores above cannot be optimized away.
+    std::hint::black_box(&mut *buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroes_every_byte() {
+        let mut buf = [0xAAu8; 97];
+        zeroize(&mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut buf: [u8; 0] = [];
+        zeroize(&mut buf);
+    }
+}

@@ -1,0 +1,139 @@
+//! The grandfathering baseline: findings recorded in `lint-baseline.txt`
+//! are known debts, not failures.
+//!
+//! Each line is `rule<TAB>file<TAB>normalized snippet`. Line numbers are
+//! deliberately not stored — editing unrelated code above a grandfathered
+//! finding must not resurrect it — so identity is (rule, file, snippet)
+//! with multiplicity: if a file has three baselined `unwrap()` calls on
+//! identical snippets, a fourth identical one is still reported as new.
+
+use crate::findings::Finding;
+use std::collections::BTreeMap;
+
+/// A multiset of baselined finding keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    /// Parses the baseline file format. Unparseable lines are ignored
+    /// (the file is regenerated wholesale by `--update-baseline`).
+    pub fn parse(text: &str) -> Self {
+        let mut counts = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let (Some(rule), Some(file), Some(snippet)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            *counts
+                .entry((rule.to_string(), file.to_string(), snippet.to_string()))
+                .or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Number of baselined entries (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Splits `findings` into (new, grandfathered) against this baseline.
+    pub fn partition(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        let mut budget = self.counts.clone();
+        let mut fresh = Vec::new();
+        let mut old = Vec::new();
+        for f in findings {
+            match budget.get_mut(&f.baseline_key()) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    old.push(f);
+                }
+                _ => fresh.push(f),
+            }
+        }
+        (fresh, old)
+    }
+
+    /// Renders `findings` in the baseline file format.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut lines: Vec<String> = findings
+            .iter()
+            .map(|f| {
+                let (rule, file, snippet) = f.baseline_key();
+                format!("{rule}\t{file}\t{snippet}")
+            })
+            .collect();
+        lines.sort();
+        let mut out = String::from(
+            "# amnesia-lint baseline: grandfathered findings (rule<TAB>file<TAB>snippet).\n\
+             # Regenerate with `cargo run -p amnesia-lint -- --update-baseline`.\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            file: file.into(),
+            line: 1,
+            rule: rule.into(),
+            snippet: snippet.into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_partition() {
+        let fs = vec![
+            finding("r1", "a.rs", "x.unwrap()"),
+            finding("r1", "a.rs", "y.unwrap()"),
+        ];
+        let base = Baseline::parse(&Baseline::render(&fs));
+        assert_eq!(base.len(), 2);
+        let (new, old) = base.partition(vec![
+            finding("r1", "a.rs", "x.unwrap()"),
+            finding("r1", "a.rs", "z.unwrap()"),
+        ]);
+        assert_eq!(old.len(), 1);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].snippet, "z.unwrap()");
+    }
+
+    #[test]
+    fn multiplicity_is_respected() {
+        let base = Baseline::parse("r\tf.rs\tsame()\n");
+        let (new, old) = base.partition(vec![
+            finding("r", "f.rs", "same()"),
+            finding("r", "f.rs", "same()"),
+        ]);
+        assert_eq!(old.len(), 1, "only one occurrence was grandfathered");
+        assert_eq!(new.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let base = Baseline::parse("# header\n\nr\tf.rs\ts\n");
+        assert_eq!(base.len(), 1);
+        assert!(!base.is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! `lint.toml` configuration: secret-type lists, allowlists, disabled
+//! rules.
+//!
+//! The parser understands the small TOML subset the config needs —
+//! `[section]` headers, `key = "string"`, `key = true/false`, and
+//! (possibly multi-line) `key = ["a", "b"]` arrays — implemented by hand
+//! to honor the workspace's zero-external-crate rule. Unknown sections
+//! and keys are ignored so the config can grow without breaking older
+//! binaries.
+
+use std::collections::BTreeMap;
+
+/// Analyzer configuration, normally loaded from `lint.toml`.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Type names whose values are secrets: `derive(Debug)`, `Display`
+    /// impls and derived `PartialEq` on these are findings.
+    pub secret_types: Vec<String>,
+    /// Variable identifiers treated as secrets inside format-macro
+    /// arguments.
+    pub secret_idents: Vec<String>,
+    /// Macro names whose arguments are checked by the `secret-format` rule.
+    pub format_macros: Vec<String>,
+    /// Files (workspace-relative) where wall-clock reads are permitted.
+    pub determinism_allow_files: Vec<String>,
+    /// Files where the secret-compare rule is silent (the constant-time
+    /// implementation itself must spell `==` somewhere).
+    pub ct_impl_files: Vec<String>,
+    /// Rule ids (or family prefixes) disabled globally.
+    pub disabled_rules: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            secret_types: vec![
+                "OnlineId".into(),
+                "PhoneId".into(),
+                "Seed".into(),
+                "EntryValue".into(),
+                "EntryTable".into(),
+                "Salt".into(),
+                "Token".into(),
+                "SecretRng".into(),
+            ],
+            secret_idents: vec!["ks".into(), "kp".into(), "oid".into(), "pid".into()],
+            format_macros: vec![
+                "format".into(),
+                "print".into(),
+                "println".into(),
+                "eprint".into(),
+                "eprintln".into(),
+                "panic".into(),
+                "log".into(),
+                "write".into(),
+                "writeln".into(),
+            ],
+            determinism_allow_files: Vec::new(),
+            ct_impl_files: Vec::new(),
+            disabled_rules: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Parses a `lint.toml` document, falling back to defaults for any
+    /// key the document does not set.
+    pub fn parse(text: &str) -> Self {
+        let raw = parse_toml_subset(text);
+        let mut cfg = Config::default();
+        let take =
+            |raw: &BTreeMap<(String, String), Value>, sec: &str, key: &str| -> Option<Value> {
+                raw.get(&(sec.to_string(), key.to_string())).cloned()
+            };
+        if let Some(Value::Array(v)) = take(&raw, "secret_types", "names") {
+            cfg.secret_types = v;
+        }
+        if let Some(Value::Array(v)) = take(&raw, "secret_idents", "names") {
+            cfg.secret_idents = v;
+        }
+        if let Some(Value::Array(v)) = take(&raw, "secret_format", "macros") {
+            cfg.format_macros = v;
+        }
+        if let Some(Value::Array(v)) = take(&raw, "determinism", "allow_files") {
+            cfg.determinism_allow_files = v;
+        }
+        if let Some(Value::Array(v)) = take(&raw, "secret_compare", "ct_impl_files") {
+            cfg.ct_impl_files = v;
+        }
+        if let Some(Value::Array(v)) = take(&raw, "rules", "disabled") {
+            cfg.disabled_rules = v;
+        }
+        cfg
+    }
+
+    /// Whether `rule` is disabled (exact id or family prefix).
+    pub fn rule_disabled(&self, rule: &str) -> bool {
+        self.disabled_rules
+            .iter()
+            .any(|d| rule == d || rule.starts_with(&format!("{d}-")))
+    }
+}
+
+/// A parsed TOML-subset value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array of quoted strings.
+    Array(Vec<String>),
+}
+
+/// Parses `[section]` / `key = value` lines into a flat map.
+fn parse_toml_subset(text: &str) -> BTreeMap<(String, String), Value> {
+    let mut out = BTreeMap::new();
+    let mut section = String::new();
+    let mut lines = text.lines();
+    while let Some(line) = lines.next() {
+        let line = strip_comment(line).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = inner.trim().to_string();
+            continue;
+        }
+        let Some((key, mut value)) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        else {
+            continue;
+        };
+        // Multi-line arrays: keep appending lines until brackets balance.
+        if value.starts_with('[') {
+            while !value.contains(']') {
+                match lines.next() {
+                    Some(next) => {
+                        value.push(' ');
+                        value.push_str(strip_comment(next).trim());
+                    }
+                    None => break,
+                }
+            }
+        }
+        if let Some(parsed) = parse_value(&value) {
+            out.insert((section.clone(), key), parsed);
+        }
+    }
+    out
+}
+
+/// Removes a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(v: &str) -> Option<Value> {
+    let v = v.trim();
+    if v == "true" {
+        return Some(Value::Bool(true));
+    }
+    if v == "false" {
+        return Some(Value::Bool(false));
+    }
+    if let Some(s) = v.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+        return Some(Value::Str(s.to_string()));
+    }
+    if let Some(inner) = v.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').unwrap_or(inner);
+        let items = inner
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .filter_map(|s| s.strip_prefix('"').and_then(|s| s.strip_suffix('"')))
+            .map(str::to_string)
+            .collect();
+        return Some(Value::Array(items));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = Config::default();
+        assert!(cfg.secret_types.iter().any(|t| t == "Seed"));
+        assert!(!cfg.rule_disabled("no-panic-unwrap"));
+    }
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[secret_types]
+names = ["Alpha", "Beta"] # trailing comment
+
+[determinism]
+allow_files = [
+    "a/b.rs",
+    "c/d.rs",
+]
+
+[rules]
+disabled = ["no-panic"]
+"#,
+        );
+        assert_eq!(cfg.secret_types, vec!["Alpha", "Beta"]);
+        assert_eq!(cfg.determinism_allow_files, vec!["a/b.rs", "c/d.rs"]);
+        assert!(cfg.rule_disabled("no-panic-unwrap"));
+        assert!(cfg.rule_disabled("no-panic"));
+        assert!(!cfg.rule_disabled("determinism"));
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let cfg = Config::parse("[future]\nknob = true\n");
+        assert_eq!(cfg.secret_types, Config::default().secret_types);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let raw = parse_toml_subset("[s]\nk = \"a#b\"\n");
+        assert_eq!(
+            raw.get(&("s".into(), "k".into())),
+            Some(&Value::Str("a#b".into()))
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Finding type and report formatting.
+
+use std::fmt;
+
+/// One rule violation at a specific location.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Path of the offending file, relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule identifier (e.g. `no-panic-unwrap`).
+    pub rule: String,
+    /// The trimmed source line.
+    pub snippet: String,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl Finding {
+    /// The baseline identity of this finding: rule + file + snippet, with
+    /// the line number deliberately excluded so unrelated edits above a
+    /// grandfathered finding do not resurrect it.
+    pub fn baseline_key(&self) -> (String, String, String) {
+        (
+            self.rule.clone(),
+            self.file.clone(),
+            normalize_snippet(&self.snippet),
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file, self.line, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// Collapses interior whitespace so reformatting does not change a
+/// finding's baseline identity.
+pub fn normalize_snippet(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Extracts the trimmed source line containing byte `offset`.
+pub fn line_snippet(src: &str, offset: usize) -> String {
+    let start = src[..offset.min(src.len())]
+        .rfind('\n')
+        .map_or(0, |i| i + 1);
+    let end = src[start..].find('\n').map_or(src.len(), |i| start + i);
+    src[start..end].trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snippet_extraction() {
+        let src = "first\n  second line  \nthird";
+        let off = src.find("second").expect("present");
+        assert_eq!(line_snippet(src, off), "second line");
+    }
+
+    #[test]
+    fn baseline_key_ignores_line_and_spacing() {
+        let a = Finding {
+            file: "f.rs".into(),
+            line: 3,
+            rule: "r".into(),
+            snippet: "let  x =  1;".into(),
+            message: "m".into(),
+        };
+        let b = Finding {
+            line: 99,
+            snippet: "let x = 1;".into(),
+            ..a.clone()
+        };
+        assert_eq!(a.baseline_key(), b.baseline_key());
+    }
+}

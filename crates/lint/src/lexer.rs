@@ -1,0 +1,504 @@
+//! A hand-rolled lexer for Rust source text.
+//!
+//! The analyzer does not need a full parser — every rule in
+//! [`crate::rules`] works on a token stream plus light structural
+//! information — but it *does* need the token boundaries to be right:
+//! a `.unwrap()` inside a string literal or a doc comment is not a
+//! finding. The tricky cases this lexer handles explicitly:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * cooked strings with escapes (`"a \" b"`), byte strings (`b"…"`);
+//! * raw strings with arbitrary hash fences (`r#"…"#`, `br##"…"##`);
+//! * char literals vs lifetimes (`'a'` is a char, `'a` is a lifetime,
+//!   `'\''` is a char);
+//! * multi-character operators (`==`, `!=`, `::`, `->`, …) emitted as
+//!   single tokens so rules can pattern-match on them.
+//!
+//! The lexer is total: malformed input (an unterminated string, a stray
+//! control byte) never panics — the remainder of the file is consumed
+//! into the current token and lexing ends. Offsets are byte offsets into
+//! the original source, so `&src[tok.start..tok.end]` is always the
+//! exact spelled text.
+
+/// What kind of lexical element a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `impl`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — no closing quote.
+    Lifetime,
+    /// A numeric literal, including any suffix (`0x1f`, `1_000u64`, `2.5`).
+    Number,
+    /// A cooked string or byte-string literal (`"…"`, `b"…"`).
+    Str,
+    /// A raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`).
+    RawStr,
+    /// A char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A `//` comment, running to end of line (includes doc comments).
+    LineComment,
+    /// A `/* … */` comment, with nesting.
+    BlockComment,
+    /// Punctuation; multi-char operators are one token (`==`, `::`).
+    Punct,
+}
+
+/// One lexed token: a kind plus its byte span and 1-based line number.
+// lint: allow(secret) name collision — a lexer token, not the scheme's `T`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// The spelled text of this token within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is a comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Multi-character operators recognized as single [`TokenKind::Punct`]
+/// tokens, longest first so maximal munch works by linear scan.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "+=", "-=",
+    "*=", "/=", "%=", "^=", "|=", "&=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a token vector (comments included).
+///
+/// Whitespace is skipped; every other byte belongs to exactly one token.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let c = self.peek_char();
+            if c == '\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                self.token(c);
+            }
+        }
+        self.tokens
+    }
+
+    fn peek_char(&self) -> char {
+        // `pos` always sits on a char boundary; fall back to NUL at EOF.
+        self.src[self.pos..].chars().next().unwrap_or('\0')
+    }
+
+    fn byte_at(&self, off: usize) -> u8 {
+        self.bytes.get(self.pos + off).copied().unwrap_or(0)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn token(&mut self, c: char) {
+        let start = self.pos;
+        let line = self.line;
+        match c {
+            '/' if self.byte_at(1) == b'/' => {
+                self.consume_line_comment();
+                self.push(TokenKind::LineComment, start, line);
+            }
+            '/' if self.byte_at(1) == b'*' => {
+                self.consume_block_comment();
+                self.push(TokenKind::BlockComment, start, line);
+            }
+            '"' => {
+                self.consume_cooked_string();
+                self.push(TokenKind::Str, start, line);
+            }
+            '\'' => self.quote_token(start, line),
+            c if c.is_ascii_digit() => {
+                self.consume_number();
+                self.push(TokenKind::Number, start, line);
+            }
+            c if is_ident_start(c) => self.ident_or_prefixed_literal(start, line),
+            _ => {
+                self.consume_punct();
+                self.push(TokenKind::Punct, start, line);
+            }
+        }
+    }
+
+    fn consume_line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn consume_block_comment(&mut self) {
+        self.pos += 2; // past `/*`
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.byte_at(1)) {
+                (b'/', b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consumes a `"…"` literal starting at the opening quote.
+    fn consume_cooked_string(&mut self) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2, // skip the escaped byte
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.bytes.len(); // unterminated: consume to EOF
+    }
+
+    /// Consumes `r"…"` / `r#"…"#` starting at the char after the `r`/`br`
+    /// prefix (which the caller already consumed). Returns `false` — with
+    /// the position restored — when no `"` follows the hashes, i.e. the
+    /// prefix was really a raw identifier like `r#match`.
+    fn consume_raw_string(&mut self) -> bool {
+        let mark = self.pos;
+        let mut hashes = 0usize;
+        while self.byte_at(0) == b'#' {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.byte_at(0) != b'"' {
+            self.pos = mark;
+            return false;
+        }
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.bytes[self.pos] == b'"' {
+                let fence = &self.bytes[self.pos + 1..];
+                if fence.len() >= hashes && fence[..hashes].iter().all(|&b| b == b'#') {
+                    self.pos += 1 + hashes;
+                    return true;
+                }
+            }
+            self.pos += 1;
+        }
+        true // unterminated raw string: consumed to EOF
+    }
+
+    /// Disambiguates `'a'` (char literal) from `'a` (lifetime) from `'\n'`.
+    fn quote_token(&mut self, start: usize, line: u32) {
+        self.pos += 1; // the quote
+        if self.pos >= self.bytes.len() {
+            // A lone `'` at EOF: malformed, but the token must still end
+            // inside the input.
+            self.push(TokenKind::Char, start, line);
+            return;
+        }
+        let next = self.peek_char();
+        if next == '\\' {
+            // Definitely a char literal: skip the backslash and the escaped
+            // char (by its UTF-8 width, and never past EOF), then close.
+            self.pos += 1;
+            let escaped = self.peek_char();
+            if self.pos < self.bytes.len() {
+                self.pos += escaped.len_utf8();
+            }
+            self.consume_char_tail();
+            self.push(TokenKind::Char, start, line);
+        } else if is_ident_start(next) {
+            // Could be `'a'` or `'a`. Scan the identifier, then peek.
+            self.consume_ident();
+            if self.byte_at(0) == b'\'' {
+                self.pos += 1;
+                self.push(TokenKind::Char, start, line);
+            } else {
+                self.push(TokenKind::Lifetime, start, line);
+            }
+        } else {
+            // `'0'`, `'+'`, `' '` … : a one-char literal.
+            self.pos += next.len_utf8();
+            self.consume_char_tail();
+            self.push(TokenKind::Char, start, line);
+        }
+    }
+
+    /// After the content of a char literal, consume up to the closing quote.
+    fn consume_char_tail(&mut self) {
+        if self.byte_at(0) == b'\'' {
+            self.pos += 1;
+        }
+    }
+
+    fn consume_ident(&mut self) {
+        while self.pos < self.bytes.len() && is_ident_continue(self.peek_char()) {
+            self.pos += self.peek_char().len_utf8();
+        }
+    }
+
+    fn ident_or_prefixed_literal(&mut self, start: usize, line: u32) {
+        self.consume_ident();
+        let text = &self.src[start..self.pos];
+        let next = self.byte_at(0);
+        match (text, next) {
+            // Raw identifiers: `r#match`. Distinguish from raw strings by the
+            // char after the hashes — handled inside consume_raw_string.
+            ("r" | "br", b'"') | ("r" | "br", b'#') => {
+                if self.consume_raw_string() {
+                    self.push(TokenKind::RawStr, start, line);
+                } else {
+                    // `r#ident` — a raw identifier, not a string.
+                    self.pos += 1; // the '#'
+                    self.consume_ident();
+                    self.push(TokenKind::Ident, start, line);
+                }
+            }
+            ("b", b'"') => {
+                self.consume_cooked_string();
+                self.push(TokenKind::Str, start, line);
+            }
+            ("b", b'\'') => {
+                self.pos += 1;
+                if self.byte_at(0) == b'\\' {
+                    self.pos += 2;
+                } else {
+                    self.pos += self.peek_char().len_utf8();
+                }
+                self.consume_char_tail();
+                self.push(TokenKind::Char, start, line);
+            }
+            _ => self.push(TokenKind::Ident, start, line),
+        }
+    }
+
+    fn consume_number(&mut self) {
+        // Digits, underscores, radix prefixes, exponent letters, suffixes —
+        // all alphanumeric, so one scan covers `0xFF_u8` and `1e-3`.
+        while self.pos < self.bytes.len() {
+            let c = self.peek_char();
+            if is_ident_continue(c) {
+                self.pos += c.len_utf8();
+            } else if c == '.' {
+                // Take a decimal point only when a digit follows; `0..10`
+                // must leave the range operator alone.
+                if self.byte_at(1).is_ascii_digit() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            } else if (c == '+' || c == '-')
+                && matches!(self.bytes.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+            {
+                self.pos += 1; // exponent sign in `1e-3`
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn consume_punct(&mut self) {
+        let rest = &self.src[self.pos..];
+        for op in MULTI_PUNCT {
+            if rest.starts_with(op) {
+                self.pos += op.len();
+                return;
+            }
+        }
+        self.pos += self.peek_char().len_utf8();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x == y != z :: w;");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "==", "y", "!=", "z", "::", "w", ";"]);
+    }
+
+    #[test]
+    fn string_contents_are_opaque() {
+        let toks = kinds(r#"call("a.unwrap() == b // not code");"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let src = r#"x("he said \"hi\"") ; y"#;
+        let toks = kinds(src);
+        assert_eq!(toks[2].0, TokenKind::Str);
+        assert_eq!(toks[2].1, r#""he said \"hi\"""#);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let s = r#\"quote \" inside\"#; done";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.contains("inside")));
+        assert!(toks.iter().any(|(_, t)| t == "done"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r##"f(b"ab", br#"c"d"#)"##);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| matches!(k, TokenKind::Str | TokenKind::RawStr))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn malformed_quotes_stay_in_bounds() {
+        // Regression: a lone `'` (or truncated escape) at EOF must not emit
+        // a span past the end of the input.
+        for src in ["x!='", "let c = '\\", "'", "'\\", "a'é"] {
+            for t in lex(src) {
+                assert!(t.end <= src.len(), "{src:?} produced span past EOF");
+                assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            }
+        }
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        let texts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k != TokenKind::BlockComment)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(texts, ["a", "b"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\n/* c\nc */\nb";
+        let toks = lex(src);
+        let b = toks.last().expect("tokens");
+        assert_eq!(b.text(src), "b");
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let texts: Vec<String> = kinds("0..16").into_iter().map(|(_, t)| t).collect();
+        assert_eq!(texts, ["0", "..", "16"]);
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof_without_panic() {
+        let toks = kinds("let s = \"open");
+        assert_eq!(toks.last().map(|(k, _)| *k), Some(TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_string() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn spans_are_exact_and_monotonic() {
+        let src = "fn main() { println!(\"hi\"); }";
+        let mut last = 0;
+        for t in lex(src) {
+            assert!(t.start >= last, "tokens overlap");
+            assert!(t.end <= src.len());
+            last = t.end;
+        }
+    }
+}

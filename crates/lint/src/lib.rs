@@ -1,0 +1,207 @@
+//! `amnesia-lint` — a zero-dependency static analyzer enforcing the
+//! workspace's security and engineering invariants.
+//!
+//! Amnesia's security argument (paper §IV, DESIGN.md) rests on
+//! discipline that `rustc` does not check: the half-secrets `Ks`/`Kp`
+//! and the intermediate `p` must never reach `Debug`/`Display`/log
+//! output, comparisons on key material must go through
+//! `amnesia_crypto::ct_eq`, library code must stay deterministic
+//! (no wall-clock reads outside the `Clock` implementations) and
+//! panic-free, and the workspace must remain hermetic (zero external
+//! crates). This crate turns those informal invariants into
+//! machine-checked ones:
+//!
+//! * [`lexer`] — a hand-rolled Rust lexer (comments, strings, raw
+//!   strings, lifetimes vs chars);
+//! * [`parse`] — light structural analysis: `#[cfg(test)]` regions,
+//!   attributes, `lint: allow(…)` waivers;
+//! * [`rules`] — the four rule families (secret-hygiene, determinism,
+//!   no-panic, hermeticity);
+//! * [`config`] — the committed `lint.toml`;
+//! * [`baseline`] — `lint-baseline.txt` grandfathering, so the gate
+//!   rejects *new* findings while known debt is paid down over time.
+//!
+//! The binary (`cargo run -p amnesia-lint`) walks every `crates/*/src`
+//! file plus the workspace manifests, prints findings with
+//! `file:line`, rule id and snippet, and exits nonzero on any finding
+//! not in the baseline. `scripts/verify.sh` runs it on every PR.
+//!
+//! ```
+//! use amnesia_lint::{config::Config, run_source};
+//!
+//! let cfg = Config::default();
+//! let findings = run_source("demo.rs", "fn f(x: Option<u8>) -> u8 { x.unwrap() }", &cfg);
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "no-panic-unwrap");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+
+use config::Config;
+use findings::Finding;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// An I/O failure while walking or reading the tree.
+#[derive(Debug)]
+pub struct LintError {
+    /// The path that failed.
+    pub path: PathBuf,
+    /// The underlying error rendered as text.
+    pub message: String,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Analyzes one in-memory source file (the unit the fixture tests use).
+pub fn run_source(file: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let map = parse::FileMap::build(src, lexer::lex(src));
+    rules::check_source(&rules::RuleCtx {
+        file,
+        src,
+        map: &map,
+        cfg,
+    })
+}
+
+/// Walks `root` and analyzes every Rust source file and Cargo manifest.
+///
+/// In a workspace layout (a `crates/` directory exists) the walk covers
+/// `crates/*/src/**/*.rs`, the facade `src/`, and all workspace
+/// manifests — mirroring what `scripts/verify.sh` gates. For any other
+/// root (e.g. a fixture directory) every `.rs` and `Cargo.toml` below it
+/// is analyzed.
+///
+/// # Errors
+///
+/// Returns a [`LintError`] if a directory or file cannot be read.
+pub fn run_tree(root: &Path, cfg: &Config) -> Result<Vec<Finding>, LintError> {
+    let mut rust_files = Vec::new();
+    let mut manifests = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for krate in read_dir_sorted(&crates_dir)? {
+            if krate.is_dir() {
+                collect(&krate.join("src"), "rs", &mut rust_files)?;
+                let m = krate.join("Cargo.toml");
+                if m.is_file() {
+                    manifests.push(m);
+                }
+            }
+        }
+        collect(&root.join("src"), "rs", &mut rust_files)?;
+        let m = root.join("Cargo.toml");
+        if m.is_file() {
+            manifests.push(m);
+        }
+    } else {
+        collect(root, "rs", &mut rust_files)?;
+        collect(root, "toml", &mut manifests)?;
+        manifests.retain(|p| p.file_name().is_some_and(|n| n == "Cargo.toml"));
+    }
+
+    let mut findings = Vec::new();
+    for path in &rust_files {
+        let src = read(path)?;
+        let rel = relative(root, path);
+        findings.extend(run_source(&rel, &src, cfg));
+    }
+    for path in &manifests {
+        let text = read(path)?;
+        let rel = relative(root, path);
+        findings.extend(rules::check_manifest(&rel, &text, cfg));
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+fn read(path: &Path) -> Result<String, LintError> {
+    std::fs::read_to_string(path).map_err(|e| LintError {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| LintError {
+        path: dir.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError {
+            path: dir.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects files with `ext` under `dir` (skipping `target`).
+fn collect(dir: &Path, ext: &str, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect(&path, ext, out)?;
+        } else if path.extension().is_some_and(|e| e == ext) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_source_clean_file() {
+        let cfg = Config::default();
+        let findings = run_source(
+            "ok.rs",
+            "fn add(a: u32, b: u32) -> Option<u32> { a.checked_add(b) }",
+            &cfg,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn run_source_reports_sorted_findings() {
+        let cfg = Config::default();
+        let findings = run_source(
+            "bad.rs",
+            "fn f() { b.unwrap(); }\nfn g() { a.unwrap(); }",
+            &cfg,
+        );
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].line < findings[1].line);
+    }
+}

@@ -1,0 +1,165 @@
+//! CLI for `amnesia-lint`.
+//!
+//! ```text
+//! cargo run -p amnesia-lint -- [OPTIONS]
+//!   --root <DIR>         workspace root (default: auto-detect from CWD)
+//!   --config <FILE>      config path (default: <root>/lint.toml)
+//!   --baseline <FILE>    baseline path (default: <root>/lint-baseline.txt)
+//!   --update-baseline    rewrite the baseline to the current findings
+//!   --no-baseline        report every finding, grandfathered or not
+//!   --disable <RULE>     disable a rule id or family (repeatable)
+//!   --quiet              print only the summary line
+//! ```
+//!
+//! Exit status: 0 when no new findings, 1 when new findings exist,
+//! 2 on usage or I/O errors.
+
+use amnesia_lint::baseline::Baseline;
+use amnesia_lint::config::Config;
+use amnesia_lint::run_tree;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    no_baseline: bool,
+    disable: Vec<String>,
+    quiet: bool,
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("amnesia-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config_path = opts
+        .config
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint.toml"));
+    let mut cfg = match std::fs::read_to_string(&config_path) {
+        Ok(text) => Config::parse(&text),
+        Err(_) if opts.config.is_none() => Config::default(),
+        Err(e) => {
+            eprintln!("amnesia-lint: {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    cfg.disabled_rules.extend(opts.disable.iter().cloned());
+
+    let findings = match run_tree(&opts.root, &cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("amnesia-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint-baseline.txt"));
+
+    if opts.update_baseline {
+        let rendered = Baseline::render(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("amnesia-lint: {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "amnesia-lint: baseline updated with {} finding(s) at {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if opts.no_baseline {
+        Baseline::default()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(_) => Baseline::default(), // no baseline file: everything is new
+        }
+    };
+
+    let total = findings.len();
+    let (new, old) = baseline.partition(findings);
+    if !opts.quiet {
+        for f in &new {
+            println!("{f}");
+        }
+    }
+    println!(
+        "amnesia-lint: {total} finding(s): {} new, {} baselined",
+        new.len(),
+        old.len()
+    );
+    if new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "amnesia-lint: fix the findings above, waive one with \
+             `// lint: allow(<rule>) <reason>`, or grandfather with --update-baseline"
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::new(),
+        config: None,
+        baseline: None,
+        update_baseline: false,
+        no_baseline: false,
+        disable: Vec::new(),
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => opts.root = PathBuf::from(take(&mut args, "--root")?),
+            "--config" => opts.config = Some(PathBuf::from(take(&mut args, "--config")?)),
+            "--baseline" => opts.baseline = Some(PathBuf::from(take(&mut args, "--baseline")?)),
+            "--update-baseline" => opts.update_baseline = true,
+            "--no-baseline" => opts.no_baseline = true,
+            "--disable" => opts.disable.push(take(&mut args, "--disable")?),
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: amnesia-lint [--root DIR] [--config FILE] \
+                [--baseline FILE] [--update-baseline] [--no-baseline] [--disable RULE] [--quiet]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if opts.root.as_os_str().is_empty() {
+        opts.root = find_root()?;
+    }
+    Ok(opts)
+}
+
+fn take(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Walks upward from the CWD to the first directory holding a `crates/`
+/// directory next to a `Cargo.toml` — the workspace root.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("could not locate the workspace root (pass --root)".to_string());
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Light structural analysis over the token stream.
+//!
+//! The rules need three pieces of structure that the flat token stream
+//! does not give directly:
+//!
+//! 1. **Test regions** — the byte spans of items annotated `#[cfg(test)]`
+//!    or `#[test]` (the no-panic rules exempt test code);
+//! 2. **Attributes** — in particular `#[derive(…)]` lists and the type
+//!    name they attach to;
+//! 3. **Allow directives** — `// lint: allow(<rule>) <reason>` comments
+//!    that waive a rule for the following line.
+//!
+//! All of it is computed with brace matching on the comment-free token
+//! stream; strings and comments were already sealed into single tokens
+//! by the lexer, so `{` inside a string can never unbalance an item.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A `#[derive(…)]` (or any other) attribute attached to an item.
+#[derive(Clone, Debug)]
+pub struct Attribute {
+    /// The line the `#` sits on.
+    pub line: u32,
+    /// Byte offset of the `#`.
+    pub start: usize,
+    /// Identifier path of the attribute (`derive`, `cfg`, `test`…).
+    pub name: String,
+    /// Every identifier appearing inside the attribute's parentheses.
+    pub args: Vec<String>,
+    /// Name of the `struct`/`enum`/`fn`/`mod` the attribute precedes, when
+    /// one could be determined.
+    pub item_name: Option<String>,
+    /// Kind keyword of the item (`struct`, `enum`, `fn`, `mod`, `impl`…).
+    pub item_kind: Option<String>,
+}
+
+/// One `lint: allow(<rule>) <reason>` waiver parsed from a comment.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// Rule id or rule-family prefix being waived.
+    pub rule: String,
+    /// Human rationale (required; empty reasons are ignored).
+    pub reason: String,
+    /// The comment's line: the waiver covers this line and the next.
+    pub line: u32,
+}
+
+impl AllowDirective {
+    /// Whether this directive waives `rule` on `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        let line_ok = line == self.line || line == self.line + 1;
+        let rule_ok = rule == self.rule || rule.starts_with(&format!("{}-", self.rule));
+        line_ok && rule_ok
+    }
+}
+
+/// The structural facts about one source file.
+pub struct FileMap {
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Byte spans `[start, end)` of `#[cfg(test)]` / `#[test]` items.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Every attribute found, with the item it decorates.
+    pub attributes: Vec<Attribute>,
+    /// Every allow directive found in comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl FileMap {
+    /// Analyzes `src` (already lexed into `tokens`).
+    pub fn build(src: &str, tokens: Vec<Token>) -> Self {
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let allows = parse_allows(src, &tokens);
+        let (attributes, test_spans) = scan_attributes(src, &tokens, &code);
+        FileMap {
+            tokens,
+            code,
+            test_spans,
+            attributes,
+            allows,
+        }
+    }
+
+    /// Whether the byte offset lies inside a test item.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Whether any allow directive waives `rule` at `line`.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| a.covers(rule, line))
+    }
+
+    /// The code token at code-position `i`, if any.
+    pub fn code_tok(&self, i: usize) -> Option<&Token> {
+        self.code.get(i).map(|&idx| &self.tokens[idx])
+    }
+
+    /// Text of the code token at code-position `i` (empty string past EOF).
+    pub fn code_text<'a>(&self, src: &'a str, i: usize) -> &'a str {
+        self.code_tok(i).map_or("", |t| t.text(src))
+    }
+}
+
+fn parse_allows(src: &str, tokens: &[Token]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for tok in tokens.iter().filter(|t| t.is_comment()) {
+        let text = tok.text(src);
+        let Some(at) = text.find("lint: allow(") else {
+            continue;
+        };
+        let rest = &text[at + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..]
+            .trim()
+            .trim_start_matches(['—', '-', ':'])
+            .trim()
+            .to_string();
+        if rule.is_empty() || reason.is_empty() {
+            continue; // a waiver without a rationale does not count
+        }
+        out.push(AllowDirective {
+            rule,
+            reason,
+            line: tok.line,
+        });
+    }
+    out
+}
+
+/// Walks the code token stream collecting attributes and the spans of
+/// test-gated items.
+fn scan_attributes(
+    src: &str,
+    tokens: &[Token],
+    code: &[usize],
+) -> (Vec<Attribute>, Vec<(usize, usize)>) {
+    let mut attributes = Vec::new();
+    let mut test_spans = Vec::new();
+    let text = |ci: usize| -> &str { tokens[code[ci]].text(src) };
+
+    let mut i = 0usize;
+    while i < code.len() {
+        if text(i) != "#" || i + 1 >= code.len() || text(i + 1) != "[" {
+            i += 1;
+            continue;
+        }
+        // A run of attributes: collect them all, then find the item.
+        let run_start = tokens[code[i]].start;
+        let mut run_attrs: Vec<Attribute> = Vec::new();
+        let mut gates_test = false;
+        while i + 1 < code.len() && text(i) == "#" && text(i + 1) == "[" {
+            let attr_line = tokens[code[i]].line;
+            let attr_start = tokens[code[i]].start;
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut idents: Vec<String> = Vec::new();
+            while j < code.len() {
+                match text(j) {
+                    "[" | "(" => depth += 1,
+                    "]" | ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    t if tokens[code[j]].kind == TokenKind::Ident => idents.push(t.to_string()),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let name = idents.first().cloned().unwrap_or_default();
+            let args = idents.get(1..).unwrap_or(&[]).to_vec();
+            if name == "test"
+                || (name == "cfg" && args.iter().any(|a| a == "test"))
+                || (name == "cfg_attr" && args.iter().any(|a| a == "test"))
+            {
+                gates_test = true;
+            }
+            run_attrs.push(Attribute {
+                line: attr_line,
+                start: attr_start,
+                name,
+                args,
+                item_name: None,
+                item_kind: None,
+            });
+            i = j + 1; // past the closing `]`
+        }
+        // Identify the item the attribute run decorates.
+        let (item_kind, item_name) = item_signature(src, tokens, code, i);
+        for a in &mut run_attrs {
+            a.item_kind = item_kind.clone();
+            a.item_name = item_name.clone();
+        }
+        attributes.append(&mut run_attrs);
+        // Find where the item ends: `;` at depth 0, or the matching `}` of
+        // the first `{`.
+        let end_ci = item_end(src, tokens, code, i);
+        if gates_test {
+            let end = end_ci
+                .and_then(|ci| code.get(ci).map(|&idx| tokens[idx].end))
+                .unwrap_or(src.len());
+            test_spans.push((run_start, end));
+            // Skip the whole test item so nested attributes inside it do not
+            // restart the scan (they are already covered by the span).
+            if let Some(ci) = end_ci {
+                i = ci + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    (attributes, test_spans)
+}
+
+/// Returns the keyword and name of the item starting at code index `i`
+/// (skipping visibility and `unsafe`/`async` qualifiers).
+fn item_signature(
+    src: &str,
+    tokens: &[Token],
+    code: &[usize],
+    mut i: usize,
+) -> (Option<String>, Option<String>) {
+    let text = |ci: usize| -> &str { tokens[code[ci]].text(src) };
+    while i < code.len() {
+        match text(i) {
+            "pub" => {
+                i += 1;
+                // skip `(crate)` etc.
+                if i < code.len() && text(i) == "(" {
+                    while i < code.len() && text(i) != ")" {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            "unsafe" | "async" | "const" | "extern" => i += 1,
+            kw @ ("struct" | "enum" | "fn" | "mod" | "trait" | "type" | "union" | "impl"
+            | "static" | "use" | "macro_rules") => {
+                let name = code
+                    .get(i + 1)
+                    .map(|&idx| tokens[idx].text(src).to_string())
+                    .filter(|t| {
+                        t.chars()
+                            .next()
+                            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    });
+                return (Some(kw.to_string()), name);
+            }
+            _ => return (None, None),
+        }
+    }
+    (None, None)
+}
+
+/// Finds the code index of the token that ends the item starting at `i`:
+/// either a `;` at depth 0 or the `}` matching the first `{`.
+fn item_end(src: &str, tokens: &[Token], code: &[usize], i: usize) -> Option<usize> {
+    let text = |ci: usize| -> &str { tokens[code[ci]].text(src) };
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < code.len() {
+        match text(j) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return Some(j);
+                }
+            }
+            ";" if depth == 0 => return Some(j),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn map(src: &str) -> FileMap {
+        FileMap::build(src, lex(src))
+    }
+
+    #[test]
+    fn cfg_test_module_span_covers_body() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let m = map(src);
+        assert_eq!(m.test_spans.len(), 1);
+        let unwrap_at = src.find("unwrap").expect("present");
+        assert!(m.in_test_code(unwrap_at));
+        let after_at = src.find("after").expect("present");
+        assert!(!m.in_test_code(after_at));
+    }
+
+    #[test]
+    fn test_fn_attribute_detected() {
+        let src = "#[test]\nfn check() { assert!(true); }";
+        let m = map(src);
+        assert!(m.in_test_code(src.find("assert").expect("present")));
+    }
+
+    #[test]
+    fn derive_attribute_names_its_type() {
+        let src = "#[derive(Clone, Debug)]\npub struct Seed([u8; 32]);";
+        let m = map(src);
+        let d = m
+            .attributes
+            .iter()
+            .find(|a| a.name == "derive")
+            .expect("derive attr");
+        assert!(d.args.contains(&"Debug".to_string()));
+        assert_eq!(d.item_name.as_deref(), Some("Seed"));
+        assert_eq!(d.item_kind.as_deref(), Some("struct"));
+    }
+
+    #[test]
+    fn allow_directive_parses_and_covers_next_line() {
+        let src =
+            "// lint: allow(no-panic-unwrap) startup config cannot be absent\nlet x = y.unwrap();";
+        let m = map(src);
+        assert!(m.allowed("no-panic-unwrap", 2));
+        assert!(!m.allowed("no-panic-unwrap", 3));
+        assert!(!m.allowed("determinism", 2));
+    }
+
+    #[test]
+    fn family_prefix_allows_members() {
+        let src = "// lint: allow(no-panic) hot loop, bounds pre-checked\nlet x = v[0];";
+        let m = map(src);
+        assert!(m.allowed("no-panic-index", 2));
+        assert!(m.allowed("no-panic-unwrap", 1));
+    }
+
+    #[test]
+    fn reasonless_allow_is_ignored() {
+        let src = "// lint: allow(no-panic-unwrap)\nlet x = y.unwrap();";
+        let m = map(src);
+        assert!(!m.allowed("no-panic-unwrap", 2));
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_unbalance_items() {
+        let src = "#[cfg(test)]\nmod t { fn f() { let s = \"}}}\"; g.unwrap(); } }\nfn live() {}";
+        let m = map(src);
+        assert!(m.in_test_code(src.find("unwrap").expect("present")));
+        assert!(!m.in_test_code(src.find("live").expect("present")));
+    }
+}

@@ -1,0 +1,93 @@
+//! Golden tests over the rule-family fixtures.
+//!
+//! Each family directory under `tests/fixtures/` holds one clean file, one
+//! violating file, and an `expected.txt` golden pinning the findings as
+//! `file:line: [rule]` lines. Three properties per family:
+//!
+//! 1. the violating file produces exactly the golden findings;
+//! 2. the clean file contributes none of them;
+//! 3. disabling the family (the `--disable` / `[rules] disabled` path)
+//!    silences every finding — so each golden test fails if its rule is
+//!    ever disabled or broken.
+
+use amnesia_lint::config::Config;
+use amnesia_lint::run_tree;
+use std::path::PathBuf;
+
+fn fixture_dir(family: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(family)
+}
+
+fn rendered(family: &str, cfg: &Config) -> String {
+    let findings = run_tree(&fixture_dir(family), cfg).expect("fixture tree walks");
+    findings
+        .iter()
+        .map(|f| format!("{}:{}: [{}]\n", f.file, f.line, f.rule))
+        .collect()
+}
+
+fn golden(family: &str) -> String {
+    let path = fixture_dir(family).join("expected.txt");
+    std::fs::read_to_string(&path).expect("golden file exists")
+}
+
+fn check_family(family: &str, disable: &str) {
+    let cfg = Config::default();
+    let got = rendered(family, &cfg);
+    assert_eq!(
+        got,
+        golden(family),
+        "fixture findings for `{family}` diverged from expected.txt"
+    );
+    assert!(
+        !got.contains("clean"),
+        "the clean fixture must not produce findings:\n{got}"
+    );
+
+    let mut off = Config::default();
+    off.disabled_rules.push(disable.to_string());
+    assert_eq!(
+        rendered(family, &off),
+        "",
+        "disabling `{disable}` must silence the `{family}` fixtures"
+    );
+}
+
+#[test]
+fn secret_family_matches_golden() {
+    check_family("secret", "secret");
+}
+
+#[test]
+fn determinism_family_matches_golden() {
+    check_family("determinism", "determinism");
+}
+
+#[test]
+fn no_panic_family_matches_golden() {
+    check_family("no_panic", "no-panic");
+}
+
+#[test]
+fn hermeticity_family_matches_golden() {
+    check_family("hermeticity", "hermeticity");
+}
+
+#[test]
+fn disabling_one_rule_keeps_the_rest() {
+    let mut cfg = Config::default();
+    cfg.disabled_rules.push("no-panic-unwrap".to_string());
+    let got = rendered("no_panic", &cfg);
+    assert!(!got.contains("no-panic-unwrap"), "{got}");
+    assert!(got.contains("no-panic-expect"), "{got}");
+    assert!(got.contains("no-panic-index"), "{got}");
+}
+
+#[test]
+fn determinism_allowlist_covers_fixture() {
+    let mut cfg = Config::default();
+    cfg.determinism_allow_files.push("violating.rs".to_string());
+    assert_eq!(rendered("determinism", &cfg), "");
+}

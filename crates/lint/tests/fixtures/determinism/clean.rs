@@ -1,0 +1,14 @@
+//! Clean fixture for the determinism family: time flows through the
+//! injected clock abstraction, never straight from the OS.
+
+pub trait Clock {
+    fn now_us(&self) -> u64;
+}
+
+pub fn stamp(clock: &dyn Clock) -> u64 {
+    clock.now_us()
+}
+
+pub fn elapsed(clock: &dyn Clock, started_us: u64) -> u64 {
+    clock.now_us().saturating_sub(started_us)
+}

@@ -1,0 +1,14 @@
+//! Violating fixture for the determinism family: raw wall-clock reads in
+//! library code, outside any configured allowlist.
+
+pub fn stamp_us() -> u128 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_micros()
+}
+
+pub fn unix_seconds() -> u64 {
+    match std::time::UNIX_EPOCH.elapsed() {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,6 @@
+//! Clean fixture for the hermeticity family: no `extern crate`, and the
+//! manifest next door declares only workspace-path dependencies.
+
+pub fn nothing_external() -> &'static str {
+    "hermetic"
+}

@@ -1,0 +1,8 @@
+//! Violating fixture for the hermeticity family: a 2015-edition style
+//! `extern crate` pulling in a non-workspace crate.
+
+extern crate rand;
+
+pub fn roll() -> u8 {
+    4
+}

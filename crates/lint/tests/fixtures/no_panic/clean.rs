@@ -1,0 +1,34 @@
+//! Clean fixture for the no-panic family: typed errors, checked indexing,
+//! a reasoned waiver, and unwraps confined to test code.
+
+pub fn first(bytes: &[u8]) -> Option<u8> {
+    bytes.first().copied()
+}
+
+pub fn parse(input: &str) -> Result<u32, std::num::ParseIntError> {
+    input.trim().parse()
+}
+
+pub fn head_pair(bytes: &[u8]) -> Option<(u8, u8)> {
+    match bytes {
+        [a, b, ..] => Some((*a, *b)),
+        _ => None,
+    }
+}
+
+pub fn checked_value(v: Option<u8>) -> u8 {
+    // lint: allow(no-panic-unwrap) v is constructed Some two lines above
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert_eq!(parse("7").unwrap(), 7);
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+    }
+}

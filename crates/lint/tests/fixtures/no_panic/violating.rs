@@ -1,0 +1,20 @@
+//! Violating fixture for the no-panic family: one finding per rule id.
+
+pub fn take_unwrap(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn take_expect(v: Option<u8>) -> u8 {
+    v.expect("value must be present")
+}
+
+pub fn explode(kind: u8) {
+    if kind == 0 {
+        panic!("unsupported kind");
+    }
+    unreachable!("kind is always zero here");
+}
+
+pub fn head(bytes: &[u8]) -> u8 {
+    bytes[0]
+}

@@ -1,0 +1,23 @@
+//! Violating fixture for the secret-hygiene family. Each item below trips
+//! exactly one rule; the golden file `expected.txt` pins the findings.
+
+use std::fmt;
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct Seed([u8; 32]);
+
+pub struct Token([u8; 32]);
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x?}", self.0)
+    }
+}
+
+pub fn same_seed(a: &Seed, b: &Seed) -> bool {
+    a.as_bytes() == b.as_bytes()
+}
+
+pub fn audit_log(oid: &str) {
+    println!("granting access to {oid}");
+}

@@ -420,9 +420,12 @@ impl SimNet {
         self.telemetry
             .gauge("net.queue_depth")
             .set(self.queue.len() as i64);
+        // The endpoint was validated at send time, but an unregister between
+        // send and delivery must not crash the whole simulation — recreate
+        // the inbox instead (the frame is then simply never read).
         self.inboxes
-            .get_mut(&frame.to)
-            .expect("endpoint validated at send time")
+            .entry(frame.to.clone())
+            .or_default()
             .push(frame.clone());
         Some(frame)
     }

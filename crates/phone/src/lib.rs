@@ -543,6 +543,7 @@ impl AmnesiaPhone {
         let mut out = String::new();
         out.push_str("Data   | Value\n");
         out.push_str("-------+-------------\n");
+        // lint: allow(secret-format) paper-style render of the truncated Pid
         out.push_str(&format!("Pid    | {}\n", trunc(&self.pid.to_hex())));
         let n = self.table.len();
         for (i, entry) in self.table.iter().enumerate() {

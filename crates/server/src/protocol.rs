@@ -16,7 +16,7 @@ use amnesia_store::codec::{self, CodecError};
 
 /// The phone-side secret `Kp` as stored in the one-time cloud backup
 /// (§III-C1) and as uploaded back to the server during phone recovery.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone)]
 pub struct KpBackup {
     /// The phone ID `Pid`.
     pub pid: PhoneId,
@@ -24,6 +24,37 @@ pub struct KpBackup {
     pub entries: Vec<EntryValue>,
 }
 amnesia_store::record_struct! { KpBackup { pid, entries } }
+
+/// The backup *is* `Kp`; `Debug` shows the (already truncating) `Pid`
+/// render and the entry count, never the entry values.
+impl std::fmt::Debug for KpBackup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KpBackup")
+            .field("pid", &self.pid)
+            .field(
+                "entries",
+                &format_args!("<{} secret entries>", self.entries.len()),
+            )
+            .finish()
+    }
+}
+
+/// Constant-time over the whole backup: `Pid` and every entry are compared
+/// without short-circuiting, so timing reveals only the entry count.
+impl PartialEq for KpBackup {
+    fn eq(&self, other: &Self) -> bool {
+        if self.entries.len() != other.entries.len() {
+            return false;
+        }
+        let mut equal = amnesia_crypto::ct_eq(self.pid.as_bytes(), other.pid.as_bytes());
+        for (a, b) in self.entries.iter().zip(&other.entries) {
+            equal &= amnesia_crypto::ct_eq(a.as_bytes(), b.as_bytes());
+        }
+        equal
+    }
+}
+
+impl Eq for KpBackup {}
 
 /// Payload the server pushes to the phone through the rendezvous service.
 ///

@@ -120,6 +120,7 @@ impl UserRecord {
         out.push_str("---------------------+---------------------------------------------\n");
         out.push_str(&format!(
             "Oid                  | {}\n",
+            // lint: allow(secret-format) paper-style render of the truncated Oid
             trunc(&self.oid.to_hex())
         ));
         out.push_str(&format!(

@@ -189,7 +189,7 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`CodecError::UnexpectedEof`] on short input.
     pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
-        Ok(self.take(N)?.try_into().expect("exact length"))
+        <[u8; N]>::try_from(self.take(N)?).map_err(|_| CodecError::UnexpectedEof)
     }
 
     /// Reads a LEB128 varint.

@@ -91,7 +91,7 @@ impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Self {
-            counts: vec![0u64; BUCKETS].into_boxed_slice().try_into().unwrap(),
+            counts: Box::new([0u64; BUCKETS]),
             count: 0,
             sum: 0,
             min: u64::MAX,

@@ -76,19 +76,23 @@ fn push_entries<V>(
 /// p50/p90/p99 representative quantiles, all in the recorded unit
 /// (microseconds by convention). An empty histogram renders `{"count":0}`.
 pub fn histogram_json(h: &Histogram) -> String {
-    if h.is_empty() {
+    // All five accessors return Some exactly when the histogram is
+    // non-empty, so the one empty render covers every None.
+    let stats = (
+        h.min(),
+        h.max(),
+        h.mean(),
+        h.quantile(0.50),
+        h.quantile(0.90),
+        h.quantile(0.99),
+    );
+    let (Some(min), Some(max), Some(mean), Some(p50), Some(p90), Some(p99)) = stats else {
         return String::from("{\"count\":0}");
-    }
+    };
     format!(
-        "{{\"count\":{},\"min_us\":{},\"max_us\":{},\"mean_us\":{},\
-         \"p50_us\":{},\"p90_us\":{},\"p99_us\":{}}}",
+        "{{\"count\":{},\"min_us\":{min},\"max_us\":{max},\"mean_us\":{mean},\
+         \"p50_us\":{p50},\"p90_us\":{p90},\"p99_us\":{p99}}}",
         h.count(),
-        h.min().unwrap(),
-        h.max().unwrap(),
-        h.mean().unwrap(),
-        h.quantile(0.50).unwrap(),
-        h.quantile(0.90).unwrap(),
-        h.quantile(0.99).unwrap(),
     )
 }
 

@@ -261,6 +261,7 @@ pub fn for_all(name: &str, cases: u32, mut prop: impl FnMut(&mut Gen) -> PropRes
                 .wrapping_mul(0x9e3779b97f4a7c15),
         );
         if let Err(msg) = prop(&mut g) {
+            // lint: allow(no-panic-macro) a failed property must abort the test
             panic!("property '{name}' failed on case {case}/{cases}: {msg}");
         }
     }
@@ -304,6 +305,7 @@ pub fn for_all_shrink<T: Shrink + Clone + std::fmt::Debug>(
                 }
                 break;
             }
+            // lint: allow(no-panic-macro) a failed property must abort the test
             panic!(
                 "property '{name}' failed on case {case}/{cases}\n\
                  shrunk input: {current:?}\nreason: {msg}"

@@ -15,6 +15,12 @@ cargo test -q --offline --workspace
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> amnesia-lint (secret-hygiene / determinism / no-panic / hermeticity)"
+# Fails on any finding not grandfathered in lint-baseline.txt. To waive one
+# finding add `// lint: allow(<rule>) <reason>`; to accept new debt run
+# `cargo run -p amnesia-lint -- --update-baseline` and commit the file.
+cargo run -q --release --offline --locked -p amnesia-lint
+
 echo "==> no external dependencies declared"
 if grep -rn 'serde\|rand\|proptest\|criterion\|crossbeam\|parking_lot\|bytes' \
     --include=Cargo.toml Cargo.toml crates/*/Cargo.toml; then
@@ -26,4 +32,4 @@ echo "==> telemetry report smoke run"
 cargo run -q --release --offline --locked -p amnesia-bench \
     --bin telemetry_report >/dev/null
 
-echo "OK: offline build, tests, formatting, zero-dependency check, and telemetry smoke run passed"
+echo "OK: offline build, tests, formatting, lint, zero-dependency check, and telemetry smoke run passed"
