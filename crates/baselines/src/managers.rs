@@ -49,7 +49,10 @@ const VAULT_AAD: &[u8] = b"password-vault-v1";
 
 fn mp_key(master_password: &str, salt: &[u8; 16], iterations: u32) -> [u8; 32] {
     let mut key = [0u8; 32];
-    pbkdf2_hmac_sha256(master_password.as_bytes(), salt, iterations, &mut key);
+    // The public constructors never pass zero; clamp a (corrupt) stolen
+    // parameter to the RFC minimum so derivation cannot fail here.
+    let iterations = iterations.max(1);
+    let _ = pbkdf2_hmac_sha256(master_password.as_bytes(), salt, iterations, &mut key);
     key
 }
 

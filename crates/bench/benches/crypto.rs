@@ -25,7 +25,7 @@ fn main() {
     for iters in [1u32, 1000] {
         h.bench(&format!("pbkdf2/{iters}"), || {
             let mut out = [0u8; 32];
-            pbkdf2_hmac_sha256(black_box(b"master password"), b"salt", iters, &mut out);
+            let _ = pbkdf2_hmac_sha256(black_box(b"master password"), b"salt", iters, &mut out);
             out
         });
     }

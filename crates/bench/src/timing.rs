@@ -95,6 +95,13 @@ impl Harness {
         self
     }
 
+    /// The measurements recorded so far, in bench order — for binaries that
+    /// post-process results (derived throughput metrics, custom reports)
+    /// instead of printing the standard [`finish`](Self::finish) document.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
     /// Times `f` and records the measurement under `name`.
     ///
     /// The closure's return value is passed through [`std::hint::black_box`]

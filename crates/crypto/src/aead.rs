@@ -68,12 +68,15 @@ fn keystream_xor(enc_key: &[u8; 32], nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
 }
 
 fn mac(mac_key: &[u8; 32], nonce: &[u8], aad: &[u8], ciphertext: &[u8]) -> [u8; 32] {
-    let mut h = crate::hmac::Hmac::<Sha256>::new(mac_key);
+    let key = crate::hmac::HmacKey::<Sha256>::new(mac_key);
+    let mut h = key.begin();
     h.update(nonce);
     h.update(&(aad.len() as u64).to_le_bytes());
     h.update(aad);
     h.update(ciphertext);
-    h.finalize().try_into().expect("32-byte tag")
+    let mut tag = [0u8; 32];
+    h.finalize_into(&mut tag);
+    tag
 }
 
 /// Seals `plaintext` under `key` with a random nonce, binding `aad`

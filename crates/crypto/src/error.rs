@@ -1,0 +1,40 @@
+//! Typed errors for the crate's fallible operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the key-derivation functions.
+///
+/// The crate's no-panic policy (DESIGN.md §8) requires hot-path functions to
+/// return typed errors instead of asserting; this enum carries the cases a
+/// caller can actually trigger with bad parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// PBKDF2 was invoked with an iteration count of zero; RFC 8018
+    /// requires at least one iteration.
+    ZeroIterations,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::ZeroIterations => {
+                write!(f, "PBKDF2 requires at least one iteration")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msg = CryptoError::ZeroIterations.to_string();
+        assert!(msg.contains("at least one iteration"));
+    }
+}

@@ -1,11 +1,161 @@
-//! HMAC (RFC 2104), generic over the crate's [`Digest`] implementations.
+//! HMAC (RFC 2104), generic over the crate's [`Digest`] implementations,
+//! with precomputed-key midstate caching.
+//!
+//! # Midstate caching
+//!
+//! RFC 2104 defines `HMAC(K, m) = H((K' ^ opad) || H((K' ^ ipad) || m))`.
+//! Both pad prefixes are exactly one digest block, so the compression
+//! states after absorbing them depend only on the key. [`HmacKey`] runs
+//! those two compressions once at construction and saves the compressed
+//! midstates; every subsequent MAC is stamped out by *restoring* them —
+//! two `memcpy`s of a chaining value — instead of re-hashing the pads.
+//! That halves the compression-function count for short messages and is
+//! the classic PBKDF2 optimization: the inner loop keys once, not per
+//! iteration.
+//!
+//! All key material moves through fixed stack buffers
+//! ([`MAX_BLOCK_LEN`](crate::MAX_BLOCK_LEN) /
+//! [`MAX_OUTPUT_LEN`](crate::MAX_OUTPUT_LEN)) that are zeroized before
+//! return, and the saved midstates wipe themselves on drop.
 
-use crate::digest::Digest;
+use crate::digest::{Digest, MAX_BLOCK_LEN, MAX_OUTPUT_LEN};
+use crate::stats;
+use crate::zeroize::zeroize;
+use std::fmt;
 
-/// Streaming HMAC over any [`Digest`].
+/// A precomputed HMAC key: the ipad/opad compression midstates.
 ///
-/// Used by `amnesia-net`'s simulated secure channel for message
-/// authentication, and available for server-side verifier constructions.
+/// Construct once per key, then stamp out any number of MACs with
+/// [`begin`](HmacKey::begin) or [`mac_into`](HmacKey::mac_into) — each MAC
+/// restores two saved compression states instead of re-deriving the key,
+/// and allocates nothing.
+///
+/// ```
+/// use amnesia_crypto::{HmacKey, Sha256};
+///
+/// let key = HmacKey::<Sha256>::new(b"key");
+/// let mut tag = [0u8; 32];
+/// key.mac_into(b"The quick brown fox jumps over the lazy dog", &mut tag);
+/// assert_eq!(
+///     amnesia_crypto::hex::encode(&tag),
+///     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8",
+/// );
+/// ```
+pub struct HmacKey<D: Digest> {
+    /// State after absorbing `K' ^ ipad` (one block).
+    inner: D::Midstate,
+    /// State after absorbing `K' ^ opad` (one block).
+    outer: D::Midstate,
+}
+
+impl<D: Digest> HmacKey<D> {
+    /// Derives the pad midstates from `key`.
+    ///
+    /// Keys longer than the digest block length are first hashed, per
+    /// RFC 2104. The intermediate key block lives in a fixed stack buffer
+    /// and is zeroized before this returns.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; MAX_BLOCK_LEN];
+        let mut hashed = [0u8; MAX_OUTPUT_LEN];
+        if key.len() > D::BLOCK_LEN {
+            let mut h = D::fresh();
+            h.absorb(key);
+            h.produce_into(&mut hashed[..D::OUTPUT_LEN]);
+            key_block[..D::OUTPUT_LEN].copy_from_slice(&hashed[..D::OUTPUT_LEN]);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        for b in key_block[..D::BLOCK_LEN].iter_mut() {
+            *b ^= 0x36;
+        }
+        let mut h = D::fresh();
+        h.absorb(&key_block[..D::BLOCK_LEN]);
+        let inner = h.save();
+
+        // 0x36 ^ 0x5c: flip the ipad block into the opad block in place.
+        for b in key_block[..D::BLOCK_LEN].iter_mut() {
+            *b ^= 0x6a;
+        }
+        let mut h = D::fresh();
+        h.absorb(&key_block[..D::BLOCK_LEN]);
+        let outer = h.save();
+
+        zeroize(&mut key_block);
+        zeroize(&mut hashed);
+        stats::note_hmac_key_created();
+        HmacKey { inner, outer }
+    }
+
+    /// Starts a streaming MAC from the cached inner midstate.
+    pub fn begin(&self) -> HmacMac<'_, D> {
+        HmacMac {
+            inner: D::restore(&self.inner),
+            key: self,
+        }
+    }
+
+    /// One-shot MAC, writing the first `min(out.len(), OUTPUT_LEN)` tag
+    /// bytes into `out` without allocating.
+    pub fn mac_into(&self, message: &[u8], out: &mut [u8]) {
+        let mut m = self.begin();
+        m.update(message);
+        m.finalize_into(out);
+    }
+}
+
+impl<D: Digest> Clone for HmacKey<D> {
+    fn clone(&self) -> Self {
+        // Manual impl: the derive would demand `D: Clone` *and* fail to see
+        // that only `D::Midstate: Clone` is needed.
+        HmacKey {
+            inner: self.inner.clone(),
+            outer: self.outer.clone(),
+        }
+    }
+}
+
+impl<D: Digest> fmt::Debug for HmacKey<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The midstates are key-equivalent; never print them.
+        f.debug_struct("HmacKey").finish_non_exhaustive()
+    }
+}
+
+/// An in-progress MAC stamped out from an [`HmacKey`].
+///
+/// Created by [`HmacKey::begin`]; absorb message bytes with
+/// [`update`](HmacMac::update) and close with
+/// [`finalize_into`](HmacMac::finalize_into).
+pub struct HmacMac<'k, D: Digest> {
+    inner: D,
+    key: &'k HmacKey<D>,
+}
+
+impl<D: Digest> HmacMac<'_, D> {
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.absorb(data);
+    }
+
+    /// Completes the MAC, writing the first `min(out.len(), OUTPUT_LEN)`
+    /// tag bytes into `out`. The intermediate inner digest is zeroized.
+    pub fn finalize_into(self, out: &mut [u8]) {
+        let mut inner_digest = [0u8; MAX_OUTPUT_LEN];
+        self.inner.produce_into(&mut inner_digest[..D::OUTPUT_LEN]);
+        let mut outer = D::restore(&self.key.outer);
+        outer.absorb(&inner_digest[..D::OUTPUT_LEN]);
+        outer.produce_into(out);
+        zeroize(&mut inner_digest);
+    }
+}
+
+/// Streaming HMAC over any [`Digest`], owning its key.
+///
+/// Retained as the allocation-owning convenience API; it is now a thin
+/// wrapper over [`HmacKey`], so even the one-shot path benefits from the
+/// midstate cache. Prefer `HmacKey` directly when MACing many messages
+/// under one key.
 ///
 /// ```
 /// use amnesia_crypto::{Hmac, Sha256};
@@ -19,11 +169,9 @@ use crate::digest::Digest;
 ///     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8",
 /// );
 /// ```
-#[derive(Clone, Debug)]
 pub struct Hmac<D: Digest> {
+    key: HmacKey<D>,
     inner: D,
-    /// Outer-pad key block, retained until finalization.
-    opad_key: Vec<u8>,
 }
 
 impl<D: Digest> Hmac<D> {
@@ -32,20 +180,9 @@ impl<D: Digest> Hmac<D> {
     /// Keys longer than the digest block length are first hashed, per
     /// RFC 2104.
     pub fn new(key: &[u8]) -> Self {
-        let mut key_block = vec![0u8; D::BLOCK_LEN];
-        if key.len() > D::BLOCK_LEN {
-            let hashed = D::digest(key);
-            key_block[..hashed.len()].copy_from_slice(&hashed);
-        } else {
-            key_block[..key.len()].copy_from_slice(key);
-        }
-
-        let ipad_key: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
-        let opad_key: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
-
-        let mut inner = D::fresh();
-        inner.absorb(&ipad_key);
-        Hmac { inner, opad_key }
+        let key = HmacKey::new(key);
+        let inner = D::restore(&key.inner);
+        Hmac { key, inner }
     }
 
     /// Absorbs message bytes.
@@ -55,11 +192,13 @@ impl<D: Digest> Hmac<D> {
 
     /// Completes the MAC and returns the tag (digest-length bytes).
     pub fn finalize(self) -> Vec<u8> {
-        let inner_digest = self.inner.produce();
-        let mut outer = D::fresh();
-        outer.absorb(&self.opad_key);
-        outer.absorb(&inner_digest);
-        outer.produce()
+        let mut out = vec![0u8; D::OUTPUT_LEN];
+        HmacMac {
+            inner: self.inner,
+            key: &self.key,
+        }
+        .finalize_into(&mut out);
+        out
     }
 
     /// One-shot MAC computation.
@@ -70,26 +209,43 @@ impl<D: Digest> Hmac<D> {
     }
 }
 
-/// One-shot HMAC-SHA-256, returning a fixed-size tag.
+impl<D: Digest> Clone for Hmac<D> {
+    fn clone(&self) -> Self {
+        Hmac {
+            key: self.key.clone(),
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<D: Digest> fmt::Debug for Hmac<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hmac").finish_non_exhaustive()
+    }
+}
+
+/// One-shot HMAC-SHA-256, returning a fixed-size tag. Allocation-free.
 ///
 /// ```
 /// let tag = amnesia_crypto::hmac_sha256(b"key", b"msg");
 /// assert_eq!(tag.len(), 32);
 /// ```
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
-    let v = Hmac::<crate::Sha256>::mac(key, message);
-    v.try_into().expect("HMAC-SHA-256 tag is 32 bytes")
+    let mut tag = [0u8; 32];
+    HmacKey::<crate::Sha256>::new(key).mac_into(message, &mut tag);
+    tag
 }
 
-/// One-shot HMAC-SHA-512, returning a fixed-size tag.
+/// One-shot HMAC-SHA-512, returning a fixed-size tag. Allocation-free.
 ///
 /// ```
 /// let tag = amnesia_crypto::hmac_sha512(b"key", b"msg");
 /// assert_eq!(tag.len(), 64);
 /// ```
 pub fn hmac_sha512(key: &[u8], message: &[u8]) -> [u8; 64] {
-    let v = Hmac::<crate::Sha512>::mac(key, message);
-    v.try_into().expect("HMAC-SHA-512 tag is 64 bytes")
+    let mut tag = [0u8; 64];
+    HmacKey::<crate::Sha512>::new(key).mac_into(message, &mut tag);
+    tag
 }
 
 #[cfg(test)]
@@ -188,6 +344,59 @@ daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
             let key = vec![0x42u8; len];
             assert_eq!(hmac_sha512(&key, b"m"), hmac_sha512(&key, b"m"));
         }
+    }
+
+    #[test]
+    fn key_reuse_matches_fresh_keying() {
+        // Many MACs from one HmacKey must equal independently keyed MACs.
+        let key = HmacKey::<Sha256>::new(b"reused-key");
+        for msg in [&b"a"[..], b"", b"longer message spanning a block or two"] {
+            let mut reused = [0u8; 32];
+            key.mac_into(msg, &mut reused);
+            assert_eq!(reused, hmac_sha256(b"reused-key", msg));
+        }
+    }
+
+    #[test]
+    fn hmac_key_streaming_equals_oneshot() {
+        let key = HmacKey::<Sha512>::new(b"k");
+        let msg = b"chunked message for the streaming path";
+        let mut m = key.begin();
+        for chunk in msg.chunks(7) {
+            m.update(chunk);
+        }
+        let mut streamed = [0u8; 64];
+        m.finalize_into(&mut streamed);
+        assert_eq!(streamed, hmac_sha512(b"k", msg));
+    }
+
+    #[test]
+    fn truncated_tag_is_a_prefix() {
+        let key = HmacKey::<Sha256>::new(b"k");
+        let mut short = [0u8; 16];
+        key.mac_into(b"m", &mut short);
+        assert_eq!(short, hmac_sha256(b"k", b"m")[..16]);
+    }
+
+    #[test]
+    fn cloned_key_produces_identical_tags() {
+        let key = HmacKey::<Sha256>::new(b"clone-me");
+        let copy = key.clone();
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        key.mac_into(b"msg", &mut a);
+        copy.mac_into(b"msg", &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn debug_output_is_redacted() {
+        let key = HmacKey::<Sha256>::new(b"secret");
+        let s = format!("{key:?}");
+        assert!(s.contains("HmacKey"));
+        assert!(!s.contains("secret"));
+        // No state words leak either: the struct body is elided.
+        assert!(s.contains(".."));
     }
 
     use crate::digest::Digest;

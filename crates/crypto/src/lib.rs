@@ -8,13 +8,16 @@
 //!   the only hash functions the Amnesia scheme needs: `R` and `T` are
 //!   SHA-256 digests, the intermediate password value `p` is a SHA-512
 //!   digest, and stored verifiers use salted hashes.
-//! * [`Hmac`] — RFC 2104 keyed-hash message authentication code, generic over
-//!   any [`Digest`] implementation. Used by the simulated secure channel in
-//!   `amnesia-net`.
+//! * [`Hmac`] and [`HmacKey`] — RFC 2104 keyed-hash message authentication
+//!   code, generic over any [`Digest`] implementation. `HmacKey` caches the
+//!   ipad/opad compression midstates so repeated MACs under one key (the
+//!   secure channel in `amnesia-net`, the PBKDF2 inner loop, the DRBG
+//!   ratchet) cost two state restores instead of two extra compressions.
 //! * [`pbkdf2_hmac_sha256`] — RFC 8018 password-based key derivation, used to
 //!   harden the stored master-password verifier beyond the single salted hash
 //!   the paper describes (configurable; a single-iteration mode reproduces
-//!   the paper exactly).
+//!   the paper exactly). Multi-block derivations fan output blocks across
+//!   scoped threads; results are bit-identical at every width.
 //! * [`hex`] — lowercase hex encoding/decoding. Amnesia's token and template
 //!   algorithms are specified over *hex digit strings*, so hex is part of the
 //!   algorithm, not just presentation.
@@ -42,22 +45,27 @@
 pub mod aead;
 mod ct;
 mod digest;
+mod error;
 pub mod hex;
 mod hmac;
 mod pbkdf2;
 mod rng;
 mod sha256;
 mod sha512;
+pub mod stats;
 mod zeroize;
 
 pub use ct::ct_eq;
-pub use digest::Digest;
-pub use hmac::{hmac_sha256, hmac_sha512, Hmac};
-pub use pbkdf2::{pbkdf2_hmac_sha256, pbkdf2_hmac_sha512};
+pub use digest::{Digest, MAX_BLOCK_LEN, MAX_OUTPUT_LEN};
+pub use error::CryptoError;
+pub use hmac::{hmac_sha256, hmac_sha512, Hmac, HmacKey, HmacMac};
+pub use pbkdf2::{
+    pbkdf2_hmac_sha256, pbkdf2_hmac_sha256_with_fanout, pbkdf2_hmac_sha512, PARALLEL_MIN_ITERATIONS,
+};
 pub use rng::SecretRng;
-pub use sha256::{sha256, Sha256};
-pub use sha512::{sha512, Sha512};
-pub use zeroize::zeroize;
+pub use sha256::{sha256, Sha256, Sha256Midstate};
+pub use sha512::{sha512, Sha512, Sha512Midstate};
+pub use zeroize::{zeroize, zeroize_u32, zeroize_u64};
 
 /// Convenience: SHA-256 over the concatenation of several byte slices.
 ///

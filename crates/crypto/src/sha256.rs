@@ -1,6 +1,8 @@
 //! SHA-256 implemented from FIPS 180-4.
 
 use crate::digest::Digest;
+use crate::zeroize::zeroize_u32;
+use std::fmt;
 
 /// Round constants: first 32 bits of the fractional parts of the cube roots
 /// of the first 64 primes (FIPS 180-4 §4.2.2).
@@ -86,7 +88,15 @@ impl Sha256 {
     }
 
     /// Completes the hash and returns the 32-byte digest, consuming the hasher.
-    pub fn finalize(mut self) -> [u8; 32] {
+    pub fn finalize(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        self.finalize_into(&mut out);
+        out
+    }
+
+    /// Completes the hash, writing the first `min(out.len(), 32)` digest
+    /// bytes into `out` without allocating.
+    pub fn finalize_into(mut self, out: &mut [u8]) {
         let bit_len = self.len.wrapping_mul(8);
         // Padding: 0x80, zeros, then 64-bit big-endian bit length.
         self.update(&[0x80]);
@@ -98,17 +108,38 @@ impl Sha256 {
         let block = self.buf;
         self.compress(&block);
 
-        let mut out = [0u8; 32];
-        for (i, word) in self.state.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        for (chunk, word) in out.chunks_mut(4).zip(self.state.iter()) {
+            let be = word.to_be_bytes();
+            chunk.copy_from_slice(&be[..chunk.len()]);
         }
-        out
+    }
+
+    /// Exports the compressed midstate (chaining value + length). Only
+    /// lossless at a block boundary; see [`Digest::save`].
+    pub fn save(&self) -> Sha256Midstate {
+        debug_assert!(self.buf_len == 0, "midstate save at a non-block boundary");
+        Sha256Midstate {
+            state: self.state,
+            len: self.len,
+        }
+    }
+
+    /// Resumes hashing from a saved midstate.
+    pub fn restore(midstate: &Sha256Midstate) -> Self {
+        Sha256 {
+            state: midstate.state,
+            len: midstate.len,
+            buf: [0; 64],
+            buf_len: 0,
+        }
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        for (slot, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+            let mut be = [0u8; 4];
+            be.copy_from_slice(chunk);
+            *slot = u32::from_be_bytes(be);
         }
         for t in 16..64 {
             let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
@@ -141,20 +172,44 @@ impl Sha256 {
             a = t1.wrapping_add(t2);
         }
 
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        for (slot, add) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *slot = slot.wrapping_add(add);
+        }
+    }
+}
+
+/// Compressed SHA-256 midstate: chaining value + absorbed length.
+///
+/// Produced by [`Sha256::save`] at block boundaries; [`HmacKey`] holds two
+/// of these per key. The state is key-derived in that use, so it is wiped
+/// on drop.
+///
+/// [`HmacKey`]: crate::HmacKey
+#[derive(Clone)]
+pub struct Sha256Midstate {
+    state: [u32; 8],
+    len: u64,
+}
+
+impl Drop for Sha256Midstate {
+    fn drop(&mut self) {
+        zeroize_u32(&mut self.state);
+        self.len = 0;
+    }
+}
+
+impl fmt::Debug for Sha256Midstate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the chaining value; it may be key-derived.
+        f.debug_struct("Sha256Midstate").finish_non_exhaustive()
     }
 }
 
 impl Digest for Sha256 {
     const OUTPUT_LEN: usize = 32;
     const BLOCK_LEN: usize = 64;
+
+    type Midstate = Sha256Midstate;
 
     fn fresh() -> Self {
         Sha256::new()
@@ -164,8 +219,16 @@ impl Digest for Sha256 {
         self.update(data);
     }
 
-    fn produce(self) -> Vec<u8> {
-        self.finalize().to_vec()
+    fn produce_into(self, out: &mut [u8]) {
+        self.finalize_into(out);
+    }
+
+    fn save(&self) -> Sha256Midstate {
+        Sha256::save(self)
+    }
+
+    fn restore(midstate: &Sha256Midstate) -> Self {
+        Sha256::restore(midstate)
     }
 }
 

@@ -1,6 +1,8 @@
 //! SHA-512 implemented from FIPS 180-4.
 
 use crate::digest::Digest;
+use crate::zeroize::zeroize_u64;
+use std::fmt;
 
 /// Round constants: first 64 bits of the fractional parts of the cube roots
 /// of the first 80 primes (FIPS 180-4 §4.2.3).
@@ -164,7 +166,15 @@ impl Sha512 {
     }
 
     /// Completes the hash and returns the 64-byte digest, consuming the hasher.
-    pub fn finalize(mut self) -> [u8; 64] {
+    pub fn finalize(self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        self.finalize_into(&mut out);
+        out
+    }
+
+    /// Completes the hash, writing the first `min(out.len(), 64)` digest
+    /// bytes into `out` without allocating.
+    pub fn finalize_into(mut self, out: &mut [u8]) {
         let bit_len = self.len.wrapping_mul(8);
         self.update(&[0x80]);
         while self.buf_len != 112 {
@@ -174,17 +184,38 @@ impl Sha512 {
         let block = self.buf;
         self.compress(&block);
 
-        let mut out = [0u8; 64];
-        for (i, word) in self.state.iter().enumerate() {
-            out[i * 8..i * 8 + 8].copy_from_slice(&word.to_be_bytes());
+        for (chunk, word) in out.chunks_mut(8).zip(self.state.iter()) {
+            let be = word.to_be_bytes();
+            chunk.copy_from_slice(&be[..chunk.len()]);
         }
-        out
+    }
+
+    /// Exports the compressed midstate (chaining value + length). Only
+    /// lossless at a block boundary; see [`Digest::save`].
+    pub fn save(&self) -> Sha512Midstate {
+        debug_assert!(self.buf_len == 0, "midstate save at a non-block boundary");
+        Sha512Midstate {
+            state: self.state,
+            len: self.len,
+        }
+    }
+
+    /// Resumes hashing from a saved midstate.
+    pub fn restore(midstate: &Sha512Midstate) -> Self {
+        Sha512 {
+            state: midstate.state,
+            len: midstate.len,
+            buf: [0; 128],
+            buf_len: 0,
+        }
     }
 
     fn compress(&mut self, block: &[u8; 128]) {
         let mut w = [0u64; 80];
-        for (i, chunk) in block.chunks_exact(8).enumerate() {
-            w[i] = u64::from_be_bytes(chunk.try_into().expect("8-byte chunk"));
+        for (slot, chunk) in w.iter_mut().zip(block.chunks_exact(8)) {
+            let mut be = [0u8; 8];
+            be.copy_from_slice(chunk);
+            *slot = u64::from_be_bytes(be);
         }
         for t in 16..80 {
             let s0 = w[t - 15].rotate_right(1) ^ w[t - 15].rotate_right(8) ^ (w[t - 15] >> 7);
@@ -217,20 +248,44 @@ impl Sha512 {
             a = t1.wrapping_add(t2);
         }
 
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        for (slot, add) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *slot = slot.wrapping_add(add);
+        }
+    }
+}
+
+/// Compressed SHA-512 midstate: chaining value + absorbed length.
+///
+/// Produced by [`Sha512::save`] at block boundaries; [`HmacKey`] holds two
+/// of these per key. The state is key-derived in that use, so it is wiped
+/// on drop.
+///
+/// [`HmacKey`]: crate::HmacKey
+#[derive(Clone)]
+pub struct Sha512Midstate {
+    state: [u64; 8],
+    len: u128,
+}
+
+impl Drop for Sha512Midstate {
+    fn drop(&mut self) {
+        zeroize_u64(&mut self.state);
+        self.len = 0;
+    }
+}
+
+impl fmt::Debug for Sha512Midstate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the chaining value; it may be key-derived.
+        f.debug_struct("Sha512Midstate").finish_non_exhaustive()
     }
 }
 
 impl Digest for Sha512 {
     const OUTPUT_LEN: usize = 64;
     const BLOCK_LEN: usize = 128;
+
+    type Midstate = Sha512Midstate;
 
     fn fresh() -> Self {
         Sha512::new()
@@ -240,8 +295,16 @@ impl Digest for Sha512 {
         self.update(data);
     }
 
-    fn produce(self) -> Vec<u8> {
-        self.finalize().to_vec()
+    fn produce_into(self, out: &mut [u8]) {
+        self.finalize_into(out);
+    }
+
+    fn save(&self) -> Sha512Midstate {
+        Sha512::save(self)
+    }
+
+    fn restore(midstate: &Sha512Midstate) -> Self {
+        Sha512::restore(midstate)
     }
 }
 

@@ -1,0 +1,50 @@
+//! Process-wide hot-path statistics.
+//!
+//! The crypto crate is dependency-free, so it cannot register metrics with
+//! `amnesia-telemetry` directly. Instead it keeps two lock-free atomics that
+//! the deployment layers mirror into their telemetry registry
+//! (`crypto.hmac.keys_created` and `crypto.pbkdf2.threads` in the report
+//! produced by `amnesia-system`): a counter of [`HmacKey`](crate::HmacKey)
+//! constructions (each one is two extra compression-function calls, so a low
+//! count relative to MAC volume is what "midstate reuse works" looks like),
+//! and the fan-out width the most recent PBKDF2 derivation ran with.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HMAC_KEYS_CREATED: AtomicU64 = AtomicU64::new(0);
+static PBKDF2_THREADS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one [`HmacKey`](crate::HmacKey) construction.
+pub(crate) fn note_hmac_key_created() {
+    HMAC_KEYS_CREATED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total `HmacKey` constructions since process start.
+pub fn hmac_keys_created() -> u64 {
+    HMAC_KEYS_CREATED.load(Ordering::Relaxed)
+}
+
+/// Records the worker count of a PBKDF2 derivation.
+pub(crate) fn note_pbkdf2_threads(threads: u64) {
+    PBKDF2_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// Fan-out width (worker threads) of the most recent PBKDF2 derivation;
+/// zero if none has run yet.
+pub fn pbkdf2_threads() -> u64 {
+    PBKDF2_THREADS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_move() {
+        let before = hmac_keys_created();
+        note_hmac_key_created();
+        assert!(hmac_keys_created() > before);
+        note_pbkdf2_threads(3);
+        assert_eq!(pbkdf2_threads(), 3);
+    }
+}

@@ -28,6 +28,26 @@ pub fn zeroize(buf: &mut [u8]) {
     std::hint::black_box(&mut *buf);
 }
 
+/// [`zeroize`] for `u32` words — the SHA-256 chaining value held by
+/// digest midstates.
+pub fn zeroize_u32(words: &mut [u32]) {
+    for w in words.iter_mut() {
+        *w = 0;
+    }
+    compiler_fence(Ordering::SeqCst);
+    std::hint::black_box(&mut *words);
+}
+
+/// [`zeroize`] for `u64` words — the SHA-512 chaining value held by
+/// digest midstates.
+pub fn zeroize_u64(words: &mut [u64]) {
+    for w in words.iter_mut() {
+        *w = 0;
+    }
+    compiler_fence(Ordering::SeqCst);
+    std::hint::black_box(&mut *words);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,5 +63,15 @@ mod tests {
     fn empty_slice_is_fine() {
         let mut buf: [u8; 0] = [];
         zeroize(&mut buf);
+    }
+
+    #[test]
+    fn word_variants_zero_every_word() {
+        let mut w32 = [0xdead_beefu32; 8];
+        zeroize_u32(&mut w32);
+        assert!(w32.iter().all(|&w| w == 0));
+        let mut w64 = [0xdead_beef_cafe_f00du64; 8];
+        zeroize_u64(&mut w64);
+        assert!(w64.iter().all(|&w| w == 0));
     }
 }

@@ -2,8 +2,8 @@
 //! `amnesia-testkit` harness.
 
 use amnesia_crypto::{
-    aead, ct_eq, hex, hmac_sha256, pbkdf2_hmac_sha256, sha256, sha512, Hmac, SecretRng, Sha256,
-    Sha512,
+    aead, ct_eq, hex, hmac_sha256, pbkdf2_hmac_sha256, pbkdf2_hmac_sha256_with_fanout, sha256,
+    sha512, Digest, Hmac, HmacKey, SecretRng, Sha256, Sha512,
 };
 use amnesia_testkit::{for_all, require, require_eq, require_ne, Gen};
 
@@ -121,9 +121,46 @@ fn pbkdf2_prefix_consistency() {
         let iters = g.u64_in(1, 3) as u32;
         let mut short = [0u8; 16];
         let mut long = [0u8; 48];
-        pbkdf2_hmac_sha256(&pw, &salt, iters, &mut short);
-        pbkdf2_hmac_sha256(&pw, &salt, iters, &mut long);
+        pbkdf2_hmac_sha256(&pw, &salt, iters, &mut short).unwrap();
+        pbkdf2_hmac_sha256(&pw, &salt, iters, &mut long).unwrap();
         require_eq!(&short[..], &long[..16]);
+        Ok(())
+    });
+}
+
+/// The threaded PBKDF2 block fan-out is bit-identical to the sequential
+/// path for arbitrary parameters, output lengths and widths.
+#[test]
+fn pbkdf2_parallel_equals_sequential() {
+    for_all("pbkdf2 parallel equals sequential", CASES, |g: &mut Gen| {
+        let pw = g.bytes_upto(40);
+        let salt = g.bytes_upto(40);
+        let iters = g.u64_in(1, 8) as u32;
+        let len = g.usize_in(1, 200);
+        let fanout = g.usize_in(2, 6);
+        let mut sequential = vec![0u8; len];
+        let mut threaded = vec![0u8; len];
+        pbkdf2_hmac_sha256_with_fanout(&pw, &salt, iters, &mut sequential, 1).unwrap();
+        pbkdf2_hmac_sha256_with_fanout(&pw, &salt, iters, &mut threaded, fanout).unwrap();
+        require_eq!(sequential, threaded);
+        Ok(())
+    });
+}
+
+/// A precomputed [`HmacKey`] produces the same tags as fresh keying, for
+/// arbitrary keys (short, block-length and hashed-down) and messages.
+#[test]
+fn hmac_key_reuse_equals_fresh_keying() {
+    for_all("hmac key reuse equals fresh", CASES, |g: &mut Gen| {
+        let key_len = g.usize_in(0, Sha256::BLOCK_LEN * 2);
+        let key = g.bytes(key_len);
+        let precomputed = HmacKey::<Sha256>::new(&key);
+        for _ in 0..3 {
+            let msg = g.bytes_upto(300);
+            let mut tag = [0u8; 32];
+            precomputed.mac_into(&msg, &mut tag);
+            require_eq!(tag, hmac_sha256(&key, &msg));
+        }
         Ok(())
     });
 }

@@ -26,6 +26,9 @@ pub struct Config {
     /// Files where the secret-compare rule is silent (the constant-time
     /// implementation itself must spell `==` somewhere).
     pub ct_impl_files: Vec<String>,
+    /// Identifier substrings marking key-material buffers: a heap-allocated
+    /// `let` binding whose name contains one of these must be zeroized.
+    pub secret_buffer_idents: Vec<String>,
     /// Rule ids (or family prefixes) disabled globally.
     pub disabled_rules: Vec<String>,
 }
@@ -57,6 +60,13 @@ impl Default for Config {
             ],
             determinism_allow_files: Vec::new(),
             ct_impl_files: Vec::new(),
+            secret_buffer_idents: vec![
+                "ipad".into(),
+                "opad".into(),
+                "key_block".into(),
+                "seed_material".into(),
+                "key_material".into(),
+            ],
             disabled_rules: Vec::new(),
         }
     }
@@ -86,6 +96,9 @@ impl Config {
         }
         if let Some(Value::Array(v)) = take(&raw, "secret_compare", "ct_impl_files") {
             cfg.ct_impl_files = v;
+        }
+        if let Some(Value::Array(v)) = take(&raw, "secret_buffers", "name_substrings") {
+            cfg.secret_buffer_idents = v;
         }
         if let Some(Value::Array(v)) = take(&raw, "rules", "disabled") {
             cfg.disabled_rules = v;
@@ -223,6 +236,16 @@ disabled = ["no-panic"]
         assert!(cfg.rule_disabled("no-panic-unwrap"));
         assert!(cfg.rule_disabled("no-panic"));
         assert!(!cfg.rule_disabled("determinism"));
+    }
+
+    #[test]
+    fn parses_secret_buffer_substrings() {
+        let cfg = Config::parse("[secret_buffers]\nname_substrings = [\"ikm\"]\n");
+        assert_eq!(cfg.secret_buffer_idents, vec!["ikm"]);
+        assert!(Config::default()
+            .secret_buffer_idents
+            .iter()
+            .any(|s| s == "ipad"));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | `secret-display-impl`    | secret        | `impl Display for <secret type>` |
 //! | `secret-byte-compare`    | secret        | `==`/`!=` with an `.as_bytes()` operand (use `amnesia_crypto::ct_eq`) |
 //! | `secret-format`          | secret        | a configured secret identifier inside `format!`-family macro arguments |
+//! | `secret-unwiped-buffer`  | secret        | a heap-allocated `let` binding named like key material (`ipad`, `key_block`, …) with no `zeroize` call on it |
 //! | `determinism`            | determinism   | `SystemTime` / `Instant` / `UNIX_EPOCH` outside the clock allowlist |
 //! | `no-panic-unwrap`        | no-panic      | `.unwrap()` outside test code |
 //! | `no-panic-expect`        | no-panic      | `.expect(…)` outside test code |
@@ -64,6 +65,7 @@ pub fn check_source(ctx: &RuleCtx<'_>) -> Vec<Finding> {
     secret_display_impl(ctx, &mut out);
     secret_byte_compare(ctx, &mut out);
     secret_format(ctx, &mut out);
+    secret_unwiped_buffer(ctx, &mut out);
     determinism(ctx, &mut out);
     no_panic(ctx, &mut out);
     extern_crate(ctx, &mut out);
@@ -316,6 +318,98 @@ fn format_string_idents(body: &str) -> Vec<String> {
         }
     }
     out
+}
+
+fn secret_unwiped_buffer(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.cfg.secret_buffer_idents.is_empty() {
+        return;
+    }
+    let code = &ctx.map.code;
+    // Pass 1: identifiers handed to a `zeroize`-family call anywhere in the
+    // file count as wiped (the wipe usually sits a few statements below the
+    // binding, so the check is file-scoped rather than statement-scoped).
+    let mut wiped: Vec<&str> = Vec::new();
+    for i in 0..code.len() {
+        if !matches!(ctx.text(i), "zeroize" | "zeroize_u32" | "zeroize_u64")
+            || ctx.text(i + 1) != "("
+        {
+            continue;
+        }
+        let mut depth = 1i32;
+        let mut j = i + 2;
+        while j < code.len() && depth > 0 {
+            match ctx.text(j) {
+                "(" => depth += 1,
+                ")" => depth -= 1,
+                t if ctx
+                    .map
+                    .code_tok(j)
+                    .is_some_and(|tok| tok.kind == TokenKind::Ident) =>
+                {
+                    wiped.push(t);
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Pass 2: `let [mut] <ident> … = <heap-allocating initializer>;` where
+    // the name marks key material and nothing ever wipes it.
+    let mut i = 0usize;
+    while i < code.len() {
+        if ctx.text(i) != "let" {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if ctx.text(j) == "mut" {
+            j += 1;
+        }
+        let Some(tok) = ctx.map.code_tok(j) else {
+            i += 1;
+            continue;
+        };
+        if tok.kind != TokenKind::Ident || ctx.map.in_test_code(tok.start) {
+            i = j + 1;
+            continue;
+        }
+        let name = ctx.text(j);
+        let lowered = name.to_ascii_lowercase();
+        if !ctx
+            .cfg
+            .secret_buffer_idents
+            .iter()
+            .any(|s| lowered.contains(s.as_str()))
+        {
+            i = j + 1;
+            continue;
+        }
+        // Scan the initializer up to the statement's `;` for an allocation.
+        let mut heap = false;
+        let mut k = j + 1;
+        while k < code.len() {
+            match ctx.text(k) {
+                ";" => break,
+                "vec" if ctx.text(k + 1) == "!" => heap = true,
+                "to_vec" | "collect" if ctx.text(k + 1) == "(" => heap = true,
+                _ => {}
+            }
+            k += 1;
+        }
+        if heap && !wiped.contains(&name) {
+            ctx.emit(
+                out,
+                "secret-unwiped-buffer",
+                tok.start,
+                tok.line,
+                format!(
+                    "heap-allocated key-material buffer `{name}` is never zeroized; wipe it \
+                     with `amnesia_crypto::zeroize` before drop, or use a fixed stack array"
+                ),
+            );
+        }
+        i = k.max(j + 1);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -600,6 +694,45 @@ mod tests {
     #[test]
     fn benign_format_is_fine() {
         assert!(rules(r#"fn f(count: u32) { println!("done {count}"); }"#).is_empty());
+    }
+
+    #[test]
+    fn unwiped_heap_key_buffer_flagged() {
+        let found = rules("fn f(pw: &[u8]) { let mut key_block = pw.to_vec(); }");
+        assert_eq!(found, vec!["secret-unwiped-buffer"]);
+        let found = rules("fn f() { let ipad = vec![0x36u8; 64]; }");
+        assert_eq!(found, vec!["secret-unwiped-buffer"]);
+        let found =
+            rules("fn f(xs: &[u8]) { let opad: Vec<u8> = xs.iter().map(|b| b ^ 0x5c).collect(); }");
+        assert_eq!(found, vec!["secret-unwiped-buffer"]);
+    }
+
+    #[test]
+    fn stack_array_key_buffer_is_fine() {
+        assert!(rules("fn f() { let mut key_block = [0u8; 64]; }").is_empty());
+    }
+
+    #[test]
+    fn zeroized_heap_key_buffer_is_fine() {
+        let src = "fn f(pw: &[u8]) { let mut key_block = pw.to_vec(); zeroize(&mut key_block); }";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn unwiped_buffer_in_test_code_is_fine() {
+        let src = "#[cfg(test)]\nmod t { fn f(pw: &[u8]) { let ipad = pw.to_vec(); } }";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn unwiped_buffer_waivable() {
+        let src = "fn f(pw: &[u8]) {\n    // lint: allow(secret-unwiped-buffer) dropped by callee\n    let ipad = pw.to_vec();\n}";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn non_secret_heap_buffer_is_fine() {
+        assert!(rules("fn f(xs: &[u8]) { let frames = xs.to_vec(); }").is_empty());
     }
 
     #[test]

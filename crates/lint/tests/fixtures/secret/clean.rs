@@ -23,6 +23,15 @@ pub fn report(rotated: usize) -> String {
     format!("{rotated} seed(s) rotated")
 }
 
+pub fn normalized_key(key: &[u8]) -> [u8; 64] {
+    let mut key_block = key.to_vec();
+    key_block.resize(64, 0);
+    let mut out = [0u8; 64];
+    out.copy_from_slice(&key_block);
+    amnesia_crypto::zeroize(&mut key_block);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

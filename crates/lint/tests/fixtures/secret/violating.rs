@@ -21,3 +21,8 @@ pub fn same_seed(a: &Seed, b: &Seed) -> bool {
 pub fn audit_log(oid: &str) {
     println!("granting access to {oid}");
 }
+
+pub fn derive_pads(key: &[u8]) -> Vec<u8> {
+    let ipad: Vec<u8> = key.iter().map(|b| b ^ 0x36).collect();
+    ipad
+}

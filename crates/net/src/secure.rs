@@ -20,7 +20,7 @@
 //! This is **not** a production cipher; it is a faithful simulation substrate
 //! (the paper's prototype likewise used a self-signed certificate).
 
-use amnesia_crypto::{ct_eq, hmac_sha256, sha256_concat};
+use amnesia_crypto::{ct_eq, hmac_sha256, sha256_concat, HmacKey, Sha256};
 use std::error::Error;
 use std::fmt;
 
@@ -81,6 +81,10 @@ const TAG_LEN: usize = 32;
 pub struct SecureChannel {
     enc_key: [u8; 32],
     mac_key: [u8; 32],
+    /// Precomputed HMAC midstates for `mac_key`: every frame restores two
+    /// cached compression states instead of re-expanding the key, so the
+    /// per-frame MAC cost no longer scales with key processing.
+    mac: HmacKey<Sha256>,
     send_nonce: u64,
     recv_nonce: Option<u64>,
 }
@@ -99,9 +103,11 @@ impl SecureChannel {
     pub fn new(shared_secret: &[u8], role: &str) -> Self {
         let enc_key = hmac_sha256(shared_secret, format!("enc\0{role}").as_bytes());
         let mac_key = hmac_sha256(shared_secret, format!("mac\0{role}").as_bytes());
+        let mac = HmacKey::<Sha256>::new(&mac_key);
         SecureChannel {
             enc_key,
             mac_key,
+            mac,
             send_nonce: 0,
             recv_nonce: None,
         }
@@ -138,7 +144,8 @@ impl SecureChannel {
         let mut out = Vec::with_capacity(NONCE_LEN + ciphertext.len() + TAG_LEN);
         out.extend_from_slice(&nonce.to_le_bytes());
         out.extend_from_slice(&ciphertext);
-        let tag = hmac_sha256(&self.mac_key, &out);
+        let mut tag = [0u8; TAG_LEN];
+        self.mac.mac_into(&out, &mut tag);
         out.extend_from_slice(&tag);
         out
     }
@@ -156,7 +163,8 @@ impl SecureChannel {
             return Err(ChannelError::Truncated { len: sealed.len() });
         }
         let (body, tag) = sealed.split_at(sealed.len() - TAG_LEN);
-        let expected = hmac_sha256(&self.mac_key, body);
+        let mut expected = [0u8; TAG_LEN];
+        self.mac.mac_into(body, &mut expected);
         if !ct_eq(&expected, tag) {
             return Err(ChannelError::BadTag);
         }

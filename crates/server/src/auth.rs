@@ -2,7 +2,7 @@
 
 use crate::error::ServerError;
 use amnesia_core::Salt;
-use amnesia_crypto::{ct_eq, hex, pbkdf2_hmac_sha256, SecretRng};
+use amnesia_crypto::{ct_eq, hex, pbkdf2_hmac_sha256, CryptoError, SecretRng};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -20,7 +20,7 @@ pub const LOCKOUT_THRESHOLD: u32 = 10;
 /// use amnesia_crypto::SecretRng;
 ///
 /// let mut rng = SecretRng::seeded(1);
-/// let v = Verifier::derive(b"master password", 1000, &mut rng);
+/// let v = Verifier::derive(b"master password", 1000, &mut rng).unwrap();
 /// assert!(v.verify(b"master password"));
 /// assert!(!v.verify(b"master passwore"));
 /// ```
@@ -46,24 +46,35 @@ impl fmt::Debug for Verifier {
 impl Verifier {
     /// Derives a verifier for `secret` with a fresh random salt.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `iterations` is zero.
-    pub fn derive(secret: &[u8], iterations: u32, rng: &mut SecretRng) -> Self {
+    /// Returns [`CryptoError::ZeroIterations`] if `iterations` is zero.
+    pub fn derive(
+        secret: &[u8],
+        iterations: u32,
+        rng: &mut SecretRng,
+    ) -> Result<Self, CryptoError> {
         let salt = Salt::random(rng);
         let mut hash = vec![0u8; 32];
-        pbkdf2_hmac_sha256(secret, salt.as_bytes(), iterations, &mut hash);
-        Verifier {
+        pbkdf2_hmac_sha256(secret, salt.as_bytes(), iterations, &mut hash)?;
+        Ok(Verifier {
             salt,
             hash,
             iterations,
-        }
+        })
     }
 
     /// Checks `candidate` against the stored hash in constant time.
+    ///
+    /// A verifier whose stored iteration count is invalid (possible only
+    /// via a corrupted record) rejects every candidate rather than
+    /// panicking.
     pub fn verify(&self, candidate: &[u8]) -> bool {
         let mut hash = vec![0u8; 32];
-        pbkdf2_hmac_sha256(candidate, self.salt.as_bytes(), self.iterations, &mut hash);
+        if pbkdf2_hmac_sha256(candidate, self.salt.as_bytes(), self.iterations, &mut hash).is_err()
+        {
+            return false;
+        }
         ct_eq(&hash, &self.hash)
     }
 
@@ -183,7 +194,7 @@ mod tests {
     #[test]
     fn verifier_accepts_only_exact_secret() {
         let mut rng = SecretRng::seeded(1);
-        let v = Verifier::derive(b"correct horse", 10, &mut rng);
+        let v = Verifier::derive(b"correct horse", 10, &mut rng).unwrap();
         assert!(v.verify(b"correct horse"));
         assert!(!v.verify(b"correct horsf"));
         assert!(!v.verify(b""));
@@ -192,16 +203,25 @@ mod tests {
     #[test]
     fn same_password_different_salt_different_hash() {
         let mut rng = SecretRng::seeded(2);
-        let a = Verifier::derive(b"mp", 10, &mut rng);
-        let b = Verifier::derive(b"mp", 10, &mut rng);
+        let a = Verifier::derive(b"mp", 10, &mut rng).unwrap();
+        let b = Verifier::derive(b"mp", 10, &mut rng).unwrap();
         assert_ne!(a.hash_bytes(), b.hash_bytes());
     }
 
     #[test]
     fn paper_mode_single_iteration() {
         let mut rng = SecretRng::seeded(3);
-        let v = Verifier::derive(b"mp", 1, &mut rng);
+        let v = Verifier::derive(b"mp", 1, &mut rng).unwrap();
         assert!(v.verify(b"mp"));
+    }
+
+    #[test]
+    fn zero_iterations_is_rejected() {
+        let mut rng = SecretRng::seeded(8);
+        assert_eq!(
+            Verifier::derive(b"mp", 0, &mut rng).unwrap_err(),
+            CryptoError::ZeroIterations
+        );
     }
 
     #[test]
@@ -258,7 +278,7 @@ mod tests {
     #[test]
     fn debug_redacts() {
         let mut rng = SecretRng::seeded(7);
-        let v = Verifier::derive(b"mp", 1, &mut rng);
+        let v = Verifier::derive(b"mp", 1, &mut rng).unwrap();
         assert!(format!("{v:?}").len() < 40);
         let mut mgr = SessionManager::new();
         let s = mgr.issue("u", &mut rng);

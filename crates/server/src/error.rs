@@ -47,6 +47,9 @@ pub enum ServerError {
     VaultCorrupt,
     /// A core-algorithm error (invalid policy, entry table, …).
     Core(amnesia_core::CoreError),
+    /// A cryptographic parameter error (e.g. a zero PBKDF2 iteration count
+    /// in the server configuration).
+    Crypto(amnesia_crypto::CryptoError),
     /// A storage error.
     Store(String),
 }
@@ -73,6 +76,7 @@ impl fmt::Display for ServerError {
             }
             ServerError::VaultCorrupt => write!(f, "vault entry failed to decrypt"),
             ServerError::Core(e) => write!(f, "core error: {e}"),
+            ServerError::Crypto(e) => write!(f, "crypto error: {e}"),
             ServerError::Store(msg) => write!(f, "storage error: {msg}"),
         }
     }
@@ -82,6 +86,7 @@ impl Error for ServerError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ServerError::Core(e) => Some(e),
+            ServerError::Crypto(e) => Some(e),
             _ => None,
         }
     }
@@ -90,6 +95,12 @@ impl Error for ServerError {
 impl From<amnesia_core::CoreError> for ServerError {
     fn from(e: amnesia_core::CoreError) -> Self {
         ServerError::Core(e)
+    }
+}
+
+impl From<amnesia_crypto::CryptoError> for ServerError {
+    fn from(e: amnesia_crypto::CryptoError) -> Self {
+        ServerError::Crypto(e)
     }
 }
 

@@ -199,7 +199,7 @@ impl AmnesiaServer {
                 master_password.as_bytes(),
                 self.config.pbkdf2_iterations,
                 &mut self.rng,
-            ),
+            )?,
             pid_verifier: None,
             registration_id: None,
             accounts: Vec::new(),
@@ -314,7 +314,7 @@ impl AmnesiaServer {
             pid.as_bytes(),
             self.config.pbkdf2_iterations,
             &mut self.rng,
-        ));
+        )?);
         record.registration_id = Some(registration_id);
         self.store_user(&record)
     }
@@ -731,7 +731,7 @@ impl AmnesiaServer {
             new_master_password.as_bytes(),
             self.config.pbkdf2_iterations,
             &mut self.rng,
-        );
+        )?;
         self.store_user(&record)?;
         self.sessions.revoke_all_for(user_id);
         Ok(())

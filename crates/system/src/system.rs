@@ -928,7 +928,20 @@ impl AmnesiaSystem {
     /// The deployment-wide metrics registry. Every component — network,
     /// server, rendezvous, phones — records into this one registry, so a
     /// single [`snapshot`](Registry::snapshot) covers the whole deployment.
+    ///
+    /// The crypto crate is dependency-free and cannot record directly;
+    /// its process-wide hot-path stats are mirrored in here on every
+    /// access, so reports and snapshots always carry the current
+    /// `crypto.hmac.keys_created` count and `crypto.pbkdf2.threads`
+    /// fan-out width.
     pub fn telemetry(&self) -> &Registry {
+        let counter = self.telemetry.counter("crypto.hmac.keys_created");
+        let created = amnesia_crypto::stats::hmac_keys_created();
+        // Counters are monotonic: add only the delta since the last mirror.
+        counter.add(created.saturating_sub(counter.get()));
+        self.telemetry
+            .gauge("crypto.pbkdf2.threads")
+            .set(amnesia_crypto::stats::pbkdf2_threads() as i64);
         &self.telemetry
     }
 }
@@ -1170,6 +1183,12 @@ mod tests {
 
         // Confirm latency was recorded via confirm_at under the Manual policy.
         assert_eq!(snapshot.histograms["phone.confirm_latency_us"].count(), 3);
+
+        // Crypto hot-path stats are mirrored into the deployment registry:
+        // setup + generations key HMACs (channel keys, verifiers, DRBG), and
+        // at least one PBKDF2 derivation ran (width >= 1).
+        assert!(snapshot.counters["crypto.hmac.keys_created"] > 0);
+        assert!(snapshot.gauges["crypto.pbkdf2.threads"] >= 1);
     }
 
     #[test]

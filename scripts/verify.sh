@@ -32,4 +32,18 @@ echo "==> telemetry report smoke run"
 cargo run -q --release --offline --locked -p amnesia-bench \
     --bin telemetry_report >/dev/null
 
-echo "OK: offline build, tests, formatting, lint, zero-dependency check, and telemetry smoke run passed"
+echo "==> crypto throughput smoke run"
+# Quick-mode bench: exercises the HMAC midstate / PBKDF2 fan-out hot path
+# end to end and self-validates every metric > 0. The committed baseline
+# (BENCH_CRYPTO.json) is regenerated separately with a full run.
+mkdir -p target
+cargo run -q --release --offline --locked -p amnesia-bench \
+    --bin bench_crypto -- --quick --out target/BENCH_CRYPTO.quick.json
+for metric in hmac_msgs_per_sec pbkdf2_iters_per_sec e2e_generate_p50_ns; do
+    if ! grep -q "\"$metric\"" target/BENCH_CRYPTO.quick.json; then
+        echo "error: $metric missing from target/BENCH_CRYPTO.quick.json" >&2
+        exit 1
+    fi
+done
+
+echo "OK: offline build, tests, formatting, lint, zero-dependency check, telemetry and crypto-bench smoke runs passed"
