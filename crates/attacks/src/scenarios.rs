@@ -10,7 +10,7 @@ use amnesia_crypto::sha256_concat;
 use amnesia_net::{LatencyModel, LinkProfile, SecureChannel};
 use amnesia_phone::ConfirmPolicy;
 use amnesia_rendezvous::PushEnvelope;
-use amnesia_server::protocol::{FromServer, KpBackup, PhonePush, ToServer};
+use amnesia_server::protocol::{FromServer, KpBackup, PhonePush, Reply, ToServer};
 use amnesia_system::{AmnesiaSystem, SystemConfig, GCM_ENDPOINT, SERVER_ENDPOINT};
 
 /// A standard victim deployment: one user, three accounts (the Table I
@@ -121,12 +121,12 @@ pub fn broken_https_browser_link(seed: u64) -> AttackReport {
         else {
             continue;
         };
-        let Ok(reply) = FromServer::from_wire(&plaintext) else {
+        let Ok(reply) = Reply::from_wire(&plaintext) else {
             continue;
         };
         if let FromServer::PasswordReady {
             account, password, ..
-        } = reply
+        } = reply.message
         {
             report.note(format!("decrypted a PasswordReady frame for {account}"));
             report.recovered_password(account.to_string(), password.as_str());
@@ -293,6 +293,7 @@ pub fn server_breach(seed: u64) -> AttackReport {
     let forged = PushEnvelope {
         registration_id,
         data: PhonePush {
+            request_id: 0,
             request: forged_request,
             origin: "mallory.evil.example".into(),
             tstart: now,

@@ -41,6 +41,7 @@ fn main() {
 
     h.sample_size(30);
     let msg = ToServer::Login {
+        request_id: 1,
         user_id: "alice".into(),
         master_password: "master password".into(),
         reply_to: "browser".into(),

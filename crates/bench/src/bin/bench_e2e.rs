@@ -1,0 +1,172 @@
+//! End-to-end generation throughput of the simulated deployment.
+//!
+//! Measures wall-clock generations/second of
+//! [`AmnesiaSystem::generate_passwords_concurrent`] at batch sizes
+//! N ∈ {1, 16, 256}: every batch opens N sessions up front (one per
+//! distinct account) and the event loop interleaves their pushes,
+//! confirmations and replies over the shared network. The ratio between the
+//! N = 1 and N = 256 rates is the concurrency payoff of the session-table
+//! host — the simulated *latency* per generation is fixed by the network
+//! profile, so the throughput gain is pure host-side overlap.
+//!
+//! Writes a JSON document (default `BENCH_E2E.json` at the workspace root;
+//! `--out <path>` redirects it). Exits nonzero if any batch fails or any
+//! rate is non-positive, so `scripts/verify.sh` can use `--quick` (batch
+//! sizes {1, 16} only) as a smoke test.
+
+use amnesia_core::{Domain, PasswordPolicy, Username};
+use amnesia_phone::ConfirmPolicy;
+use amnesia_system::{AmnesiaSystem, GenerationRequest, NetProfile, SystemConfig};
+use std::time::Instant;
+
+const SEED: u64 = 0xE2E;
+
+struct Options {
+    quick: bool,
+    out_path: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        quick: false,
+        out_path: "BENCH_E2E.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => {
+                opts.out_path = args.next().ok_or("--out requires a path argument")?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (expected --quick and/or --out <path>)"
+                ));
+            }
+        }
+    }
+    Ok(opts)
+}
+
+struct BatchResult {
+    n: usize,
+    generations_per_sec: f64,
+    wall_ms: f64,
+    sim_latency_mean_ms: f64,
+}
+
+/// Builds a deployment with `n` distinct managed accounts and drives one
+/// concurrent batch over them, timing the wall clock.
+fn run_batch(n: usize) -> Result<BatchResult, String> {
+    let mut system = AmnesiaSystem::new(
+        SystemConfig::default()
+            .with_seed(SEED)
+            .with_profile(NetProfile::wifi())
+            .with_table_size(512),
+    );
+    system.add_browser("browser");
+    system.add_phone("phone", SEED.wrapping_add(1));
+    system
+        .setup_user("bench", "master password", "browser", "phone")
+        .map_err(|e| format!("setup_user: {e}"))?;
+    system
+        .phone_mut("phone")
+        .ok_or("phone not installed")?
+        .set_confirm_policy(ConfirmPolicy::AutoConfirm);
+
+    // One account per session: the server keys pending requests by R, which
+    // collides for identical (u, d), so a concurrent batch must span
+    // distinct accounts — exactly the many-users many-sites workload.
+    let mut requests = Vec::with_capacity(n);
+    for i in 0..n {
+        let username = Username::new(format!("user{i}")).map_err(|e| format!("username: {e}"))?;
+        let domain =
+            Domain::new(format!("site{i}.example.com")).map_err(|e| format!("domain: {e}"))?;
+        system
+            .add_account(
+                "browser",
+                username.clone(),
+                domain.clone(),
+                PasswordPolicy::default(),
+            )
+            .map_err(|e| format!("add_account: {e}"))?;
+        requests.push(GenerationRequest {
+            browser: "browser".into(),
+            phone: "phone".into(),
+            username,
+            domain,
+        });
+    }
+
+    let start = Instant::now();
+    let results = system.generate_passwords_concurrent(&requests, 1);
+    let elapsed = start.elapsed();
+
+    let mut sim_latency_total_ms = 0.0;
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Ok(outcome) => sim_latency_total_ms += outcome.latency.as_millis_f64(),
+            Err(e) => return Err(format!("generation {i} of {n} failed: {e}")),
+        }
+    }
+    let wall_s = elapsed.as_secs_f64();
+    if wall_s <= 0.0 {
+        return Err(format!("batch of {n} reported non-positive wall time"));
+    }
+    Ok(BatchResult {
+        n,
+        generations_per_sec: n as f64 / wall_s,
+        wall_ms: wall_s * 1e3,
+        sim_latency_mean_ms: sim_latency_total_ms / n as f64,
+    })
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let sizes: &[usize] = if opts.quick { &[1, 16] } else { &[1, 16, 256] };
+    let mut batches = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let batch = run_batch(n)?;
+        if !(batch.generations_per_sec.is_finite() && batch.generations_per_sec > 0.0) {
+            return Err(format!(
+                "batch of {n}: non-positive rate {}",
+                batch.generations_per_sec
+            ));
+        }
+        eprintln!(
+            "bench_e2e: N={:<4} {:>10.0} gen/s  (wall {:.2} ms, sim latency mean {:.1} ms)",
+            batch.n, batch.generations_per_sec, batch.wall_ms, batch.sim_latency_mean_ms
+        );
+        batches.push(batch);
+    }
+
+    let mut rows = String::new();
+    for (i, b) in batches.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "{{\"n\":{},\"generations_per_sec\":{:.0},\"wall_ms\":{:.3},\
+             \"sim_latency_mean_ms\":{:.3}}}",
+            b.n, b.generations_per_sec, b.wall_ms, b.sim_latency_mean_ms
+        ));
+    }
+    let doc = format!(
+        "{{\n  \"suite\": \"bench_e2e\",\n  \"mode\": \"{}\",\n  \
+         \"profile\": \"wifi\",\n  \"batches\": [{rows}]\n}}\n",
+        if opts.quick { "quick" } else { "full" },
+    );
+    std::fs::write(&opts.out_path, &doc).map_err(|e| format!("writing {}: {e}", opts.out_path))?;
+    eprintln!("bench_e2e: wrote {}", opts.out_path);
+    Ok(())
+}
+
+fn main() {
+    let code = match parse_args().and_then(|opts| run(&opts)) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("bench_e2e: error: {e}");
+            1
+        }
+    };
+    std::process::exit(code);
+}

@@ -31,7 +31,7 @@ impl Error for BrowserError {}
 /// ```
 /// use amnesia_client::Browser;
 /// let browser = Browser::new("browser-1");
-/// let msg = browser.register_message("alice", "master password");
+/// let msg = browser.register_message("alice", "master password", 1);
 /// // send `msg` to the Amnesia server endpoint...
 /// ```
 #[derive(Debug)]
@@ -69,20 +69,27 @@ impl Browser {
 
     // -- message builders ---------------------------------------------------
 
-    /// Builds an account-creation request.
-    pub fn register_message(&self, user_id: &str, master_password: &str) -> ToServer {
+    /// Builds an account-creation request tagged with `request_id`.
+    pub fn register_message(
+        &self,
+        user_id: &str,
+        master_password: &str,
+        request_id: u64,
+    ) -> ToServer {
         ToServer::Register {
             user_id: user_id.into(),
             master_password: master_password.into(),
+            request_id,
             reply_to: self.endpoint.clone(),
         }
     }
 
-    /// Builds a login request.
-    pub fn login_message(&self, user_id: &str, master_password: &str) -> ToServer {
+    /// Builds a login request tagged with `request_id`.
+    pub fn login_message(&self, user_id: &str, master_password: &str, request_id: u64) -> ToServer {
         ToServer::Login {
             user_id: user_id.into(),
             master_password: master_password.into(),
+            request_id,
             reply_to: self.endpoint.clone(),
         }
     }
@@ -92,9 +99,10 @@ impl Browser {
     /// # Errors
     ///
     /// Returns [`BrowserError::NotLoggedIn`] without a session.
-    pub fn logout_message(&self) -> Result<ToServer, BrowserError> {
+    pub fn logout_message(&self, request_id: u64) -> Result<ToServer, BrowserError> {
         Ok(ToServer::Logout {
             session: self.require_session()?,
+            request_id,
             reply_to: self.endpoint.clone(),
         })
     }
@@ -104,9 +112,10 @@ impl Browser {
     /// # Errors
     ///
     /// Returns [`BrowserError::NotLoggedIn`] without a session.
-    pub fn begin_pairing_message(&self) -> Result<ToServer, BrowserError> {
+    pub fn begin_pairing_message(&self, request_id: u64) -> Result<ToServer, BrowserError> {
         Ok(ToServer::BeginPhonePairing {
             session: self.require_session()?,
+            request_id,
             reply_to: self.endpoint.clone(),
         })
     }
@@ -121,12 +130,14 @@ impl Browser {
         username: Username,
         domain: Domain,
         policy: PasswordPolicy,
+        request_id: u64,
     ) -> Result<ToServer, BrowserError> {
         Ok(ToServer::AddAccount {
             session: self.require_session()?,
             username,
             domain,
             policy,
+            request_id,
             reply_to: self.endpoint.clone(),
         })
     }
@@ -136,9 +147,10 @@ impl Browser {
     /// # Errors
     ///
     /// Returns [`BrowserError::NotLoggedIn`] without a session.
-    pub fn list_accounts_message(&self) -> Result<ToServer, BrowserError> {
+    pub fn list_accounts_message(&self, request_id: u64) -> Result<ToServer, BrowserError> {
         Ok(ToServer::ListAccounts {
             session: self.require_session()?,
+            request_id,
             reply_to: self.endpoint.clone(),
         })
     }
@@ -152,11 +164,13 @@ impl Browser {
         &self,
         username: Username,
         domain: Domain,
+        request_id: u64,
     ) -> Result<ToServer, BrowserError> {
         Ok(ToServer::RequestPassword {
             session: self.require_session()?,
             username,
             domain,
+            request_id,
             reply_to: self.endpoint.clone(),
         })
     }
@@ -170,11 +184,13 @@ impl Browser {
         &self,
         username: Username,
         domain: Domain,
+        request_id: u64,
     ) -> Result<ToServer, BrowserError> {
         Ok(ToServer::RotateSeed {
             session: self.require_session()?,
             username,
             domain,
+            request_id,
             reply_to: self.endpoint.clone(),
         })
     }
@@ -233,21 +249,25 @@ mod tests {
     fn unauthenticated_builders_work() {
         let b = Browser::new("browser");
         assert!(matches!(
-            b.register_message("alice", "mp"),
-            ToServer::Register { .. }
+            b.register_message("alice", "mp", 1),
+            ToServer::Register { request_id: 1, .. }
         ));
         assert!(matches!(
-            b.login_message("alice", "mp"),
-            ToServer::Login { .. }
+            b.login_message("alice", "mp", 2),
+            ToServer::Login { request_id: 2, .. }
         ));
     }
 
     #[test]
     fn session_gated_builders_require_login() {
         let mut b = Browser::new("browser");
-        assert_eq!(b.list_accounts_message(), Err(BrowserError::NotLoggedIn));
+        assert_eq!(b.list_accounts_message(1), Err(BrowserError::NotLoggedIn));
         assert_eq!(
-            b.request_password_message(Username::new("u").unwrap(), Domain::new("d.com").unwrap()),
+            b.request_password_message(
+                Username::new("u").unwrap(),
+                Domain::new("d.com").unwrap(),
+                2
+            ),
             Err(BrowserError::NotLoggedIn)
         );
 
@@ -257,12 +277,13 @@ mod tests {
         let session = server.login("alice", "mp").unwrap();
         b.handle_reply(FromServer::LoginOk { session });
         assert!(b.session().is_some());
-        assert!(b.list_accounts_message().is_ok());
+        assert!(b.list_accounts_message(3).is_ok());
         assert!(b
             .add_account_message(
                 Username::new("u").unwrap(),
                 Domain::new("d.com").unwrap(),
-                PasswordPolicy::default()
+                PasswordPolicy::default(),
+                4
             )
             .is_ok());
 
@@ -278,6 +299,7 @@ mod tests {
             account: account_ref(),
             password: password.clone(),
             requested_at: amnesia_server::protocol::TokenResponse {
+                request_id: 0,
                 request: amnesia_core::PasswordRequest::from_bytes([0; 32]),
                 token: amnesia_core::Token::from_bytes([0; 32]),
                 tstart: Default::default(),

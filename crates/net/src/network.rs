@@ -165,6 +165,11 @@ impl Wiretap {
 struct LinkState {
     profile: LinkProfile,
     taps: Vec<Wiretap>,
+    /// Latest delivery already scheduled on this link. Links model TCP
+    /// connections: frames never overtake each other, so a sampled latency
+    /// that would land a frame before an earlier one is clamped forward to
+    /// preserve FIFO order (head-of-line blocking, as on a real stream).
+    last_deliver_at: SimInstant,
 }
 
 struct Pending {
@@ -283,6 +288,7 @@ impl SimNet {
             LinkState {
                 profile,
                 taps: Vec::new(),
+                last_deliver_at: SimInstant::EPOCH,
             },
         );
     }
@@ -348,7 +354,7 @@ impl SimNet {
         }
         let link = self
             .links
-            .get(&(from.to_string(), to.to_string()))
+            .get_mut(&(from.to_string(), to.to_string()))
             .ok_or_else(|| NetError::NoLink {
                 from: from.into(),
                 to: to.into(),
@@ -385,7 +391,10 @@ impl SimNet {
             .latency
             .sample(&mut self.rng)
             .saturating_add(link.profile.transmission_delay(payload.len()));
-        let deliver_at = sent_at + latency;
+        // FIFO per link (TCP semantics): a frame never overtakes one sent
+        // earlier on the same link — secure channels rely on this order.
+        let deliver_at = (sent_at + latency).max(link.last_deliver_at);
+        link.last_deliver_at = deliver_at;
         let frame = Frame {
             from: from.to_string(),
             to: to.to_string(),

@@ -26,12 +26,12 @@ impl SimDuration {
     pub const ZERO: SimDuration = SimDuration { micros: 0 };
 
     /// Constructs from whole microseconds.
-    pub fn from_micros(micros: u64) -> Self {
+    pub const fn from_micros(micros: u64) -> Self {
         SimDuration { micros }
     }
 
     /// Constructs from whole milliseconds.
-    pub fn from_millis(millis: u64) -> Self {
+    pub const fn from_millis(millis: u64) -> Self {
         SimDuration {
             micros: millis * 1000,
         }

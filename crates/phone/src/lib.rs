@@ -317,6 +317,7 @@ impl AmnesiaPhone {
                 let token = self.compute_token(&push.request)?;
                 self.note_confirm_latency(push.tstart, now);
                 return Ok(PushOutcome::Respond(TokenResponse {
+                    request_id: push.request_id,
                     request: push.request,
                     token,
                     tstart: push.tstart,
@@ -328,6 +329,7 @@ impl AmnesiaPhone {
                 let token = self.compute_token(&push.request)?;
                 self.note_confirm_latency(push.tstart, now);
                 Ok(PushOutcome::Respond(TokenResponse {
+                    request_id: push.request_id,
                     request: push.request,
                     token,
                     tstart: push.tstart,
@@ -358,6 +360,7 @@ impl AmnesiaPhone {
         let push = self.pending.remove(index);
         let token = self.compute_token(&push.request)?;
         Ok(TokenResponse {
+            request_id: push.request_id,
             request: push.request,
             token,
             tstart: push.tstart,
@@ -379,6 +382,27 @@ impl AmnesiaPhone {
         let response = self.confirm(index)?;
         self.note_confirm_latency(response.tstart, now);
         Ok(response)
+    }
+
+    /// Confirms the pending push carrying `request_id`, if any — how a host
+    /// with many sessions in flight approves the one push belonging to a
+    /// particular session without guessing queue positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhoneError::NoSuchPending`] when no pending push carries
+    /// that id.
+    pub fn confirm_request(
+        &mut self,
+        request_id: u64,
+        now: SimInstant,
+    ) -> Result<TokenResponse, PhoneError> {
+        let index = self
+            .pending
+            .iter()
+            .position(|push| push.request_id == request_id)
+            .ok_or(PhoneError::NoSuchPending)?;
+        self.confirm_at(index, now)
     }
 
     /// The user dismisses the pending request at `index`.
@@ -565,6 +589,7 @@ mod tests {
     fn push_bytes(seed: u64) -> (PhonePush, Vec<u8>) {
         let mut rng = SecretRng::seeded(seed);
         let push = PhonePush {
+            request_id: seed,
             request: PasswordRequest::derive(
                 &Username::new("u").unwrap(),
                 &Domain::new("d.com").unwrap(),
@@ -655,6 +680,29 @@ mod tests {
         assert_eq!(phone.tokens_computed(), 0);
         // The user still saw the suspicious notification (§IV-C).
         assert_eq!(phone.notifications().len(), 1);
+    }
+
+    #[test]
+    fn confirm_request_picks_the_matching_push() {
+        let mut phone = registered_phone(20);
+        let (first, first_bytes) = push_bytes(21);
+        let (second, second_bytes) = push_bytes(22);
+        phone.handle_push(&first_bytes, SimInstant::EPOCH).unwrap();
+        phone.handle_push(&second_bytes, SimInstant::EPOCH).unwrap();
+
+        // Confirm the *second* session's push first; correlation, not queue
+        // order, decides which token is computed.
+        let response = phone
+            .confirm_request(second.request_id, SimInstant::EPOCH)
+            .unwrap();
+        assert_eq!(response.request_id, second.request_id);
+        assert_eq!(response.request, second.request);
+        assert_eq!(phone.pending_requests().len(), 1);
+        assert_eq!(phone.pending_requests()[0].request_id, first.request_id);
+        assert!(matches!(
+            phone.confirm_request(9999, SimInstant::EPOCH),
+            Err(PhoneError::NoSuchPending)
+        ));
     }
 
     #[test]

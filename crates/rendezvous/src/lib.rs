@@ -86,8 +86,9 @@ impl fmt::Display for RegistrationId {
 pub struct PushEnvelope {
     /// Which registered device to forward to.
     pub registration_id: RegistrationId,
-    /// Opaque payload forwarded verbatim (Amnesia puts the request `R` and
-    /// origin metadata here).
+    /// Opaque payload forwarded verbatim (Amnesia puts the request `R`,
+    /// origin metadata, and the session-correlation request id here; the
+    /// rendezvous never interprets any of it).
     pub data: Vec<u8>,
 }
 amnesia_store::record_struct! { PushEnvelope { registration_id, data } }

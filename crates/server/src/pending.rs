@@ -39,6 +39,10 @@ pub struct PendingRequest {
     pub user_id: String,
     /// The targeted website account.
     pub account: AccountRef,
+    /// Correlation id of the protocol session that issued the request; the
+    /// final reply is tagged with it so the browser can route the password
+    /// back to the right in-flight session.
+    pub request_id: u64,
     /// Browser endpoint to deliver the final password to.
     pub reply_to: String,
     /// When the request was issued (the `tstart` of the Figure 3 latency
@@ -116,6 +120,7 @@ mod tests {
                 username: Username::new("u").unwrap(),
                 domain: Domain::new("d").unwrap(),
             },
+            request_id: 1,
             reply_to: "browser".into(),
             issued_at: SimInstant::EPOCH,
             purpose: RequestPurpose::Generate,

@@ -63,6 +63,11 @@ impl Eq for KpBackup {}
 /// `tstart` timestamp of the §VI-B latency measurement.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PhonePush {
+    /// Correlation id of the originating protocol session. The phone echoes
+    /// it in its [`TokenResponse`] so the deployment can attribute the token
+    /// round to the session that asked for it, even with many generations in
+    /// flight. Opaque to the phone; carries no account information (§IV-D).
+    pub request_id: u64,
     /// The password request `R`.
     pub request: PasswordRequest,
     /// Where the original browser request came from (shown to the user for
@@ -75,7 +80,7 @@ pub struct PhonePush {
     /// interaction.
     pub session_grant: Option<SessionGrantToken>,
 }
-amnesia_store::record_struct! { PhonePush { request, origin, tstart, session_grant } }
+amnesia_store::record_struct! { PhonePush { request_id, request, origin, tstart, session_grant } }
 
 /// An opaque token the phone mints when the user enables a generation
 /// session (§VIII's "session mechanism ... in a fully fledged Amnesia
@@ -88,6 +93,8 @@ amnesia_store::record_tuple! { SessionGrantToken(token) }
 /// The phone's answer: the token `T` plus the echoed request and timestamp.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TokenResponse {
+    /// Echo of the push's correlation id (see [`PhonePush::request_id`]).
+    pub request_id: u64,
     /// Echo of the request `R`, letting the server match the pending entry.
     pub request: PasswordRequest,
     /// The computed token `T`.
@@ -96,7 +103,7 @@ pub struct TokenResponse {
     /// prototype).
     pub tstart: SimInstant,
 }
-amnesia_store::record_struct! { TokenResponse { request, token, tstart } }
+amnesia_store::record_struct! { TokenResponse { request_id, request, token, tstart } }
 
 /// Requests arriving at the Amnesia server (from browsers and phones).
 #[derive(Clone, Debug, PartialEq)]
@@ -106,19 +113,23 @@ pub enum ToServer {
     Register {
         user_id: String,
         master_password: String,
+        request_id: u64,
         reply_to: String,
     },
     Login {
         user_id: String,
         master_password: String,
+        request_id: u64,
         reply_to: String,
     },
     Logout {
         session: Session,
+        request_id: u64,
         reply_to: String,
     },
     BeginPhonePairing {
         session: Session,
+        request_id: u64,
         reply_to: String,
     },
     CompletePhonePairing {
@@ -126,6 +137,7 @@ pub enum ToServer {
         captcha: String,
         pid: PhoneId,
         registration_id: RegistrationId,
+        request_id: u64,
         reply_to: String,
     },
     AddAccount {
@@ -133,22 +145,26 @@ pub enum ToServer {
         username: Username,
         domain: Domain,
         policy: PasswordPolicy,
+        request_id: u64,
         reply_to: String,
     },
     ListAccounts {
         session: Session,
+        request_id: u64,
         reply_to: String,
     },
     RotateSeed {
         session: Session,
         username: Username,
         domain: Domain,
+        request_id: u64,
         reply_to: String,
     },
     RequestPassword {
         session: Session,
         username: Username,
         domain: Domain,
+        request_id: u64,
         reply_to: String,
     },
     Token(TokenResponse),
@@ -159,6 +175,7 @@ pub enum ToServer {
         username: Username,
         domain: Domain,
         chosen_password: String,
+        request_id: u64,
         reply_to: String,
     },
     /// Session-mechanism extension (§VIII): the phone announces a grant the
@@ -167,12 +184,14 @@ pub enum ToServer {
         user_id: String,
         grant: SessionGrantToken,
         max_uses: u32,
+        request_id: u64,
         reply_to: String,
     },
     RecoverPhone {
         user_id: String,
         master_password: String,
         backup: KpBackup,
+        request_id: u64,
         reply_to: String,
     },
     ChangeMasterPassword {
@@ -180,24 +199,25 @@ pub enum ToServer {
         old_master_password: String,
         pid: PhoneId,
         new_master_password: String,
+        request_id: u64,
         reply_to: String,
     },
 }
 amnesia_store::record_enum! { ToServer {
-    0 => Register { user_id, master_password, reply_to },
-    1 => Login { user_id, master_password, reply_to },
-    2 => Logout { session, reply_to },
-    3 => BeginPhonePairing { session, reply_to },
-    4 => CompletePhonePairing { user_id, captcha, pid, registration_id, reply_to },
-    5 => AddAccount { session, username, domain, policy, reply_to },
-    6 => ListAccounts { session, reply_to },
-    7 => RotateSeed { session, username, domain, reply_to },
-    8 => RequestPassword { session, username, domain, reply_to },
+    0 => Register { user_id, master_password, request_id, reply_to },
+    1 => Login { user_id, master_password, request_id, reply_to },
+    2 => Logout { session, request_id, reply_to },
+    3 => BeginPhonePairing { session, request_id, reply_to },
+    4 => CompletePhonePairing { user_id, captcha, pid, registration_id, request_id, reply_to },
+    5 => AddAccount { session, username, domain, policy, request_id, reply_to },
+    6 => ListAccounts { session, request_id, reply_to },
+    7 => RotateSeed { session, username, domain, request_id, reply_to },
+    8 => RequestPassword { session, username, domain, request_id, reply_to },
     9 => Token(response),
-    10 => StoreChosenPassword { session, username, domain, chosen_password, reply_to },
-    11 => SessionGrant { user_id, grant, max_uses, reply_to },
-    12 => RecoverPhone { user_id, master_password, backup, reply_to },
-    13 => ChangeMasterPassword { user_id, old_master_password, pid, new_master_password, reply_to },
+    10 => StoreChosenPassword { session, username, domain, chosen_password, request_id, reply_to },
+    11 => SessionGrant { user_id, grant, max_uses, request_id, reply_to },
+    12 => RecoverPhone { user_id, master_password, backup, request_id, reply_to },
+    13 => ChangeMasterPassword { user_id, old_master_password, pid, new_master_password, request_id, reply_to },
 } }
 
 /// Responses the server sends back to browser endpoints.
@@ -287,8 +307,22 @@ macro_rules! wire_impls {
     };
 }
 
+/// Wire envelope for every server→browser reply: the [`FromServer`] payload
+/// tagged with the `request_id` of the protocol session it answers, so a
+/// host interleaving many sessions over one endpoint can route each reply to
+/// the state machine that is waiting for it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reply {
+    /// Correlation id echoed from the originating [`ToServer`] request.
+    pub request_id: u64,
+    /// The actual response payload.
+    pub message: FromServer,
+}
+amnesia_store::record_struct! { Reply { request_id, message } }
+
 wire_impls!(ToServer);
 wire_impls!(FromServer);
+wire_impls!(Reply);
 wire_impls!(PhonePush);
 wire_impls!(TokenResponse);
 wire_impls!(KpBackup);
@@ -304,15 +338,26 @@ mod tests {
         let msg = ToServer::Login {
             user_id: "alice".into(),
             master_password: "mp".into(),
+            request_id: 7,
             reply_to: "browser".into(),
         };
         assert_eq!(ToServer::from_wire(&msg.to_wire().unwrap()).unwrap(), msg);
     }
 
     #[test]
+    fn reply_roundtrip_preserves_request_id() {
+        let reply = Reply {
+            request_id: u64::MAX,
+            message: FromServer::RequestPushed,
+        };
+        assert_eq!(Reply::from_wire(&reply.to_wire().unwrap()).unwrap(), reply);
+    }
+
+    #[test]
     fn phone_push_roundtrip() {
         let mut rng = SecretRng::seeded(1);
         let push = PhonePush {
+            request_id: 42,
             request: PasswordRequest::derive(
                 &Username::new("u").unwrap(),
                 &Domain::new("d").unwrap(),

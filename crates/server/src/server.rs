@@ -4,7 +4,7 @@ use crate::auth::{Session, SessionManager, Verifier};
 use crate::error::ServerError;
 use crate::pending::{PendingRequest, PendingRequests, RequestPurpose};
 use crate::protocol::{
-    FromServer, KpBackup, PhonePush, SessionGrantToken, ToServer, TokenResponse,
+    FromServer, KpBackup, PhonePush, Reply, SessionGrantToken, ToServer, TokenResponse,
 };
 use crate::storage::{AccountKind, AccountRef, RecoveredCredential, StoredAccount, UserRecord};
 use amnesia_core::{
@@ -61,8 +61,9 @@ pub struct ServerStats {
 /// What the server wants transmitted after handling one message.
 #[derive(Debug, Default)]
 pub struct ServerReaction {
-    /// Replies to deliver to browser endpoints.
-    pub replies: Vec<(String, FromServer)>,
+    /// Replies to deliver to browser endpoints, each tagged with the
+    /// request id of the session it answers.
+    pub replies: Vec<(String, Reply)>,
     /// A push to forward to the rendezvous service, if any.
     pub push: Option<PushEnvelope>,
 }
@@ -401,6 +402,7 @@ impl AmnesiaServer {
         session: &SessionToken,
         username: &Username,
         domain: &Domain,
+        request_id: u64,
         reply_to: &str,
         now: SimInstant,
     ) -> Result<PushEnvelope, ServerError> {
@@ -422,12 +424,14 @@ impl AmnesiaServer {
             PendingRequest {
                 user_id: record.user_id.clone(),
                 account: account.account_ref(),
+                request_id,
                 reply_to: reply_to.to_string(),
                 issued_at: now,
                 purpose: RequestPurpose::Generate,
             },
         );
         let push = PhonePush {
+            request_id,
             request,
             origin: reply_to.to_string(),
             tstart: now,
@@ -458,6 +462,7 @@ impl AmnesiaServer {
         username: &Username,
         domain: &Domain,
         chosen_password: String,
+        request_id: u64,
         reply_to: &str,
         now: SimInstant,
     ) -> Result<PushEnvelope, ServerError> {
@@ -479,6 +484,7 @@ impl AmnesiaServer {
                     username: username.clone(),
                     domain: domain.clone(),
                 },
+                request_id,
                 reply_to: reply_to.to_string(),
                 issued_at: now,
                 purpose: RequestPurpose::StoreVaulted {
@@ -488,6 +494,7 @@ impl AmnesiaServer {
             },
         );
         let push = PhonePush {
+            request_id,
             request,
             origin: reply_to.to_string(),
             tstart: now,
@@ -761,13 +768,22 @@ impl AmnesiaServer {
     // -- wire adapter --------------------------------------------------------
 
     /// Dispatches one decoded protocol message, translating results into
-    /// replies/pushes for the deployment to transmit.
+    /// replies/pushes for the deployment to transmit. Every reply is wrapped
+    /// in a [`Reply`] envelope echoing the request id, so hosts with many
+    /// sessions in flight can route each answer to its session.
     pub fn handle_message(&mut self, message: ToServer, now: SimInstant) -> ServerReaction {
+        fn envelope(request_id: u64, message: FromServer) -> Reply {
+            Reply {
+                request_id,
+                message,
+            }
+        }
         let mut reaction = ServerReaction::default();
         match message {
             ToServer::Register {
                 user_id,
                 master_password,
+                request_id,
                 reply_to,
             } => {
                 let reply = match self.register_user(&user_id, &master_password) {
@@ -776,11 +792,14 @@ impl AmnesiaServer {
                         message: e.to_string(),
                     },
                 };
-                reaction.replies.push((reply_to, reply));
+                reaction
+                    .replies
+                    .push((reply_to, envelope(request_id, reply)));
             }
             ToServer::Login {
                 user_id,
                 master_password,
+                request_id,
                 reply_to,
             } => {
                 let reply = match self.login(&user_id, &master_password) {
@@ -789,26 +808,41 @@ impl AmnesiaServer {
                         message: e.to_string(),
                     },
                 };
-                reaction.replies.push((reply_to, reply));
+                reaction
+                    .replies
+                    .push((reply_to, envelope(request_id, reply)));
             }
-            ToServer::Logout { session, reply_to } => {
+            ToServer::Logout {
+                session,
+                request_id,
+                reply_to,
+            } => {
                 self.logout(&session);
-                reaction.replies.push((reply_to, FromServer::LoggedOut));
+                reaction
+                    .replies
+                    .push((reply_to, envelope(request_id, FromServer::LoggedOut)));
             }
-            ToServer::BeginPhonePairing { session, reply_to } => {
+            ToServer::BeginPhonePairing {
+                session,
+                request_id,
+                reply_to,
+            } => {
                 let reply = match self.begin_phone_pairing(&session) {
                     Ok(captcha) => FromServer::PairingChallenge { captcha },
                     Err(e) => FromServer::Error {
                         message: e.to_string(),
                     },
                 };
-                reaction.replies.push((reply_to, reply));
+                reaction
+                    .replies
+                    .push((reply_to, envelope(request_id, reply)));
             }
             ToServer::CompletePhonePairing {
                 user_id,
                 captcha,
                 pid,
                 registration_id,
+                request_id,
                 reply_to,
             } => {
                 let reply =
@@ -818,13 +852,16 @@ impl AmnesiaServer {
                             message: e.to_string(),
                         },
                     };
-                reaction.replies.push((reply_to, reply));
+                reaction
+                    .replies
+                    .push((reply_to, envelope(request_id, reply)));
             }
             ToServer::AddAccount {
                 session,
                 username,
                 domain,
                 policy,
+                request_id,
                 reply_to,
             } => {
                 let reply = match self.add_account(&session, username, domain, policy) {
@@ -833,21 +870,30 @@ impl AmnesiaServer {
                         message: e.to_string(),
                     },
                 };
-                reaction.replies.push((reply_to, reply));
+                reaction
+                    .replies
+                    .push((reply_to, envelope(request_id, reply)));
             }
-            ToServer::ListAccounts { session, reply_to } => {
+            ToServer::ListAccounts {
+                session,
+                request_id,
+                reply_to,
+            } => {
                 let reply = match self.list_accounts(&session) {
                     Ok(accounts) => FromServer::Accounts { accounts },
                     Err(e) => FromServer::Error {
                         message: e.to_string(),
                     },
                 };
-                reaction.replies.push((reply_to, reply));
+                reaction
+                    .replies
+                    .push((reply_to, envelope(request_id, reply)));
             }
             ToServer::RotateSeed {
                 session,
                 username,
                 domain,
+                request_id,
                 reply_to,
             } => {
                 let reply = match self.rotate_seed(&session, &username, &domain) {
@@ -856,42 +902,60 @@ impl AmnesiaServer {
                         message: e.to_string(),
                     },
                 };
-                reaction.replies.push((reply_to, reply));
+                reaction
+                    .replies
+                    .push((reply_to, envelope(request_id, reply)));
             }
             ToServer::RequestPassword {
                 session,
                 username,
                 domain,
+                request_id,
                 reply_to,
-            } => match self.request_password(&session, &username, &domain, &reply_to, now) {
-                Ok(push) => {
-                    reaction.push = Some(push);
-                    reaction.replies.push((reply_to, FromServer::RequestPushed));
+            } => {
+                match self
+                    .request_password(&session, &username, &domain, request_id, &reply_to, now)
+                {
+                    Ok(push) => {
+                        reaction.push = Some(push);
+                        reaction
+                            .replies
+                            .push((reply_to, envelope(request_id, FromServer::RequestPushed)));
+                    }
+                    Err(e) => reaction.replies.push((
+                        reply_to,
+                        envelope(
+                            request_id,
+                            FromServer::Error {
+                                message: e.to_string(),
+                            },
+                        ),
+                    )),
                 }
-                Err(e) => reaction.replies.push((
-                    reply_to,
-                    FromServer::Error {
-                        message: e.to_string(),
-                    },
-                )),
-            },
+            }
             ToServer::Token(response) => match self.receive_token(&response) {
                 Ok(TokenOutcome::PasswordReady { pending, password }) => {
                     reaction.replies.push((
                         pending.reply_to.clone(),
-                        FromServer::PasswordReady {
-                            account: pending.account,
-                            password,
-                            requested_at: pending.issued_at,
-                        },
+                        envelope(
+                            pending.request_id,
+                            FromServer::PasswordReady {
+                                account: pending.account,
+                                password,
+                                requested_at: pending.issued_at,
+                            },
+                        ),
                     ));
                 }
                 Ok(TokenOutcome::VaultStored { pending }) => {
                     reaction.replies.push((
                         pending.reply_to.clone(),
-                        FromServer::ChosenPasswordStored {
-                            account: pending.account,
-                        },
+                        envelope(
+                            pending.request_id,
+                            FromServer::ChosenPasswordStored {
+                                account: pending.account,
+                            },
+                        ),
                     ));
                 }
                 Err(_) => {
@@ -904,30 +968,38 @@ impl AmnesiaServer {
                 username,
                 domain,
                 chosen_password,
+                request_id,
                 reply_to,
             } => match self.store_chosen_password(
                 &session,
                 &username,
                 &domain,
                 chosen_password,
+                request_id,
                 &reply_to,
                 now,
             ) {
                 Ok(push) => {
                     reaction.push = Some(push);
-                    reaction.replies.push((reply_to, FromServer::RequestPushed));
+                    reaction
+                        .replies
+                        .push((reply_to, envelope(request_id, FromServer::RequestPushed)));
                 }
                 Err(e) => reaction.replies.push((
                     reply_to,
-                    FromServer::Error {
-                        message: e.to_string(),
-                    },
+                    envelope(
+                        request_id,
+                        FromServer::Error {
+                            message: e.to_string(),
+                        },
+                    ),
                 )),
             },
             ToServer::SessionGrant {
                 user_id,
                 grant,
                 max_uses,
+                request_id,
                 reply_to,
             } => {
                 let reply = match self.set_session_grant(&user_id, grant, max_uses) {
@@ -936,12 +1008,15 @@ impl AmnesiaServer {
                         message: e.to_string(),
                     },
                 };
-                reaction.replies.push((reply_to, reply));
+                reaction
+                    .replies
+                    .push((reply_to, envelope(request_id, reply)));
             }
             ToServer::RecoverPhone {
                 user_id,
                 master_password,
                 backup,
+                request_id,
                 reply_to,
             } => {
                 let reply = match self.recover_phone(&user_id, &master_password, &backup) {
@@ -950,13 +1025,16 @@ impl AmnesiaServer {
                         message: e.to_string(),
                     },
                 };
-                reaction.replies.push((reply_to, reply));
+                reaction
+                    .replies
+                    .push((reply_to, envelope(request_id, reply)));
             }
             ToServer::ChangeMasterPassword {
                 user_id,
                 old_master_password,
                 pid,
                 new_master_password,
+                request_id,
                 reply_to,
             } => {
                 let reply = match self.change_master_password(
@@ -970,7 +1048,9 @@ impl AmnesiaServer {
                         message: e.to_string(),
                     },
                 };
-                reaction.replies.push((reply_to, reply));
+                reaction
+                    .replies
+                    .push((reply_to, envelope(request_id, reply)));
             }
         }
         reaction
@@ -1116,9 +1196,10 @@ mod tests {
             .unwrap();
 
         let push = s
-            .request_password(&session, &u, &d, "browser-1", SimInstant::EPOCH)
+            .request_password(&session, &u, &d, 9001, "browser-1", SimInstant::EPOCH)
             .unwrap();
         let phone_push = PhonePush::from_wire(&push.data).unwrap();
+        assert_eq!(phone_push.request_id, 9001);
 
         // Simulate the phone: compute the token over its entry table.
         let mut rng = SecretRng::seeded(55);
@@ -1126,6 +1207,7 @@ mod tests {
         let token = table.token(&phone_push.request).unwrap();
         let outcome = s
             .receive_token(&TokenResponse {
+                request_id: phone_push.request_id,
                 request: phone_push.request.clone(),
                 token: token.clone(),
                 tstart: phone_push.tstart,
@@ -1135,6 +1217,7 @@ mod tests {
             panic!("expected PasswordReady");
         };
         assert_eq!(pending.reply_to, "browser-1");
+        assert_eq!(pending.request_id, 9001);
         assert_eq!(password.len(), 32);
 
         // The password equals the logical one-shot derivation.
@@ -1147,6 +1230,7 @@ mod tests {
         // A replayed token no longer matches a pending request.
         assert!(matches!(
             s.receive_token(&TokenResponse {
+                request_id: phone_push.request_id,
                 request: phone_push.request,
                 token,
                 tstart: phone_push.tstart,
@@ -1167,7 +1251,7 @@ mod tests {
         s.add_account(&session, u.clone(), d.clone(), PasswordPolicy::default())
             .unwrap();
         assert_eq!(
-            s.request_password(&session, &u, &d, "b", SimInstant::EPOCH),
+            s.request_password(&session, &u, &d, 1, "b", SimInstant::EPOCH),
             Err(ServerError::NoPhonePaired)
         );
     }
@@ -1262,21 +1346,33 @@ mod tests {
             ToServer::Register {
                 user_id: "bob".into(),
                 master_password: "pw".into(),
+                request_id: 11,
                 reply_to: "browser".into(),
             },
             SimInstant::EPOCH,
         );
-        assert_eq!(r.replies, vec![("browser".into(), FromServer::Registered)]);
+        assert_eq!(
+            r.replies,
+            vec![(
+                "browser".into(),
+                Reply {
+                    request_id: 11,
+                    message: FromServer::Registered
+                }
+            )]
+        );
 
         let r = s.handle_message(
             ToServer::Login {
                 user_id: "bob".into(),
                 master_password: "bad".into(),
+                request_id: 12,
                 reply_to: "browser".into(),
             },
             SimInstant::EPOCH,
         );
-        assert!(matches!(r.replies[0].1, FromServer::Error { .. }));
+        assert_eq!(r.replies[0].1.request_id, 12);
+        assert!(matches!(r.replies[0].1.message, FromServer::Error { .. }));
     }
 
     #[test]

@@ -136,6 +136,10 @@ pub struct SystemConfig {
     /// toy AE channel (HTTPS on) — disable only to demonstrate what a
     /// wiretap sees without HTTPS.
     pub secure_channels: bool,
+    /// Per-session timeout armed with every protocol send; an expired
+    /// session retries (if its attempt budget allows) or fails with
+    /// `SystemError::MissingReply`.
+    pub session_timeout: SimDuration,
 }
 
 impl Default for SystemConfig {
@@ -146,6 +150,7 @@ impl Default for SystemConfig {
             pbkdf2_iterations: 1,
             table_size: amnesia_core::EntryTable::DEFAULT_SIZE,
             secure_channels: true,
+            session_timeout: crate::session::DEFAULT_TIMEOUT,
         }
     }
 }
@@ -172,6 +177,12 @@ impl SystemConfig {
     /// Enables or disables channel encryption.
     pub fn with_secure_channels(mut self, on: bool) -> Self {
         self.secure_channels = on;
+        self
+    }
+
+    /// Overrides the per-session timeout.
+    pub fn with_session_timeout(mut self, timeout: SimDuration) -> Self {
+        self.session_timeout = timeout;
         self
     }
 }

@@ -22,6 +22,9 @@ pub enum SystemError {
         /// What the flow was waiting for.
         expected: &'static str,
     },
+    /// A realtime channel hung up mid-flow (a thread exited or a sender was
+    /// dropped while a session was still waiting).
+    Disconnected,
     /// A browser-side failure (e.g. building a message without a session).
     Browser(amnesia_client::BrowserError),
     /// A phone-side failure.
@@ -51,6 +54,9 @@ impl fmt::Display for SystemError {
             }
             SystemError::MissingReply { expected } => {
                 write!(f, "flow completed without the expected {expected} reply")
+            }
+            SystemError::Disconnected => {
+                write!(f, "deployment channel disconnected mid-flow")
             }
             SystemError::Browser(e) => write!(f, "browser error: {e}"),
             SystemError::Phone(e) => write!(f, "phone error: {e}"),

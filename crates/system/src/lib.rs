@@ -52,10 +52,13 @@ mod config;
 mod error;
 pub mod latency;
 pub mod realtime;
+pub mod session;
 mod system;
 
 pub use config::{NetProfile, SystemConfig};
 pub use error::SystemError;
+pub use session::{Action, Event, FlowSpec, Origin, Session, SessionId, SessionOutcome};
 pub use system::{
-    AmnesiaSystem, GenerationOutcome, RecoveryOutcome, GCM_ENDPOINT, SERVER_ENDPOINT,
+    AmnesiaSystem, GenerationOutcome, GenerationRequest, RecoveryOutcome, GCM_ENDPOINT,
+    SERVER_ENDPOINT,
 };

@@ -10,6 +10,13 @@
 //! receiver has exactly one consumer), and the six-step protocol executes
 //! with genuine parallelism.
 //!
+//! The protocol logic is not duplicated here: the host drives the same
+//! sans-IO [`Session`] engine as the simulated deployment, executing its
+//! [`Action`]s against channels instead of a [`SimNet`](amnesia_net::SimNet)
+//! and feeding it [`Event`]s as replies arrive — every reply carries the
+//! session's `request_id`, so stale frames from earlier flows are discarded
+//! rather than misinterpreted.
+//!
 //! Latency here is real compute latency (microseconds), not modelled
 //! network latency — use the simulated deployment for Figure 3.
 //!
@@ -27,43 +34,41 @@
 //! rt.shutdown();
 //! ```
 
-use amnesia_core::{Domain, PasswordPolicy, Username};
+use crate::error::SystemError;
+use crate::session::{Action, Event, FlowSpec, Origin, Session, SessionId, SessionOutcome};
+use amnesia_client::Browser;
+use amnesia_core::{Domain, PasswordPolicy, PhoneId, Username};
 use amnesia_net::SimInstant;
 use amnesia_phone::{AmnesiaPhone, ConfirmPolicy, PhoneConfig, PushOutcome};
 use amnesia_rendezvous::{PushEnvelope, RegistrationId};
-use amnesia_server::protocol::{FromServer, ToServer};
-use amnesia_server::{AmnesiaServer, ServerConfig, SessionToken};
+use amnesia_server::protocol::{Reply, ToServer};
+use amnesia_server::{AmnesiaServer, ServerConfig};
 use std::collections::HashMap;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Errors from the threaded deployment.
-#[derive(Debug)]
-#[non_exhaustive]
-pub enum RealtimeError {
-    /// A component thread hung up.
-    Disconnected,
-    /// The server replied with an error message.
-    ServerRejected(String),
-    /// A reply arrived out of protocol.
-    UnexpectedReply(String),
-    /// No reply arrived within the timeout.
-    Timeout,
-}
+/// Errors from the threaded deployment — the same type the simulated
+/// deployment raises, so callers handle one error surface regardless of
+/// runtime.
+pub type RealtimeError = SystemError;
 
-impl std::fmt::Display for RealtimeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RealtimeError::Disconnected => write!(f, "component thread disconnected"),
-            RealtimeError::ServerRejected(m) => write!(f, "server rejected: {m}"),
-            RealtimeError::UnexpectedReply(m) => write!(f, "unexpected reply: {m}"),
-            RealtimeError::Timeout => write!(f, "timed out waiting for a reply"),
-        }
-    }
+/// Seeds and sizing for a threaded deployment.
+///
+/// [`RealtimeDeployment::start`] derives all of these from one seed; use
+/// [`start_with`](RealtimeDeployment::start_with) to pin them individually —
+/// e.g. to mirror a simulated deployment component-for-component (same
+/// server seed, same phone seed, same table size) and check both runtimes
+/// derive byte-identical passwords.
+#[derive(Clone, Debug)]
+pub struct RealtimeConfig {
+    /// Seed for the server's `Ks` derivations.
+    pub server_seed: u64,
+    /// Seed for the phone's `Kp` (entry-table) generation.
+    pub phone_seed: u64,
+    /// Entry-table size `N`.
+    pub table_size: usize,
 }
-
-impl std::error::Error for RealtimeError {}
 
 /// Messages entering the server thread.
 enum ServerInbound {
@@ -80,28 +85,39 @@ enum GcmInbound {
 }
 
 /// A full Amnesia deployment on real threads: server, rendezvous and phone
-/// each own a thread; the caller plays the browser. See the module docs.
+/// each own a thread; the caller plays the browser by driving the shared
+/// [`Session`] engine. See the module docs.
 pub struct RealtimeDeployment {
     to_server: Sender<ServerInbound>,
     to_gcm: Sender<GcmInbound>,
-    user_to_phone: Sender<Vec<u8>>,
-    browser_rx: Receiver<FromServer>,
-    session: Option<SessionToken>,
+    browser_rx: Receiver<Reply>,
+    browser: Browser,
+    /// Identity the phone thread announced after registering; fed to the
+    /// engine when a pairing flow asks for `RegisterPhone`.
+    phone_identity: Option<(PhoneId, RegistrationId)>,
+    next_request_id: SessionId,
     handles: Vec<JoinHandle<()>>,
     timeout: Duration,
 }
 
 impl RealtimeDeployment {
-    /// Spawns the component threads and pairs the phone (registration +
-    /// CAPTCHA pairing happen during [`setup_user`](Self::setup_user)).
+    /// Spawns the component threads, deriving the per-component seeds from
+    /// one deployment seed.
     pub fn start(seed: u64) -> Self {
+        Self::start_with(RealtimeConfig {
+            server_seed: seed,
+            phone_seed: seed.wrapping_add(1),
+            table_size: 512,
+        })
+    }
+
+    /// Spawns the component threads with explicit per-component seeds.
+    pub fn start_with(config: RealtimeConfig) -> Self {
         let (to_server, server_rx) = channel::<ServerInbound>();
         let (to_gcm, gcm_rx) = channel::<GcmInbound>();
-        let (browser_tx, browser_rx) = channel::<FromServer>();
+        let (browser_tx, browser_rx) = channel::<Reply>();
         let (phone_tx, phone_rx) = channel::<Vec<u8>>();
-        // Direct user-to-phone line: the user physically types the pairing
-        // captcha on the device, bypassing the rendezvous.
-        let user_to_phone = phone_tx.clone();
+        let (identity_tx, identity_rx) = channel::<(PhoneId, RegistrationId)>();
 
         // --- rendezvous thread: registration-ID → phone channel routing ----
         let gcm_handle = std::thread::spawn(move || {
@@ -125,10 +141,11 @@ impl RealtimeDeployment {
         // --- server thread --------------------------------------------------
         let server_to_gcm = to_gcm.clone();
         let server_browser_tx = browser_tx;
+        let server_seed = config.server_seed;
         let server_handle = std::thread::spawn(move || {
             let mut server = AmnesiaServer::new(ServerConfig {
                 endpoint: "amnesia-server".into(),
-                seed,
+                seed: server_seed,
                 pbkdf2_iterations: 1,
             });
             while let Ok(inbound) = server_rx.recv() {
@@ -144,7 +161,7 @@ impl RealtimeDeployment {
                 }
                 for (_dest, reply) in reaction.replies {
                     // Single-browser deployment: every reply goes to the
-                    // caller.
+                    // caller, which routes by the echoed request_id.
                     let _ = server_browser_tx.send(reply);
                 }
             }
@@ -153,42 +170,26 @@ impl RealtimeDeployment {
         // --- phone thread ----------------------------------------------------
         let phone_to_server = to_server.clone();
         let phone_to_gcm = to_gcm.clone();
+        let phone_seed = config.phone_seed;
+        let table_size = config.table_size;
         let phone_handle = std::thread::spawn(move || {
             let mut phone = AmnesiaPhone::new(
-                PhoneConfig::new("phone", seed.wrapping_add(1)).with_table_size(512),
+                PhoneConfig::new("phone", phone_seed).with_table_size(table_size),
             );
             phone.set_confirm_policy(ConfirmPolicy::AutoConfirm);
 
             // Register with the rendezvous: mint the ID locally (the thread
             // owns no RendezvousServer; the registry lives in the gcm
-            // thread).
-            let mut gcm_stub = amnesia_rendezvous::RendezvousServer::new("gcm", seed ^ 0xF00D);
+            // thread), then announce the identity so the host's pairing
+            // flow can complete `RegisterPhone`.
+            let mut gcm_stub =
+                amnesia_rendezvous::RendezvousServer::new("gcm", phone_seed ^ 0xF00D);
             let registration_id = phone.register_with_rendezvous(&mut gcm_stub);
             let _ = phone_to_gcm.send(GcmInbound::Register(registration_id.clone(), phone_tx));
+            let _ = identity_tx.send((phone.pid().clone(), registration_id));
 
-            // Announce pairing material to the server thread out-of-band:
-            // the browser flow supplies the captcha; the phone waits for it
-            // as its first "push" (a tiny in-band bootstrap protocol).
-            // Format: first message on phone_rx that is valid UTF-8 of the
-            // form "pair:<user>:<captcha>" triggers pairing.
+            // Password-request pushes auto-confirm into tokens.
             while let Ok(payload) = phone_rx.recv() {
-                if let Ok(text) = std::str::from_utf8(&payload) {
-                    if let Some(rest) = text.strip_prefix("pair:") {
-                        if let Some((user, captcha)) = rest.split_once(':') {
-                            let _ = phone_to_server.send(ServerInbound::FromPhone(
-                                ToServer::CompletePhonePairing {
-                                    user_id: user.to_string(),
-                                    captcha: captcha.to_string(),
-                                    pid: phone.pid().clone(),
-                                    registration_id: registration_id.clone(),
-                                    reply_to: "browser".into(),
-                                },
-                            ));
-                            continue;
-                        }
-                    }
-                }
-                // Ordinary password-request push.
                 if let Ok(PushOutcome::Respond(response)) =
                     phone.handle_push(&payload, SimInstant::EPOCH)
                 {
@@ -198,52 +199,95 @@ impl RealtimeDeployment {
             }
         });
 
+        let phone_identity = identity_rx.recv_timeout(Duration::from_secs(5)).ok();
+
         RealtimeDeployment {
             to_server,
             to_gcm,
-            user_to_phone,
             browser_rx,
-            session: None,
+            browser: Browser::new("browser"),
+            phone_identity,
+            next_request_id: 1,
             handles: vec![gcm_handle, server_handle, phone_handle],
             timeout: Duration::from_secs(5),
         }
     }
 
-    fn recv_reply(&self) -> Result<FromServer, RealtimeError> {
-        self.browser_rx
-            .recv_timeout(self.timeout)
-            .map_err(|_| RealtimeError::Timeout)
-    }
-
-    fn send_browser(&self, message: ToServer) -> Result<(), RealtimeError> {
-        self.to_server
-            .send(ServerInbound::FromBrowser(message))
-            .map_err(|_| RealtimeError::Disconnected)
-    }
-
-    fn expect<T>(
-        &self,
-        what: &'static str,
-        extract: impl Fn(FromServer) -> Result<T, FromServer>,
-    ) -> Result<T, RealtimeError> {
-        // Skip intermediate acks (RequestPushed) while hunting the target.
-        for _ in 0..8 {
-            match self.recv_reply()? {
-                FromServer::Error { message } => {
-                    return Err(RealtimeError::ServerRejected(message))
-                }
-                reply => match extract(reply) {
-                    Ok(value) => return Ok(value),
-                    Err(FromServer::RequestPushed) => continue,
-                    Err(other) => {
-                        return Err(RealtimeError::UnexpectedReply(format!(
-                            "waiting for {what}, got {other:?}"
-                        )))
+    /// Runs one engine session to completion over the live threads.
+    fn run_session(&mut self, spec: FlowSpec) -> Result<SessionOutcome, RealtimeError> {
+        let sid = self.next_request_id;
+        self.next_request_id += 1;
+        let mut engine = Session::new(sid, "browser", spec);
+        if let Some(token) = self.browser.session().cloned() {
+            engine = engine.with_auth(token);
+        }
+        let mut pending = engine.start();
+        let mut deadline = Instant::now() + self.timeout;
+        loop {
+            // Execute the engine's actions against the channel fabric.
+            for action in std::mem::take(&mut pending) {
+                match action {
+                    Action::Send { origin, message } => {
+                        let inbound = match origin {
+                            Origin::Browser => ServerInbound::FromBrowser(message),
+                            Origin::Phone => ServerInbound::FromPhone(message),
+                        };
+                        self.to_server
+                            .send(inbound)
+                            .map_err(|_| SystemError::Disconnected)?;
                     }
-                },
+                    Action::ArmTimer(duration) => {
+                        // Simulated timeout budget, spent in real time.
+                        deadline = Instant::now() + Duration::from_micros(duration.as_micros());
+                    }
+                    // The phone thread runs AutoConfirm: no user to wait on.
+                    Action::ExpectUserConfirm => {}
+                    Action::RegisterPhone { .. } => {
+                        let (pid, registration_id) = self
+                            .phone_identity
+                            .clone()
+                            .ok_or(SystemError::Disconnected)?;
+                        let followup = engine.on_event(Event::PairingInfo {
+                            pid,
+                            registration_id,
+                        });
+                        pending.extend(followup);
+                    }
+                    // No cloud provider rides along in the threaded mode;
+                    // backup is exercised by the simulated deployment.
+                    Action::BackupPhoneToCloud => {}
+                    Action::NoteRetry => {}
+                    Action::Deliver(outcome) => return Ok(outcome),
+                    Action::Fail(error) => return Err(error),
+                    // Recovery/grant flows are not exposed over threads.
+                    Action::FetchBackup | Action::InstallPhone | Action::MintGrant { .. } => {
+                        return Err(SystemError::MissingReply {
+                            expected: "realtime flow support",
+                        })
+                    }
+                }
+            }
+            if !pending.is_empty() {
+                continue;
+            }
+
+            // Wait for the next frame addressed to this session.
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.browser_rx.recv_timeout(remaining) {
+                Ok(reply) => {
+                    if reply.request_id != sid {
+                        // A stale reply from an abandoned session.
+                        continue;
+                    }
+                    self.browser.handle_reply(reply.message.clone());
+                    pending = engine.on_event(Event::FrameReceived(reply.message));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    pending = engine.on_event(Event::TimerFired);
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(SystemError::Disconnected),
             }
         }
-        Err(RealtimeError::Timeout)
     }
 
     /// Registers the user, logs in, and completes phone pairing across the
@@ -257,45 +301,32 @@ impl RealtimeDeployment {
         user_id: &str,
         master_password: &str,
     ) -> Result<(), RealtimeError> {
-        self.send_browser(ToServer::Register {
+        match self.run_session(FlowSpec::Setup {
             user_id: user_id.into(),
             master_password: master_password.into(),
-            reply_to: "browser".into(),
-        })?;
-        self.expect("Registered", |r| match r {
-            FromServer::Registered => Ok(()),
-            other => Err(other),
-        })?;
+        })? {
+            SessionOutcome::SetupDone => Ok(()),
+            _ => Err(SystemError::MissingReply {
+                expected: "SetupDone",
+            }),
+        }
+    }
 
-        self.send_browser(ToServer::Login {
+    /// Logs the caller's browser in (again) over the live threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server rejections and channel failures.
+    pub fn login(&mut self, user_id: &str, master_password: &str) -> Result<(), RealtimeError> {
+        match self.run_session(FlowSpec::Login {
             user_id: user_id.into(),
             master_password: master_password.into(),
-            reply_to: "browser".into(),
-        })?;
-        let session = self.expect("LoginOk", |r| match r {
-            FromServer::LoginOk { session } => Ok(session),
-            other => Err(other),
-        })?;
-        self.session = Some(session.clone());
-
-        self.send_browser(ToServer::BeginPhonePairing {
-            session,
-            reply_to: "browser".into(),
-        })?;
-        let captcha = self.expect("PairingChallenge", |r| match r {
-            FromServer::PairingChallenge { captcha } => Ok(captcha),
-            other => Err(other),
-        })?;
-
-        // Hand the captcha to the phone thread directly — the user types it
-        // on the device (Fig. 2a).
-        self.user_to_phone
-            .send(format!("pair:{user_id}:{captcha}").into_bytes())
-            .map_err(|_| RealtimeError::Disconnected)?;
-        self.expect("PhonePaired", |r| match r {
-            FromServer::PhonePaired => Ok(()),
-            other => Err(other),
-        })
+        })? {
+            SessionOutcome::LoggedIn => Ok(()),
+            _ => Err(SystemError::MissingReply {
+                expected: "LoginOk",
+            }),
+        }
     }
 
     /// Adds a managed account over the live threads.
@@ -303,19 +334,17 @@ impl RealtimeDeployment {
     /// # Errors
     ///
     /// Propagates server rejections and channel failures.
-    pub fn add_account(&self, username: &str, domain: &str) -> Result<(), RealtimeError> {
-        let session = self.session.clone().ok_or(RealtimeError::Disconnected)?;
-        self.send_browser(ToServer::AddAccount {
-            session,
-            username: Username::new(username).expect("valid username"),
-            domain: Domain::new(domain).expect("valid domain"),
+    pub fn add_account(&mut self, username: &str, domain: &str) -> Result<(), RealtimeError> {
+        match self.run_session(FlowSpec::AddAccount {
+            username: Username::new(username).map_err(SystemError::Core)?,
+            domain: Domain::new(domain).map_err(SystemError::Core)?,
             policy: PasswordPolicy::default(),
-            reply_to: "browser".into(),
-        })?;
-        self.expect("AccountAdded", |r| match r {
-            FromServer::AccountAdded => Ok(()),
-            other => Err(other),
-        })
+        })? {
+            SessionOutcome::AccountAdded => Ok(()),
+            _ => Err(SystemError::MissingReply {
+                expected: "AccountAdded",
+            }),
+        }
     }
 
     /// Runs the six-step generation across the threads and returns the
@@ -325,41 +354,38 @@ impl RealtimeDeployment {
     ///
     /// Propagates server rejections and channel failures.
     pub fn generate(
-        &self,
+        &mut self,
         username: &str,
         domain: &str,
     ) -> Result<(String, Duration), RealtimeError> {
-        let session = self.session.clone().ok_or(RealtimeError::Disconnected)?;
         let start = Instant::now();
-        self.send_browser(ToServer::RequestPassword {
-            session,
-            username: Username::new(username).expect("valid username"),
-            domain: Domain::new(domain).expect("valid domain"),
-            reply_to: "browser".into(),
-        })?;
-        let password = self.expect("PasswordReady", |r| match r {
-            FromServer::PasswordReady { password, .. } => Ok(password),
-            other => Err(other),
-        })?;
-        Ok((password.as_str().to_string(), start.elapsed()))
+        match self.run_session(FlowSpec::Generate {
+            username: Username::new(username).map_err(SystemError::Core)?,
+            domain: Domain::new(domain).map_err(SystemError::Core)?,
+        })? {
+            SessionOutcome::Password { password, .. } => {
+                Ok((password.as_str().to_string(), start.elapsed()))
+            }
+            _ => Err(SystemError::MissingReply {
+                expected: "PasswordReady",
+            }),
+        }
     }
 
     /// Stops the component threads and joins them.
     pub fn shutdown(self) {
         let _ = self.to_server.send(ServerInbound::Shutdown);
         let _ = self.to_gcm.send(GcmInbound::Shutdown);
-        // The phone thread exits when every sender onto its channel is gone:
-        // ours here, and the registry copy inside the (now stopping) gcm
-        // thread. Drop ours before joining or the join deadlocks.
+        // The phone thread exits when every sender onto its channel is gone;
+        // the only live one sits in the (now stopping) gcm thread's
+        // registry. Drop our channel ends before joining to avoid deadlock.
         let RealtimeDeployment {
             to_server,
             to_gcm,
-            user_to_phone,
             browser_rx,
             mut handles,
             ..
         } = self;
-        drop(user_to_phone);
         drop(to_server);
         drop(to_gcm);
         drop(browser_rx);
@@ -406,20 +432,42 @@ mod tests {
         let mut rt = RealtimeDeployment::start(9);
         rt.setup_user("carol", "mp").unwrap();
         // A second login attempt with the wrong password errors.
-        rt.send_browser(ToServer::Login {
-            user_id: "carol".into(),
-            master_password: "wrong".into(),
-            reply_to: "browser".into(),
-        })
-        .unwrap();
-        let err = rt
-            .expect("LoginOk", |r| match r {
-                FromServer::LoginOk { session } => Ok(session),
-                other => Err(other),
-            })
-            .unwrap_err();
-        assert!(matches!(err, RealtimeError::ServerRejected(_)));
+        let err = rt.login("carol", "wrong").unwrap_err();
+        assert!(matches!(err, SystemError::ServerRejected { .. }));
         rt.shutdown();
+    }
+
+    #[test]
+    fn explicit_config_controls_every_seed() {
+        let run = |config: RealtimeConfig| {
+            let mut rt = RealtimeDeployment::start_with(config);
+            rt.setup_user("dana", "mp").unwrap();
+            rt.add_account("dana", "cfg.example.com").unwrap();
+            let (p, _) = rt.generate("dana", "cfg.example.com").unwrap();
+            rt.shutdown();
+            p
+        };
+        let base = RealtimeConfig {
+            server_seed: 41,
+            phone_seed: 42,
+            table_size: 64,
+        };
+        assert_eq!(run(base.clone()), run(base.clone()));
+        // Changing either secret-bearing seed changes the password.
+        assert_ne!(
+            run(base.clone()),
+            run(RealtimeConfig {
+                server_seed: 43,
+                ..base.clone()
+            })
+        );
+        assert_ne!(
+            run(base.clone()),
+            run(RealtimeConfig {
+                phone_seed: 43,
+                ..base
+            })
+        );
     }
 
     #[test]

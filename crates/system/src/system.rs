@@ -1,18 +1,28 @@
-//! The deployment object and its end-to-end flows.
+//! The deployment object: an event-loop host for the sans-IO session engine.
+//!
+//! Every end-to-end flow begins by inserting a [`Session`] into the session
+//! table and executing the actions it emits; frames coming off the simulated
+//! network are routed back to the owning session by the `request_id` echoed
+//! in every server [`Reply`] envelope. Because sessions are just table
+//! entries, any number of flows can be in flight at once —
+//! [`generate_passwords_concurrent`](AmnesiaSystem::generate_passwords_concurrent)
+//! drives hundreds of interleaved generations through one network.
 
 use crate::config::SystemConfig;
 use crate::error::SystemError;
+use crate::session::{Action, Event, FlowSpec, Origin, Session, SessionId, SessionOutcome};
 use amnesia_client::Browser;
 use amnesia_cloud::CloudProvider;
 use amnesia_core::{Domain, GeneratedPassword, PasswordPolicy, Username};
 use amnesia_crypto::SecretRng;
-use amnesia_net::{Frame, LinkProfile, SecureChannel, SimDuration, SimInstant, SimNet};
-use amnesia_phone::{AmnesiaPhone, PhoneConfig, PushOutcome};
-use amnesia_rendezvous::RendezvousServer;
-use amnesia_server::protocol::{FromServer, ToServer};
+use amnesia_net::{Frame, LinkProfile, SecureChannel, SimClock, SimDuration, SimInstant, SimNet};
+use amnesia_phone::{AmnesiaPhone, PhoneConfig, PhoneError, PushOutcome};
+use amnesia_rendezvous::{RegistrationId, RendezvousServer};
+use amnesia_server::protocol::FromServer;
+use amnesia_server::protocol::{PhonePush, Reply, ToServer};
 use amnesia_server::storage::AccountRef;
 use amnesia_server::{AmnesiaServer, ServerConfig};
-use amnesia_telemetry::Registry;
+use amnesia_telemetry::{Registry, Span};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -29,7 +39,8 @@ pub struct GenerationOutcome {
     /// The generated password, as delivered to the browser.
     pub password: GeneratedPassword,
     /// The paper's measured latency: server `tend` − `tstart`
-    /// (push creation to password completion).
+    /// (push creation to password completion), attributed to *this*
+    /// session's reply.
     pub latency: SimDuration,
 }
 
@@ -41,17 +52,59 @@ pub struct RecoveryOutcome {
     pub credentials: Vec<amnesia_server::RecoveredCredential>,
 }
 
+/// One generation request inside a
+/// [`generate_passwords_concurrent`](AmnesiaSystem::generate_passwords_concurrent)
+/// batch.
+#[derive(Clone, Debug)]
+pub struct GenerationRequest {
+    /// Browser endpoint the request originates from.
+    pub browser: String,
+    /// Phone endpoint that confirms the request.
+    pub phone: String,
+    /// Account username `µ`.
+    pub username: Username,
+    /// Account domain `d`.
+    pub domain: Domain,
+}
+
+/// Host-side bookkeeping around one engine [`Session`].
+struct SessionEntry {
+    engine: Session,
+    browser: String,
+    phone: Option<String>,
+    user_id: Option<String>,
+    /// Simulated deadline of the last `ArmTimer`.
+    deadline: Option<SimInstant>,
+    /// The §VI-B measured window of this session's `PasswordReady` reply.
+    window: Option<SimDuration>,
+    /// The host (simulated user) has approved the pending confirmation.
+    confirm_approved: bool,
+    /// Terminal result; `Some` freezes the session (first writer wins).
+    outcome: Option<Result<SessionOutcome, SystemError>>,
+    /// Replacement phone `(endpoint, seed)` installed by `InstallPhone`.
+    install: Option<(String, u64)>,
+    /// Old rendezvous registration purged when the replacement installs.
+    purge_registration: Option<RegistrationId>,
+    /// End-to-end span over simulated time (generation flows only).
+    span: Option<Span<SimClock>>,
+}
+
 /// The assembled deployment. See the crate-level docs and example.
 pub struct AmnesiaSystem {
     config: SystemConfig,
     net: SimNet,
     server: AmnesiaServer,
+    server_seed: u64,
     gcm: RendezvousServer,
     cloud: CloudProvider,
     phones: BTreeMap<String, AmnesiaPhone>,
     browsers: BTreeMap<String, Browser>,
     channels: HashMap<(String, String), SecureChannel>,
     channel_rng: SecretRng,
+    sessions: HashMap<SessionId, SessionEntry>,
+    next_session_id: SessionId,
+    /// Network drops already attributed to sessions (drop detection edge).
+    seen_drops: u64,
     generation_latencies: Vec<SimDuration>,
     faults: Vec<String>,
     telemetry: Registry,
@@ -84,9 +137,10 @@ impl AmnesiaSystem {
             LinkProfile::new(config.profile.server_gcm.clone()),
         );
 
+        let server_seed = seed_rng.next_u64();
         let mut server = AmnesiaServer::new(ServerConfig {
             endpoint: SERVER_ENDPOINT.into(),
-            seed: seed_rng.next_u64(),
+            seed: server_seed,
             pbkdf2_iterations: config.pbkdf2_iterations,
         });
         server.set_telemetry(telemetry.clone());
@@ -98,12 +152,16 @@ impl AmnesiaSystem {
             config,
             net,
             server,
+            server_seed,
             gcm,
             cloud: CloudProvider::new("sim-cloud"),
             phones: BTreeMap::new(),
             browsers: BTreeMap::new(),
             channels: HashMap::new(),
             channel_rng,
+            sessions: HashMap::new(),
+            next_session_id: 1,
+            seen_drops: 0,
             generation_latencies: Vec::new(),
             faults: Vec::new(),
             telemetry,
@@ -219,6 +277,428 @@ impl AmnesiaSystem {
             .map(SecureChannel::export_keys_for_attack_model)
     }
 
+    // -- session table ---------------------------------------------------------
+
+    /// Opens a session for `spec` and executes its first actions. The
+    /// returned id is also the wire `request_id` of every frame the session
+    /// sends.
+    fn begin(
+        &mut self,
+        browser: &str,
+        phone: Option<&str>,
+        user_id: Option<&str>,
+        spec: FlowSpec,
+        attempts: u32,
+        install: Option<(String, u64)>,
+    ) -> Result<SessionId, SystemError> {
+        let browser_agent =
+            self.browsers
+                .get(browser)
+                .ok_or_else(|| SystemError::UnknownComponent {
+                    endpoint: browser.into(),
+                })?;
+        let is_generate = matches!(spec, FlowSpec::Generate { .. });
+        let id = self.next_session_id;
+        self.next_session_id += 1;
+        let mut engine = Session::new(id, browser, spec)
+            .with_attempts(attempts.max(1))
+            .with_timeout(self.config.session_timeout);
+        if let Some(token) = browser_agent.session().cloned() {
+            engine = engine.with_auth(token);
+        }
+        // End-to-end span over simulated time: browser click to password in
+        // the browser, a superset of the paper's measured tstart→tend window.
+        let span = is_generate.then(|| {
+            self.telemetry
+                .span("system.generate_password_e2e_us", self.net.clock())
+        });
+        self.sessions.insert(
+            id,
+            SessionEntry {
+                engine,
+                browser: browser.to_string(),
+                phone: phone.map(str::to_string),
+                user_id: user_id.map(str::to_string),
+                deadline: None,
+                window: None,
+                confirm_approved: false,
+                outcome: None,
+                install,
+                purge_registration: None,
+                span,
+            },
+        );
+        self.update_inflight_gauge();
+        let actions = match self.sessions.get_mut(&id) {
+            Some(entry) => entry.engine.start(),
+            None => Vec::new(),
+        };
+        self.run_actions(id, actions);
+        Ok(id)
+    }
+
+    /// Feeds one event into a live session and executes the reaction.
+    fn feed(&mut self, sid: SessionId, event: Event) {
+        let Some(entry) = self.sessions.get_mut(&sid) else {
+            return;
+        };
+        if entry.outcome.is_some() {
+            return;
+        }
+        let actions = entry.engine.on_event(event);
+        self.run_actions(sid, actions);
+    }
+
+    /// Executes engine actions; host-side failures terminate the session
+    /// rather than propagating (the session owns its own error).
+    fn run_actions(&mut self, sid: SessionId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { origin, message } => {
+                    if let Err(e) = self.session_send(sid, origin, &message) {
+                        self.complete(sid, Err(e));
+                    }
+                }
+                Action::ArmTimer(duration) => {
+                    let deadline = self.net.now() + duration;
+                    if let Some(entry) = self.sessions.get_mut(&sid) {
+                        entry.deadline = Some(deadline);
+                    }
+                }
+                Action::ExpectUserConfirm => {
+                    // The simulated user always approves; the push may
+                    // arrive at the phone before or after this ack.
+                    if let Some(entry) = self.sessions.get_mut(&sid) {
+                        entry.confirm_approved = true;
+                    }
+                    if let Err(e) = self.try_confirm(sid) {
+                        self.complete(sid, Err(e));
+                    }
+                }
+                Action::RegisterPhone { .. } => match self.exec_register_phone(sid) {
+                    Ok(event) => self.feed(sid, event),
+                    Err(e) => self.complete(sid, Err(e)),
+                },
+                Action::FetchBackup => match self.exec_fetch_backup(sid) {
+                    Ok(event) => self.feed(sid, event),
+                    Err(e) => self.complete(sid, Err(e)),
+                },
+                Action::InstallPhone => match self.exec_install_phone(sid) {
+                    Ok(event) => self.feed(sid, event),
+                    Err(e) => self.complete(sid, Err(e)),
+                },
+                Action::MintGrant { max_uses } => match self.exec_mint_grant(sid, max_uses) {
+                    Ok(event) => self.feed(sid, event),
+                    Err(e) => self.complete(sid, Err(e)),
+                },
+                Action::BackupPhoneToCloud => {
+                    if let Err(e) = self.exec_backup_to_cloud(sid) {
+                        self.complete(sid, Err(e));
+                    }
+                }
+                Action::NoteRetry => {
+                    self.telemetry.counter("system.generation_retries").inc();
+                }
+                Action::Deliver(outcome) => self.complete(sid, Ok(outcome)),
+                Action::Fail(error) => self.complete(sid, Err(error)),
+            }
+        }
+    }
+
+    /// Seals and transmits one engine-built message from the session's
+    /// originating agent.
+    fn session_send(
+        &mut self,
+        sid: SessionId,
+        origin: Origin,
+        message: &ToServer,
+    ) -> Result<(), SystemError> {
+        let entry = self.sessions.get(&sid).ok_or(SystemError::MissingReply {
+            expected: "session",
+        })?;
+        let from = match origin {
+            Origin::Browser => entry.browser.clone(),
+            Origin::Phone => entry
+                .phone
+                .clone()
+                .ok_or_else(|| SystemError::UnknownComponent {
+                    endpoint: "phone".into(),
+                })?,
+        };
+        let bytes = message.to_wire()?;
+        let sealed = self.seal(&from, SERVER_ENDPOINT, bytes);
+        self.net.send(&from, SERVER_ENDPOINT, sealed)?;
+        Ok(())
+    }
+
+    /// Records a session's terminal result (first writer wins) and settles
+    /// its telemetry.
+    fn complete(&mut self, sid: SessionId, result: Result<SessionOutcome, SystemError>) {
+        let Some(entry) = self.sessions.get_mut(&sid) else {
+            return;
+        };
+        if entry.outcome.is_some() {
+            return;
+        }
+        entry.deadline = None;
+        if let Some(span) = entry.span.take() {
+            match &result {
+                Ok(_) => {
+                    span.finish();
+                }
+                Err(_) => span.cancel(),
+            }
+        }
+        if matches!(result, Ok(SessionOutcome::Password { .. })) {
+            self.telemetry.counter("system.generations").inc();
+        }
+        entry.outcome = Some(result);
+        self.update_inflight_gauge();
+    }
+
+    fn update_inflight_gauge(&self) {
+        let live = self
+            .sessions
+            .values()
+            .filter(|e| e.outcome.is_none())
+            .count();
+        self.telemetry
+            .gauge("system.session.inflight")
+            .set(live as i64);
+    }
+
+    /// If the session's phone holds a pending confirmation for it and the
+    /// user has approved, confirm and send the token (step 4 of Fig. 1).
+    fn try_confirm(&mut self, sid: SessionId) -> Result<(), SystemError> {
+        let Some(entry) = self.sessions.get(&sid) else {
+            return Ok(());
+        };
+        let Some(phone_name) = entry.phone.clone() else {
+            return Ok(());
+        };
+        let now = self.net.now();
+        let response = match self.phones.get_mut(&phone_name) {
+            Some(agent) => match agent.confirm_request(sid, now) {
+                Ok(response) => response,
+                // The push has not reached the phone yet (or was consumed by
+                // a grant); the dispatch path will confirm on arrival.
+                Err(PhoneError::NoSuchPending) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            },
+            None => return Ok(()),
+        };
+        self.net.advance(self.config.profile.token_compute);
+        self.send_token_from_phone(&phone_name, response)
+    }
+
+    // -- host-executed actions -------------------------------------------------
+
+    /// `Action::RegisterPhone`: the phone registers with the rendezvous and
+    /// reports its identity for `CompletePhonePairing`.
+    fn exec_register_phone(&mut self, sid: SessionId) -> Result<Event, SystemError> {
+        let name = self
+            .sessions
+            .get(&sid)
+            .and_then(|e| e.phone.clone())
+            .ok_or_else(|| SystemError::UnknownComponent {
+                endpoint: "phone".into(),
+            })?;
+        let agent = self
+            .phones
+            .get_mut(&name)
+            .ok_or_else(|| SystemError::UnknownComponent { endpoint: name })?;
+        let registration_id = agent.register_with_rendezvous(&mut self.gcm);
+        Ok(Event::PairingInfo {
+            pid: agent.pid().clone(),
+            registration_id,
+        })
+    }
+
+    /// `Action::FetchBackup`: download the user's `Kp` backup from the cloud
+    /// and note the to-be-purged rendezvous registration.
+    fn exec_fetch_backup(&mut self, sid: SessionId) -> Result<Event, SystemError> {
+        let user_id = self
+            .sessions
+            .get(&sid)
+            .and_then(|e| e.user_id.clone())
+            .ok_or(SystemError::MissingReply {
+                expected: "user id",
+            })?;
+        let backup = AmnesiaPhone::download_backup_from_cloud(&mut self.cloud, &user_id)?;
+        let old_registration = self.server.user_record(&user_id)?.registration_id.clone();
+        if let Some(entry) = self.sessions.get_mut(&sid) {
+            entry.purge_registration = old_registration;
+        }
+        Ok(Event::BackupFetched(backup))
+    }
+
+    /// `Action::InstallPhone`: purge the stolen phone's registration, then
+    /// install the replacement device the flow was started with.
+    fn exec_install_phone(&mut self, sid: SessionId) -> Result<Event, SystemError> {
+        let (install, purge) = match self.sessions.get_mut(&sid) {
+            Some(entry) => (entry.install.take(), entry.purge_registration.take()),
+            None => (None, None),
+        };
+        if let Some(reg) = purge {
+            self.gcm.unregister(&reg);
+        }
+        let (name, seed) = install.ok_or(SystemError::MissingReply {
+            expected: "replacement phone",
+        })?;
+        self.add_phone(&name, seed);
+        if let Some(entry) = self.sessions.get_mut(&sid) {
+            entry.phone = Some(name);
+        }
+        Ok(Event::PhoneInstalled)
+    }
+
+    /// `Action::MintGrant`: the phone mints the §VIII session grant.
+    fn exec_mint_grant(&mut self, sid: SessionId, max_uses: u32) -> Result<Event, SystemError> {
+        let name = self
+            .sessions
+            .get(&sid)
+            .and_then(|e| e.phone.clone())
+            .ok_or_else(|| SystemError::UnknownComponent {
+                endpoint: "phone".into(),
+            })?;
+        let agent = self
+            .phones
+            .get_mut(&name)
+            .ok_or_else(|| SystemError::UnknownComponent { endpoint: name })?;
+        let grant = agent.grant_session(max_uses, &mut self.channel_rng);
+        Ok(Event::GrantMinted(grant))
+    }
+
+    /// `Action::BackupPhoneToCloud`: the §III-C1 one-time `Kp` backup.
+    fn exec_backup_to_cloud(&mut self, sid: SessionId) -> Result<(), SystemError> {
+        let user_id = self
+            .sessions
+            .get(&sid)
+            .and_then(|e| e.user_id.clone())
+            .ok_or(SystemError::MissingReply {
+                expected: "user id",
+            })?;
+        let name = self
+            .sessions
+            .get(&sid)
+            .and_then(|e| e.phone.clone())
+            .ok_or_else(|| SystemError::UnknownComponent {
+                endpoint: "phone".into(),
+            })?;
+        let agent = self
+            .phones
+            .get(&name)
+            .ok_or_else(|| SystemError::UnknownComponent { endpoint: name })?;
+        agent.backup_to_cloud(&mut self.cloud, &user_id)?;
+        Ok(())
+    }
+
+    // -- event loop ------------------------------------------------------------
+
+    /// Drives the network and the given sessions until every one of them is
+    /// settled: pump frames, attribute observed push drops, and fire timers
+    /// by advancing simulated time to the earliest live deadline.
+    fn drive(&mut self, targets: &[SessionId]) {
+        loop {
+            self.pump();
+            let live: Vec<SessionId> = targets
+                .iter()
+                .copied()
+                .filter(|sid| self.sessions.get(sid).is_some_and(|e| e.outcome.is_none()))
+                .collect();
+            if live.is_empty() {
+                return;
+            }
+
+            // Push loss: the only lossy leg is rendezvous → phone, so when
+            // the network is idle, new drops mean some awaiting-push
+            // session's push is gone. Let every exposed session react (a
+            // session whose push actually arrived ignores the retry hint at
+            // worst by re-sending; with per-session drop bookkeeping the
+            // sim profiles used by the tests never hit that case).
+            let dropped = self.net.dropped_count();
+            if dropped > self.seen_drops {
+                self.seen_drops = dropped;
+                let mut fired = false;
+                for sid in &live {
+                    let exposed = self
+                        .sessions
+                        .get(sid)
+                        .is_some_and(|e| e.engine.awaits_push());
+                    if exposed {
+                        fired = true;
+                        self.feed(*sid, Event::PushDropped);
+                    }
+                }
+                if fired {
+                    continue;
+                }
+            }
+
+            // No frames in flight and no drops to attribute: advance time to
+            // the earliest deadline and fire the expired timers.
+            let next_deadline = live
+                .iter()
+                .filter_map(|sid| self.sessions.get(sid).and_then(|e| e.deadline))
+                .min();
+            match next_deadline {
+                Some(deadline) => {
+                    let now = self.net.now();
+                    if deadline > now {
+                        self.net.advance(deadline.duration_since(now));
+                    }
+                    let now = self.net.now();
+                    for sid in &live {
+                        let expired = self
+                            .sessions
+                            .get(sid)
+                            .and_then(|e| e.deadline)
+                            .is_some_and(|d| d <= now);
+                        if expired {
+                            self.telemetry.counter("system.session.timeouts").inc();
+                            self.feed(*sid, Event::TimerFired);
+                        }
+                    }
+                }
+                None => {
+                    // No timer armed and nothing in flight: the flow can
+                    // never finish. Fail every remaining session with the
+                    // reply it was waiting for.
+                    for sid in live {
+                        let expected = self
+                            .sessions
+                            .get(&sid)
+                            .map(|e| e.engine.expected_reply())
+                            .unwrap_or("reply");
+                        self.complete(sid, Err(SystemError::MissingReply { expected }));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes a settled session, returning its result and the attributed
+    /// §VI-B latency window (if a `PasswordReady` was routed to it).
+    fn finish_session(
+        &mut self,
+        sid: SessionId,
+    ) -> (Result<SessionOutcome, SystemError>, Option<SimDuration>) {
+        match self.sessions.remove(&sid) {
+            Some(entry) => {
+                let fallback = SystemError::MissingReply {
+                    expected: entry.engine.expected_reply(),
+                };
+                (entry.outcome.unwrap_or(Err(fallback)), entry.window)
+            }
+            None => (
+                Err(SystemError::MissingReply {
+                    expected: "session",
+                }),
+                None,
+            ),
+        }
+    }
+
     // -- dispatch ----------------------------------------------------------------
 
     /// Delivers and dispatches frames until the network is idle.
@@ -296,11 +776,15 @@ impl AmnesiaSystem {
                 .send(SERVER_ENDPOINT, GCM_ENDPOINT, push.to_wire()?)?;
         }
         for (dest, reply) in reaction.replies {
-            if let FromServer::PasswordReady { requested_at, .. } = &reply {
+            if let FromServer::PasswordReady { requested_at, .. } = &reply.message {
                 let latency = self.net.now().duration_since(*requested_at);
                 self.telemetry
                     .record("system.generate_password_us", latency.as_micros());
                 self.generation_latencies.push(latency);
+                // Attribute the measured window to the owning session.
+                if let Some(entry) = self.sessions.get_mut(&reply.request_id) {
+                    entry.window = Some(latency);
+                }
             }
             let bytes = reply.to_wire()?;
             let sealed = self.seal(SERVER_ENDPOINT, &dest, bytes);
@@ -314,16 +798,28 @@ impl AmnesiaSystem {
         self.telemetry
             .record("steps.step3_push_delivery_us", Self::leg_micros(&frame));
         let now = self.net.now();
-        let outcome = {
-            let phone = self.phones.get_mut(&frame.to).expect("checked by dispatch");
-            phone.handle_push(&frame.payload, now)?
+        let outcome = match self.phones.get_mut(&frame.to) {
+            Some(phone) => phone.handle_push(&frame.payload, now)?,
+            None => return Err(SystemError::UnknownComponent { endpoint: frame.to }),
         };
         match outcome {
             PushOutcome::Respond(response) => {
                 self.net.advance(self.config.profile.token_compute);
                 self.send_token_from_phone(&frame.to.clone(), response)?;
             }
-            PushOutcome::AwaitingConfirmation | PushOutcome::Rejected => {}
+            PushOutcome::AwaitingConfirmation => {
+                // If the owning session's user already approved (the
+                // RequestPushed ack beat the push here), confirm now.
+                let sid = PhonePush::from_wire(&frame.payload)?.request_id;
+                let approved = self
+                    .sessions
+                    .get(&sid)
+                    .is_some_and(|e| e.outcome.is_none() && e.confirm_approved);
+                if approved {
+                    self.try_confirm(sid)?;
+                }
+            }
+            PushOutcome::Rejected => {}
         }
         Ok(())
     }
@@ -341,65 +837,36 @@ impl AmnesiaSystem {
 
     fn dispatch_to_browser(&mut self, frame: Frame) -> Result<(), SystemError> {
         let plaintext = self.open(&frame.from, &frame.to, &frame.payload)?;
-        let reply = FromServer::from_wire(&plaintext)?;
-        if matches!(reply, FromServer::PasswordReady { .. }) {
+        let reply = Reply::from_wire(&plaintext)?;
+        if matches!(reply.message, FromServer::PasswordReady { .. }) {
             // Step 6 of Fig. 1: the assembled password reaching the browser.
             self.telemetry
                 .record("steps.step6_password_download_us", Self::leg_micros(&frame));
         }
-        self.browsers
-            .get_mut(&frame.to)
-            .expect("checked by dispatch")
-            .handle_reply(reply);
+        match self.browsers.get_mut(&frame.to) {
+            Some(browser) => browser.handle_reply(reply.message.clone()),
+            None => return Err(SystemError::UnknownComponent { endpoint: frame.to }),
+        }
+        // Route the reply to the session that is waiting for it.
+        self.feed(reply.request_id, Event::FrameReceived(reply.message));
         Ok(())
     }
 
     // -- flow helpers --------------------------------------------------------------
 
-    fn browser(&self, name: &str) -> Result<&Browser, SystemError> {
-        self.browsers
-            .get(name)
-            .ok_or_else(|| SystemError::UnknownComponent {
-                endpoint: name.into(),
-            })
-    }
-
-    fn send_from_browser(&mut self, browser: &str, message: ToServer) -> Result<(), SystemError> {
-        let bytes = message.to_wire()?;
-        let sealed = self.seal(browser, SERVER_ENDPOINT, bytes);
-        self.net.send(browser, SERVER_ENDPOINT, sealed)?;
-        self.pump();
-        Ok(())
-    }
-
-    fn take_browser_inbox(&mut self, browser: &str) -> Result<Vec<FromServer>, SystemError> {
-        Ok(self
-            .browsers
-            .get_mut(browser)
-            .ok_or_else(|| SystemError::UnknownComponent {
-                endpoint: browser.into(),
-            })?
-            .take_inbox())
-    }
-
-    fn expect_reply<T>(
+    /// Runs one session to completion and returns its outcome.
+    fn run_flow(
         &mut self,
         browser: &str,
-        expected: &'static str,
-        extract: impl Fn(&FromServer) -> Option<T>,
-    ) -> Result<T, SystemError> {
-        let inbox = self.take_browser_inbox(browser)?;
-        for reply in &inbox {
-            if let Some(value) = extract(reply) {
-                return Ok(value);
-            }
-            if let FromServer::Error { message } = reply {
-                return Err(SystemError::ServerRejected {
-                    message: message.clone(),
-                });
-            }
-        }
-        Err(SystemError::MissingReply { expected })
+        phone: Option<&str>,
+        user_id: Option<&str>,
+        spec: FlowSpec,
+        attempts: u32,
+        install: Option<(String, u64)>,
+    ) -> Result<SessionOutcome, SystemError> {
+        let sid = self.begin(browser, phone, user_id, spec, attempts, install)?;
+        self.drive(&[sid]);
+        self.finish_session(sid).0
     }
 
     // -- end-to-end flows -----------------------------------------------------------
@@ -417,59 +884,22 @@ impl AmnesiaSystem {
         browser: &str,
         phone: &str,
     ) -> Result<(), SystemError> {
-        // 1. Create the Amnesia account.
-        let msg = self
-            .browser(browser)?
-            .register_message(user_id, master_password);
-        self.send_from_browser(browser, msg)?;
-        self.expect_reply(browser, "Registered", |r| {
-            matches!(r, FromServer::Registered).then_some(())
-        })?;
-
-        // 2. Log in.
-        self.login(browser, user_id, master_password)?;
-
-        // 3. Pair the phone: captcha displayed on the web page…
-        let msg = self.browser(browser)?.begin_pairing_message()?;
-        self.send_from_browser(browser, msg)?;
-        let captcha = self.expect_reply(browser, "PairingChallenge", |r| match r {
-            FromServer::PairingChallenge { captcha } => Some(captcha.clone()),
-            _ => None,
-        })?;
-
-        // …the phone registers with the rendezvous and submits the code with
-        // its Pid and registration ID.
-        let (pid, registration_id) = {
-            let phone_agent =
-                self.phones
-                    .get_mut(phone)
-                    .ok_or_else(|| SystemError::UnknownComponent {
-                        endpoint: phone.into(),
-                    })?;
-            let reg = phone_agent.register_with_rendezvous(&mut self.gcm);
-            (phone_agent.pid().clone(), reg)
-        };
-        let pairing = ToServer::CompletePhonePairing {
-            user_id: user_id.into(),
-            captcha,
-            pid,
-            registration_id,
-            reply_to: browser.into(),
-        };
-        let bytes = pairing.to_wire()?;
-        let sealed = self.seal(phone, SERVER_ENDPOINT, bytes);
-        self.net.send(phone, SERVER_ENDPOINT, sealed)?;
-        self.pump();
-        self.expect_reply(browser, "PhonePaired", |r| {
-            matches!(r, FromServer::PhonePaired).then_some(())
-        })?;
-
-        // 4. One-time Kp backup to the cloud provider.
-        self.phones
-            .get(phone)
-            .expect("phone present")
-            .backup_to_cloud(&mut self.cloud, user_id)?;
-        Ok(())
+        match self.run_flow(
+            browser,
+            Some(phone),
+            Some(user_id),
+            FlowSpec::Setup {
+                user_id: user_id.into(),
+                master_password: master_password.into(),
+            },
+            1,
+            None,
+        )? {
+            SessionOutcome::SetupDone => Ok(()),
+            _ => Err(SystemError::MissingReply {
+                expected: "SetupDone",
+            }),
+        }
     }
 
     /// Logs a browser into the Amnesia server.
@@ -483,13 +913,22 @@ impl AmnesiaSystem {
         user_id: &str,
         master_password: &str,
     ) -> Result<(), SystemError> {
-        let msg = self
-            .browser(browser)?
-            .login_message(user_id, master_password);
-        self.send_from_browser(browser, msg)?;
-        self.expect_reply(browser, "LoginOk", |r| {
-            matches!(r, FromServer::LoginOk { .. }).then_some(())
-        })
+        match self.run_flow(
+            browser,
+            None,
+            Some(user_id),
+            FlowSpec::Login {
+                user_id: user_id.into(),
+                master_password: master_password.into(),
+            },
+            1,
+            None,
+        )? {
+            SessionOutcome::LoggedIn => Ok(()),
+            _ => Err(SystemError::MissingReply {
+                expected: "LoginOk",
+            }),
+        }
     }
 
     /// Adds a managed website account.
@@ -504,13 +943,23 @@ impl AmnesiaSystem {
         domain: Domain,
         policy: PasswordPolicy,
     ) -> Result<(), SystemError> {
-        let msg = self
-            .browser(browser)?
-            .add_account_message(username, domain, policy)?;
-        self.send_from_browser(browser, msg)?;
-        self.expect_reply(browser, "AccountAdded", |r| {
-            matches!(r, FromServer::AccountAdded).then_some(())
-        })
+        match self.run_flow(
+            browser,
+            None,
+            None,
+            FlowSpec::AddAccount {
+                username,
+                domain,
+                policy,
+            },
+            1,
+            None,
+        )? {
+            SessionOutcome::AccountAdded => Ok(()),
+            _ => Err(SystemError::MissingReply {
+                expected: "AccountAdded",
+            }),
+        }
     }
 
     /// Lists the logged-in user's managed accounts.
@@ -519,12 +968,12 @@ impl AmnesiaSystem {
     ///
     /// Propagates server rejections.
     pub fn list_accounts(&mut self, browser: &str) -> Result<Vec<AccountRef>, SystemError> {
-        let msg = self.browser(browser)?.list_accounts_message()?;
-        self.send_from_browser(browser, msg)?;
-        self.expect_reply(browser, "Accounts", |r| match r {
-            FromServer::Accounts { accounts } => Some(accounts.clone()),
-            _ => None,
-        })
+        match self.run_flow(browser, None, None, FlowSpec::ListAccounts, 1, None)? {
+            SessionOutcome::Accounts(accounts) => Ok(accounts),
+            _ => Err(SystemError::MissingReply {
+                expected: "Accounts",
+            }),
+        }
     }
 
     /// Rotates an account's seed — changing its generated password.
@@ -538,13 +987,19 @@ impl AmnesiaSystem {
         username: Username,
         domain: Domain,
     ) -> Result<(), SystemError> {
-        let msg = self
-            .browser(browser)?
-            .rotate_seed_message(username, domain)?;
-        self.send_from_browser(browser, msg)?;
-        self.expect_reply(browser, "SeedRotated", |r| {
-            matches!(r, FromServer::SeedRotated).then_some(())
-        })
+        match self.run_flow(
+            browser,
+            None,
+            None,
+            FlowSpec::RotateSeed { username, domain },
+            1,
+            None,
+        )? {
+            SessionOutcome::SeedRotated => Ok(()),
+            _ => Err(SystemError::MissingReply {
+                expected: "SeedRotated",
+            }),
+        }
     }
 
     /// Runs the full six-step generation flow and returns the password with
@@ -561,81 +1016,17 @@ impl AmnesiaSystem {
         username: &Username,
         domain: &Domain,
     ) -> Result<GenerationOutcome, SystemError> {
-        // End-to-end span over simulated time: browser click to password in
-        // the browser, a superset of the paper's measured tstart→tend window.
-        let e2e = self
-            .telemetry
-            .span("system.generate_password_e2e_us", self.net.clock());
-        let result = self.generate_password_inner(browser, phone, username, domain);
-        match &result {
-            Ok(_) => {
-                self.telemetry.counter("system.generations").inc();
-                e2e.finish();
-            }
-            Err(_) => e2e.cancel(),
-        }
-        result
-    }
-
-    fn generate_password_inner(
-        &mut self,
-        browser: &str,
-        phone: &str,
-        username: &Username,
-        domain: &Domain,
-    ) -> Result<GenerationOutcome, SystemError> {
-        let msg = self
-            .browser(browser)?
-            .request_password_message(username.clone(), domain.clone())?;
-        self.send_from_browser(browser, msg)?;
-
-        // Under the Manual policy the pump stalls at the confirmation; the
-        // simulated user now accepts.
-        let maybe_response = {
-            let now = self.net.now();
-            match self.phones.get_mut(phone) {
-                Some(agent) if !agent.pending_requests().is_empty() => {
-                    Some(agent.confirm_at(0, now)?)
-                }
-                _ => None,
-            }
-        };
-        if let Some(response) = maybe_response {
-            self.net.advance(self.config.profile.token_compute);
-            self.send_token_from_phone(phone, response)?;
-            self.pump();
-        }
-
-        let (account, password, requested_at) =
-            self.expect_reply(browser, "PasswordReady", |r| match r {
-                FromServer::PasswordReady {
-                    account,
-                    password,
-                    requested_at,
-                } => Some((account.clone(), password.clone(), *requested_at)),
-                _ => None,
-            })?;
-        let latency = self
-            .generation_latencies
-            .last()
-            .copied()
-            .unwrap_or(SimDuration::ZERO);
-        let _ = requested_at;
-        Ok(GenerationOutcome {
-            account,
-            password,
-            latency,
-        })
+        self.generate_password_with_retry(browser, phone, username, domain, 1)
     }
 
     /// [`generate_password`](Self::generate_password) with bounded retries
     /// for lossy push delivery: mobile push is best-effort, and a dropped
-    /// push leaves the request pending forever, so real clients re-request.
-    /// Retries re-enter the full flow (a fresh `R` push).
+    /// push leaves the request pending forever, so the session re-sends its
+    /// request (same `request_id`, fresh push) up to `attempts` times.
     ///
     /// # Errors
     ///
-    /// Returns the final attempt's error if all `attempts` fail.
+    /// Returns the session's terminal error if all `attempts` fail.
     pub fn generate_password_with_retry(
         &mut self,
         browser: &str,
@@ -644,19 +1035,85 @@ impl AmnesiaSystem {
         domain: &Domain,
         attempts: u32,
     ) -> Result<GenerationOutcome, SystemError> {
-        let mut last_err = SystemError::MissingReply {
-            expected: "PasswordReady",
-        };
-        for attempt in 0..attempts.max(1) {
-            if attempt > 0 {
-                self.telemetry.counter("system.generation_retries").inc();
-            }
-            match self.generate_password(browser, phone, username, domain) {
-                Ok(outcome) => return Ok(outcome),
-                Err(e) => last_err = e,
-            }
+        let sid = self.begin(
+            browser,
+            Some(phone),
+            None,
+            FlowSpec::Generate {
+                username: username.clone(),
+                domain: domain.clone(),
+            },
+            attempts,
+            None,
+        )?;
+        self.drive(&[sid]);
+        let (result, window) = self.finish_session(sid);
+        match result? {
+            SessionOutcome::Password {
+                account,
+                password,
+                requested_at,
+            } => Ok(GenerationOutcome {
+                account,
+                password,
+                latency: window.unwrap_or_else(|| self.net.now().duration_since(requested_at)),
+            }),
+            _ => Err(SystemError::MissingReply {
+                expected: "PasswordReady",
+            }),
         }
-        Err(last_err)
+    }
+
+    /// Drives a whole batch of generations through the deployment at once:
+    /// every session is opened up front, then the event loop interleaves
+    /// their pushes, confirmations and replies over the shared network.
+    /// Results (and per-session latencies) come back in request order.
+    pub fn generate_passwords_concurrent(
+        &mut self,
+        requests: &[GenerationRequest],
+        attempts: u32,
+    ) -> Vec<Result<GenerationOutcome, SystemError>> {
+        let mut slots: Vec<Result<SessionId, SystemError>> = Vec::with_capacity(requests.len());
+        for request in requests {
+            slots.push(self.begin(
+                &request.browser,
+                Some(&request.phone),
+                None,
+                FlowSpec::Generate {
+                    username: request.username.clone(),
+                    domain: request.domain.clone(),
+                },
+                attempts,
+                None,
+            ));
+        }
+        let live: Vec<SessionId> = slots
+            .iter()
+            .filter_map(|r| r.as_ref().ok().copied())
+            .collect();
+        self.drive(&live);
+        slots
+            .into_iter()
+            .map(|slot| {
+                let sid = slot?;
+                let (result, window) = self.finish_session(sid);
+                match result? {
+                    SessionOutcome::Password {
+                        account,
+                        password,
+                        requested_at,
+                    } => Ok(GenerationOutcome {
+                        account,
+                        password,
+                        latency: window
+                            .unwrap_or_else(|| self.net.now().duration_since(requested_at)),
+                    }),
+                    _ => Err(SystemError::MissingReply {
+                        expected: "PasswordReady",
+                    }),
+                }
+            })
+            .collect()
     }
 
     /// Vault extension (§VIII): stores a user-chosen password for
@@ -675,40 +1132,23 @@ impl AmnesiaSystem {
         domain: Domain,
         chosen_password: &str,
     ) -> Result<AccountRef, SystemError> {
-        let session = self
-            .browser(browser)?
-            .session()
-            .cloned()
-            .ok_or(SystemError::Browser(
-                amnesia_client::BrowserError::NotLoggedIn,
-            ))?;
-        let msg = ToServer::StoreChosenPassword {
-            session,
-            username,
-            domain,
-            chosen_password: chosen_password.to_string(),
-            reply_to: browser.into(),
-        };
-        self.send_from_browser(browser, msg)?;
-
-        let maybe_response = {
-            let now = self.net.now();
-            match self.phones.get_mut(phone) {
-                Some(agent) if !agent.pending_requests().is_empty() => {
-                    Some(agent.confirm_at(0, now)?)
-                }
-                _ => None,
-            }
-        };
-        if let Some(response) = maybe_response {
-            self.net.advance(self.config.profile.token_compute);
-            self.send_token_from_phone(phone, response)?;
-            self.pump();
+        match self.run_flow(
+            browser,
+            Some(phone),
+            None,
+            FlowSpec::StoreChosen {
+                username,
+                domain,
+                chosen_password: chosen_password.to_string(),
+            },
+            1,
+            None,
+        )? {
+            SessionOutcome::Stored { account } => Ok(account),
+            _ => Err(SystemError::MissingReply {
+                expected: "ChosenPasswordStored",
+            }),
         }
-        self.expect_reply(browser, "ChosenPasswordStored", |r| match r {
-            FromServer::ChosenPasswordStored { account } => Some(account.clone()),
-            _ => None,
-        })
     }
 
     /// Session-mechanism extension (§VIII): the user enables a generation
@@ -725,29 +1165,22 @@ impl AmnesiaSystem {
         browser: &str,
         max_uses: u32,
     ) -> Result<u32, SystemError> {
-        let grant = {
-            let agent =
-                self.phones
-                    .get_mut(phone)
-                    .ok_or_else(|| SystemError::UnknownComponent {
-                        endpoint: phone.into(),
-                    })?;
-            agent.grant_session(max_uses, &mut self.channel_rng)
-        };
-        let msg = ToServer::SessionGrant {
-            user_id: user_id.into(),
-            grant,
-            max_uses,
-            reply_to: browser.into(),
-        };
-        let bytes = msg.to_wire()?;
-        let sealed = self.seal(phone, SERVER_ENDPOINT, bytes);
-        self.net.send(phone, SERVER_ENDPOINT, sealed)?;
-        self.pump();
-        self.expect_reply(browser, "SessionGranted", |r| match r {
-            FromServer::SessionGranted { remaining_uses } => Some(*remaining_uses),
-            _ => None,
-        })
+        match self.run_flow(
+            browser,
+            Some(phone),
+            Some(user_id),
+            FlowSpec::GrantSession {
+                user_id: user_id.into(),
+                max_uses,
+            },
+            1,
+            None,
+        )? {
+            SessionOutcome::Granted { remaining_uses } => Ok(remaining_uses),
+            _ => Err(SystemError::MissingReply {
+                expected: "SessionGranted",
+            }),
+        }
     }
 
     /// Phone-compromise recovery (§III-C1), end to end: downloads the cloud
@@ -766,62 +1199,22 @@ impl AmnesiaSystem {
         new_phone: &str,
         new_phone_seed: u64,
     ) -> Result<RecoveryOutcome, SystemError> {
-        // The user fetches their backup from the cloud provider…
-        let backup = AmnesiaPhone::download_backup_from_cloud(&mut self.cloud, user_id)?;
-
-        // …notes the to-be-purged registration, and uploads the backup.
-        let old_registration = self.server.user_record(user_id)?.registration_id.clone();
-
-        let msg = ToServer::RecoverPhone {
-            user_id: user_id.into(),
-            master_password: master_password.into(),
-            backup,
-            reply_to: browser.into(),
-        };
-        self.send_from_browser(browser, msg)?;
-        let credentials = self.expect_reply(browser, "PhoneRecovered", |r| match r {
-            FromServer::PhoneRecovered { credentials } => Some(credentials.clone()),
-            _ => None,
-        })?;
-
-        if let Some(reg) = old_registration {
-            self.gcm.unregister(&reg);
+        match self.run_flow(
+            browser,
+            None,
+            Some(user_id),
+            FlowSpec::Recover {
+                user_id: user_id.into(),
+                master_password: master_password.into(),
+            },
+            1,
+            Some((new_phone.to_string(), new_phone_seed)),
+        )? {
+            SessionOutcome::Recovered { credentials } => Ok(RecoveryOutcome { credentials }),
+            _ => Err(SystemError::MissingReply {
+                expected: "PhoneRecovered",
+            }),
         }
-
-        // Fresh install on the new phone, then the normal pairing flow.
-        self.add_phone(new_phone, new_phone_seed);
-        self.login(browser, user_id, master_password)?;
-        let msg = self.browser(browser)?.begin_pairing_message()?;
-        self.send_from_browser(browser, msg)?;
-        let captcha = self.expect_reply(browser, "PairingChallenge", |r| match r {
-            FromServer::PairingChallenge { captcha } => Some(captcha.clone()),
-            _ => None,
-        })?;
-        let (pid, registration_id) = {
-            let agent = self.phones.get_mut(new_phone).expect("just added");
-            let reg = agent.register_with_rendezvous(&mut self.gcm);
-            (agent.pid().clone(), reg)
-        };
-        let pairing = ToServer::CompletePhonePairing {
-            user_id: user_id.into(),
-            captcha,
-            pid,
-            registration_id,
-            reply_to: browser.into(),
-        };
-        let bytes = pairing.to_wire()?;
-        let sealed = self.seal(new_phone, SERVER_ENDPOINT, bytes);
-        self.net.send(new_phone, SERVER_ENDPOINT, sealed)?;
-        self.pump();
-        self.expect_reply(browser, "PhonePaired", |r| {
-            matches!(r, FromServer::PhonePaired).then_some(())
-        })?;
-        self.phones
-            .get(new_phone)
-            .expect("phone present")
-            .backup_to_cloud(&mut self.cloud, user_id)?;
-
-        Ok(RecoveryOutcome { credentials })
     }
 
     /// Master-password-compromise recovery (§III-C2): the phone proves
@@ -846,20 +1239,24 @@ impl AmnesiaSystem {
             })?
             .pid()
             .clone();
-        let msg = ToServer::ChangeMasterPassword {
-            user_id: user_id.into(),
-            old_master_password: old_master_password.into(),
-            pid,
-            new_master_password: new_master_password.into(),
-            reply_to: browser.into(),
-        };
-        let bytes = msg.to_wire()?;
-        let sealed = self.seal(phone, SERVER_ENDPOINT, bytes);
-        self.net.send(phone, SERVER_ENDPOINT, sealed)?;
-        self.pump();
-        self.expect_reply(browser, "MasterPasswordChanged", |r| {
-            matches!(r, FromServer::MasterPasswordChanged).then_some(())
-        })
+        match self.run_flow(
+            browser,
+            Some(phone),
+            Some(user_id),
+            FlowSpec::ChangeMasterPassword {
+                user_id: user_id.into(),
+                old_master_password: old_master_password.into(),
+                new_master_password: new_master_password.into(),
+                pid,
+            },
+            1,
+            None,
+        )? {
+            SessionOutcome::MasterPasswordChanged => Ok(()),
+            _ => Err(SystemError::MissingReply {
+                expected: "MasterPasswordChanged",
+            }),
+        }
     }
 
     // -- accessors -----------------------------------------------------------------
@@ -867,6 +1264,13 @@ impl AmnesiaSystem {
     /// The deployment configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// The seed the Amnesia server was constructed with (drawn from the
+    /// deployment seed), for building a byte-identical server in another
+    /// runtime.
+    pub fn server_seed(&self) -> u64 {
+        self.server_seed
     }
 
     /// The simulated network (attach wiretaps here).
@@ -1138,6 +1542,71 @@ mod tests {
     }
 
     #[test]
+    fn outcome_latency_is_the_sessions_own_window() {
+        // The latency on each outcome must match the recorded sample for
+        // that generation, not the last one that happened to complete.
+        let mut sys = AmnesiaSystem::new(small().with_seed(9).with_profile(NetProfile::wifi()));
+        sys.add_browser("browser");
+        sys.add_phone("phone", 6);
+        sys.setup_user("erin", "mp", "browser", "phone").unwrap();
+        let u = Username::new("erin").unwrap();
+        let d = Domain::new("site.com").unwrap();
+        sys.add_account("browser", u.clone(), d.clone(), PasswordPolicy::default())
+            .unwrap();
+        let mut latencies = Vec::new();
+        for _ in 0..4 {
+            latencies.push(
+                sys.generate_password("browser", "phone", &u, &d)
+                    .unwrap()
+                    .latency,
+            );
+        }
+        assert_eq!(latencies.as_slice(), sys.generation_latencies());
+    }
+
+    #[test]
+    fn concurrent_generations_complete_with_distinct_passwords() {
+        let mut sys = AmnesiaSystem::new(small().with_seed(21));
+        sys.add_browser("browser");
+        sys.add_phone("phone", 7);
+        sys.setup_user("alice", "mp", "browser", "phone").unwrap();
+        sys.phone_mut("phone")
+            .unwrap()
+            .set_confirm_policy(ConfirmPolicy::AutoConfirm);
+        let accounts: Vec<(Username, Domain)> = (0..8)
+            .map(|i| {
+                let u = Username::new(format!("user{i}")).unwrap();
+                let d = Domain::new(format!("site{i}.example.com")).unwrap();
+                sys.add_account("browser", u.clone(), d.clone(), PasswordPolicy::default())
+                    .unwrap();
+                (u, d)
+            })
+            .collect();
+        let requests: Vec<GenerationRequest> = accounts
+            .iter()
+            .map(|(u, d)| GenerationRequest {
+                browser: "browser".into(),
+                phone: "phone".into(),
+                username: u.clone(),
+                domain: d.clone(),
+            })
+            .collect();
+        let results = sys.generate_passwords_concurrent(&requests, 1);
+        assert_eq!(results.len(), 8);
+        for (result, (u, _)) in results.iter().zip(&accounts) {
+            let outcome = result.as_ref().unwrap();
+            assert_eq!(&outcome.account.username, u);
+            // Each session got its own attributed latency.
+            assert!(outcome.latency > SimDuration::ZERO);
+        }
+        // Batch results agree with sequential regeneration.
+        for (result, (u, d)) in results.iter().zip(&accounts) {
+            let sequential = sys.generate_password("browser", "phone", u, d).unwrap();
+            assert_eq!(result.as_ref().unwrap().password, sequential.password);
+        }
+    }
+
+    #[test]
     fn telemetry_covers_every_component_and_step() {
         let (mut sys, u, d) = setup();
         for _ in 0..3 {
@@ -1152,6 +1621,9 @@ mod tests {
         assert_eq!(snapshot.counters["phone.pushes_received"], 3);
         assert_eq!(snapshot.counters["phone.tokens_computed"], 3);
         assert_eq!(snapshot.counters["system.generations"], 3);
+
+        // No generation is left in flight once the flows return.
+        assert_eq!(snapshot.gauges["system.session.inflight"], 0);
 
         // Every protocol step of Fig. 1 has a latency histogram with one
         // sample per generation, plus the end-to-end measures.
@@ -1181,7 +1653,8 @@ mod tests {
             "window {window}us should be within e2e {e2e}us"
         );
 
-        // Confirm latency was recorded via confirm_at under the Manual policy.
+        // Confirm latency was recorded via the confirm path under the
+        // Manual policy.
         assert_eq!(snapshot.histograms["phone.confirm_latency_us"].count(), 3);
 
         // Crypto hot-path stats are mirrored into the deployment registry:
@@ -1212,5 +1685,18 @@ mod tests {
         assert_eq!(snapshot.counters["system.generation_retries"], 2);
         assert!(snapshot.counters["net.frames_dropped"] >= 3);
         assert_eq!(snapshot.counters.get("system.generations"), None);
+    }
+
+    #[test]
+    fn timeouts_are_counted_per_session() {
+        let (mut sys, u, d) = setup();
+        sys.phone_mut("phone")
+            .unwrap()
+            .set_confirm_policy(ConfirmPolicy::AutoReject);
+        sys.generate_password("browser", "phone", &u, &d)
+            .unwrap_err();
+        let snapshot = sys.telemetry().snapshot();
+        assert_eq!(snapshot.counters["system.session.timeouts"], 1);
+        assert_eq!(snapshot.gauges["system.session.inflight"], 0);
     }
 }

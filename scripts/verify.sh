@@ -46,4 +46,20 @@ for metric in hmac_msgs_per_sec pbkdf2_iters_per_sec e2e_generate_p50_ns; do
     fi
 done
 
-echo "OK: offline build, tests, formatting, lint, zero-dependency check, telemetry and crypto-bench smoke runs passed"
+echo "==> concurrent-session isolation tests"
+# 256 interleaved generations over one network plus the sim-vs-threaded
+# differential check — the session-engine refactor's acceptance gate.
+cargo test -q --offline --test concurrency
+
+echo "==> e2e throughput smoke run"
+# Quick-mode batch driver: opens whole batches of sessions through
+# generate_passwords_concurrent and fails on any lost session. The
+# committed baseline (BENCH_E2E.json) is regenerated with a full run.
+cargo run -q --release --offline --locked -p amnesia-bench \
+    --bin bench_e2e -- --quick --out target/BENCH_E2E.quick.json
+if ! grep -q '"generations_per_sec"' target/BENCH_E2E.quick.json; then
+    echo "error: generations_per_sec missing from target/BENCH_E2E.quick.json" >&2
+    exit 1
+fi
+
+echo "OK: offline build, tests, formatting, lint, zero-dependency check, telemetry, crypto-bench, concurrency and e2e-throughput smoke runs passed"

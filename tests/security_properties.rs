@@ -210,6 +210,7 @@ fn replayed_tokens_are_rejected_by_pending_tracking() {
     // A token for a request that was never pushed must be rejected.
     let mut rng = SecretRng::seeded(0);
     let bogus = TokenResponse {
+        request_id: 0,
         request: PasswordRequest::derive(
             &Username::new("mia").unwrap(),
             &Domain::new("x.example.com").unwrap(),
