@@ -10,9 +10,11 @@
 //! profile, so the throughput gain is pure host-side overlap.
 //!
 //! Writes a JSON document (default `BENCH_E2E.json` at the workspace root;
-//! `--out <path>` redirects it). Exits nonzero if any batch fails or any
-//! rate is non-positive, so `scripts/verify.sh` can use `--quick` (batch
-//! sizes {1, 16} only) as a smoke test.
+//! `--out <path>` redirects it). Exits nonzero if any batch fails, any rate
+//! is non-positive, or — the head-of-line regression gate — the N = 256
+//! mean simulated latency exceeds [`LATENCY_RATIO_LIMIT`] × the N = 1 mean.
+//! `scripts/verify.sh` uses `--quick` (batch sizes {1, 256}) so that gate
+//! runs on every verification.
 
 use amnesia_core::{Domain, PasswordPolicy, Username};
 use amnesia_phone::ConfirmPolicy;
@@ -20,6 +22,12 @@ use amnesia_system::{AmnesiaSystem, GenerationRequest, NetProfile, SystemConfig}
 use std::time::Instant;
 
 const SEED: u64 = 0xE2E;
+
+/// Concurrency must not inflate per-session simulated latency: with
+/// unordered links there is no head-of-line blocking, so the N = 256 mean
+/// stays within this factor of the N = 1 mean (it was 2.3× under FIFO
+/// links).
+const LATENCY_RATIO_LIMIT: f64 = 1.25;
 
 struct Options {
     quick: bool,
@@ -122,7 +130,7 @@ fn run_batch(n: usize) -> Result<BatchResult, String> {
 }
 
 fn run(opts: &Options) -> Result<(), String> {
-    let sizes: &[usize] = if opts.quick { &[1, 16] } else { &[1, 16, 256] };
+    let sizes: &[usize] = if opts.quick { &[1, 256] } else { &[1, 16, 256] };
     let mut batches = Vec::with_capacity(sizes.len());
     for &n in sizes {
         let batch = run_batch(n)?;
@@ -137,6 +145,27 @@ fn run(opts: &Options) -> Result<(), String> {
             batch.n, batch.generations_per_sec, batch.wall_ms, batch.sim_latency_mean_ms
         );
         batches.push(batch);
+    }
+
+    // Head-of-line latency gate: per-session simulated latency must be
+    // flat-ish in N whenever both ends of the range were measured.
+    let mean_at = |n: usize| {
+        batches
+            .iter()
+            .find(|b| b.n == n)
+            .map(|b| b.sim_latency_mean_ms)
+    };
+    if let (Some(single), Some(crowd)) = (mean_at(1), mean_at(256)) {
+        let ratio = crowd / single;
+        if !(ratio.is_finite() && ratio <= LATENCY_RATIO_LIMIT) {
+            return Err(format!(
+                "head-of-line latency regression: N=256 mean {crowd:.1} ms is {ratio:.2}x \
+                 the N=1 mean {single:.1} ms (limit {LATENCY_RATIO_LIMIT}x)"
+            ));
+        }
+        eprintln!(
+            "bench_e2e: latency ratio N=256/N=1 = {ratio:.2}x (limit {LATENCY_RATIO_LIMIT}x)"
+        );
     }
 
     let mut rows = String::new();

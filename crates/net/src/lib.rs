@@ -18,9 +18,10 @@
 //!   eavesdropping attacks attach here).
 //! * [`SecureChannel`] — a toy authenticated-encryption channel standing in
 //!   for HTTPS: SHA-256 in counter mode for confidentiality plus
-//!   HMAC-SHA-256 for integrity. A wiretap on a protected link sees only
-//!   ciphertext; the "broken HTTPS" attack is modelled by handing the
-//!   attacker the channel key.
+//!   HMAC-SHA-256 for integrity, with a DTLS/QUIC-style sliding anti-replay
+//!   window so out-of-order frames authenticate exactly once. A wiretap on
+//!   a protected link sees only ciphertext; the "broken HTTPS" attack is
+//!   modelled by handing the attacker the channel key.
 //!
 //! # Example
 //!
@@ -51,5 +52,5 @@ pub mod time;
 pub use error::NetError;
 pub use latency::LatencyModel;
 pub use network::{Frame, LinkProfile, SimNet, Wiretap, WiretapRecord};
-pub use secure::{ChannelError, SecureChannel};
+pub use secure::{ChannelError, SecureChannel, REPLAY_WINDOW};
 pub use time::{SimClock, SimDuration, SimInstant};

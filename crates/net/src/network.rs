@@ -29,16 +29,33 @@ pub struct LinkProfile {
     /// exists for experiments that stress payload size (e.g. `KpBackup`
     /// uploads during recovery).
     pub per_kb_ms: f64,
+    /// Delivery-order discipline. `false` (the default) models independent
+    /// datagrams: each frame lands at `sent_at + sampled latency`, so a
+    /// lucky late frame may overtake an unlucky early one. `true` models a
+    /// TCP stream: frames never overtake each other, a sampled latency that
+    /// would land a frame before an earlier one is clamped forward
+    /// (head-of-line blocking, as on a real ordered connection).
+    pub ordered: bool,
 }
 
 impl LinkProfile {
-    /// A lossless, infinite-bandwidth link with the given latency.
+    /// A lossless, infinite-bandwidth, unordered link with the given
+    /// latency.
     pub fn new(latency: LatencyModel) -> Self {
         LinkProfile {
             latency,
             drop_probability: 0.0,
             per_kb_ms: 0.0,
+            ordered: false,
         }
+    }
+
+    /// Switches the link to FIFO (TCP-stream) delivery: frames never
+    /// overtake each other. Use for experiments that need stream semantics;
+    /// the secure channels no longer require it (sliding replay window).
+    pub fn with_fifo_order(mut self) -> Self {
+        self.ordered = true;
+        self
     }
 
     /// Sets the frame-drop probability.
@@ -165,10 +182,9 @@ impl Wiretap {
 struct LinkState {
     profile: LinkProfile,
     taps: Vec<Wiretap>,
-    /// Latest delivery already scheduled on this link. Links model TCP
-    /// connections: frames never overtake each other, so a sampled latency
-    /// that would land a frame before an earlier one is clamped forward to
-    /// preserve FIFO order (head-of-line blocking, as on a real stream).
+    /// Latest delivery already scheduled on this link — only consulted when
+    /// the profile is [`ordered`](LinkProfile::ordered), where it clamps
+    /// each new delivery forward to preserve FIFO order.
     last_deliver_at: SimInstant,
 }
 
@@ -346,6 +362,29 @@ impl SimNet {
         to: &str,
         payload: Vec<u8>,
     ) -> Result<Option<SimInstant>, NetError> {
+        self.send_after(from, to, payload, SimDuration::ZERO)
+    }
+
+    /// [`send`](Self::send), with the frame entering the link only after a
+    /// sender-local compute delay: `sent_at = now + delay`.
+    ///
+    /// This models per-request work (deriving `R`, computing a token,
+    /// assembling a password) as something that delays *this* frame without
+    /// stalling the rest of the simulation — a concurrent server's worker
+    /// thread, not a global pause. [`advance`](Self::advance) remains the
+    /// right tool when the whole world genuinely waits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownEndpoint`] or [`NetError::NoLink`] if the
+    /// route does not exist.
+    pub fn send_after(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: Vec<u8>,
+        delay: SimDuration,
+    ) -> Result<Option<SimInstant>, NetError> {
         if !self.has_endpoint(from) {
             return Err(NetError::UnknownEndpoint { name: from.into() });
         }
@@ -360,7 +399,7 @@ impl SimNet {
                 to: to.into(),
             })?;
 
-        let sent_at = self.clock.now();
+        let sent_at = self.clock.now() + delay;
         self.telemetry.counter("net.frames_sent").inc();
         if !link.taps.is_empty() {
             self.telemetry
@@ -391,10 +430,15 @@ impl SimNet {
             .latency
             .sample(&mut self.rng)
             .saturating_add(link.profile.transmission_delay(payload.len()));
-        // FIFO per link (TCP semantics): a frame never overtakes one sent
-        // earlier on the same link — secure channels rely on this order.
-        let deliver_at = (sent_at + latency).max(link.last_deliver_at);
-        link.last_deliver_at = deliver_at;
+        // Unordered links deliver each frame at its own sampled time; FIFO
+        // links clamp forward so a frame never overtakes an earlier one.
+        let deliver_at = if link.profile.ordered {
+            let clamped = (sent_at + latency).max(link.last_deliver_at);
+            link.last_deliver_at = clamped;
+            clamped
+        } else {
+            sent_at + latency
+        };
         let frame = Frame {
             from: from.to_string(),
             to: to.to_string(),
@@ -412,6 +456,13 @@ impl SimNet {
             .gauge("net.queue_depth")
             .set(self.queue.len() as i64);
         Ok(Some(deliver_at))
+    }
+
+    /// The delivery time of the earliest pending frame, without delivering
+    /// it or advancing the clock — lets an orchestrator decide whether a
+    /// timer deadline fires before the next frame lands.
+    pub fn next_delivery_at(&self) -> Option<SimInstant> {
+        self.queue.peek().map(|p| p.deliver_at)
     }
 
     /// Delivers the next pending frame (advancing the clock to its delivery
@@ -536,6 +587,67 @@ mod tests {
         let second = net.step().unwrap();
         assert_eq!(second.to, "b");
         assert_eq!(net.now().as_millis_f64(), 50.0);
+    }
+
+    /// Finds a seed where two consecutive jittered samples invert (second
+    /// frame beats the first), so ordering behaviour is observable.
+    fn inverting_seed(model: &LatencyModel) -> u64 {
+        (0..1000u64)
+            .find(|&seed| {
+                let mut rng = amnesia_crypto::SecretRng::seeded(seed);
+                let a = model.sample(&mut rng);
+                let b = model.sample(&mut rng);
+                b < a
+            })
+            .expect("some seed inverts")
+    }
+
+    #[test]
+    fn unordered_links_let_late_frames_overtake() {
+        let jitter = LatencyModel::uniform_ms(1.0, 100.0);
+        let seed = inverting_seed(&jitter);
+        let mut net = SimNet::new(seed);
+        net.register("a");
+        net.register("b");
+        net.connect("a", "b", LinkProfile::new(jitter));
+        net.send("a", "b", vec![1]).unwrap();
+        net.send("a", "b", vec![2]).unwrap();
+        net.run_until_idle();
+        let payloads: Vec<u8> = net
+            .take_inbox("b")
+            .unwrap()
+            .iter()
+            .map(|f| f.payload[0])
+            .collect();
+        assert_eq!(payloads, vec![2, 1], "datagram link must reorder");
+    }
+
+    #[test]
+    fn fifo_mode_clamps_delivery_order() {
+        let jitter = LatencyModel::uniform_ms(1.0, 100.0);
+        let seed = inverting_seed(&jitter);
+        let mut net = SimNet::new(seed);
+        net.register("a");
+        net.register("b");
+        net.connect("a", "b", LinkProfile::new(jitter).with_fifo_order());
+        net.send("a", "b", vec![1]).unwrap();
+        net.send("a", "b", vec![2]).unwrap();
+        net.run_until_idle();
+        let frames = net.take_inbox("b").unwrap();
+        let payloads: Vec<u8> = frames.iter().map(|f| f.payload[0]).collect();
+        assert_eq!(payloads, vec![1, 2], "stream link must stay FIFO");
+        assert!(frames[0].delivered_at <= frames[1].delivered_at);
+    }
+
+    #[test]
+    fn next_delivery_at_peeks_without_advancing() {
+        let mut net = two_node_net(LatencyModel::constant_ms(10.0));
+        assert_eq!(net.next_delivery_at(), None);
+        net.send("a", "b", vec![1]).unwrap();
+        let peeked = net.next_delivery_at().unwrap();
+        assert_eq!(peeked.as_millis_f64(), 10.0);
+        assert_eq!(net.now().as_millis_f64(), 0.0, "peek must not advance");
+        assert_eq!(net.step().unwrap().delivered_at, peeked);
     }
 
     #[test]
@@ -699,6 +811,22 @@ mod tests {
         assert_eq!(p.transmission_delay(0).as_millis_f64(), 0.0);
         let free = LinkProfile::new(LatencyModel::constant_ms(0.0));
         assert_eq!(free.transmission_delay(1 << 20).as_millis_f64(), 0.0);
+    }
+
+    #[test]
+    fn send_after_delays_one_frame_without_stalling_the_clock() {
+        let mut net = two_node_net(LatencyModel::constant_ms(10.0));
+        // Sender-local compute of 3 ms: the frame enters the link late...
+        let at = net
+            .send_after("a", "b", vec![1], SimDuration::from_millis(3))
+            .unwrap()
+            .unwrap();
+        assert_eq!(at.as_millis_f64(), 13.0);
+        // ...but the rest of the world is not paused.
+        assert_eq!(net.now().as_millis_f64(), 0.0);
+        let frame = net.step().unwrap();
+        assert_eq!(frame.sent_at.as_millis_f64(), 3.0);
+        assert_eq!(frame.delivered_at.as_millis_f64(), 13.0);
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! * confidentiality: SHA-256 in counter mode —
 //!   `keystream_i = SHA-256(k_enc ‖ nonce ‖ i)`;
 //! * integrity: `tag = HMAC-SHA-256(k_mac, nonce ‖ ciphertext)`;
-//! * replay: strictly increasing 64-bit nonces per direction.
+//! * replay: explicit 64-bit sequence numbers checked against a
+//!   DTLS/QUIC-style sliding window ([`REPLAY_WINDOW`] nonces wide), so
+//!   frames may arrive out of order but each nonce is accepted exactly
+//!   once. Duplicates fail with [`ChannelError::Replayed`]; nonces that
+//!   have slid below the window fail with [`ChannelError::TooOld`].
 //!
 //! This is **not** a production cipher; it is a faithful simulation substrate
 //! (the paper's prototype likewise used a self-signed certificate).
@@ -24,7 +28,7 @@ use amnesia_crypto::{ct_eq, hmac_sha256, sha256_concat, HmacKey, Sha256};
 use std::error::Error;
 use std::fmt;
 
-/// Errors from opening a sealed message.
+/// Errors from sealing or opening a message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ChannelError {
@@ -35,11 +39,22 @@ pub enum ChannelError {
     },
     /// The authentication tag did not verify.
     BadTag,
-    /// The nonce was not strictly greater than the last accepted nonce.
+    /// The nonce was already accepted once — a duplicate or replay.
     Replayed {
         /// The nonce carried by the rejected message.
         nonce: u64,
     },
+    /// The nonce has slid below the anti-replay window and can no longer
+    /// be proven fresh.
+    TooOld {
+        /// The nonce carried by the rejected message.
+        nonce: u64,
+        /// The lowest nonce still inside the receive window.
+        window_start: u64,
+    },
+    /// The send nonce space is exhausted; the channel must be rekeyed.
+    /// A nonce is never silently reused.
+    Exhausted,
 }
 
 impl fmt::Display for ChannelError {
@@ -50,7 +65,19 @@ impl fmt::Display for ChannelError {
             }
             ChannelError::BadTag => write!(f, "authentication tag mismatch"),
             ChannelError::Replayed { nonce } => {
-                write!(f, "replayed or reordered nonce {nonce}")
+                write!(f, "replayed nonce {nonce}")
+            }
+            ChannelError::TooOld {
+                nonce,
+                window_start,
+            } => {
+                write!(
+                    f,
+                    "nonce {nonce} below replay window (starts at {window_start})"
+                )
+            }
+            ChannelError::Exhausted => {
+                write!(f, "send nonce space exhausted; channel must be rekeyed")
             }
         }
     }
@@ -61,19 +88,129 @@ impl Error for ChannelError {}
 const NONCE_LEN: usize = 8;
 const TAG_LEN: usize = 32;
 
+const WINDOW_WORDS: usize = 16;
+
+/// Width of the receive anti-replay window in nonces.
+///
+/// Sized for the deployment's worst observed reordering: with 256 sessions
+/// in flight, one direction of a shared link can carry ~512 frames whose
+/// latency jitter spans the whole burst, so the DTLS minimum of 64 would
+/// misclassify late-but-genuine frames as too old.
+pub const REPLAY_WINDOW: u64 = (WINDOW_WORDS * 64) as u64;
+
+/// Sliding anti-replay window: the highest authenticated nonce seen plus a
+/// bitmap of the [`REPLAY_WINDOW`] nonces at and below it.
+///
+/// Bit `d` of the conceptual bitmap records whether nonce `top - d` has
+/// been accepted; bit `d` lives in `bitmap[d / 64]` at position `d % 64`.
+#[derive(Clone)]
+struct ReplayWindow {
+    top: u64,
+    seen_any: bool,
+    bitmap: [u64; WINDOW_WORDS],
+}
+
+impl ReplayWindow {
+    fn new() -> Self {
+        ReplayWindow {
+            top: 0,
+            seen_any: false,
+            bitmap: [0; WINDOW_WORDS],
+        }
+    }
+
+    /// The lowest nonce still inside the window.
+    fn window_start(&self) -> u64 {
+        self.top.saturating_sub(REPLAY_WINDOW - 1)
+    }
+
+    /// Slides the window up by `k` nonces (all recorded distances grow).
+    fn shift_up(&mut self, k: u64) {
+        if k >= REPLAY_WINDOW {
+            self.bitmap = [0; WINDOW_WORDS];
+            return;
+        }
+        let words = (k / 64) as usize;
+        let bits = (k % 64) as u32;
+        let mut next = [0u64; WINDOW_WORDS];
+        for i in (0..WINDOW_WORDS).rev() {
+            if i < words {
+                continue;
+            }
+            let mut w = self.bitmap[i - words] << bits;
+            if bits > 0 && i > words {
+                w |= self.bitmap[i - words - 1] >> (64 - bits);
+            }
+            next[i] = w;
+        }
+        self.bitmap = next;
+    }
+
+    fn bit(&self, d: u64) -> bool {
+        self.bitmap[(d / 64) as usize] & (1u64 << (d % 64)) != 0
+    }
+
+    fn set_bit(&mut self, d: u64) {
+        self.bitmap[(d / 64) as usize] |= 1u64 << (d % 64);
+    }
+
+    /// Records an *authenticated* nonce, accepting it exactly once.
+    ///
+    /// Must only be called after the MAC verified: admission mutates the
+    /// window, and a forgery must never be able to poison it.
+    fn admit(&mut self, nonce: u64) -> Result<(), ChannelError> {
+        if !self.seen_any {
+            self.seen_any = true;
+            self.top = nonce;
+            self.bitmap = [0; WINDOW_WORDS];
+            self.set_bit(0);
+            return Ok(());
+        }
+        if nonce > self.top {
+            self.shift_up(nonce - self.top);
+            self.top = nonce;
+            self.set_bit(0);
+            return Ok(());
+        }
+        let d = self.top - nonce;
+        if d >= REPLAY_WINDOW {
+            return Err(ChannelError::TooOld {
+                nonce,
+                window_start: self.window_start(),
+            });
+        }
+        if self.bit(d) {
+            return Err(ChannelError::Replayed { nonce });
+        }
+        self.set_bit(d);
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ReplayWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplayWindow")
+            .field("top", &self.top)
+            .field("seen_any", &self.seen_any)
+            .finish_non_exhaustive()
+    }
+}
+
 /// One direction of a protected connection.
 ///
 /// The sender calls [`seal`](SecureChannel::seal); the receiver holds a
 /// channel constructed from the same secret and role and calls
 /// [`open`](SecureChannel::open). For a bidirectional connection create two
-/// channels with distinct roles (e.g. `"c2s"` and `"s2c"`).
+/// channels with distinct roles (e.g. `"c2s"` and `"s2c"`). The receiver
+/// tolerates arbitrary reordering within [`REPLAY_WINDOW`] nonces while
+/// still accepting every nonce at most once.
 ///
 /// ```
 /// use amnesia_net::SecureChannel;
 ///
 /// let mut tx = SecureChannel::new(b"session secret", "c2s");
 /// let mut rx = SecureChannel::new(b"session secret", "c2s");
-/// let wire = tx.seal(b"password request");
+/// let wire = tx.seal(b"password request").unwrap();
 /// assert_ne!(&wire[8..wire.len() - 32], b"password request".as_slice());
 /// assert_eq!(rx.open(&wire).unwrap(), b"password request");
 /// ```
@@ -86,14 +223,14 @@ pub struct SecureChannel {
     /// per-frame MAC cost no longer scales with key processing.
     mac: HmacKey<Sha256>,
     send_nonce: u64,
-    recv_nonce: Option<u64>,
+    recv_window: ReplayWindow,
 }
 
 impl fmt::Debug for SecureChannel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SecureChannel")
             .field("send_nonce", &self.send_nonce)
-            .field("recv_nonce", &self.recv_nonce)
+            .field("recv_window", &self.recv_window)
             .finish_non_exhaustive()
     }
 }
@@ -109,7 +246,7 @@ impl SecureChannel {
             mac_key,
             mac,
             send_nonce: 0,
-            recv_nonce: None,
+            recv_window: ReplayWindow::new(),
         }
     }
 
@@ -134,7 +271,16 @@ impl SecureChannel {
 
     /// Encrypts and authenticates `plaintext`, producing
     /// `nonce ‖ ciphertext ‖ tag`.
-    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::Exhausted`] once the 64-bit nonce space is
+    /// spent (`u64::MAX` itself is never issued): the channel must be
+    /// rekeyed, a nonce is never reused under the same keys.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        if self.send_nonce == u64::MAX {
+            return Err(ChannelError::Exhausted);
+        }
         let nonce = self.send_nonce;
         self.send_nonce += 1;
 
@@ -147,17 +293,22 @@ impl SecureChannel {
         let mut tag = [0u8; TAG_LEN];
         self.mac.mac_into(&out, &mut tag);
         out.extend_from_slice(&tag);
-        out
+        Ok(out)
     }
 
     /// Verifies and decrypts a message produced by [`seal`](Self::seal).
+    ///
+    /// Frames may arrive in any order; each nonce is accepted at most once,
+    /// and only while it is within [`REPLAY_WINDOW`] of the highest nonce
+    /// seen. The window is only advanced after the tag verifies, so forged
+    /// frames cannot desynchronise it.
     ///
     /// # Errors
     ///
     /// Returns [`ChannelError::Truncated`] for undersized input,
     /// [`ChannelError::BadTag`] when authentication fails (any bit flip),
-    /// and [`ChannelError::Replayed`] when a nonce repeats or goes
-    /// backwards.
+    /// [`ChannelError::Replayed`] when a nonce repeats, and
+    /// [`ChannelError::TooOld`] when a nonce has slid below the window.
     pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, ChannelError> {
         if sealed.len() < NONCE_LEN + TAG_LEN {
             return Err(ChannelError::Truncated { len: sealed.len() });
@@ -168,13 +319,11 @@ impl SecureChannel {
         if !ct_eq(&expected, tag) {
             return Err(ChannelError::BadTag);
         }
-        let nonce = u64::from_le_bytes(body[..NONCE_LEN].try_into().expect("8 bytes"));
-        if let Some(last) = self.recv_nonce {
-            if nonce <= last {
-                return Err(ChannelError::Replayed { nonce });
-            }
-        }
-        self.recv_nonce = Some(nonce);
+        let nonce_bytes: [u8; NONCE_LEN] = body[..NONCE_LEN]
+            .try_into()
+            .map_err(|_| ChannelError::Truncated { len: sealed.len() })?;
+        let nonce = u64::from_le_bytes(nonce_bytes);
+        self.recv_window.admit(nonce)?;
 
         let mut plaintext = body[NONCE_LEN..].to_vec();
         Self::keystream_xor(&self.enc_key, nonce, &mut plaintext);
@@ -200,7 +349,10 @@ impl SecureChannel {
         if !ct_eq(&hmac_sha256(mac_key, body), tag) {
             return Err(ChannelError::BadTag);
         }
-        let nonce = u64::from_le_bytes(body[..NONCE_LEN].try_into().expect("8 bytes"));
+        let nonce_bytes: [u8; NONCE_LEN] = body[..NONCE_LEN]
+            .try_into()
+            .map_err(|_| ChannelError::Truncated { len: sealed.len() })?;
+        let nonce = u64::from_le_bytes(nonce_bytes);
         let mut plaintext = body[NONCE_LEN..].to_vec();
         Self::keystream_xor(enc_key, nonce, &mut plaintext);
         Ok(plaintext)
@@ -227,7 +379,7 @@ mod tests {
             b"exactly-32-bytes-of-plaintext!!!",
             &[0u8; 100],
         ] {
-            let sealed = tx.seal(msg);
+            let sealed = tx.seal(msg).unwrap();
             assert_eq!(rx.open(&sealed).unwrap(), msg);
         }
     }
@@ -236,7 +388,7 @@ mod tests {
     fn ciphertext_hides_plaintext() {
         let (mut tx, _) = pair();
         let msg = b"the generated password is hunter2";
-        let sealed = tx.seal(msg);
+        let sealed = tx.seal(msg).unwrap();
         let body = &sealed[NONCE_LEN..sealed.len() - TAG_LEN];
         assert_eq!(body.len(), msg.len());
         assert_ne!(body, msg.as_slice());
@@ -247,7 +399,7 @@ mod tests {
     #[test]
     fn any_bitflip_is_rejected() {
         let (mut tx, _) = pair();
-        let sealed = tx.seal(b"integrity matters");
+        let sealed = tx.seal(b"integrity matters").unwrap();
         for i in 0..sealed.len() {
             let mut forged = sealed.clone();
             forged[i] ^= 0x01;
@@ -259,24 +411,129 @@ mod tests {
     #[test]
     fn replay_is_rejected() {
         let (mut tx, mut rx) = pair();
-        let sealed = tx.seal(b"one");
+        let sealed = tx.seal(b"one").unwrap();
         assert!(rx.open(&sealed).is_ok());
         assert_eq!(rx.open(&sealed), Err(ChannelError::Replayed { nonce: 0 }));
     }
 
     #[test]
-    fn reorder_is_rejected() {
+    fn reordered_frames_are_accepted_exactly_once() {
         let (mut tx, mut rx) = pair();
-        let first = tx.seal(b"first");
-        let second = tx.seal(b"second");
-        assert!(rx.open(&second).is_ok());
+        let first = tx.seal(b"first").unwrap();
+        let second = tx.seal(b"second").unwrap();
+        // Out-of-order delivery: both decrypt...
+        assert_eq!(rx.open(&second).unwrap(), b"second");
+        assert_eq!(rx.open(&first).unwrap(), b"first");
+        // ...but a second copy of either is still a replay.
         assert_eq!(rx.open(&first), Err(ChannelError::Replayed { nonce: 0 }));
+        assert_eq!(rx.open(&second), Err(ChannelError::Replayed { nonce: 1 }));
+    }
+
+    #[test]
+    fn arbitrary_permutation_within_window_is_accepted() {
+        let (mut tx, mut rx) = pair();
+        let n = REPLAY_WINDOW as usize;
+        let sealed: Vec<Vec<u8>> = (0..n)
+            .map(|i| tx.seal(format!("frame {i}").as_bytes()).unwrap())
+            .collect();
+        // Deliver in a fixed scrambled order: all stride-7 residue classes,
+        // descending within each — far from FIFO, within the window.
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        for r in 0..7 {
+            order.extend((0..n).filter(|i| i % 7 == r).rev());
+        }
+        for i in order {
+            assert_eq!(
+                rx.open(&sealed[i]).unwrap(),
+                format!("frame {i}").as_bytes(),
+                "frame {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonce_below_window_is_too_old() {
+        let (mut tx, mut rx) = pair();
+        let first = tx.seal(b"early").unwrap();
+        // Advance the window far past nonce 0.
+        for _ in 0..REPLAY_WINDOW {
+            let s = tx.seal(b"filler").unwrap();
+            rx.open(&s).unwrap();
+        }
+        // Highest nonce seen is REPLAY_WINDOW; nonce 0 is out of reach.
+        assert_eq!(
+            rx.open(&first),
+            Err(ChannelError::TooOld {
+                nonce: 0,
+                window_start: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn window_edge_is_inclusive() {
+        let (mut tx, mut rx) = pair();
+        let early: Vec<Vec<u8>> = (0..2).map(|_| tx.seal(b"early").unwrap()).collect();
+        for _ in 2..REPLAY_WINDOW {
+            let _ = tx.seal(b"skipped").unwrap();
+        }
+        let late = tx.seal(b"late").unwrap(); // nonce REPLAY_WINDOW
+        rx.open(&late).unwrap();
+        // Nonce 1 sits exactly at the oldest in-window slot; nonce 0 is out.
+        assert_eq!(rx.open(&early[1]).unwrap(), b"early");
+        assert!(matches!(
+            rx.open(&early[0]),
+            Err(ChannelError::TooOld { nonce: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn forged_frames_do_not_advance_the_window() {
+        let (mut tx, mut rx) = pair();
+        // A forged frame claiming a huge nonce fails the MAC and must not
+        // slide the window (which would orphan genuine in-flight frames).
+        let mut forged = tx.seal(b"genuine tag base").unwrap();
+        forged[..NONCE_LEN].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(rx.open(&forged), Err(ChannelError::BadTag));
+        let genuine = tx.seal(b"still fresh").unwrap();
+        assert_eq!(rx.open(&tx.seal(b"gap").unwrap()).unwrap(), b"gap");
+        assert_eq!(rx.open(&genuine).unwrap(), b"still fresh");
+    }
+
+    #[test]
+    fn send_nonce_exhaustion_is_a_typed_error_not_a_reuse() {
+        let (mut tx, _) = pair();
+        tx.send_nonce = u64::MAX - 1;
+        // The penultimate nonce still seals...
+        let last = tx.seal(b"last frame").unwrap();
+        assert_eq!(last[..NONCE_LEN], (u64::MAX - 1).to_le_bytes());
+        // ...then the channel is exhausted, repeatedly and without wrapping.
+        assert_eq!(tx.seal(b"one too many"), Err(ChannelError::Exhausted));
+        assert_eq!(tx.seal(b"still refused"), Err(ChannelError::Exhausted));
+        assert_eq!(tx.send_nonce, u64::MAX);
+    }
+
+    #[test]
+    fn max_nonce_frames_are_openable_if_ever_sealed_elsewhere() {
+        // The receiver window itself handles nonces up to u64::MAX even
+        // though our sender stops one short.
+        let mut w = ReplayWindow::new();
+        assert!(w.admit(u64::MAX).is_ok());
+        assert_eq!(
+            w.admit(u64::MAX),
+            Err(ChannelError::Replayed { nonce: u64::MAX })
+        );
+        assert!(w.admit(u64::MAX - 1).is_ok());
+        assert!(matches!(
+            w.admit(u64::MAX - REPLAY_WINDOW),
+            Err(ChannelError::TooOld { .. })
+        ));
     }
 
     #[test]
     fn wrong_secret_or_role_fails() {
         let mut tx = SecureChannel::new(b"secret", "c2s");
-        let sealed = tx.seal(b"msg");
+        let sealed = tx.seal(b"msg").unwrap();
         let mut wrong_secret = SecureChannel::new(b"other", "c2s");
         assert_eq!(wrong_secret.open(&sealed), Err(ChannelError::BadTag));
         let mut wrong_role = SecureChannel::new(b"secret", "s2c");
@@ -297,7 +554,7 @@ mod tests {
         // The broken-HTTPS attack path: wiretap + stolen keys = plaintext.
         let (mut tx, _) = pair();
         let (enc, mac) = tx.export_keys_for_attack_model();
-        let sealed = tx.seal(b"password: p4ss");
+        let sealed = tx.seal(b"password: p4ss").unwrap();
         let plain = SecureChannel::decrypt_with_stolen_keys(&enc, &mac, &sealed).unwrap();
         assert_eq!(plain, b"password: p4ss");
     }
@@ -305,8 +562,8 @@ mod tests {
     #[test]
     fn distinct_messages_distinct_ciphertexts() {
         let (mut tx, _) = pair();
-        let a = tx.seal(b"same plaintext");
-        let b = tx.seal(b"same plaintext");
+        let a = tx.seal(b"same plaintext").unwrap();
+        let b = tx.seal(b"same plaintext").unwrap();
         assert_ne!(a, b, "nonce must vary the ciphertext");
     }
 

@@ -639,6 +639,26 @@ impl Session {
                 };
                 vec![Action::ExpectUserConfirm, Action::ArmTimer(self.timeout)]
             }
+            // Non-FIFO links can deliver the terminal reply before the
+            // RequestPushed ack it logically follows (the phone confirmed
+            // without the browser's ack, e.g. auto-confirm). The ack is then
+            // redundant: resolve directly instead of waiting for a frame
+            // that no longer matters.
+            (
+                State::AwaitPushAck,
+                FromServer::PasswordReady {
+                    account,
+                    password,
+                    requested_at,
+                },
+            ) => self.deliver(SessionOutcome::Password {
+                account,
+                password,
+                requested_at,
+            }),
+            (State::AwaitPushAck, FromServer::ChosenPasswordStored { account }) => {
+                self.deliver(SessionOutcome::Stored { account })
+            }
             (
                 State::AwaitPassword,
                 FromServer::PasswordReady {
@@ -926,6 +946,52 @@ mod tests {
         assert!(matches!(
             &actions[..],
             [Action::Deliver(SessionOutcome::Password { .. })]
+        ));
+        assert!(s.is_terminal());
+    }
+
+    #[test]
+    fn password_ready_overtaking_push_ack_resolves_the_session() {
+        // Non-FIFO delivery: the terminal reply lands before the
+        // RequestPushed ack. The session must resolve, and the stale ack
+        // must then be inert.
+        let mut s = generate_session(8, 1);
+        s.start();
+        let actions = s.on_event(Event::FrameReceived(FromServer::PasswordReady {
+            account: sample_account_ref(),
+            password: sample_password(),
+            requested_at: SimInstant::EPOCH,
+        }));
+        assert!(matches!(
+            &actions[..],
+            [Action::Deliver(SessionOutcome::Password { .. })]
+        ));
+        assert!(s.is_terminal());
+        assert!(s
+            .on_event(Event::FrameReceived(FromServer::RequestPushed))
+            .is_empty());
+    }
+
+    #[test]
+    fn stored_ack_overtaking_push_ack_resolves_the_session() {
+        let (username, domain) = account();
+        let mut s = Session::new(
+            9,
+            "browser",
+            FlowSpec::StoreChosen {
+                username,
+                domain,
+                chosen_password: "chosen-password".into(),
+            },
+        )
+        .with_auth(auth_token());
+        s.start();
+        let actions = s.on_event(Event::FrameReceived(FromServer::ChosenPasswordStored {
+            account: sample_account_ref(),
+        }));
+        assert!(matches!(
+            &actions[..],
+            [Action::Deliver(SessionOutcome::Stored { .. })]
         ));
         assert!(s.is_terminal());
     }

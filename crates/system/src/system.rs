@@ -99,10 +99,15 @@ pub struct AmnesiaSystem {
     cloud: CloudProvider,
     phones: BTreeMap<String, AmnesiaPhone>,
     browsers: BTreeMap<String, Browser>,
-    channels: HashMap<(String, String), SecureChannel>,
+    /// Directed secure channels, keyed `from → to` (nested so the per-frame
+    /// seal/open lookups borrow `&str` instead of allocating key tuples).
+    channels: HashMap<String, HashMap<String, SecureChannel>>,
     channel_rng: SecretRng,
     sessions: HashMap<SessionId, SessionEntry>,
     next_session_id: SessionId,
+    /// Count of unsettled sessions (tracked incrementally; scanning the
+    /// table per completion made the event loop quadratic in batch size).
+    inflight: u64,
     /// Network drops already attributed to sessions (drop detection edge).
     seen_drops: u64,
     generation_latencies: Vec<SimDuration>,
@@ -161,6 +166,7 @@ impl AmnesiaSystem {
             channel_rng,
             sessions: HashMap::new(),
             next_session_id: 1,
+            inflight: 0,
             seen_drops: 0,
             generation_latencies: Vec::new(),
             faults: Vec::new(),
@@ -174,14 +180,14 @@ impl AmnesiaSystem {
         // Stand-in for the TLS handshake: both directions keyed from one
         // fresh shared secret.
         let secret = self.channel_rng.bytes::<32>();
-        self.channels.insert(
-            (a.to_string(), b.to_string()),
-            SecureChannel::new(&secret, "fwd"),
-        );
-        self.channels.insert(
-            (b.to_string(), a.to_string()),
-            SecureChannel::new(&secret, "rev"),
-        );
+        self.channels
+            .entry(a.to_string())
+            .or_default()
+            .insert(b.to_string(), SecureChannel::new(&secret, "fwd"));
+        self.channels
+            .entry(b.to_string())
+            .or_default()
+            .insert(a.to_string(), SecureChannel::new(&secret, "rev"));
     }
 
     /// Adds a browser endpoint connected to the server over the profile's
@@ -244,13 +250,13 @@ impl AmnesiaSystem {
 
     // -- channel plumbing ------------------------------------------------------
 
-    fn seal(&mut self, from: &str, to: &str, bytes: Vec<u8>) -> Vec<u8> {
+    fn seal(&mut self, from: &str, to: &str, bytes: Vec<u8>) -> Result<Vec<u8>, SystemError> {
         if !self.config.secure_channels {
-            return bytes;
+            return Ok(bytes);
         }
-        match self.channels.get_mut(&(from.to_string(), to.to_string())) {
-            Some(channel) => channel.seal(&bytes),
-            None => bytes,
+        match self.channels.get_mut(from).and_then(|m| m.get_mut(to)) {
+            Some(channel) => channel.seal(&bytes).map_err(SystemError::from),
+            None => Ok(bytes),
         }
     }
 
@@ -258,7 +264,7 @@ impl AmnesiaSystem {
         if !self.config.secure_channels {
             return Ok(bytes.to_vec());
         }
-        match self.channels.get_mut(&(from.to_string(), to.to_string())) {
+        match self.channels.get_mut(from).and_then(|m| m.get_mut(to)) {
             Some(channel) => channel.open(bytes).map_err(SystemError::from),
             None => Ok(bytes.to_vec()),
         }
@@ -273,7 +279,8 @@ impl AmnesiaSystem {
         to: &str,
     ) -> Option<([u8; 32], [u8; 32])> {
         self.channels
-            .get(&(from.to_string(), to.to_string()))
+            .get(from)
+            .and_then(|m| m.get(to))
             .map(SecureChannel::export_keys_for_attack_model)
     }
 
@@ -328,6 +335,7 @@ impl AmnesiaSystem {
                 span,
             },
         );
+        self.inflight += 1;
         self.update_inflight_gauge();
         let actions = match self.sessions.get_mut(&id) {
             Some(entry) => entry.engine.start(),
@@ -426,7 +434,7 @@ impl AmnesiaSystem {
                 })?,
         };
         let bytes = message.to_wire()?;
-        let sealed = self.seal(&from, SERVER_ENDPOINT, bytes);
+        let sealed = self.seal(&from, SERVER_ENDPOINT, bytes)?;
         self.net.send(&from, SERVER_ENDPOINT, sealed)?;
         Ok(())
     }
@@ -453,18 +461,14 @@ impl AmnesiaSystem {
             self.telemetry.counter("system.generations").inc();
         }
         entry.outcome = Some(result);
+        self.inflight = self.inflight.saturating_sub(1);
         self.update_inflight_gauge();
     }
 
     fn update_inflight_gauge(&self) {
-        let live = self
-            .sessions
-            .values()
-            .filter(|e| e.outcome.is_none())
-            .count();
         self.telemetry
             .gauge("system.session.inflight")
-            .set(live as i64);
+            .set(self.inflight as i64);
     }
 
     /// If the session's phone holds a pending confirmation for it and the
@@ -487,7 +491,6 @@ impl AmnesiaSystem {
             },
             None => return Ok(()),
         };
-        self.net.advance(self.config.profile.token_compute);
         self.send_token_from_phone(&phone_name, response)
     }
 
@@ -596,11 +599,12 @@ impl AmnesiaSystem {
     // -- event loop ------------------------------------------------------------
 
     /// Drives the network and the given sessions until every one of them is
-    /// settled: pump frames, attribute observed push drops, and fire timers
-    /// by advancing simulated time to the earliest live deadline.
+    /// settled, interleaving frame delivery with timer deadlines: a timer
+    /// that expires before the next frame lands fires first, even while the
+    /// frame is still in flight (its eventual arrival is then a late
+    /// reply). Push drops are attributed when the network goes idle.
     fn drive(&mut self, targets: &[SessionId]) {
         loop {
-            self.pump();
             let live: Vec<SessionId> = targets
                 .iter()
                 .copied()
@@ -610,69 +614,112 @@ impl AmnesiaSystem {
                 return;
             }
 
-            // Push loss: the only lossy leg is rendezvous → phone, so when
-            // the network is idle, new drops mean some awaiting-push
-            // session's push is gone. Let every exposed session react (a
-            // session whose push actually arrived ignores the retry hint at
-            // worst by re-sending; with per-session drop bookkeeping the
-            // sim profiles used by the tests never hit that case).
-            let dropped = self.net.dropped_count();
-            if dropped > self.seen_drops {
-                self.seen_drops = dropped;
-                let mut fired = false;
-                for sid in &live {
-                    let exposed = self
-                        .sessions
-                        .get(sid)
-                        .is_some_and(|e| e.engine.awaits_push());
-                    if exposed {
-                        fired = true;
-                        self.feed(*sid, Event::PushDropped);
-                    }
-                }
-                if fired {
-                    continue;
-                }
-            }
-
-            // No frames in flight and no drops to attribute: advance time to
-            // the earliest deadline and fire the expired timers.
             let next_deadline = live
                 .iter()
                 .filter_map(|sid| self.sessions.get(sid).and_then(|e| e.deadline))
                 .min();
-            match next_deadline {
-                Some(deadline) => {
-                    let now = self.net.now();
-                    if deadline > now {
-                        self.net.advance(deadline.duration_since(now));
-                    }
-                    let now = self.net.now();
-                    for sid in &live {
-                        let expired = self
-                            .sessions
-                            .get(sid)
-                            .and_then(|e| e.deadline)
-                            .is_some_and(|d| d <= now);
-                        if expired {
-                            self.telemetry.counter("system.session.timeouts").inc();
-                            self.feed(*sid, Event::TimerFired);
-                        }
+
+            // Deliver every frame scheduled no later than the earliest
+            // deadline in one tight batch. The cached minimum stays a valid
+            // bound for the whole batch: every session re-arms with the same
+            // configured timeout, so a re-arm during the batch lands at
+            // `frame time + timeout` — never before an already-armed
+            // deadline — and completions only clear deadlines.
+            let mut delivered_any = false;
+            while let Some(frame_at) = self.net.next_delivery_at() {
+                if next_deadline.is_some_and(|deadline| deadline < frame_at) {
+                    break;
+                }
+                self.deliver_one_frame();
+                delivered_any = true;
+            }
+            if delivered_any {
+                continue; // re-derive live sessions and the deadline
+            }
+
+            match self.net.next_delivery_at() {
+                // A deadline strictly before the next delivery expires now;
+                // the in-flight frame will be counted late on arrival.
+                Some(_) => {
+                    if let Some(deadline) = next_deadline {
+                        self.fire_timers(&live, deadline);
                     }
                 }
                 None => {
-                    // No timer armed and nothing in flight: the flow can
-                    // never finish. Fail every remaining session with the
-                    // reply it was waiting for.
-                    for sid in live {
-                        let expected = self
-                            .sessions
-                            .get(&sid)
-                            .map(|e| e.engine.expected_reply())
-                            .unwrap_or("reply");
-                        self.complete(sid, Err(SystemError::MissingReply { expected }));
+                    // Push loss: the only lossy leg is rendezvous → phone, so
+                    // when the network is idle, new drops mean some
+                    // awaiting-push session's push is gone. Let every exposed
+                    // session react (a session whose push actually arrived
+                    // ignores the retry hint at worst by re-sending; with
+                    // per-session drop bookkeeping the sim profiles used by
+                    // the tests never hit that case).
+                    let dropped = self.net.dropped_count();
+                    if dropped > self.seen_drops {
+                        self.seen_drops = dropped;
+                        let mut fired = false;
+                        for sid in &live {
+                            let exposed = self
+                                .sessions
+                                .get(sid)
+                                .is_some_and(|e| e.engine.awaits_push());
+                            if exposed {
+                                fired = true;
+                                self.feed(*sid, Event::PushDropped);
+                            }
+                        }
+                        if fired {
+                            continue;
+                        }
+                    }
+                    match next_deadline {
+                        Some(deadline) => self.fire_timers(&live, deadline),
+                        None => {
+                            // No timer armed and nothing in flight: the flow
+                            // can never finish. Fail every remaining session
+                            // with the reply it was waiting for.
+                            for sid in live {
+                                let expected = self
+                                    .sessions
+                                    .get(&sid)
+                                    .map(|e| e.engine.expected_reply())
+                                    .unwrap_or("reply");
+                                self.complete(sid, Err(SystemError::MissingReply { expected }));
+                            }
+                        }
                     }
                 }
+            }
+        }
+    }
+
+    /// Advances simulated time to `deadline` and feeds `TimerFired` to every
+    /// live session whose deadline has passed.
+    fn fire_timers(&mut self, live: &[SessionId], deadline: SimInstant) {
+        let now = self.net.now();
+        if deadline > now {
+            self.net.advance(deadline.duration_since(now));
+        }
+        let now = self.net.now();
+        for sid in live {
+            let expired = self
+                .sessions
+                .get(sid)
+                .and_then(|e| e.deadline)
+                .is_some_and(|d| d <= now);
+            if expired {
+                self.telemetry.counter("system.session.timeouts").inc();
+                self.feed(*sid, Event::TimerFired);
+            }
+        }
+    }
+
+    /// Delivers and dispatches the single earliest pending frame, recording
+    /// component-level rejections as faults (same policy as [`pump`](Self::pump)).
+    fn deliver_one_frame(&mut self) {
+        if let Some(frame) = self.net.step() {
+            if let Err(e) = self.dispatch(frame) {
+                self.telemetry.counter("system.dispatch_faults").inc();
+                self.faults.push(e.to_string());
             }
         }
     }
@@ -685,6 +732,10 @@ impl AmnesiaSystem {
     ) -> (Result<SessionOutcome, SystemError>, Option<SimDuration>) {
         match self.sessions.remove(&sid) {
             Some(entry) => {
+                if entry.outcome.is_none() {
+                    self.inflight = self.inflight.saturating_sub(1);
+                    self.update_inflight_gauge();
+                }
                 let fallback = SystemError::MissingReply {
                     expected: entry.engine.expected_reply(),
                 };
@@ -722,10 +773,9 @@ impl AmnesiaSystem {
     }
 
     fn dispatch(&mut self, frame: Frame) -> Result<(), SystemError> {
-        let to = frame.to.clone();
-        if to == SERVER_ENDPOINT {
+        if frame.to == SERVER_ENDPOINT {
             self.dispatch_to_server(frame)
-        } else if to == GCM_ENDPOINT {
+        } else if frame.to == GCM_ENDPOINT {
             // Step 2 leg of Fig. 1: the server's push travelling to the
             // rendezvous service.
             self.telemetry
@@ -736,48 +786,54 @@ impl AmnesiaSystem {
                 .map_err(|e| SystemError::ServerRejected {
                     message: format!("rendezvous: {e}"),
                 })
-        } else if self.phones.contains_key(&to) {
+        } else if self.phones.contains_key(&frame.to) {
             self.dispatch_to_phone(frame)
-        } else if self.browsers.contains_key(&to) {
+        } else if self.browsers.contains_key(&frame.to) {
             self.dispatch_to_browser(frame)
         } else {
             // Endpoint exists but no live component (e.g. removed phone).
-            Err(SystemError::UnknownComponent { endpoint: to })
+            Err(SystemError::UnknownComponent { endpoint: frame.to })
         }
     }
 
     fn dispatch_to_server(&mut self, frame: Frame) -> Result<(), SystemError> {
         let plaintext = self.open(&frame.from, SERVER_ENDPOINT, &frame.payload)?;
         let message = ToServer::from_wire(&plaintext)?;
-        match &message {
+        // Per-request server compute (deriving R, assembling the password) is
+        // modelled as a delay on this request's *outgoing* frames, not as a
+        // global clock advance: the server handles concurrent requests on
+        // independent workers, so one session's compute must not inflate
+        // every other in-flight session's measured window.
+        let compute = match &message {
             ToServer::RequestPassword { .. } => {
                 // Step 1 of Fig. 1: the browser's request reaching the server.
                 self.telemetry
                     .record("steps.step1_request_upload_us", Self::leg_micros(&frame));
-                self.net.advance(self.config.profile.request_compute);
+                self.config.profile.request_compute
             }
             ToServer::Token(_) => {
                 // Step 4 leg (token upload) and step 5 (password assembly,
-                // modelled as the configured compute advance).
+                // modelled as the configured compute delay).
                 self.telemetry
                     .record("steps.step4_token_upload_us", Self::leg_micros(&frame));
                 self.telemetry.record(
                     "steps.step5_password_compute_us",
                     self.config.profile.password_compute.as_micros(),
                 );
-                self.net.advance(self.config.profile.password_compute);
+                self.config.profile.password_compute
             }
-            _ => {}
-        }
-        let now = self.net.now();
+            _ => SimDuration::ZERO,
+        };
+        // The server's view of time includes its own compute on this request.
+        let now = self.net.now() + compute;
         let reaction = self.server.handle_message(message, now);
         if let Some(push) = reaction.push {
             self.net
-                .send(SERVER_ENDPOINT, GCM_ENDPOINT, push.to_wire()?)?;
+                .send_after(SERVER_ENDPOINT, GCM_ENDPOINT, push.to_wire()?, compute)?;
         }
         for (dest, reply) in reaction.replies {
             if let FromServer::PasswordReady { requested_at, .. } = &reply.message {
-                let latency = self.net.now().duration_since(*requested_at);
+                let latency = now.duration_since(*requested_at);
                 self.telemetry
                     .record("system.generate_password_us", latency.as_micros());
                 self.generation_latencies.push(latency);
@@ -787,8 +843,9 @@ impl AmnesiaSystem {
                 }
             }
             let bytes = reply.to_wire()?;
-            let sealed = self.seal(SERVER_ENDPOINT, &dest, bytes);
-            self.net.send(SERVER_ENDPOINT, &dest, sealed)?;
+            let sealed = self.seal(SERVER_ENDPOINT, &dest, bytes)?;
+            self.net
+                .send_after(SERVER_ENDPOINT, &dest, sealed, compute)?;
         }
         Ok(())
     }
@@ -804,7 +861,6 @@ impl AmnesiaSystem {
         };
         match outcome {
             PushOutcome::Respond(response) => {
-                self.net.advance(self.config.profile.token_compute);
                 self.send_token_from_phone(&frame.to.clone(), response)?;
             }
             PushOutcome::AwaitingConfirmation => {
@@ -824,14 +880,22 @@ impl AmnesiaSystem {
         Ok(())
     }
 
+    /// Seals and sends a confirmed token upload, delayed by the phone's
+    /// Algorithm 1 compute time (the phone works on its own core; its
+    /// compute must not pause the rest of the simulation).
     fn send_token_from_phone(
         &mut self,
         phone_endpoint: &str,
         response: amnesia_server::protocol::TokenResponse,
     ) -> Result<(), SystemError> {
         let bytes = ToServer::Token(response).to_wire()?;
-        let sealed = self.seal(phone_endpoint, SERVER_ENDPOINT, bytes);
-        self.net.send(phone_endpoint, SERVER_ENDPOINT, sealed)?;
+        let sealed = self.seal(phone_endpoint, SERVER_ENDPOINT, bytes)?;
+        self.net.send_after(
+            phone_endpoint,
+            SERVER_ENDPOINT,
+            sealed,
+            self.config.profile.token_compute,
+        )?;
         Ok(())
     }
 
@@ -847,8 +911,19 @@ impl AmnesiaSystem {
             Some(browser) => browser.handle_reply(reply.message.clone()),
             None => return Err(SystemError::UnknownComponent { endpoint: frame.to }),
         }
-        // Route the reply to the session that is waiting for it.
-        self.feed(reply.request_id, Event::FrameReceived(reply.message));
+        // Route the reply to the session that is waiting for it. A session
+        // that already settled (e.g. its timer fired while this frame was in
+        // flight) or was already finished must not be resolved twice; the
+        // frame is valid but late, and is counted as such.
+        let late = self
+            .sessions
+            .get(&reply.request_id)
+            .is_none_or(|e| e.outcome.is_some());
+        if late {
+            self.telemetry.counter("system.session.late_replies").inc();
+        } else {
+            self.feed(reply.request_id, Event::FrameReceived(reply.message));
+        }
         Ok(())
     }
 

@@ -47,14 +47,24 @@ for metric in hmac_msgs_per_sec pbkdf2_iters_per_sec e2e_generate_p50_ns; do
 done
 
 echo "==> concurrent-session isolation tests"
-# 256 interleaved generations over one network plus the sim-vs-threaded
-# differential check — the session-engine refactor's acceptance gate.
+# 256 interleaved generations over one network (FIFO and out-of-order
+# profiles) plus the sim-vs-threaded differential check and the
+# late-reply-after-timeout regression.
 cargo test -q --offline --test concurrency
 
+echo "==> security-property and failure-injection tests"
+# Replay-window invariants (permuted/duplicated streams decrypt exactly
+# once, system-wide replay rejection) and drop+retry convergence under
+# out-of-order links.
+cargo test -q --offline --test security_properties
+cargo test -q --offline --test failure_injection
+
 echo "==> e2e throughput smoke run"
-# Quick-mode batch driver: opens whole batches of sessions through
-# generate_passwords_concurrent and fails on any lost session. The
-# committed baseline (BENCH_E2E.json) is regenerated with a full run.
+# Quick-mode batch driver (N ∈ {1, 256}): opens whole batches of sessions
+# through generate_passwords_concurrent, fails on any lost session, and
+# enforces the head-of-line gate — N=256 mean simulated latency must stay
+# within 1.25x the N=1 mean. The committed baseline (BENCH_E2E.json) is
+# regenerated with a full run.
 cargo run -q --release --offline --locked -p amnesia-bench \
     --bin bench_e2e -- --quick --out target/BENCH_E2E.quick.json
 if ! grep -q '"generations_per_sec"' target/BENCH_E2E.quick.json; then
@@ -62,4 +72,4 @@ if ! grep -q '"generations_per_sec"' target/BENCH_E2E.quick.json; then
     exit 1
 fi
 
-echo "OK: offline build, tests, formatting, lint, zero-dependency check, telemetry, crypto-bench, concurrency and e2e-throughput smoke runs passed"
+echo "OK: offline build, tests, formatting, lint, zero-dependency check, telemetry, crypto-bench, concurrency, security-property and e2e-throughput runs passed"

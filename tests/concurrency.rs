@@ -87,6 +87,72 @@ fn two_hundred_fifty_six_interleaved_sessions_stay_isolated() {
 }
 
 #[test]
+fn interleaved_sessions_stay_isolated_under_out_of_order_links() {
+    // Same isolation property, but over the jittered wifi profile whose
+    // links now deliver out of order (per-frame latency sampling, no FIFO
+    // clamp): the sliding replay window must absorb the reordering without
+    // a single dispatch fault or cross-session bleed.
+    let (mut sys, accounts) = concurrent_deployment(0xC2, NetProfile::wifi());
+    let results = sys.generate_passwords_concurrent(&requests(&accounts), 1);
+    assert_eq!(results.len(), N);
+
+    let (mut reference, ref_accounts) = concurrent_deployment(0xC2, NetProfile::wifi());
+    for (result, (u, d)) in results.iter().zip(&ref_accounts) {
+        let outcome = result.as_ref().unwrap_or_else(|e| panic!("{u}@{d}: {e}"));
+        assert_eq!(&outcome.account.username, u);
+        assert_eq!(&outcome.account.domain, d);
+        let expected = reference
+            .generate_password("browser", "phone", u, d)
+            .unwrap();
+        assert_eq!(outcome.password, expected.password, "{u}@{d}");
+    }
+    assert!(sys.faults().is_empty(), "{:?}", sys.faults());
+    assert_eq!(sys.generation_latencies().len(), N);
+}
+
+#[test]
+fn late_reply_after_timeout_is_counted_not_double_resolved() {
+    // A timeout that fires while the PasswordReady is still in flight: the
+    // session must fail exactly once (timer first), and the late-but-valid
+    // reply must be counted as `late_reply`, not resolve the session a
+    // second time. Over the 1 ms lan profile the timer is last re-armed at
+    // t=2 ms (RequestPushed ack) and the PasswordReady is sent at t=4 ms,
+    // landing at t=5 ms; a 2.5 ms timeout therefore expires at t=4.5 ms,
+    // while the reply is in flight.
+    let mut sys = AmnesiaSystem::new(
+        SystemConfig::default()
+            .with_seed(0xFA)
+            .with_table_size(64)
+            .with_profile(NetProfile::lan())
+            .with_session_timeout(SimDuration::from_micros(2_500)),
+    );
+    sys.add_browser("browser");
+    sys.add_phone("phone", 0xFB);
+    sys.setup_user("tardy", "mp", "browser", "phone").unwrap();
+    let u = Username::new("tardy").unwrap();
+    let d = Domain::new("late.example.com").unwrap();
+    sys.add_account("browser", u.clone(), d.clone(), PasswordPolicy::default())
+        .unwrap();
+
+    let err = sys
+        .generate_password("browser", "phone", &u, &d)
+        .unwrap_err();
+    assert!(err.to_string().contains("PasswordReady"), "{err}");
+
+    // The reply is still on the wire; delivering it must not resurrect the
+    // settled (and already removed) session.
+    sys.pump();
+    let snapshot = sys.telemetry().snapshot();
+    assert_eq!(snapshot.counters["system.session.timeouts"], 1);
+    assert_eq!(snapshot.counters["system.session.late_replies"], 1);
+    assert!(
+        !snapshot.counters.contains_key("system.generations"),
+        "a late reply must never count as a completed generation"
+    );
+    assert!(sys.faults().is_empty(), "{:?}", sys.faults());
+}
+
+#[test]
 fn concurrent_latencies_are_attributed_per_session() {
     // Under a jittered profile each session's measured window differs; the
     // outcome must carry its own, not the last one recorded globally.

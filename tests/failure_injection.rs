@@ -51,6 +51,39 @@ fn retry_on_reliable_network_is_single_shot() {
 }
 
 #[test]
+fn drop_and_retry_converge_under_out_of_order_links() {
+    // Jittered wifi links deliver out of order (non-FIFO is now the
+    // default) *and* the push leg loses half its frames: bounded retry must
+    // still converge on the correct password, with no dispatch faults —
+    // the replay window absorbs the reordering, retries absorb the loss.
+    let mut sys = AmnesiaSystem::new(
+        SystemConfig::default()
+            .with_seed(11)
+            .with_table_size(64)
+            .with_profile(NetProfile::wifi().with_push_drop_probability(0.5)),
+    );
+    sys.add_browser("browser");
+    sys.add_phone("phone", 12);
+    sys.setup_user("omar", "mp", "browser", "phone").unwrap();
+    let u = Username::new("omar").unwrap();
+    let d = Domain::new("jitter.example.com").unwrap();
+    sys.add_account("browser", u.clone(), d.clone(), PasswordPolicy::default())
+        .unwrap();
+
+    let outcome = sys
+        .generate_password_with_retry("browser", "phone", &u, &d, 10)
+        .unwrap();
+    assert_eq!(outcome.password.as_str().len(), 32);
+    assert!(sys.faults().is_empty(), "{:?}", sys.faults());
+
+    // Retried requests re-use the same channels; no frame was ever
+    // accepted twice (a double acceptance would surface as a duplicated
+    // autofill entry or a dispatch fault).
+    let autofills = sys.browser_ref("browser").unwrap().autofill_history();
+    assert_eq!(autofills.iter().filter(|(a, _)| a.username == u).count(), 1);
+}
+
+#[test]
 fn garbage_frames_do_not_wedge_any_component() {
     let (mut sys, u, d) = lossy_system(4, 0.0);
     // Hostile neighbor blasting junk at every service endpoint.

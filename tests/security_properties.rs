@@ -229,7 +229,101 @@ fn channel_tampering_is_detected_and_dropped() {
 
     let mut tx = SecureChannel::new(b"shared", "c2s");
     let mut rx = SecureChannel::new(b"shared", "c2s");
-    let mut sealed = tx.seal(b"RequestPassword{...}");
+    let mut sealed = tx.seal(b"RequestPassword{...}").unwrap();
     sealed[10] ^= 0x80;
     assert!(rx.open(&sealed).is_err());
+}
+
+/// The sliding-window tentpole property: an arbitrary permutation of a
+/// sealed-frame stream, with arbitrary duplications mixed in, decrypts to
+/// exactly the sent set — every frame accepted once, every extra copy
+/// rejected as a replay, no nonce ever accepted twice.
+#[test]
+fn permuted_and_duplicated_streams_decrypt_to_exactly_the_sent_set() {
+    use amnesia::net::{ChannelError, SecureChannel, REPLAY_WINDOW};
+
+    for_all(
+        "permuted stream decrypts exactly once",
+        CASES,
+        |g: &mut Gen| {
+            let mut tx = SecureChannel::new(b"window secret", "c2s");
+            let mut rx = SecureChannel::new(b"window secret", "c2s");
+            let n = g.usize_in(1, REPLAY_WINDOW as usize / 2);
+            let sealed: Vec<Vec<u8>> = (0..n)
+                .map(|i| tx.seal(format!("frame {i}").as_bytes()).unwrap())
+                .collect();
+            // Delivery schedule: every frame once plus random duplicates,
+            // shuffled (Fisher–Yates driven by the generator).
+            let mut schedule: Vec<usize> = (0..n).collect();
+            for _ in 0..g.usize_in(0, n) {
+                schedule.push(g.usize_in(0, n - 1));
+            }
+            for i in (1..schedule.len()).rev() {
+                let j = g.usize_in(0, i);
+                schedule.swap(i, j);
+            }
+
+            let mut accepted = vec![0u32; n];
+            for &i in &schedule {
+                match rx.open(&sealed[i]) {
+                    Ok(plain) => {
+                        require_eq!(plain, format!("frame {i}").into_bytes());
+                        accepted[i] += 1;
+                    }
+                    Err(ChannelError::Replayed { nonce }) => {
+                        require_eq!(nonce, i as u64);
+                        require_eq!(accepted[i], 1);
+                    }
+                    Err(e) => return Err(format!("unexpected channel error: {e}")),
+                }
+            }
+            require!(
+                accepted.iter().all(|&c| c == 1),
+                "every sent frame must decrypt exactly once"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn replayed_wire_frames_are_rejected_systemwide() {
+    use amnesia::system::{AmnesiaSystem, SystemConfig, SERVER_ENDPOINT};
+
+    // Capture every genuine server→browser frame of a generation off the
+    // wire, then re-inject the lot: each duplicate must be refused by the
+    // channel's replay window, and the browser must not autofill twice.
+    let mut sys = AmnesiaSystem::new(SystemConfig::default().with_seed(21).with_table_size(128));
+    sys.add_browser("browser");
+    sys.add_phone("phone", 210);
+    sys.setup_user("nina", "mp", "browser", "phone").unwrap();
+    let u = Username::new("nina").unwrap();
+    let d = Domain::new("replay.example.com").unwrap();
+    sys.add_account("browser", u.clone(), d.clone(), PasswordPolicy::default())
+        .unwrap();
+    let tap = sys.net_mut().tap(SERVER_ENDPOINT, "browser").unwrap();
+    sys.generate_password("browser", "phone", &u, &d).unwrap();
+
+    let autofills_before = sys.browser_ref("browser").unwrap().autofill_history().len();
+    let records = tap.records();
+    assert!(!records.is_empty());
+    let faults_before = sys.faults().len();
+    for record in &records {
+        sys.net_mut()
+            .send(SERVER_ENDPOINT, "browser", record.payload.clone())
+            .unwrap();
+    }
+    sys.pump();
+
+    let new_faults = &sys.faults()[faults_before..];
+    assert_eq!(new_faults.len(), records.len(), "{new_faults:?}");
+    assert!(
+        new_faults.iter().all(|f| f.contains("replayed")),
+        "{new_faults:?}"
+    );
+    assert_eq!(
+        sys.browser_ref("browser").unwrap().autofill_history().len(),
+        autofills_before,
+        "a replayed PasswordReady must never autofill again"
+    );
 }
