@@ -1,0 +1,377 @@
+//! Population-driven load generation against a [`Fleet`].
+//!
+//! The generator samples synthetic users from the pinned 31-participant
+//! study population (`amnesia-userstudy`): each fleet user inherits a
+//! participant's activity level (daily hours online → how often the load
+//! picks them) and account-count bucket (how many managed accounts they
+//! carry). On top of the population it layers the three levers real
+//! password-manager traffic has:
+//!
+//! * a **workload mix** — weighted login / generate / rotate / recover
+//!   draws (generation dominates, recovery is rare);
+//! * a **diurnal schedule** — the offered load per wave follows a
+//!   `sin²` day curve between a base and a peak factor;
+//! * **Zipf hot-account skew** — user popularity follows
+//!   `activity / rank^s`, so a handful of hot users absorb a dispropor-
+//!   tionate share of the traffic, stressing their shards' worker pools.
+//!
+//! Every draw comes from the workspace DRBG, so a `(seed, config)` pair
+//! replays the identical op stream.
+
+use crate::host::{Fleet, FleetError, FleetOp, OpOutcome};
+use amnesia_core::{Domain, PasswordPolicy, Username};
+use amnesia_crypto::SecretRng;
+use amnesia_net::SimDuration;
+use amnesia_userstudy::population::{AccountCountBucket, HoursOnline, Population, PARTICIPANTS};
+
+/// Relative weights of the four operation kinds.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadMix {
+    /// Browser re-login weight.
+    pub login: u32,
+    /// Password generation weight.
+    pub generate: u32,
+    /// Seed rotation weight.
+    pub rotate: u32,
+    /// Phone-compromise recovery weight.
+    pub recover: u32,
+}
+
+impl Default for WorkloadMix {
+    /// Generation-dominated traffic: 10% login, 86% generate, 3% rotate,
+    /// 1% recover.
+    fn default() -> Self {
+        WorkloadMix {
+            login: 10,
+            generate: 86,
+            rotate: 3,
+            recover: 1,
+        }
+    }
+}
+
+impl WorkloadMix {
+    /// A pure-generation mix (benchmarks measuring gen/s only).
+    pub fn generate_only() -> Self {
+        WorkloadMix {
+            login: 0,
+            generate: 1,
+            rotate: 0,
+            recover: 0,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        u64::from(self.login)
+            + u64::from(self.generate)
+            + u64::from(self.rotate)
+            + u64::from(self.recover)
+    }
+}
+
+/// A day of traffic split into waves whose offered load follows a `sin²`
+/// curve: wave `w` offers `base_ops × (1 + (peak_factor−1)·sin²(π(w+½)/waves))`.
+#[derive(Clone, Copy, Debug)]
+pub struct DiurnalSchedule {
+    /// Number of waves ("hours").
+    pub waves: usize,
+    /// Offered ops in the quietest wave.
+    pub base_ops: usize,
+    /// Peak-to-base offered-load ratio.
+    pub peak_factor: f64,
+}
+
+impl Default for DiurnalSchedule {
+    fn default() -> Self {
+        DiurnalSchedule {
+            waves: 6,
+            base_ops: 200,
+            peak_factor: 3.0,
+        }
+    }
+}
+
+impl DiurnalSchedule {
+    /// A single flat wave of exactly `ops` operations.
+    pub fn flat(ops: usize) -> Self {
+        DiurnalSchedule {
+            waves: 1,
+            base_ops: ops,
+            peak_factor: 1.0,
+        }
+    }
+
+    /// Offered operations in wave `w`.
+    pub fn ops_in_wave(&self, w: usize) -> usize {
+        if self.waves <= 1 {
+            return self.base_ops;
+        }
+        let x = std::f64::consts::PI * (w as f64 + 0.5) / self.waves as f64;
+        let s = x.sin();
+        let factor = 1.0 + (self.peak_factor - 1.0) * s * s;
+        ((self.base_ops as f64) * factor).round() as usize
+    }
+
+    /// Total offered operations over the whole schedule.
+    pub fn total_ops(&self) -> usize {
+        (0..self.waves).map(|w| self.ops_in_wave(w)).sum()
+    }
+}
+
+/// Load-generator parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// DRBG seed for population assignment and op sampling.
+    pub seed: u64,
+    /// Operation-kind weights.
+    pub mix: WorkloadMix,
+    /// Offered load per wave.
+    pub schedule: DiurnalSchedule,
+    /// Zipf exponent `s` for user popularity (0 = uniform-by-activity).
+    pub zipf_exponent: f64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            seed: 0x10ad,
+            mix: WorkloadMix::default(),
+            schedule: DiurnalSchedule::default(),
+            zipf_exponent: 1.0,
+        }
+    }
+}
+
+/// Aggregated result of one [`LoadGenerator::run`].
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Operations offered across all waves.
+    pub offered: usize,
+    /// Operations that completed successfully.
+    pub completed: usize,
+    /// Operations that failed with a deployment error.
+    pub failed: usize,
+    /// Operations shed by admission control.
+    pub rejected: usize,
+    /// Duplicate generations coalesced onto an in-flight session.
+    pub coalesced: usize,
+    /// Successful logins.
+    pub logins: usize,
+    /// Successful generations.
+    pub generations: usize,
+    /// Successful rotations.
+    pub rotations: usize,
+    /// Successful recoveries.
+    pub recoveries: usize,
+    /// Per-generation §VI-B latencies, in completion order.
+    pub generation_latencies: Vec<SimDuration>,
+    /// Simulated time consumed by the run.
+    pub sim_elapsed: SimDuration,
+}
+
+impl LoadReport {
+    /// The `q`-quantile (0.0–1.0) of the generation latencies, or zero
+    /// when none completed.
+    pub fn latency_quantile(&self, q: f64) -> SimDuration {
+        if self.generation_latencies.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = self.generation_latencies.clone();
+        sorted.sort();
+        let rank = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        sorted.get(rank).copied().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Sustained generation throughput in *simulated* time.
+    pub fn sim_generations_per_sec(&self) -> f64 {
+        let secs = self.sim_elapsed.as_micros() as f64 / 1e6;
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.generations as f64 / secs
+    }
+}
+
+/// Per-user sampling state.
+#[derive(Clone, Debug)]
+struct LoadUser {
+    id: String,
+    accounts: usize,
+    /// Cumulative popularity mass up to and including this user.
+    cumulative: f64,
+}
+
+/// Drives a [`Fleet`] with population-sampled traffic. Create one, call
+/// [`populate`](Self::populate), then [`run`](Self::run).
+#[derive(Debug)]
+pub struct LoadGenerator {
+    config: LoadConfig,
+    rng: SecretRng,
+    users: Vec<LoadUser>,
+    total_mass: f64,
+}
+
+impl LoadGenerator {
+    /// Creates a generator; no users yet.
+    pub fn new(config: LoadConfig) -> Self {
+        let rng = SecretRng::seeded(config.seed);
+        LoadGenerator {
+            config,
+            rng,
+            users: Vec::new(),
+            total_mass: 0.0,
+        }
+    }
+
+    /// Uniform f64 in `[0, 1)` from the DRBG.
+    fn f64_unit(&mut self) -> f64 {
+        (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn pick_index(&mut self, bound: usize) -> usize {
+        if bound <= 1 {
+            return 0;
+        }
+        (self.rng.next_u64() % bound as u64) as usize
+    }
+
+    /// Adds `count` users (`u0`, `u1`, …) to the fleet, each inheriting a
+    /// study participant's activity level and account-count bucket, and
+    /// precomputes the Zipf popularity masses. Returns how many users were
+    /// actually added (setup failures are skipped and reported).
+    ///
+    /// # Errors
+    ///
+    /// Fails only on malformed synthetic account names (a bug, not load).
+    pub fn populate(&mut self, fleet: &mut Fleet, count: usize) -> Result<usize, FleetError> {
+        let population = Population::generate(self.config.seed);
+        let participants: Vec<_> = population.iter().cloned().collect();
+        let mut added = 0usize;
+        let start = self.users.len();
+        for k in start..start + count {
+            let participant = &participants[k % PARTICIPANTS];
+            let user_id = format!("u{k}");
+            let mp = format!("mp-{k}");
+            if fleet.add_user(&user_id, &mp).is_err() {
+                continue;
+            }
+            let accounts = match participant.accounts {
+                AccountCountBucket::UpTo10 => 1,
+                AccountCountBucket::From11To20 => 2,
+            };
+            let mut wired = 0usize;
+            for a in 0..accounts {
+                let username = Username::new(format!("{user_id}-acct{a}"))
+                    .map_err(|e| FleetError::System(e.into()))?;
+                let domain = Domain::new(format!("d{a}.u{k}.example.com"))
+                    .map_err(|e| FleetError::System(e.into()))?;
+                if fleet
+                    .add_account(&user_id, username, domain, PasswordPolicy::default())
+                    .is_ok()
+                {
+                    wired += 1;
+                }
+            }
+            if wired == 0 {
+                continue;
+            }
+            let activity = match participant.hours_online {
+                HoursOnline::H1To4 => 1.0,
+                HoursOnline::H4To8 => 2.0,
+                HoursOnline::H8To12 => 3.0,
+                HoursOnline::H12Plus => 4.0,
+            };
+            let rank = self.users.len() as f64 + 1.0;
+            let mass = activity / rank.powf(self.config.zipf_exponent);
+            self.total_mass += mass;
+            self.users.push(LoadUser {
+                id: user_id,
+                accounts: wired,
+                cumulative: self.total_mass,
+            });
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// Number of load users registered so far.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Samples a user index by Zipf-weighted popularity.
+    fn pick_user(&mut self) -> Option<usize> {
+        if self.users.is_empty() {
+            return None;
+        }
+        let target = self.f64_unit() * self.total_mass;
+        let idx = self.users.partition_point(|u| u.cumulative < target);
+        Some(idx.min(self.users.len() - 1))
+    }
+
+    /// Samples one operation.
+    fn pick_op(&mut self) -> Option<FleetOp> {
+        let total = self.config.mix.total();
+        if total == 0 {
+            return None;
+        }
+        let user_idx = self.pick_user()?;
+        let (user, accounts) = {
+            let u = self.users.get(user_idx)?;
+            (u.id.clone(), u.accounts)
+        };
+        let draw = self.rng.next_u64() % total;
+        let mix = self.config.mix;
+        let account = self.pick_index(accounts);
+        if draw < u64::from(mix.login) {
+            Some(FleetOp::Login { user })
+        } else if draw < u64::from(mix.login) + u64::from(mix.generate) {
+            Some(FleetOp::Generate { user, account })
+        } else if draw < u64::from(mix.login) + u64::from(mix.generate) + u64::from(mix.rotate) {
+            Some(FleetOp::Rotate { user, account })
+        } else {
+            Some(FleetOp::Recover { user })
+        }
+    }
+
+    /// Runs the full diurnal schedule against the fleet, one admission-
+    /// controlled burst per wave, and aggregates the outcome counts.
+    pub fn run(&mut self, fleet: &mut Fleet) -> LoadReport {
+        let started = fleet.now();
+        let coalesced_before = fleet.telemetry().counter("fleet.admission.coalesced").get();
+        let mut report = LoadReport::default();
+        for wave in 0..self.config.schedule.waves.max(1) {
+            let offered = self.config.schedule.ops_in_wave(wave);
+            let ops: Vec<FleetOp> = (0..offered).filter_map(|_| self.pick_op()).collect();
+            report.offered += ops.len();
+            for result in fleet.run_ops(&ops) {
+                match result {
+                    Ok(OpOutcome::LoggedIn) => {
+                        report.completed += 1;
+                        report.logins += 1;
+                    }
+                    Ok(OpOutcome::Password { latency, .. }) => {
+                        report.completed += 1;
+                        report.generations += 1;
+                        report.generation_latencies.push(latency);
+                    }
+                    Ok(OpOutcome::SeedRotated) => {
+                        report.completed += 1;
+                        report.rotations += 1;
+                    }
+                    Ok(OpOutcome::Recovered { .. }) => {
+                        report.completed += 1;
+                        report.recoveries += 1;
+                    }
+                    Err(FleetError::AdmissionRejected) => report.rejected += 1,
+                    Err(FleetError::Coalesced(_)) => report.failed += 1,
+                    Err(_) => report.failed += 1,
+                }
+            }
+        }
+        report.sim_elapsed = fleet.now().duration_since(started);
+        let coalesced_after = fleet.telemetry().counter("fleet.admission.coalesced").get();
+        report.coalesced = (coalesced_after - coalesced_before) as usize;
+        report
+    }
+}

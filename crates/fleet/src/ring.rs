@@ -1,0 +1,299 @@
+//! Consistent-hash routing of users to server shards.
+//!
+//! A [`HashRing`] places every shard at `vnodes_per_shard` pseudo-random
+//! positions on the `u64` circle (positions are drawn from the workspace
+//! DRBG, seeded per shard name, so the ring layout is deterministic and
+//! independent of insertion order). A key is owned by the first virtual
+//! node at or clockwise-after its own hash position. With enough virtual
+//! nodes the arc lengths — and therefore the key shares — concentrate
+//! around `1/N`, and membership changes move only the keys whose owning
+//! arc was claimed by (or surrendered to) the joining/leaving shard: the
+//! classic minimal-movement property.
+//!
+//! [`FleetRouter`] wraps the ring with key tracking so a membership change
+//! can report (and count into telemetry, as `fleet.router.keys_moved`)
+//! exactly how many known users were remapped.
+
+use amnesia_crypto::{sha256, SecretRng};
+use amnesia_telemetry::Registry;
+use std::collections::BTreeMap;
+
+/// Default number of virtual nodes per shard. 512 keeps every shard's key
+/// share within a few percent of `1/N` (the ring property tests gate
+/// ±15% at 100k keys for up to 8 shards).
+pub const DEFAULT_VNODES_PER_SHARD: usize = 512;
+
+/// Hashes an arbitrary key to its position on the `u64` circle.
+fn position_of(key: &str) -> u64 {
+    let digest = sha256(key.as_bytes());
+    digest
+        .iter()
+        .take(8)
+        .fold(0u64, |acc, b| (acc << 8) | u64::from(*b))
+}
+
+/// A consistent-hash ring over named shards with virtual nodes.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    seed: u64,
+    vnodes_per_shard: usize,
+    /// Shard names in insertion order (the layout itself does not depend
+    /// on this order; it only names the slots `points` refers to).
+    shards: Vec<String>,
+    /// `(position, shard slot)` sorted by position (ties broken by shard
+    /// name so the layout is a pure function of the membership set).
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Creates an empty ring. `seed` perturbs every virtual-node position,
+    /// so two rings with different seeds have independent layouts.
+    pub fn new(seed: u64, vnodes_per_shard: usize) -> Self {
+        HashRing {
+            seed,
+            vnodes_per_shard: vnodes_per_shard.max(1),
+            shards: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the ring has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard names, in insertion order.
+    pub fn shards(&self) -> impl Iterator<Item = &str> {
+        self.shards.iter().map(String::as_str)
+    }
+
+    /// Whether `name` is on the ring.
+    pub fn contains(&self, name: &str) -> bool {
+        self.shards.iter().any(|s| s == name)
+    }
+
+    /// Adds a shard; returns `false` (and changes nothing) if it already
+    /// exists.
+    pub fn add_shard(&mut self, name: &str) -> bool {
+        if self.contains(name) {
+            return false;
+        }
+        self.shards.push(name.to_string());
+        self.rebuild();
+        true
+    }
+
+    /// Removes a shard; returns `false` if it was not on the ring.
+    pub fn remove_shard(&mut self, name: &str) -> bool {
+        let before = self.shards.len();
+        self.shards.retain(|s| s != name);
+        if self.shards.len() == before {
+            return false;
+        }
+        self.rebuild();
+        true
+    }
+
+    /// The shard owning `key`, or `None` on an empty ring.
+    pub fn shard_for(&self, key: &str) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let pos = position_of(key);
+        // First virtual node at or clockwise-after the key's position,
+        // wrapping to the ring's start.
+        let idx = self.points.partition_point(|p| p.0 < pos);
+        let slot = self
+            .points
+            .get(idx)
+            .or_else(|| self.points.first())
+            .map(|p| p.1)?;
+        self.shards.get(slot).map(String::as_str)
+    }
+
+    /// Virtual-node positions for one shard: a DRBG stream keyed by the
+    /// ring seed and the shard's name, so positions never depend on the
+    /// rest of the membership set.
+    fn vnode_positions(&self, name: &str) -> Vec<u64> {
+        let mut rng = SecretRng::seeded(self.seed ^ position_of(name));
+        (0..self.vnodes_per_shard).map(|_| rng.next_u64()).collect()
+    }
+
+    fn rebuild(&mut self) {
+        let mut points = Vec::with_capacity(self.shards.len() * self.vnodes_per_shard);
+        for (slot, name) in self.shards.iter().enumerate() {
+            for pos in self.vnode_positions(name) {
+                points.push((pos, slot));
+            }
+        }
+        points.sort_by(|a, b| (a.0, self.shards.get(a.1)).cmp(&(b.0, self.shards.get(b.1))));
+        self.points = points;
+    }
+}
+
+/// A ring plus the set of keys routed through it, so membership changes
+/// can report how many known keys moved.
+#[derive(Debug)]
+pub struct FleetRouter {
+    ring: HashRing,
+    /// Tracked key → currently assigned shard name.
+    assignments: BTreeMap<String, String>,
+    telemetry: Registry,
+}
+
+impl FleetRouter {
+    /// Creates a router over an empty ring.
+    pub fn new(seed: u64, vnodes_per_shard: usize) -> Self {
+        FleetRouter {
+            ring: HashRing::new(seed, vnodes_per_shard),
+            assignments: BTreeMap::new(),
+            telemetry: Registry::new(),
+        }
+    }
+
+    /// Replaces the metrics registry (`fleet.router.*` counters).
+    pub fn set_telemetry(&mut self, registry: Registry) {
+        self.telemetry = registry;
+    }
+
+    /// The underlying ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Number of keys routed so far.
+    pub fn key_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Routes `key`, recording it for movement accounting. Returns the
+    /// owning shard name, or `None` on an empty ring.
+    pub fn route(&mut self, key: &str) -> Option<String> {
+        let shard = self.ring.shard_for(key)?.to_string();
+        self.assignments.insert(key.to_string(), shard.clone());
+        Some(shard)
+    }
+
+    /// Non-tracking lookup.
+    pub fn shard_for(&self, key: &str) -> Option<&str> {
+        self.ring.shard_for(key)
+    }
+
+    /// Adds a shard and returns how many tracked keys were remapped.
+    /// The count is also added to the `fleet.router.keys_moved` counter.
+    pub fn add_shard(&mut self, name: &str) -> u64 {
+        if !self.ring.add_shard(name) {
+            return 0;
+        }
+        self.reassign()
+    }
+
+    /// Removes a shard and returns how many tracked keys were remapped.
+    pub fn remove_shard(&mut self, name: &str) -> u64 {
+        if !self.ring.remove_shard(name) {
+            return 0;
+        }
+        self.reassign()
+    }
+
+    fn reassign(&mut self) -> u64 {
+        let mut moved = 0u64;
+        let keys: Vec<String> = self.assignments.keys().cloned().collect();
+        for key in keys {
+            let next = self.ring.shard_for(&key).map(str::to_string);
+            match next {
+                Some(shard) => {
+                    let previous = self.assignments.insert(key, shard.clone());
+                    if previous.as_deref() != Some(shard.as_str()) {
+                        moved += 1;
+                    }
+                }
+                None => {
+                    self.assignments.remove(&key);
+                    moved += 1;
+                }
+            }
+        }
+        self.telemetry.counter("fleet.router.keys_moved").add(moved);
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_routes_nothing() {
+        let ring = HashRing::new(1, 8);
+        assert!(ring.shard_for("alice").is_none());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let mut ring = HashRing::new(1, 8);
+        ring.add_shard("only");
+        for i in 0..64 {
+            assert_eq!(ring.shard_for(&format!("k{i}")), Some("only"));
+        }
+    }
+
+    #[test]
+    fn layout_is_insertion_order_independent() {
+        let mut a = HashRing::new(7, 64);
+        let mut b = HashRing::new(7, 64);
+        for name in ["s0", "s1", "s2", "s3"] {
+            a.add_shard(name);
+        }
+        for name in ["s3", "s1", "s0", "s2"] {
+            b.add_shard(name);
+        }
+        for i in 0..256 {
+            let key = format!("user-{i}");
+            assert_eq!(a.shard_for(&key), b.shard_for(&key));
+        }
+    }
+
+    #[test]
+    fn duplicate_add_is_a_noop() {
+        let mut ring = HashRing::new(3, 16);
+        assert!(ring.add_shard("s0"));
+        assert!(!ring.add_shard("s0"));
+        assert_eq!(ring.shard_count(), 1);
+    }
+
+    #[test]
+    fn router_counts_moves_into_telemetry() {
+        let registry = Registry::new();
+        let mut router = FleetRouter::new(11, 64);
+        router.set_telemetry(registry.clone());
+        router.add_shard("s0");
+        router.add_shard("s1");
+        for i in 0..500 {
+            router.route(&format!("user-{i}"));
+        }
+        let moved = router.add_shard("s2");
+        assert!(moved > 0, "a join must claim some keys");
+        assert_eq!(
+            registry.snapshot().counters["fleet.router.keys_moved"],
+            moved
+        );
+    }
+
+    #[test]
+    fn removing_the_last_shard_drops_all_keys() {
+        let mut router = FleetRouter::new(2, 8);
+        router.add_shard("s0");
+        router.route("alice");
+        router.route("bob");
+        let moved = router.remove_shard("s0");
+        assert_eq!(moved, 2);
+        assert_eq!(router.key_count(), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! End-to-end fleet behaviour: sharding transparency (byte-identity vs a
+//! single-host ground truth), cross-instance rendezvous forwarding,
+//! admission control and per-shard telemetry.
+
+use amnesia_core::{Domain, PasswordPolicy, Username};
+use amnesia_fleet::{phone_seed, Fleet, FleetConfig, FleetError, FleetOp, OpOutcome};
+use amnesia_system::{AmnesiaSystem, SystemConfig};
+
+fn acct(user: &str, a: usize) -> (Username, Domain) {
+    (
+        Username::new(format!("{user}-acct{a}")).expect("valid username"),
+        Domain::new(format!("d{a}.{user}.example.com")).expect("valid domain"),
+    )
+}
+
+fn small_fleet(seed: u64, shards: usize, rendezvous: usize) -> Fleet {
+    Fleet::new(
+        FleetConfig::default()
+            .with_seed(seed)
+            .with_shards(shards)
+            .with_rendezvous(rendezvous)
+            .with_table_size(64),
+    )
+}
+
+#[test]
+fn fleet_setup_and_generate_works() {
+    let mut fleet = small_fleet(0xf1ee7, 2, 2);
+    fleet.add_user("alice", "correct horse").expect("setup");
+    let (u, d) = acct("alice", 0);
+    fleet
+        .add_account("alice", u, d, PasswordPolicy::default())
+        .expect("add account");
+    let (_, password, _) = fleet.generate("alice", 0).expect("generate");
+    assert!(!password.as_str().is_empty());
+    // Generating again for the same account is deterministic in value.
+    let (_, again, _) = fleet.generate("alice", 0).expect("second generate");
+    assert_eq!(password, again);
+}
+
+/// The acceptance gate: passwords produced through the sharded fleet are
+/// byte-identical to a single-host `AmnesiaSystem` seeded with the same
+/// per-shard server seed, replaying that shard's users in fleet setup
+/// order with the same phone seeds.
+#[test]
+fn fleet_passwords_match_single_host_ground_truth() {
+    let fleet_seed = 0xbeef;
+    let mut fleet = small_fleet(fleet_seed, 2, 2);
+
+    let users = ["alice", "bob", "carol", "dave", "erin", "frank"];
+    for name in users {
+        fleet.add_user(name, &format!("mp-{name}")).expect("setup");
+        for a in 0..2 {
+            let (u, d) = acct(name, a);
+            fleet
+                .add_account(name, u, d, PasswordPolicy::default())
+                .expect("add account");
+        }
+    }
+    // Both shards should have at least one user for the test to bite.
+    assert!(
+        (0..2).all(|i| !fleet.users_on_shard(i).is_empty()),
+        "pick seeds/users so both shards are populated"
+    );
+
+    let mut fleet_passwords = Vec::new();
+    for name in users {
+        for a in 0..2 {
+            let (_, p, _) = fleet.generate(name, a).expect("fleet generate");
+            fleet_passwords.push((name, a, p));
+        }
+    }
+
+    for shard in 0..fleet.shard_count() {
+        let server_seed = fleet.shard_server_seed(shard).expect("shard seed");
+        let mut host = AmnesiaSystem::new(
+            SystemConfig::default()
+                .with_server_seed(server_seed)
+                .with_table_size(64),
+        );
+        for name in fleet.users_on_shard(shard) {
+            let browser = format!("{name}.host.b");
+            let phone = format!("{name}.host.p");
+            host.add_browser(&browser);
+            host.add_phone(&phone, phone_seed(fleet_seed, &name));
+            host.setup_user(&name, &format!("mp-{name}"), &browser, &phone)
+                .expect("host setup");
+            for a in 0..2 {
+                let (u, d) = acct(&name, a);
+                host.add_account(&browser, u, d, PasswordPolicy::default())
+                    .expect("host add account");
+            }
+            for a in 0..2 {
+                let (u, d) = acct(&name, a);
+                let outcome = host
+                    .generate_password(&browser, &phone, &u, &d)
+                    .expect("host generate");
+                let host_password = outcome.password;
+                let fleet_password = fleet_passwords
+                    .iter()
+                    .find(|(n, idx, _)| *n == name && *idx == a)
+                    .map(|(_, _, p)| p)
+                    .expect("fleet generated this account");
+                assert_eq!(
+                    fleet_password.as_str(),
+                    host_password.as_str(),
+                    "shard {shard} user {name} account {a}: fleet and single-host disagree"
+                );
+            }
+        }
+    }
+}
+
+/// A user whose home rendezvous instance differs from their shard's local
+/// instance exercises the forwarding hop; the per-shard forward counter
+/// and the fleet-wide forwarded counter must both see it.
+#[test]
+fn cross_instance_pushes_are_forwarded() {
+    let mut fleet = small_fleet(0xf0f0, 2, 2);
+    // Pin alice's home rendezvous instance to NOT be her shard's local one,
+    // so every push must take the forwarding hop.
+    let shard_name = fleet
+        .router_mut()
+        .shard_for("alice")
+        .expect("ring populated")
+        .to_string();
+    let shard: usize = shard_name
+        .trim_start_matches("shard-")
+        .parse()
+        .expect("shard index");
+    let local = fleet.shard_local_gcm(shard).expect("local gcm");
+    let home = (local + 1) % fleet.rendezvous_count();
+    fleet
+        .add_user_with_home("alice", "mp", home)
+        .expect("setup with pinned home");
+    assert_eq!(fleet.user_shard("alice"), Some(shard));
+    let (u, d) = acct("alice", 0);
+    fleet
+        .add_account("alice", u, d, PasswordPolicy::default())
+        .expect("add account");
+    fleet.generate("alice", 0).expect("generate");
+
+    let snapshot = fleet.telemetry().snapshot();
+    let forwarded = snapshot.counters["fleet.rendezvous.forwarded"];
+    assert!(forwarded > 0, "push must take the forwarding hop");
+    let per_shard = snapshot.counters[&format!("fleet.shard.{shard}.forwards")];
+    assert!(per_shard > 0, "origin shard must be credited");
+}
+
+#[test]
+fn admission_rejects_beyond_window_plus_queue() {
+    let mut fleet = Fleet::new(
+        FleetConfig::default()
+            .with_seed(0xad31)
+            .with_shards(2)
+            .with_table_size(64)
+            .with_max_inflight(2)
+            .with_admission_queue(2),
+    );
+    for name in ["u1", "u2", "u3", "u4"] {
+        fleet.add_user(name, "mp").expect("setup");
+        let (u, d) = acct(name, 0);
+        fleet
+            .add_account(name, u, d, PasswordPolicy::default())
+            .expect("account");
+    }
+    // 8 distinct ops offered, budget = 2 in flight + 2 queued → 4 shed.
+    let ops: Vec<FleetOp> = (0..8)
+        .map(|i| FleetOp::Login {
+            user: format!("u{}", (i % 4) + 1),
+        })
+        .collect();
+    let results = fleet.run_ops(&ops);
+    let rejected = results
+        .iter()
+        .filter(|r| matches!(r, Err(FleetError::AdmissionRejected)))
+        .count();
+    assert_eq!(rejected, 4, "budget is max_inflight + admission_queue");
+    assert_eq!(
+        fleet.telemetry().snapshot().counters["fleet.admission.rejected"],
+        4
+    );
+    let completed = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(completed, 4);
+}
+
+#[test]
+fn duplicate_inflight_generations_coalesce_to_one_password() {
+    let mut fleet = small_fleet(0xc0a1, 1, 1);
+    fleet.add_user("alice", "mp").expect("setup");
+    let (u, d) = acct("alice", 0);
+    fleet
+        .add_account("alice", u, d, PasswordPolicy::default())
+        .expect("account");
+    let op = FleetOp::Generate {
+        user: "alice".into(),
+        account: 0,
+    };
+    let results = fleet.run_ops(&[op.clone(), op]);
+    let passwords: Vec<_> = results
+        .iter()
+        .map(|r| match r {
+            Ok(OpOutcome::Password { password, .. }) => password.as_str().to_string(),
+            other => panic!("expected a password, got {other:?}"),
+        })
+        .collect();
+    assert_eq!(passwords[0], passwords[1]);
+    assert_eq!(
+        fleet.telemetry().snapshot().counters["fleet.admission.coalesced"],
+        1,
+        "the duplicate must ride the in-flight session, not open its own"
+    );
+}
+
+#[test]
+fn per_shard_telemetry_appears_in_snapshot() {
+    let mut fleet = small_fleet(0x7e1e, 4, 2);
+    for k in 0..8 {
+        let name = format!("user-{k}");
+        fleet.add_user(&name, "mp").expect("setup");
+        let (u, d) = acct(&name, 0);
+        fleet
+            .add_account(&name, u, d, PasswordPolicy::default())
+            .expect("account");
+        fleet.generate(&name, 0).expect("generate");
+    }
+    let snapshot = fleet.telemetry().snapshot();
+    let mut total_routed = 0;
+    for i in 0..4 {
+        total_routed += snapshot.counters[&format!("fleet.shard.{i}.sessions_routed")];
+    }
+    // 8 setups + 8 add-accounts + 8 generations.
+    assert_eq!(total_routed, 24);
+    assert!(snapshot.counters["fleet.generations"] >= 8);
+}
+
+#[test]
+fn mixed_op_kinds_complete() {
+    let mut fleet = small_fleet(0x111, 2, 2);
+    for name in ["alice", "bob"] {
+        fleet.add_user(name, "mp").expect("setup");
+        let (u, d) = acct(name, 0);
+        fleet
+            .add_account(name, u, d, PasswordPolicy::default())
+            .expect("account");
+    }
+    let ops = vec![
+        FleetOp::Login {
+            user: "alice".into(),
+        },
+        FleetOp::Generate {
+            user: "bob".into(),
+            account: 0,
+        },
+        FleetOp::Rotate {
+            user: "alice".into(),
+            account: 0,
+        },
+        FleetOp::Recover { user: "bob".into() },
+    ];
+    let results = fleet.run_ops(&ops);
+    for (i, r) in results.iter().enumerate() {
+        assert!(r.is_ok(), "op {i} failed: {r:?}");
+    }
+    assert!(matches!(results[0], Ok(OpOutcome::LoggedIn)));
+    assert!(matches!(results[1], Ok(OpOutcome::Password { .. })));
+    assert!(matches!(results[2], Ok(OpOutcome::SeedRotated)));
+    assert!(matches!(results[3], Ok(OpOutcome::Recovered { .. })));
+    // After recovery bob's replacement phone serves generations.
+    fleet.generate("bob", 0).expect("post-recovery generate");
+}

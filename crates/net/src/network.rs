@@ -221,7 +221,10 @@ pub struct SimNet {
     clock: SimClock,
     rng: SecretRng,
     inboxes: BTreeMap<String, Vec<Frame>>,
-    links: BTreeMap<(String, String), LinkState>,
+    /// Nested by sender, then receiver, so the send hot path can look a
+    /// route up with two `&str` probes instead of allocating a
+    /// `(String, String)` key per frame.
+    links: BTreeMap<String, BTreeMap<String, LinkState>>,
     queue: BinaryHeap<Pending>,
     seq: u64,
     dropped: u64,
@@ -233,7 +236,10 @@ impl fmt::Debug for SimNet {
         f.debug_struct("SimNet")
             .field("now", &self.clock.now())
             .field("endpoints", &self.inboxes.keys().collect::<Vec<_>>())
-            .field("links", &self.links.len())
+            .field(
+                "links",
+                &self.links.values().map(BTreeMap::len).sum::<usize>(),
+            )
             .field("pending", &self.queue.len())
             .field("dropped", &self.dropped)
             .finish()
@@ -299,8 +305,8 @@ impl SimNet {
     pub fn connect(&mut self, from: &str, to: &str, profile: LinkProfile) {
         assert!(self.has_endpoint(from), "unknown endpoint {from:?}");
         assert!(self.has_endpoint(to), "unknown endpoint {to:?}");
-        self.links.insert(
-            (from.to_string(), to.to_string()),
+        self.links.entry(from.to_string()).or_default().insert(
+            to.to_string(),
             LinkState {
                 profile,
                 taps: Vec::new(),
@@ -324,7 +330,8 @@ impl SimNet {
     pub fn tap(&mut self, from: &str, to: &str) -> Result<Wiretap, NetError> {
         let link = self
             .links
-            .get_mut(&(from.to_string(), to.to_string()))
+            .get_mut(from)
+            .and_then(|routes| routes.get_mut(to))
             .ok_or_else(|| NetError::NoLink {
                 from: from.into(),
                 to: to.into(),
@@ -393,7 +400,8 @@ impl SimNet {
         }
         let link = self
             .links
-            .get_mut(&(from.to_string(), to.to_string()))
+            .get_mut(from)
+            .and_then(|routes| routes.get_mut(to))
             .ok_or_else(|| NetError::NoLink {
                 from: from.into(),
                 to: to.into(),

@@ -146,6 +146,12 @@ impl AmnesiaServer {
         self.telemetry = registry;
     }
 
+    /// Number of password requests currently awaiting their phone tokens
+    /// (the queue depth sharded deployments report per shard).
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
     fn note_pending_depth(&self) {
         self.telemetry
             .gauge("server.pending_requests")

@@ -140,6 +140,15 @@ pub struct SystemConfig {
     /// session retries (if its attempt budget allows) or fails with
     /// `SystemError::MissingReply`.
     pub session_timeout: SimDuration,
+    /// Bounded in-flight cap for batch drivers
+    /// (`generate_passwords_concurrent`): at most this many sessions are
+    /// open at once; the rest wait in the batch's backlog. `usize::MAX`
+    /// (the default) keeps the historical open-everything behaviour.
+    pub max_inflight: usize,
+    /// Overrides the server's DRBG seed (normally drawn from the `seed`
+    /// stream). Sharded deployments use this to build a byte-identical
+    /// single-host ground truth for one shard.
+    pub server_seed: Option<u64>,
 }
 
 impl Default for SystemConfig {
@@ -151,6 +160,8 @@ impl Default for SystemConfig {
             table_size: amnesia_core::EntryTable::DEFAULT_SIZE,
             secure_channels: true,
             session_timeout: crate::session::DEFAULT_TIMEOUT,
+            max_inflight: usize::MAX,
+            server_seed: None,
         }
     }
 }
@@ -183,6 +194,19 @@ impl SystemConfig {
     /// Overrides the per-session timeout.
     pub fn with_session_timeout(mut self, timeout: SimDuration) -> Self {
         self.session_timeout = timeout;
+        self
+    }
+
+    /// Caps how many sessions batch drivers keep open at once.
+    pub fn with_max_inflight(mut self, cap: usize) -> Self {
+        self.max_inflight = cap.max(1);
+        self
+    }
+
+    /// Pins the server's DRBG seed instead of drawing it from the system
+    /// seed stream.
+    pub fn with_server_seed(mut self, server_seed: u64) -> Self {
+        self.server_seed = Some(server_seed);
         self
     }
 }

@@ -142,7 +142,10 @@ impl AmnesiaSystem {
             LinkProfile::new(config.profile.server_gcm.clone()),
         );
 
-        let server_seed = seed_rng.next_u64();
+        // Always draw, even when overridden, so the downstream rendezvous
+        // and channel streams are independent of the override.
+        let drawn_server_seed = seed_rng.next_u64();
+        let server_seed = config.server_seed.unwrap_or(drawn_server_seed);
         let mut server = AmnesiaServer::new(ServerConfig {
             endpoint: SERVER_ENDPOINT.into(),
             seed: server_seed,
@@ -469,6 +472,10 @@ impl AmnesiaSystem {
         self.telemetry
             .gauge("system.session.inflight")
             .set(self.inflight as i64);
+        let peak = self.telemetry.gauge("system.session.inflight_peak");
+        if (self.inflight as i64) > peak.get() {
+            peak.set(self.inflight as i64);
+        }
     }
 
     /// If the session's phone holds a pending confirmation for it and the
@@ -604,13 +611,23 @@ impl AmnesiaSystem {
     /// frame is still in flight (its eventual arrival is then a late
     /// reply). Push drops are attributed when the network goes idle.
     fn drive(&mut self, targets: &[SessionId]) {
+        self.drive_until_below(targets, 1);
+    }
+
+    /// Like [`drive`](Self::drive), but returns as soon as fewer than
+    /// `below` of the targets remain unsettled. `below == 1` runs
+    /// everything to completion; `below == targets.len()` returns after
+    /// the first settles — how a bounded-in-flight batch driver frees an
+    /// admission slot without waiting for the whole window.
+    fn drive_until_below(&mut self, targets: &[SessionId], below: usize) {
+        let below = below.max(1);
         loop {
             let live: Vec<SessionId> = targets
                 .iter()
                 .copied()
                 .filter(|sid| self.sessions.get(sid).is_some_and(|e| e.outcome.is_none()))
                 .collect();
-            if live.is_empty() {
+            if live.len() < below {
                 return;
             }
 
@@ -632,6 +649,11 @@ impl AmnesiaSystem {
                 }
                 self.deliver_one_frame();
                 delivered_any = true;
+                // When the caller only waits for a slot to free up, hand
+                // control back per frame so a settle is noticed promptly.
+                if below > 1 {
+                    break;
+                }
             }
             if delivered_any {
                 continue; // re-derive live sessions and the deadline
@@ -1143,14 +1165,24 @@ impl AmnesiaSystem {
     /// every session is opened up front, then the event loop interleaves
     /// their pushes, confirmations and replies over the shared network.
     /// Results (and per-session latencies) come back in request order.
+    /// A bounded in-flight window (`SystemConfig::max_inflight`) admits
+    /// the batch in a sliding fashion: at most `cap` sessions are open at
+    /// once, a new one is admitted each time one settles, so the session
+    /// table never grows past the cap no matter how large the batch is.
     pub fn generate_passwords_concurrent(
         &mut self,
         requests: &[GenerationRequest],
         attempts: u32,
     ) -> Vec<Result<GenerationOutcome, SystemError>> {
+        let cap = self.config.max_inflight.max(1);
         let mut slots: Vec<Result<SessionId, SystemError>> = Vec::with_capacity(requests.len());
+        let mut live: Vec<SessionId> = Vec::new();
         for request in requests {
-            slots.push(self.begin(
+            while live.len() >= cap {
+                self.drive_until_below(&live, live.len());
+                live.retain(|sid| self.sessions.get(sid).is_some_and(|e| e.outcome.is_none()));
+            }
+            let slot = self.begin(
                 &request.browser,
                 Some(&request.phone),
                 None,
@@ -1160,12 +1192,12 @@ impl AmnesiaSystem {
                 },
                 attempts,
                 None,
-            ));
+            );
+            if let Ok(sid) = &slot {
+                live.push(*sid);
+            }
+            slots.push(slot);
         }
-        let live: Vec<SessionId> = slots
-            .iter()
-            .filter_map(|r| r.as_ref().ok().copied())
-            .collect();
         self.drive(&live);
         slots
             .into_iter()

@@ -59,6 +59,27 @@ echo "==> security-property and failure-injection tests"
 cargo test -q --offline --test security_properties
 cargo test -q --offline --test failure_injection
 
+echo "==> fleet e2e and consistent-hash ring tests"
+# Sharding transparency (byte-identity vs a single-host ground truth),
+# cross-instance rendezvous forwarding, admission control, per-shard
+# telemetry, and the ring balance/minimal-movement properties.
+cargo test -q --offline -p amnesia-fleet --test fleet_e2e
+cargo test -q --offline -p amnesia-fleet --test ring_props
+
+echo "==> fleet scaling smoke run"
+# Quick-mode sharded-fleet bench (6k users, shards {1,4}): population-
+# sampled generation burst per shard count; fails unless the 4-shard
+# sustained sim gen/s reaches 2x the single-shard figure. The committed
+# baseline (BENCH_FLEET.json) is regenerated with a full run.
+cargo run -q --release --offline --locked -p amnesia-bench \
+    --bin bench_fleet -- --quick --out target/BENCH_FLEET.quick.json
+for metric in sim_gens_per_sec latency_p99_ms; do
+    if ! grep -q "\"$metric\"" target/BENCH_FLEET.quick.json; then
+        echo "error: $metric missing from target/BENCH_FLEET.quick.json" >&2
+        exit 1
+    fi
+done
+
 echo "==> e2e throughput smoke run"
 # Quick-mode batch driver (N ∈ {1, 256}): opens whole batches of sessions
 # through generate_passwords_concurrent, fails on any lost session, and
@@ -72,4 +93,4 @@ if ! grep -q '"generations_per_sec"' target/BENCH_E2E.quick.json; then
     exit 1
 fi
 
-echo "OK: offline build, tests, formatting, lint, zero-dependency check, telemetry, crypto-bench, concurrency, security-property and e2e-throughput runs passed"
+echo "OK: offline build, tests, formatting, lint, zero-dependency check, telemetry, crypto-bench, concurrency, security-property, fleet and e2e-throughput runs passed"

@@ -13,6 +13,7 @@ pub use amnesia_cloud as cloud;
 pub use amnesia_core as core;
 pub use amnesia_crypto as crypto;
 pub use amnesia_eval as eval;
+pub use amnesia_fleet as fleet;
 pub use amnesia_net as net;
 pub use amnesia_phone as phone;
 pub use amnesia_rendezvous as rendezvous;

@@ -235,3 +235,70 @@ fn sim_and_realtime_runtimes_derive_identical_passwords() {
     }
     rt.shutdown();
 }
+
+/// ISSUE 7: the bounded in-flight cap admits a batch through a sliding
+/// window. All requests still succeed with byte-identical passwords, the
+/// session table never exceeds the cap, and the peak gauge records it.
+#[test]
+fn bounded_inflight_cap_slides_without_losing_requests() {
+    let (mut capped, accounts) = {
+        let mut sys = AmnesiaSystem::new(
+            SystemConfig::default()
+                .with_seed(0xCA)
+                .with_table_size(256)
+                .with_max_inflight(4),
+        );
+        sys.add_browser("browser");
+        sys.add_phone("phone", 0xCB);
+        sys.setup_user("crowd", "master password", "browser", "phone")
+            .unwrap();
+        sys.phone_mut("phone")
+            .unwrap()
+            .set_confirm_policy(ConfirmPolicy::AutoConfirm);
+        let accounts: Vec<(Username, Domain)> = (0..64)
+            .map(|i| {
+                let u = Username::new(format!("user{i}")).unwrap();
+                let d = Domain::new(format!("site{i}.example.com")).unwrap();
+                sys.add_account("browser", u.clone(), d.clone(), PasswordPolicy::default())
+                    .unwrap();
+                (u, d)
+            })
+            .collect();
+        (sys, accounts)
+    };
+    // Reset so the peak gauge observes only the batch, not the setup.
+    capped.telemetry().reset();
+    let results = capped.generate_passwords_concurrent(&requests(&accounts), 1);
+    assert!(
+        results.iter().all(|r| r.is_ok()),
+        "capped batch must finish"
+    );
+
+    let snapshot = capped.telemetry().snapshot();
+    let peak = snapshot.gauges["system.session.inflight_peak"];
+    assert!(peak <= 4, "cap 4 exceeded: peak {peak}");
+    assert!(peak >= 1, "peak gauge not recording");
+    assert_eq!(snapshot.gauges["system.session.inflight"], 0);
+
+    // Same passwords as an uncapped run of the identical deployment.
+    let mut open = AmnesiaSystem::new(SystemConfig::default().with_seed(0xCA).with_table_size(256));
+    open.add_browser("browser");
+    open.add_phone("phone", 0xCB);
+    open.setup_user("crowd", "master password", "browser", "phone")
+        .unwrap();
+    open.phone_mut("phone")
+        .unwrap()
+        .set_confirm_policy(ConfirmPolicy::AutoConfirm);
+    for (u, d) in &accounts {
+        open.add_account("browser", u.clone(), d.clone(), PasswordPolicy::default())
+            .unwrap();
+    }
+    let open_results = open.generate_passwords_concurrent(&requests(&accounts), 1);
+    for (capped_r, open_r) in results.iter().zip(&open_results) {
+        assert_eq!(
+            capped_r.as_ref().unwrap().password.as_str(),
+            open_r.as_ref().unwrap().password.as_str(),
+            "the cap must not change what gets generated"
+        );
+    }
+}

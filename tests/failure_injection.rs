@@ -141,3 +141,63 @@ fn lockout_protects_against_online_guessing_over_the_wire() {
     let err = sys.login("browser", "alice", "mp").unwrap_err();
     assert!(err.to_string().contains("locked"), "{err}");
 }
+
+/// ISSUE 7: a rendezvous instance outage mid-generation surfaces a typed
+/// timeout (no panic, no secret bytes in the telemetry snapshot), and a
+/// restarted instance serves subsequent sessions — its durable device
+/// registry survives the outage.
+#[test]
+fn rendezvous_outage_yields_typed_timeout_and_restart_recovers() {
+    use amnesia::fleet::{Fleet, FleetConfig, FleetError};
+    use amnesia::net::SimDuration;
+
+    let mut fleet = Fleet::new(
+        FleetConfig::default()
+            .with_seed(0xdead)
+            .with_shards(2)
+            .with_rendezvous(2)
+            .with_table_size(64)
+            .with_session_timeout(SimDuration::from_micros(2_000_000)),
+    );
+    // Pin alice's home instance to NOT be her shard's local one so the
+    // push path crosses instances (the outage hits mid-forwarding).
+    let shard_name = fleet.router_mut().shard_for("alice").unwrap().to_string();
+    let shard: usize = shard_name.trim_start_matches("shard-").parse().unwrap();
+    let local = fleet.shard_local_gcm(shard).unwrap();
+    let home = (local + 1) % fleet.rendezvous_count();
+    fleet
+        .add_user_with_home("alice", "hunter2 master", home)
+        .unwrap();
+    let u = Username::new("alice-acct0").unwrap();
+    let d = Domain::new("outage.example.com").unwrap();
+    fleet
+        .add_account("alice", u, d, PasswordPolicy::default())
+        .unwrap();
+    let (_, healthy, _) = fleet.generate("alice", 0).unwrap();
+
+    // Outage on the owning instance: the push is silently lost and the
+    // session must convert the silence into a typed timeout.
+    fleet.set_rendezvous_online(home, false);
+    let err = fleet.generate("alice", 0).unwrap_err();
+    match err {
+        FleetError::System(ref e) => {
+            assert!(e.to_string().contains("PasswordReady"), "{e}");
+        }
+        other => panic!("expected a typed system timeout, got {other:?}"),
+    }
+
+    // No secret material leaks into the deterministic telemetry snapshot.
+    let json = fleet.telemetry().snapshot().to_json();
+    assert!(!json.contains(healthy.as_str()), "password in telemetry");
+    assert!(!json.contains("hunter2"), "master password in telemetry");
+    assert!(
+        fleet.telemetry().snapshot().counters["fleet.rendezvous.dropped"] > 0,
+        "outage must be visible as dropped rendezvous traffic"
+    );
+
+    // Restart: the durable registry still knows alice's phone, so the
+    // next session completes and produces the same deterministic bytes.
+    fleet.set_rendezvous_online(home, true);
+    let (_, recovered, _) = fleet.generate("alice", 0).unwrap();
+    assert_eq!(recovered.as_str(), healthy.as_str());
+}
