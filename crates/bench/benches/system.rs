@@ -13,8 +13,8 @@ fn main() {
 
     h.sample_size(30);
     {
-        let mut system = standard_deployment(11, 1);
-        let (u, d) = account(0);
+        let mut system = standard_deployment(11, 1).expect("deployment");
+        let (u, d) = account(0).expect("account");
         h.bench("end_to_end_generation/lan_profile", || {
             system
                 .generate_password("browser", "phone", black_box(&u), black_box(&d))
@@ -25,8 +25,8 @@ fn main() {
     // §VIII ablation: does per-user account count affect generation cost?
     h.sample_size(20);
     for accounts in [1usize, 10, 100] {
-        let mut system = standard_deployment(accounts as u64, accounts);
-        let (u, d) = account(accounts / 2);
+        let mut system = standard_deployment(accounts as u64, accounts).expect("deployment");
+        let (u, d) = account(accounts / 2).expect("account");
         h.bench(&format!("server_throughput_accounts/{accounts}"), || {
             system
                 .generate_password("browser", "phone", &u, &d)
@@ -36,7 +36,7 @@ fn main() {
 
     h.sample_size(10);
     h.bench("setup_user_flow/register_pair_backup", || {
-        standard_deployment(black_box(3), 0)
+        standard_deployment(black_box(3), 0).expect("deployment")
     });
 
     h.sample_size(30);

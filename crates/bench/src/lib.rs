@@ -12,49 +12,45 @@
 pub mod timing;
 
 use amnesia_core::{Domain, PasswordPolicy, Username};
-use amnesia_system::{AmnesiaSystem, SystemConfig};
+use amnesia_system::{AmnesiaSystem, SystemConfig, SystemError};
 
 /// Builds the standard one-user deployment used by binaries and benches:
 /// `alice` with a paired auto-confirming phone and `count` managed accounts
 /// `user<i>@site<i>.example.com`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on harness misconfiguration only.
-pub fn standard_deployment(seed: u64, accounts: usize) -> AmnesiaSystem {
+/// Fails only on harness misconfiguration; callers running under a bench
+/// harness typically unwrap.
+pub fn standard_deployment(seed: u64, accounts: usize) -> Result<AmnesiaSystem, SystemError> {
     let mut system = AmnesiaSystem::new(SystemConfig::default().with_seed(seed));
     system.add_browser("browser");
     system.add_phone("phone", seed.wrapping_add(1));
-    system
-        .setup_user("alice", "master password", "browser", "phone")
-        .expect("setup");
+    system.setup_user("alice", "master password", "browser", "phone")?;
     system
         .phone_mut("phone")
-        .expect("phone present")
+        .ok_or(SystemError::UnknownComponent {
+            endpoint: "phone".into(),
+        })?
         .set_confirm_policy(amnesia_phone::ConfirmPolicy::AutoConfirm);
     for i in 0..accounts {
-        system
-            .add_account(
-                "browser",
-                Username::new(format!("user{i}")).expect("valid"),
-                Domain::new(format!("site{i}.example.com")).expect("valid"),
-                PasswordPolicy::default(),
-            )
-            .expect("add account");
+        let (username, domain) = account(i)?;
+        system.add_account("browser", username, domain, PasswordPolicy::default())?;
     }
-    system
+    Ok(system)
 }
 
 /// The `(username, domain)` of account `i` in [`standard_deployment`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Never panics for the names this crate generates.
-pub fn account(i: usize) -> (Username, Domain) {
-    (
-        Username::new(format!("user{i}")).expect("valid"),
-        Domain::new(format!("site{i}.example.com")).expect("valid"),
-    )
+/// Fails only if the generated names violate the core identity rules, which
+/// they never do for the names this crate generates.
+pub fn account(i: usize) -> Result<(Username, Domain), SystemError> {
+    Ok((
+        Username::new(format!("user{i}"))?,
+        Domain::new(format!("site{i}.example.com"))?,
+    ))
 }
 
 #[cfg(test)]
@@ -63,8 +59,8 @@ mod tests {
 
     #[test]
     fn deployment_generates() {
-        let mut sys = standard_deployment(1, 2);
-        let (u, d) = account(0);
+        let mut sys = standard_deployment(1, 2).unwrap();
+        let (u, d) = account(0).unwrap();
         let outcome = sys.generate_password("browser", "phone", &u, &d).unwrap();
         assert_eq!(outcome.password.as_str().len(), 32);
     }

@@ -124,7 +124,10 @@ pub fn token_space(table_size: usize) -> SearchSpace {
 
 /// Password space for a policy: `Nc^length` (§IV-E: `94^32 ≈ 1.38 × 10^63`).
 pub fn password_space(policy: &PasswordPolicy) -> SearchSpace {
-    SearchSpace::pow(policy.charset().len() as u64, policy.length() as u32)
+    // Saturate rather than truncate: a length that cannot fit in u32 would
+    // otherwise silently wrap and *shrink* the reported search space.
+    let length = u32::try_from(policy.length()).unwrap_or(u32::MAX);
+    SearchSpace::pow(policy.charset().len() as u64, length)
 }
 
 /// Expected number of characters of each class in a password drawn through

@@ -89,7 +89,13 @@ impl CharacterTable {
     /// The default full table: 26 lower + 26 upper + 10 digits + 32 special
     /// = 94 characters (`Nc = 94`).
     pub fn full() -> Self {
-        CharacterTable::from_classes(&CharClass::ALL).expect("full class set is non-empty")
+        // Built directly rather than through the fallible `from_classes`:
+        // `CharClass::ALL` is a fixed, non-empty, duplicate-free constant.
+        let mut chars = Vec::new();
+        for class in CharClass::ALL {
+            chars.extend(class.chars().iter().map(|&b| b as char));
+        }
+        CharacterTable { chars }
     }
 
     /// Builds a table from the union of the given classes, in class order.

@@ -90,7 +90,10 @@ impl PasswordRequest {
         let mut out = [0u16; SEGMENT_COUNT];
         for (i, chunk) in self.0.chunks_exact(2).enumerate() {
             // Two bytes are exactly four hex digits, big-endian.
-            out[i] = u16::from_be_bytes([chunk[0], chunk[1]]);
+            let &[hi, lo] = chunk else {
+                continue; // unreachable: chunks_exact(2) yields exact pairs
+            };
+            out[i] = u16::from_be_bytes([hi, lo]);
         }
         out
     }

@@ -78,12 +78,15 @@ impl PasswordPolicy {
         let mut out = String::with_capacity(self.length);
         for chunk in p.chunks_exact(2).take(self.length) {
             // Two bytes are exactly one 4-hex-digit segment, big-endian.
-            let g = u16::from_be_bytes([chunk[0], chunk[1]]) as usize;
-            out.push(
-                self.charset
-                    .get(g % nc)
-                    .expect("index reduced modulo table length"),
-            );
+            let &[hi, lo] = chunk else {
+                continue; // unreachable: chunks_exact(2) yields exact pairs
+            };
+            let g = u16::from_be_bytes([hi, lo]) as usize;
+            // `g % nc < nc`, so the lookup always succeeds; `if let` keeps
+            // the hot path panic-free all the same.
+            if let Some(c) = self.charset.get(g % nc) {
+                out.push(c);
+            }
         }
         GeneratedPassword(out)
     }

@@ -122,7 +122,11 @@ pub fn open(key: &[u8], sealed: &[u8], aad: &[u8]) -> Result<Vec<u8>, AeadError>
         return Err(AeadError::BadTag);
     }
     let mut plaintext = ciphertext.to_vec();
-    let nonce_arr: [u8; NONCE_LEN] = nonce.try_into().expect("nonce length");
+    // `split_at(NONCE_LEN)` guarantees the width; surface a typed error
+    // anyway instead of a panic path in the decryption hot path.
+    let nonce_arr: [u8; NONCE_LEN] = nonce
+        .try_into()
+        .map_err(|_| AeadError::Truncated { len: sealed.len() })?;
     keystream_xor(&enc_key, &nonce_arr, &mut plaintext);
     Ok(plaintext)
 }

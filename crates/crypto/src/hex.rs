@@ -89,8 +89,11 @@ pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
     }
     let mut out = Vec::with_capacity(bytes.len() / 2);
     for (i, pair) in bytes.chunks_exact(2).enumerate() {
-        let hi = nibble(pair[0], i * 2)?;
-        let lo = nibble(pair[1], i * 2 + 1)?;
+        let &[hi_digit, lo_digit] = pair else {
+            continue; // unreachable: chunks_exact(2) yields exact pairs
+        };
+        let hi = nibble(hi_digit, i * 2)?;
+        let lo = nibble(lo_digit, i * 2 + 1)?;
         out.push((hi << 4) | lo);
     }
     Ok(out)

@@ -40,7 +40,7 @@ use amnesia_system::session::{
 };
 use amnesia_system::{NetProfile, SystemError};
 use amnesia_telemetry::{Counter, Gauge, Registry, Span};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// Fleet-level errors: admission decisions wrap the underlying
@@ -348,17 +348,17 @@ pub struct Fleet {
     cloud: CloudProvider,
     /// Registration id → owning rendezvous instance (the host performs
     /// every registration, so it can maintain the directory).
-    registration_home: HashMap<String, usize>,
-    endpoint_shard: HashMap<String, usize>,
-    endpoint_gcm: HashMap<String, usize>,
+    registration_home: BTreeMap<String, usize>,
+    endpoint_shard: BTreeMap<String, usize>,
+    endpoint_gcm: BTreeMap<String, usize>,
     users: BTreeMap<String, UserState>,
     setup_order: Vec<String>,
     phones: BTreeMap<String, AmnesiaPhone>,
-    phone_shard: HashMap<String, usize>,
+    phone_shard: BTreeMap<String, usize>,
     browsers: BTreeMap<String, Browser>,
-    channels: HashMap<String, HashMap<String, SecureChannel>>,
+    channels: BTreeMap<String, BTreeMap<String, SecureChannel>>,
     channel_rng: SecretRng,
-    sessions: HashMap<SessionId, SessionEntry>,
+    sessions: BTreeMap<SessionId, SessionEntry>,
     next_session_id: SessionId,
     inflight: u64,
     seen_drops: u64,
@@ -482,17 +482,17 @@ impl Fleet {
             gcms,
             router,
             cloud: CloudProvider::new("fleet-cloud"),
-            registration_home: HashMap::new(),
+            registration_home: BTreeMap::new(),
             endpoint_shard,
             endpoint_gcm,
             users: BTreeMap::new(),
             setup_order: Vec::new(),
             phones: BTreeMap::new(),
-            phone_shard: HashMap::new(),
+            phone_shard: BTreeMap::new(),
             browsers: BTreeMap::new(),
-            channels: HashMap::new(),
+            channels: BTreeMap::new(),
             channel_rng,
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             next_session_id: 1,
             inflight: 0,
             seen_drops: 0,
@@ -804,12 +804,12 @@ impl Fleet {
 
         // In-flight bookkeeping: which op each session serves, plus the
         // coalesced waiters riding on it.
-        let mut open: HashMap<SessionId, (usize, Vec<usize>)> = HashMap::new();
+        let mut open: BTreeMap<SessionId, (usize, Vec<usize>)> = BTreeMap::new();
         let mut open_order: Vec<SessionId> = Vec::new();
         // (user, account) → owning session; `true` = coalescible (Generate).
-        let mut busy_accounts: HashMap<(String, usize), (SessionId, bool)> = HashMap::new();
+        let mut busy_accounts: BTreeMap<(String, usize), (SessionId, bool)> = BTreeMap::new();
         // Users locked whole (recovery replaces the phone).
-        let mut busy_users: HashSet<String> = HashSet::new();
+        let mut busy_users: BTreeSet<String> = BTreeSet::new();
 
         loop {
             // Admit from the backlog until the window is full; an op whose
@@ -1252,7 +1252,7 @@ impl Fleet {
     fn update_inflight_gauge(&self) {
         self.telemetry
             .gauge("fleet.session.inflight")
-            .set(self.inflight as i64);
+            .set_u64(self.inflight);
     }
 
     fn try_confirm(&mut self, sid: SessionId) -> Result<(), SystemError> {
@@ -1631,7 +1631,7 @@ impl Fleet {
             (reaction, s.local_gcm, s.server.pending_count())
         };
         if let Some(s) = self.shards.get(idx) {
-            s.pending_depth.set(pending as i64);
+            s.pending_depth.set_usize(pending);
         }
         if let Some(push) = reaction.push {
             let gcm_ep = gcm_endpoint(local_gcm);

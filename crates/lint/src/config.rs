@@ -29,6 +29,24 @@ pub struct Config {
     /// Identifier substrings marking key-material buffers: a heap-allocated
     /// `let` binding whose name contains one of these must be zeroized.
     pub secret_buffer_idents: Vec<String>,
+    /// Method names whose call arguments are telemetry sinks for the taint
+    /// engine (`.counter("…")`, `.span(label)`, …).
+    pub taint_telemetry_methods: Vec<String>,
+    /// Files where `secret-encode` is silent (the store codec and backup
+    /// paths legitimately encode key material into sealed records).
+    pub taint_encode_allow_files: Vec<String>,
+    /// Files where `nondet-iteration` is silent.
+    pub nondet_allow_files: Vec<String>,
+    /// Files the `lock-discipline` rule applies to (the event-loop hosts);
+    /// empty means every file.
+    pub lock_files: Vec<String>,
+    /// Call names considered blocking while a `MutexGuard` is live.
+    pub lock_blocking_calls: Vec<String>,
+    /// Identifier substrings marking quantities that must not be narrowed
+    /// with `as` (sequence numbers, lengths, clock values).
+    pub cast_ident_substrings: Vec<String>,
+    /// Files where `cast-truncation` is silent.
+    pub cast_allow_files: Vec<String>,
     /// Rule ids (or family prefixes) disabled globally.
     pub disabled_rules: Vec<String>,
 }
@@ -67,6 +85,40 @@ impl Default for Config {
                 "seed_material".into(),
                 "key_material".into(),
             ],
+            taint_telemetry_methods: vec![
+                "counter".into(),
+                "gauge".into(),
+                "histogram".into(),
+                "span".into(),
+                "record".into(),
+                "observe".into(),
+            ],
+            taint_encode_allow_files: Vec::new(),
+            nondet_allow_files: Vec::new(),
+            lock_files: Vec::new(),
+            lock_blocking_calls: vec![
+                "send".into(),
+                "recv".into(),
+                "recv_timeout".into(),
+                "sleep".into(),
+                "join".into(),
+                "park".into(),
+                "wait".into(),
+            ],
+            cast_ident_substrings: vec![
+                "seq".into(),
+                "len".into(),
+                "inflight".into(),
+                "pending".into(),
+                "depth".into(),
+                "micros".into(),
+                "nanos".into(),
+                "millis".into(),
+                "elapsed".into(),
+                "count".into(),
+                "threads".into(),
+            ],
+            cast_allow_files: Vec::new(),
             disabled_rules: Vec::new(),
         }
     }
@@ -99,6 +151,27 @@ impl Config {
         }
         if let Some(Value::Array(v)) = take(&raw, "secret_buffers", "name_substrings") {
             cfg.secret_buffer_idents = v;
+        }
+        if let Some(Value::Array(v)) = take(&raw, "taint", "telemetry_methods") {
+            cfg.taint_telemetry_methods = v;
+        }
+        if let Some(Value::Array(v)) = take(&raw, "taint", "encode_allow_files") {
+            cfg.taint_encode_allow_files = v;
+        }
+        if let Some(Value::Array(v)) = take(&raw, "nondet_iteration", "allow_files") {
+            cfg.nondet_allow_files = v;
+        }
+        if let Some(Value::Array(v)) = take(&raw, "lock_discipline", "files") {
+            cfg.lock_files = v;
+        }
+        if let Some(Value::Array(v)) = take(&raw, "lock_discipline", "blocking_calls") {
+            cfg.lock_blocking_calls = v;
+        }
+        if let Some(Value::Array(v)) = take(&raw, "cast_truncation", "name_substrings") {
+            cfg.cast_ident_substrings = v;
+        }
+        if let Some(Value::Array(v)) = take(&raw, "cast_truncation", "allow_files") {
+            cfg.cast_allow_files = v;
         }
         if let Some(Value::Array(v)) = take(&raw, "rules", "disabled") {
             cfg.disabled_rules = v;

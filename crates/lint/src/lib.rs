@@ -13,10 +13,17 @@
 //!
 //! * [`lexer`] — a hand-rolled Rust lexer (comments, strings, raw
 //!   strings, lifetimes vs chars);
-//! * [`parse`] — light structural analysis: `#[cfg(test)]` regions,
-//!   attributes, `lint: allow(…)` waivers;
-//! * [`rules`] — the four rule families (secret-hygiene, determinism,
-//!   no-panic, hermeticity);
+//! * [`parse`] — structural analysis: `#[cfg(test)]` regions,
+//!   attributes, `lint: allow(…)` waivers, and per-`fn` block trees
+//!   (statements, let-bindings, child blocks) for the dataflow rules;
+//! * [`taint`] — intra-procedural secret taint: sources (secret types
+//!   and idents), propagation (let/clone/field access), sinks (format
+//!   macros, telemetry labels, wire-encode calls);
+//! * [`flow`] — the other block-tree rules: `nondet-iteration`,
+//!   `lock-discipline`, `cast-truncation`;
+//! * [`rules`] — the rule registry tying the seven families together
+//!   (secret-hygiene, determinism, no-panic, hermeticity,
+//!   nondet-iteration, lock-discipline, cast-truncation);
 //! * [`config`] — the committed `lint.toml`;
 //! * [`baseline`] — `lint-baseline.txt` grandfathering, so the gate
 //!   rejects *new* findings while known debt is paid down over time.
@@ -41,9 +48,11 @@
 pub mod baseline;
 pub mod config;
 pub mod findings;
+pub mod flow;
 pub mod lexer;
 pub mod parse;
 pub mod rules;
+pub mod taint;
 
 use config::Config;
 use findings::Finding;
@@ -78,6 +87,60 @@ pub fn run_source(file: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     })
 }
 
+/// Wall-clock cost of one analysis run, accumulated per pass across every
+/// file (drives the CLI's `--timing` report and the verify.sh budget gate).
+#[derive(Clone, Debug, Default)]
+pub struct Timings {
+    /// `(pass label, accumulated duration)` in [`rules::SOURCE_PASSES`]
+    /// order, with lexing/parsing and manifest checks appended.
+    pub passes: Vec<(String, std::time::Duration)>,
+    /// Number of Rust files analyzed.
+    pub files: usize,
+    /// End-to-end walk + analysis time.
+    pub total: std::time::Duration,
+}
+
+impl Timings {
+    fn add(&mut self, label: &str, d: std::time::Duration) {
+        match self.passes.iter_mut().find(|(l, _)| l == label) {
+            Some((_, acc)) => *acc += d,
+            None => self.passes.push((label.to_string(), d)),
+        }
+    }
+}
+
+/// [`run_source`] with per-pass timing accumulated into `timings`.
+///
+/// Findings are identical to [`run_source`]; the split exists so the CLI can
+/// attribute cost to individual passes without taxing the untimed path.
+pub fn run_source_timed(
+    file: &str,
+    src: &str,
+    cfg: &Config,
+    timings: &mut Timings,
+) -> Vec<Finding> {
+    // lint: allow(determinism) measures the analyzer's own runtime for --timing
+    use std::time::Instant;
+    let t0 = Instant::now(); // lint: allow(determinism) analyzer self-timing
+    let map = parse::FileMap::build(src, lexer::lex(src));
+    timings.add("lex+parse", t0.elapsed());
+    let ctx = rules::RuleCtx {
+        file,
+        src,
+        map: &map,
+        cfg,
+    };
+    let mut out = Vec::new();
+    for (label, pass) in rules::SOURCE_PASSES {
+        let t = Instant::now(); // lint: allow(determinism) analyzer self-timing
+        pass(&ctx, &mut out);
+        timings.add(label, t.elapsed());
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
 /// Walks `root` and analyzes every Rust source file and Cargo manifest.
 ///
 /// In a workspace layout (a `crates/` directory exists) the walk covers
@@ -90,6 +153,27 @@ pub fn run_source(file: &str, src: &str, cfg: &Config) -> Vec<Finding> {
 ///
 /// Returns a [`LintError`] if a directory or file cannot be read.
 pub fn run_tree(root: &Path, cfg: &Config) -> Result<Vec<Finding>, LintError> {
+    run_tree_inner(root, cfg, None)
+}
+
+/// [`run_tree`] with a per-pass [`Timings`] report alongside the findings.
+///
+/// # Errors
+///
+/// Returns a [`LintError`] if a directory or file cannot be read.
+pub fn run_tree_timed(root: &Path, cfg: &Config) -> Result<(Vec<Finding>, Timings), LintError> {
+    let mut timings = Timings::default();
+    let findings = run_tree_inner(root, cfg, Some(&mut timings))?;
+    Ok((findings, timings))
+}
+
+fn run_tree_inner(
+    root: &Path,
+    cfg: &Config,
+    mut timings: Option<&mut Timings>,
+) -> Result<Vec<Finding>, LintError> {
+    // lint: allow(determinism) measures the analyzer's own runtime for --timing
+    let t0 = std::time::Instant::now(); // lint: allow(determinism) analyzer self-timing
     let mut rust_files = Vec::new();
     let mut manifests = Vec::new();
     let crates_dir = root.join("crates");
@@ -118,14 +202,27 @@ pub fn run_tree(root: &Path, cfg: &Config) -> Result<Vec<Finding>, LintError> {
     for path in &rust_files {
         let src = read(path)?;
         let rel = relative(root, path);
-        findings.extend(run_source(&rel, &src, cfg));
+        match timings.as_deref_mut() {
+            Some(t) => {
+                findings.extend(run_source_timed(&rel, &src, cfg, t));
+                t.files += 1;
+            }
+            None => findings.extend(run_source(&rel, &src, cfg)),
+        }
     }
     for path in &manifests {
         let text = read(path)?;
         let rel = relative(root, path);
+        let t = std::time::Instant::now(); // lint: allow(determinism) analyzer self-timing
         findings.extend(rules::check_manifest(&rel, &text, cfg));
+        if let Some(ts) = timings.as_deref_mut() {
+            ts.add("manifest", t.elapsed());
+        }
     }
     findings.sort();
+    if let Some(ts) = timings {
+        ts.total = t0.elapsed();
+    }
     Ok(findings)
 }
 

@@ -9,14 +9,40 @@
 //!   --no-baseline        report every finding, grandfathered or not
 //!   --disable <RULE>     disable a rule id or family (repeatable)
 //!   --quiet              print only the summary line
+//!   --json               machine-readable report on stdout (schema below)
+//!   --timing             per-pass runtime report on stderr
 //! ```
 //!
 //! Exit status: 0 when no new findings, 1 when new findings exist,
 //! 2 on usage or I/O errors.
+//!
+//! # JSON schema (`--json`, version 1)
+//!
+//! One object on stdout; key order and array order are stable (findings are
+//! sorted by file, then line, then rule — byte-identical across runs on the
+//! same tree):
+//!
+//! ```text
+//! {
+//!   "version": 1,
+//!   "counts": { "total": <int>, "new": <int>, "baselined": <int> },
+//!   "findings": [
+//!     { "file": <str>, "line": <int>, "rule": <str>,
+//!       "message": <str>, "snippet": <str>, "status": "new"|"baselined" },
+//!     ...
+//!   ],
+//!   "timing_us": { "<pass>": <int>, ..., "total": <int> }   // --timing only
+//! }
+//! ```
+//!
+//! With `--json` the human lines are suppressed (the summary still goes to
+//! stderr so pipelines keep a progress signal); `--update-baseline` ignores
+//! `--json`.
 
 use amnesia_lint::baseline::Baseline;
 use amnesia_lint::config::Config;
-use amnesia_lint::run_tree;
+use amnesia_lint::findings::Finding;
+use amnesia_lint::{run_tree, run_tree_timed, Timings};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -28,6 +54,8 @@ struct Options {
     no_baseline: bool,
     disable: Vec<String>,
     quiet: bool,
+    json: bool,
+    timing: bool,
 }
 
 fn main() -> ExitCode {
@@ -53,11 +81,21 @@ fn main() -> ExitCode {
     };
     cfg.disabled_rules.extend(opts.disable.iter().cloned());
 
-    let findings = match run_tree(&opts.root, &cfg) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("amnesia-lint: {e}");
-            return ExitCode::from(2);
+    let (findings, timings) = if opts.timing {
+        match run_tree_timed(&opts.root, &cfg) {
+            Ok((f, t)) => (f, Some(t)),
+            Err(e) => {
+                eprintln!("amnesia-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match run_tree(&opts.root, &cfg) {
+            Ok(f) => (f, None),
+            Err(e) => {
+                eprintln!("amnesia-lint: {e}");
+                return ExitCode::from(2);
+            }
         }
     };
 
@@ -91,6 +129,25 @@ fn main() -> ExitCode {
 
     let total = findings.len();
     let (new, old) = baseline.partition(findings);
+
+    if let Some(t) = &timings {
+        print_timing(t);
+    }
+
+    if opts.json {
+        println!("{}", render_json(&new, &old, total, timings.as_ref()));
+        eprintln!(
+            "amnesia-lint: {total} finding(s): {} new, {} baselined",
+            new.len(),
+            old.len()
+        );
+        return if new.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
     if !opts.quiet {
         for f in &new {
             println!("{f}");
@@ -112,6 +169,94 @@ fn main() -> ExitCode {
     }
 }
 
+/// Per-pass runtime on stderr, slowest pass first.
+fn print_timing(t: &Timings) {
+    let mut passes: Vec<_> = t.passes.iter().collect();
+    passes.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    eprintln!(
+        "amnesia-lint: analyzed {} file(s) in {}us",
+        t.files,
+        t.total.as_micros()
+    );
+    for (label, d) in passes {
+        eprintln!("  {:>10}us  {label}", d.as_micros());
+    }
+}
+
+/// Renders the version-1 JSON report (see the module docs for the schema).
+///
+/// `new` and `old` are each sorted already; the merged findings array is
+/// re-sorted on (file, line, rule) so output order never depends on the
+/// baseline split.
+fn render_json(
+    new: &[Finding],
+    old: &[Finding],
+    total: usize,
+    timings: Option<&Timings>,
+) -> String {
+    let mut tagged: Vec<(&Finding, &str)> = new
+        .iter()
+        .map(|f| (f, "new"))
+        .chain(old.iter().map(|f| (f, "baselined")))
+        .collect();
+    tagged.sort_by(|a, b| a.0.cmp(b.0));
+
+    let mut out = String::from("{\n  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"counts\": {{ \"total\": {total}, \"new\": {}, \"baselined\": {} }},\n",
+        new.len(),
+        old.len()
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, (f, status)) in tagged.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{ \"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \
+             \"snippet\": {}, \"status\": {} }}",
+            json_str(&f.file),
+            f.line,
+            json_str(&f.rule),
+            json_str(&f.message),
+            json_str(&f.snippet),
+            json_str(status)
+        ));
+    }
+    out.push_str(if tagged.is_empty() { "]" } else { "\n  ]" });
+    if let Some(t) = timings {
+        out.push_str(",\n  \"timing_us\": {");
+        for (i, (label, d)) in t.passes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_str(label), d.as_micros()));
+        }
+        out.push_str(&format!(",\n    \"total\": {}\n  }}", t.total.as_micros()));
+    }
+    out.push_str("\n}");
+    out
+}
+
+/// Minimal JSON string encoder (the workspace is dependency-free).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         root: PathBuf::new(),
@@ -121,6 +266,8 @@ fn parse_args() -> Result<Options, String> {
         no_baseline: false,
         disable: Vec::new(),
         quiet: false,
+        json: false,
+        timing: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -132,9 +279,12 @@ fn parse_args() -> Result<Options, String> {
             "--no-baseline" => opts.no_baseline = true,
             "--disable" => opts.disable.push(take(&mut args, "--disable")?),
             "--quiet" => opts.quiet = true,
+            "--json" => opts.json = true,
+            "--timing" => opts.timing = true,
             "--help" | "-h" => {
                 return Err("usage: amnesia-lint [--root DIR] [--config FILE] \
-                [--baseline FILE] [--update-baseline] [--no-baseline] [--disable RULE] [--quiet]"
+                [--baseline FILE] [--update-baseline] [--no-baseline] [--disable RULE] [--quiet] \
+                [--json] [--timing]"
                     .to_string())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),

@@ -1,18 +1,28 @@
-//! Light structural analysis over the token stream.
+//! Light structural analysis over the token stream, plus fn-body block
+//! trees for the dataflow rules.
 //!
-//! The rules need three pieces of structure that the flat token stream
-//! does not give directly:
+//! The rules need structure that the flat token stream does not give
+//! directly:
 //!
 //! 1. **Test regions** — the byte spans of items annotated `#[cfg(test)]`
 //!    or `#[test]` (the no-panic rules exempt test code);
 //! 2. **Attributes** — in particular `#[derive(…)]` lists and the type
 //!    name they attach to;
 //! 3. **Allow directives** — `// lint: allow(<rule>) <reason>` comments
-//!    that waive a rule for the following line.
+//!    that waive a rule for the following line;
+//! 4. **Block trees** — every `fn` body parsed into ordered statements
+//!    ([`FnDef`]/[`Block`]/[`Stmt`]): `let` bindings with their type
+//!    annotation and initializer range, assignments, `for` headers with
+//!    the iterated expression, and nested blocks. The taint engine and
+//!    the iteration/lock rules walk these trees instead of raw windows.
 //!
 //! All of it is computed with brace matching on the comment-free token
 //! stream; strings and comments were already sealed into single tokens
-//! by the lexer, so `{` inside a string can never unbalance an item.
+//! by the lexer, so `{` inside a string can never unbalance an item. The
+//! block parser is deliberately forgiving: any `{…}` region it cannot
+//! classify (match bodies, struct literals, closure bodies) still becomes
+//! a child [`Block`] whose statements are scanned with the same rules, so
+//! malformed or exotic code degrades to coarser statements, never a panic.
 
 use crate::lexer::{Token, TokenKind};
 
@@ -66,6 +76,9 @@ pub struct FileMap {
     pub attributes: Vec<Attribute>,
     /// Every allow directive found in comments.
     pub allows: Vec<AllowDirective>,
+    /// Every `fn` body parsed into a block tree (methods and nested fns
+    /// included, each as its own entry).
+    pub fns: Vec<FnDef>,
 }
 
 impl FileMap {
@@ -76,12 +89,14 @@ impl FileMap {
             .collect();
         let allows = parse_allows(src, &tokens);
         let (attributes, test_spans) = scan_attributes(src, &tokens, &code);
+        let fns = parse_fns(src, &tokens, &code);
         FileMap {
             tokens,
             code,
             test_spans,
             attributes,
             allows,
+            fns,
         }
     }
 
@@ -286,6 +301,564 @@ fn item_end(src: &str, tokens: &[Token], code: &[usize], i: usize) -> Option<usi
     None
 }
 
+// ---------------------------------------------------------------------------
+// fn-body block trees
+// ---------------------------------------------------------------------------
+
+/// One function parameter: pattern name and the spelled type text.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// First identifier of the pattern (`buf` in `mut buf: &mut [u8]`).
+    pub name: String,
+    /// The type, rendered as space-joined token texts.
+    pub ty: String,
+}
+
+/// A parsed `fn` with its body block tree.
+#[derive(Debug)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Byte offset of the `fn` keyword (for test-span checks).
+    pub start: usize,
+    /// Named parameters (`self` receivers are skipped).
+    pub params: Vec<Param>,
+    /// The body.
+    pub body: Block,
+}
+
+/// A `{ … }` region: ordered statements between the braces.
+#[derive(Debug)]
+pub struct Block {
+    /// Code index of the opening `{`.
+    pub open: usize,
+    /// Code index of the closing `}` (or one past the last token when the
+    /// input ends unbalanced).
+    pub close: usize,
+    /// The statements, in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement: a classified kind, its code-index range, and any child
+/// blocks it contains (loop bodies, if/else arms, inline blocks, closure
+/// bodies, struct literals — every `{…}` region inside the statement).
+#[derive(Debug)]
+pub struct Stmt {
+    /// What kind of statement this is.
+    pub kind: StmtKind,
+    /// Code index of the first token.
+    pub first: usize,
+    /// Code index of the last token (inclusive).
+    pub last: usize,
+    /// Child blocks, in source order.
+    pub children: Vec<Block>,
+}
+
+/// Statement classification; ranges are code-index `[start, end)` pairs.
+#[derive(Debug)]
+pub enum StmtKind {
+    /// `let [mut] name [: ty] [= init];`
+    Let {
+        /// First identifier of the binding pattern.
+        name: String,
+        /// Type annotation tokens, if any.
+        ty: Option<(usize, usize)>,
+        /// Initializer tokens, if any.
+        init: Option<(usize, usize)>,
+    },
+    /// `name = expr;` / `name op= expr;` — re-assignment of a binding.
+    Assign {
+        /// The assigned identifier.
+        name: String,
+        /// Right-hand-side tokens.
+        value: (usize, usize),
+    },
+    /// `for pat in iter { … }` — the one loop header with an iterated
+    /// expression (`while`/`loop` headers carry no iteration source).
+    ForLoop {
+        /// Tokens of the iterated expression (between `in` and the body).
+        iter: (usize, usize),
+    },
+    /// A nested item (`fn`, `impl`, `mod`, `struct`, …). Child blocks of
+    /// an item do **not** inherit the surrounding dataflow facts; nested
+    /// fns also appear as their own [`FnDef`] entries.
+    Item,
+    /// Anything else (expression statements, control flow, match bodies).
+    Other,
+}
+
+impl Stmt {
+    /// Whether code index `ci` lies inside one of this statement's child
+    /// blocks (used by scanners that must not double-visit nested code).
+    pub fn in_child(&self, ci: usize) -> bool {
+        self.children.iter().any(|b| ci > b.open && ci < b.close)
+    }
+}
+
+/// Scans the whole file for `fn` items and parses each body. Nested fns
+/// are parsed both as their own entry and as an `Item` child of the
+/// enclosing body, so walkers can choose either view.
+fn parse_fns(src: &str, tokens: &[Token], code: &[usize]) -> Vec<FnDef> {
+    let text = |ci: usize| -> &str { code.get(ci).map_or("", |&idx| tokens[idx].text(src)) };
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if text(i) != "fn" || tokens[code[i]].kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name_ci = i + 1;
+        let name = text(name_ci).to_string();
+        if name.is_empty()
+            || !name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            i += 1;
+            continue;
+        }
+        // Find the parameter list: first `(` at angle-depth 0 (skipping
+        // generics `<…>` which may themselves contain parens in bounds —
+        // track both).
+        let mut j = name_ci + 1;
+        let mut angle = 0i32;
+        while j < code.len() {
+            match text(j) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "(" if angle <= 0 => break,
+                "{" | ";" | "}" => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if text(j) != "(" {
+            i += 1;
+            continue;
+        }
+        let (params, after_params) = parse_params(src, tokens, code, j);
+        // Skip return type / where clause to the body `{` (or `;` for a
+        // trait method without a body).
+        let mut k = after_params;
+        let mut depth = 0i32;
+        while k < code.len() {
+            match text(k) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                ";" if depth == 0 => break,
+                "}" if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if text(k) != "{" {
+            i = k.max(i + 1);
+            continue;
+        }
+        let (body, _next) = parse_block(src, tokens, code, k);
+        out.push(FnDef {
+            name,
+            line: tokens[code[i]].line,
+            start: tokens[code[i]].start,
+            params,
+            body,
+        });
+        // Continue scanning from just inside the body so nested fns are
+        // found too.
+        i = k + 1;
+    }
+    out
+}
+
+/// Parses the parameter list starting at the `(` at code index `open`.
+/// Returns the params and the index one past the closing `)`.
+fn parse_params(src: &str, tokens: &[Token], code: &[usize], open: usize) -> (Vec<Param>, usize) {
+    let text = |ci: usize| -> &str { code.get(ci).map_or("", |&idx| tokens[idx].text(src)) };
+    let mut params = Vec::new();
+    let mut depth = 1i32;
+    let mut j = open + 1;
+    let mut arg_start = j;
+    let mut close = code.len();
+    while j < code.len() {
+        match text(j) {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+            ">" if text(j.wrapping_sub(1)) != "-" => depth -= 1,
+            "," if depth == 1 => {
+                push_param(src, tokens, code, arg_start, j, &mut params);
+                arg_start = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    push_param(src, tokens, code, arg_start, close, &mut params);
+    (params, close + 1)
+}
+
+/// Parses one `pattern: Type` parameter from the code range `[from, to)`.
+fn push_param(
+    src: &str,
+    tokens: &[Token],
+    code: &[usize],
+    from: usize,
+    to: usize,
+    params: &mut Vec<Param>,
+) {
+    let text = |ci: usize| -> &str { code.get(ci).map_or("", |&idx| tokens[idx].text(src)) };
+    let Some(colon) = (from..to).find(|&ci| text(ci) == ":" && text(ci + 1) != ":") else {
+        return; // `self`, `&mut self`, or empty
+    };
+    let name = (from..colon)
+        .map(text)
+        .find(|t| {
+            !matches!(*t, "mut" | "ref" | "&" | "(")
+                && t.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+        })
+        .unwrap_or("")
+        .to_string();
+    if name.is_empty() || name == "self" {
+        return;
+    }
+    let ty = (colon + 1..to).map(text).collect::<Vec<_>>().join(" ");
+    params.push(Param { name, ty });
+}
+
+/// Parses the block whose `{` sits at code index `open`. Returns the block
+/// and the index one past its closing `}`.
+fn parse_block(src: &str, tokens: &[Token], code: &[usize], open: usize) -> (Block, usize) {
+    let text = |ci: usize| -> &str { code.get(ci).map_or("", |&idx| tokens[idx].text(src)) };
+    let mut stmts = Vec::new();
+    let mut i = open + 1;
+    while i < code.len() {
+        if text(i) == "}" {
+            return (
+                Block {
+                    open,
+                    close: i,
+                    stmts,
+                },
+                i + 1,
+            );
+        }
+        let (stmt, next) = parse_stmt(src, tokens, code, i);
+        // Totality guard: a statement always consumes at least one token.
+        let next = next.max(i + 1);
+        stmts.push(stmt);
+        i = next;
+    }
+    (
+        Block {
+            open,
+            close: code.len(),
+            stmts,
+        },
+        code.len(),
+    )
+}
+
+/// Item keywords that open a nested item whose body must not inherit the
+/// surrounding dataflow facts.
+fn is_item_keyword(t: &str) -> bool {
+    matches!(
+        t,
+        "fn" | "impl" | "mod" | "struct" | "enum" | "trait" | "union" | "macro_rules"
+    )
+}
+
+/// Parses one statement starting at code index `i` inside a block.
+fn parse_stmt(src: &str, tokens: &[Token], code: &[usize], i: usize) -> (Stmt, usize) {
+    let text = |ci: usize| -> &str { code.get(ci).map_or("", |&idx| tokens[idx].text(src)) };
+    let first = text(i);
+
+    if first == "let" {
+        return parse_let_stmt(src, tokens, code, i);
+    }
+    if is_item_keyword(first) {
+        let (children, last, next) = consume_stmt_body(src, tokens, code, i, None);
+        return (
+            Stmt {
+                kind: StmtKind::Item,
+                first: i,
+                last,
+                children,
+            },
+            next,
+        );
+    }
+    if first == "for" {
+        // `for pat in iter { body }` — locate `in` and the body `{` at
+        // depth 0, then consume the rest like any other statement.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut in_at = None;
+        while j < code.len() {
+            match text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "in" if depth == 0 && in_at.is_none() => in_at = Some(j),
+                "{" if depth == 0 => break,
+                ";" | "}" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if let (Some(in_ci), "{") = (in_at, text(j)) {
+            let iter = (in_ci + 1, j);
+            let (children, last, next) = consume_stmt_body(src, tokens, code, j, Some(j));
+            return (
+                Stmt {
+                    kind: StmtKind::ForLoop { iter },
+                    first: i,
+                    last,
+                    children,
+                },
+                next,
+            );
+        }
+        // Malformed `for`: fall through to the generic consumer.
+    }
+    // Assignment? `name = …` or `name += …` (but not `==` / `=>`).
+    if tokens[code[i]].kind == TokenKind::Ident && !is_stmt_keyword(first) {
+        let op = text(i + 1);
+        let is_assign = op == "="
+            || matches!(
+                op,
+                "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "|=" | "&=" | "<<=" | ">>="
+            );
+        if is_assign && text(i + 2) != "=" {
+            let (children, last, next) = consume_stmt_body(src, tokens, code, i + 2, None);
+            return (
+                Stmt {
+                    kind: StmtKind::Assign {
+                        name: first.to_string(),
+                        value: (i + 2, last + 1),
+                    },
+                    first: i,
+                    last,
+                    children,
+                },
+                next,
+            );
+        }
+    }
+    let (children, last, next) = consume_stmt_body(src, tokens, code, i, None);
+    (
+        Stmt {
+            kind: StmtKind::Other,
+            first: i,
+            last,
+            children,
+        },
+        next,
+    )
+}
+
+/// Keywords that begin statements but are never assignment targets.
+fn is_stmt_keyword(t: &str) -> bool {
+    matches!(
+        t,
+        "if" | "while"
+            | "loop"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "unsafe"
+            | "else"
+            | "use"
+            | "pub"
+            | "static"
+            | "const"
+            | "type"
+    )
+}
+
+/// Parses `let [mut] pat [: ty] [= init] ;` starting at `i`.
+fn parse_let_stmt(src: &str, tokens: &[Token], code: &[usize], i: usize) -> (Stmt, usize) {
+    let text = |ci: usize| -> &str { code.get(ci).map_or("", |&idx| tokens[idx].text(src)) };
+    // Binding identifiers of the pattern. Variant/path segments start
+    // uppercase (`Some`, `Ok`) and are not bindings; when more than one
+    // binding remains (tuple/struct destructuring) the statement gets no
+    // name — dataflow rules cannot attribute the initializer to a single
+    // binding, and guessing taints statistics destructured from secrets.
+    let mut j = i + 1;
+    let mut bindings: Vec<String> = Vec::new();
+    let mut depth = 0i32;
+    while j < code.len() {
+        match text(j) {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            "=" | ";" | "{" if depth <= 0 => break,
+            ":" if depth <= 0 && text(j + 1) != ":" => break,
+            t if tokens[code[j]].kind == TokenKind::Ident
+                && !matches!(t, "mut" | "ref" | "box" | "_")
+                && t.chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_') =>
+            {
+                bindings.push(t.to_string());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let name = if bindings.len() == 1 {
+        bindings.remove(0)
+    } else {
+        String::new()
+    };
+    // Optional `: ty` up to `=` / `;` at depth 0.
+    let mut ty = None;
+    if text(j) == ":" {
+        let ty_start = j + 1;
+        let mut depth = 0i32;
+        j += 1;
+        while j < code.len() {
+            match text(j) {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ">" if text(j.wrapping_sub(1)) != "-" => depth -= 1,
+                "=" | ";" if depth <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        ty = Some((ty_start, j));
+    }
+    // Optional `= init` (also covers `let … else { … }` via the generic
+    // consumer picking up the block as a child).
+    let mut init = None;
+    let (children, last, next) = if text(j) == "=" {
+        let init_start = j + 1;
+        let (children, last, next) = consume_stmt_body(src, tokens, code, init_start, None);
+        init = Some((init_start, last + 1));
+        (children, last, next)
+    } else {
+        consume_stmt_body(src, tokens, code, j, None)
+    };
+    (
+        Stmt {
+            kind: StmtKind::Let { name, ty, init },
+            first: i,
+            last,
+            children,
+        },
+        next,
+    )
+}
+
+/// Consumes tokens from `i` to the end of the statement: a `;` at depth 0,
+/// or — after at least one `{…}` block has been consumed — the point where
+/// a control-flow statement ends without a semicolon. Every `{…}` region
+/// encountered at depth 0 is parsed recursively into a child block. The
+/// enclosing block's `}` is never consumed. `force_block_at` marks a code
+/// index known to open a body (a `for` header already scanned to it).
+///
+/// Returns `(children, last_token_ci, next_stmt_ci)`.
+fn consume_stmt_body(
+    src: &str,
+    tokens: &[Token],
+    code: &[usize],
+    i: usize,
+    force_block_at: Option<usize>,
+) -> (Vec<Block>, usize, usize) {
+    let text = |ci: usize| -> &str { code.get(ci).map_or("", |&idx| tokens[idx].text(src)) };
+    let mut children = Vec::new();
+    let mut depth = 0i32;
+    let mut j = i;
+    let mut saw_block = false;
+    while j < code.len() {
+        match text(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                if depth == 0 {
+                    // Unbalanced close: belongs to an enclosing region.
+                    let last = j.saturating_sub(1).max(i);
+                    return (children, last, j);
+                }
+                depth -= 1;
+            }
+            "{" => {
+                if depth == 0 || force_block_at == Some(j) {
+                    let (block, next) = parse_block(src, tokens, code, j);
+                    children.push(block);
+                    saw_block = true;
+                    j = next;
+                    // A control-flow or block statement may end right here:
+                    // the next token starts a new statement unless it chains
+                    // (`else`, `.method()`, `?`, operator, `;`).
+                    let t = text(j);
+                    let chains =
+                        matches!(t, "else" | "." | "?" | ";" | "," | ")" | "]" | "=>" | "as")
+                            || is_binary_op(t);
+                    if !chains || t == ";" {
+                        if t == ";" {
+                            return (children, j, j + 1);
+                        }
+                        let last = j.saturating_sub(1).max(i);
+                        return (children, last, j);
+                    }
+                    continue;
+                }
+                depth += 1;
+            }
+            "}" => {
+                if depth == 0 {
+                    // End of the enclosing block: the statement ends before
+                    // it (tail expression).
+                    let last = j.saturating_sub(1).max(i);
+                    return (children, last, j);
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return (children, j, j + 1),
+            _ => {}
+        }
+        j += 1;
+    }
+    let last = j.saturating_sub(1).max(i);
+    let _ = saw_block;
+    (children, last, j)
+}
+
+/// Operators that continue an expression after a `}` (so `match x {…} +
+/// y` keeps consuming).
+fn is_binary_op(t: &str) -> bool {
+    matches!(
+        t,
+        "+" | "-"
+            | "*"
+            | "/"
+            | "%"
+            | "=="
+            | "!="
+            | "<"
+            | ">"
+            | "<="
+            | ">="
+            | "&&"
+            | "||"
+            | "&"
+            | "|"
+            | "^"
+            | "<<"
+            | ">>"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,5 +932,124 @@ mod tests {
         let m = map(src);
         assert!(m.in_test_code(src.find("unwrap").expect("present")));
         assert!(!m.in_test_code(src.find("live").expect("present")));
+    }
+
+    // -- block-tree parser ---------------------------------------------
+
+    fn fn_named<'a>(m: &'a FileMap, name: &str) -> &'a FnDef {
+        m.fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("fn {name} not parsed"))
+    }
+
+    #[test]
+    fn fn_params_and_let_parsed() {
+        let src = "fn f(oid: &OnlineId, mut n: usize) { let label: String = oid.clone(); }";
+        let m = map(src);
+        let f = fn_named(&m, "f");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "oid");
+        assert!(f.params[0].ty.contains("OnlineId"));
+        assert_eq!(f.params[1].name, "n");
+        assert_eq!(f.body.stmts.len(), 1);
+        match &f.body.stmts[0].kind {
+            StmtKind::Let { name, ty, init } => {
+                assert_eq!(name, "label");
+                assert!(ty.is_some());
+                assert!(init.is_some());
+            }
+            k => panic!("expected Let, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn self_receiver_skipped() {
+        let src = "impl T { fn m(&mut self, k: u32) -> u32 { k } }";
+        let m = map(src);
+        let f = fn_named(&m, "m");
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.params[0].name, "k");
+    }
+
+    #[test]
+    fn assignment_classified() {
+        let src = "fn f() { let mut x = 1; x = y.clone(); x += 2; }";
+        let m = map(src);
+        let f = fn_named(&m, "f");
+        assert_eq!(f.body.stmts.len(), 3);
+        assert!(matches!(&f.body.stmts[1].kind, StmtKind::Assign { name, .. } if name == "x"));
+        assert!(matches!(&f.body.stmts[2].kind, StmtKind::Assign { name, .. } if name == "x"));
+    }
+
+    #[test]
+    fn equality_is_not_assignment() {
+        let src = "fn f() { x == y; }";
+        let m = map(src);
+        let f = fn_named(&m, "f");
+        assert!(matches!(f.body.stmts[0].kind, StmtKind::Other));
+    }
+
+    #[test]
+    fn for_loop_iter_range_and_body() {
+        let src = "fn f() { for (k, v) in table.iter() { use_it(k, v); } done(); }";
+        let m = map(src);
+        let f = fn_named(&m, "f");
+        assert_eq!(f.body.stmts.len(), 2);
+        match &f.body.stmts[0].kind {
+            StmtKind::ForLoop { iter } => {
+                // iter range covers `table . iter ( )`
+                assert!(iter.1 > iter.0);
+            }
+            k => panic!("expected ForLoop, got {k:?}"),
+        }
+        assert_eq!(f.body.stmts[0].children.len(), 1);
+        assert_eq!(f.body.stmts[0].children[0].stmts.len(), 1);
+    }
+
+    #[test]
+    fn if_else_chain_is_one_stmt_with_two_children() {
+        let src = "fn f() { if a { one(); } else { two(); } after(); }";
+        let m = map(src);
+        let f = fn_named(&m, "f");
+        assert_eq!(f.body.stmts.len(), 2);
+        assert_eq!(f.body.stmts[0].children.len(), 2);
+    }
+
+    #[test]
+    fn nested_fn_is_item_and_own_fndef() {
+        let src = "fn outer() { fn inner(kp: &PhoneId) { log(kp); } inner(&x); }";
+        let m = map(src);
+        let outer = fn_named(&m, "outer");
+        assert!(matches!(outer.body.stmts[0].kind, StmtKind::Item));
+        let inner = fn_named(&m, "inner");
+        assert_eq!(inner.params[0].name, "kp");
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_unbalance_blocks() {
+        let src = "fn f() { let s = \"}{\"; /* } */ let t = '}'; g(); }";
+        let m = map(src);
+        let f = fn_named(&m, "f");
+        assert_eq!(f.body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn match_body_becomes_child_block() {
+        let src = "fn f() { let r = match x { Some(v) => v, None => 0 }; r }";
+        let m = map(src);
+        let f = fn_named(&m, "f");
+        match &f.body.stmts[0].kind {
+            StmtKind::Let { name, .. } => assert_eq!(name, "r"),
+            k => panic!("expected Let, got {k:?}"),
+        }
+        assert_eq!(f.body.stmts[0].children.len(), 1);
+    }
+
+    #[test]
+    fn unbalanced_input_still_terminates() {
+        let m = map("fn f() { let x = ; } fn g() { loop {");
+        // No panic, and both fns parsed even though g's body never closes.
+        assert_eq!(m.fns.len(), 2);
     }
 }

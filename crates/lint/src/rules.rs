@@ -1,4 +1,6 @@
-//! The rule families: secret-hygiene, determinism, no-panic, hermeticity.
+//! The rule families: secret-hygiene (taint-tracking), determinism,
+//! no-panic, hermeticity, nondet-iteration, lock-discipline, and
+//! cast-truncation.
 //!
 //! Every rule works on the lexed token stream plus the [`FileMap`]
 //! structure; none of them re-scan raw text, so occurrences inside
@@ -12,7 +14,9 @@
 //! | `secret-eq-derive`       | secret        | `#[derive(.., PartialEq, ..)]` on a secret type (derived equality is not constant-time) |
 //! | `secret-display-impl`    | secret        | `impl Display for <secret type>` |
 //! | `secret-byte-compare`    | secret        | `==`/`!=` with an `.as_bytes()` operand (use `amnesia_crypto::ct_eq`) |
-//! | `secret-format`          | secret        | a configured secret identifier inside `format!`-family macro arguments |
+//! | `secret-format`          | secret        | a secret-tainted value (direct mention *or* alias traced by [`crate::taint`]) inside `format!`-family macro arguments |
+//! | `secret-telemetry`       | secret        | a secret-tainted value passed to a telemetry method (`counter`, `gauge`, …) |
+//! | `secret-encode`          | secret        | a secret-tainted value reaching a wire-encode call outside the codec allowlist |
 //! | `secret-unwiped-buffer`  | secret        | a heap-allocated `let` binding named like key material (`ipad`, `key_block`, …) with no `zeroize` call on it |
 //! | `determinism`            | determinism   | `SystemTime` / `Instant` / `UNIX_EPOCH` outside the clock allowlist |
 //! | `no-panic-unwrap`        | no-panic      | `.unwrap()` outside test code |
@@ -21,6 +25,9 @@
 //! | `no-panic-index`         | no-panic      | indexing with an integer literal (`frames[0]`) outside test code |
 //! | `hermeticity-extern-crate` | hermeticity | `extern crate` in source |
 //! | `hermeticity-dependency` | hermeticity   | a manifest dependency that is not an in-workspace path crate |
+//! | `nondet-iteration`       | nondet-iteration | iterating a `HashMap`/`HashSet` in an order-sensitive position (for-loop, ordered collect, extend) |
+//! | `lock-discipline`        | lock-discipline | a blocking call (`send`, `recv`, `sleep`, …) while a `Mutex`/`RwLock` guard is live |
+//! | `cast-truncation`        | cast-truncation | a narrowing `as` cast on a counter/length/clock-named value with no visible bound |
 
 use crate::config::Config;
 use crate::findings::{line_snippet, Finding};
@@ -40,7 +47,14 @@ pub struct RuleCtx<'a> {
 }
 
 impl<'a> RuleCtx<'a> {
-    fn emit(&self, out: &mut Vec<Finding>, rule: &str, offset: usize, line: u32, message: String) {
+    pub(crate) fn emit(
+        &self,
+        out: &mut Vec<Finding>,
+        rule: &str,
+        offset: usize,
+        line: u32,
+        message: String,
+    ) {
         if self.cfg.rule_disabled(rule) || self.map.allowed(rule, line) {
             return;
         }
@@ -53,23 +67,38 @@ impl<'a> RuleCtx<'a> {
         });
     }
 
-    fn text(&self, ci: usize) -> &'a str {
+    pub(crate) fn text(&self, ci: usize) -> &'a str {
         self.map.code_text(self.src, ci)
     }
 }
 
+/// The source-rule passes in execution order, labelled for the CLI's
+/// `--timing` report. Each label names the pass (usually the rule family it
+/// implements), not an individual rule id.
+pub const SOURCE_PASSES: &[(&str, fn(&RuleCtx<'_>, &mut Vec<Finding>))] = &[
+    ("secret-derives", secret_derives),
+    ("secret-display-impl", secret_display_impl),
+    ("secret-byte-compare", secret_byte_compare),
+    ("secret-taint", crate::taint::check),
+    ("secret-unwiped-buffer", secret_unwiped_buffer),
+    ("determinism", determinism),
+    ("no-panic", no_panic),
+    ("hermeticity-extern-crate", extern_crate),
+    ("nondet-iteration", crate::flow::nondet_iteration),
+    ("lock-discipline", crate::flow::lock_discipline),
+    ("cast-truncation", crate::flow::cast_truncation),
+];
+
 /// Runs every source rule over one file.
 pub fn check_source(ctx: &RuleCtx<'_>) -> Vec<Finding> {
     let mut out = Vec::new();
-    secret_derives(ctx, &mut out);
-    secret_display_impl(ctx, &mut out);
-    secret_byte_compare(ctx, &mut out);
-    secret_format(ctx, &mut out);
-    secret_unwiped_buffer(ctx, &mut out);
-    determinism(ctx, &mut out);
-    no_panic(ctx, &mut out);
-    extern_crate(ctx, &mut out);
+    for (_, pass) in SOURCE_PASSES {
+        pass(ctx, &mut out);
+    }
+    // Nested functions get their own `FnDef` *and* appear inside their
+    // parent's block tree, so a pass may report the same site twice.
     out.sort();
+    out.dedup();
     out
 }
 
@@ -228,69 +257,12 @@ fn secret_byte_compare(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
-fn secret_format(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
-    let code = &ctx.map.code;
-    let mut i = 0usize;
-    while i + 2 < code.len() {
-        let is_macro = ctx.cfg.format_macros.iter().any(|m| m == ctx.text(i))
-            && ctx.text(i + 1) == "!"
-            && matches!(ctx.text(i + 2), "(" | "[" | "{");
-        if !is_macro {
-            i += 1;
-            continue;
-        }
-        // Walk the macro's delimited argument list.
-        let mut depth = 0i32;
-        let mut j = i + 2;
-        while j < code.len() {
-            match ctx.text(j) {
-                "(" | "[" | "{" => depth += 1,
-                ")" | "]" | "}" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                _ => {
-                    let Some(tok) = ctx.map.code_tok(j) else {
-                        break;
-                    };
-                    let hit = match tok.kind {
-                        TokenKind::Ident => {
-                            let t = tok.text(ctx.src).to_ascii_lowercase();
-                            ctx.cfg.secret_idents.iter().any(|s| *s == t)
-                        }
-                        TokenKind::Str => {
-                            let body = tok.text(ctx.src);
-                            format_string_idents(body)
-                                .iter()
-                                .any(|id| ctx.cfg.secret_idents.iter().any(|s| s == id))
-                        }
-                        _ => false,
-                    };
-                    if hit {
-                        ctx.emit(
-                            out,
-                            "secret-format",
-                            tok.start,
-                            tok.line,
-                            format!(
-                                "secret value reaches a `{}!` argument; secrets must not be \
-                                 formatted or logged",
-                                ctx.text(i)
-                            ),
-                        );
-                    }
-                }
-            }
-            j += 1;
-        }
-        i = j.max(i + 1);
-    }
-}
+// `secret-format` is implemented by the taint engine in [`crate::taint`]
+// since PR 8 (the PR 3 token-window scan only saw directly-spelled secret
+// idents; the engine also follows aliases across statements).
 
 /// Identifiers interpolated in a format string body (`"{oid:x}"` → `oid`).
-fn format_string_idents(body: &str) -> Vec<String> {
+pub(crate) fn format_string_idents(body: &str) -> Vec<String> {
     let mut out = Vec::new();
     let bytes = body.as_bytes();
     let mut i = 0usize;

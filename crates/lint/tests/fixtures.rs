@@ -76,6 +76,69 @@ fn hermeticity_family_matches_golden() {
 }
 
 #[test]
+fn taint_family_matches_golden() {
+    check_family("taint", "secret");
+}
+
+#[test]
+fn nondet_iteration_family_matches_golden() {
+    check_family("nondet_iteration", "nondet-iteration");
+}
+
+#[test]
+fn lock_discipline_family_matches_golden() {
+    check_family("lock_discipline", "lock-discipline");
+}
+
+#[test]
+fn cast_truncation_family_matches_golden() {
+    check_family("cast_truncation", "cast-truncation");
+}
+
+/// The acceptance case the taint tentpole exists for: a secret aliased
+/// across two intermediate statements still reaches the format-macro sink
+/// (the PR 3 window rule saw only direct mentions).
+#[test]
+fn taint_fixture_pins_multi_statement_alias() {
+    let cfg = Config::default();
+    let findings = run_tree(&fixture_dir("taint"), &cfg).expect("fixture tree walks");
+    let fmt = findings
+        .iter()
+        .find(|f| f.rule == "secret-format")
+        .expect("aliased format finding present");
+    assert!(
+        fmt.snippet.contains("shown"),
+        "finding must anchor on the alias, not the source: {fmt:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == "secret-telemetry"),
+        "aliased telemetry-label finding present"
+    );
+}
+
+#[test]
+fn nondet_allow_file_silences_fixture() {
+    let mut cfg = Config::default();
+    cfg.nondet_allow_files.push("violating.rs".to_string());
+    assert_eq!(rendered("nondet_iteration", &cfg), "");
+}
+
+#[test]
+fn lock_files_scope_excludes_fixture() {
+    let mut cfg = Config::default();
+    // Scoped to the event-loop hosts only: the fixture file is not one.
+    cfg.lock_files.push("host.rs".to_string());
+    assert_eq!(rendered("lock_discipline", &cfg), "");
+}
+
+#[test]
+fn cast_allow_file_silences_fixture() {
+    let mut cfg = Config::default();
+    cfg.cast_allow_files.push("violating.rs".to_string());
+    assert_eq!(rendered("cast_truncation", &cfg), "");
+}
+
+#[test]
 fn disabling_one_rule_keeps_the_rest() {
     let mut cfg = Config::default();
     cfg.disabled_rules.push("no-panic-unwrap".to_string());

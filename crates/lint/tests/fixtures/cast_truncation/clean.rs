@@ -1,0 +1,22 @@
+//! Clean fixture for `cast-truncation`: visibly bounded values, checked
+//! conversions, and widening casts are all fine.
+
+pub fn bucket(next_seq: u64) -> u8 {
+    (next_seq % 256) as u8
+}
+
+pub fn masked(next_seq: u64) -> u8 {
+    (next_seq & 0xff) as u8
+}
+
+pub fn clamped(len: usize) -> u32 {
+    len.min(1024) as u32
+}
+
+pub fn checked(len: usize) -> Option<u32> {
+    u32::try_from(len).ok()
+}
+
+pub fn widening(flags: u8) -> u64 {
+    flags as u64
+}

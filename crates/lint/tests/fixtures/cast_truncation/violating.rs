@@ -1,0 +1,14 @@
+//! Violating fixture for `cast-truncation`: narrowing `as` casts on
+//! sequence numbers, lengths and clock values silently wrap.
+
+pub fn ack_frame(next_seq: u64) -> u32 {
+    next_seq as u32
+}
+
+pub fn queue_gauge(queue: &Queue) -> i64 {
+    queue.pending.len() as i64
+}
+
+pub fn stamp(clock: &Clock) -> u32 {
+    clock.elapsed_micros() as u32
+}

@@ -1,0 +1,17 @@
+//! Clean fixture for `lock-discipline`: copy out under the lock, release,
+//! then block.
+
+pub fn publish(state: &State, tx: &Sender<u64>) {
+    let guard = state.inner.lock();
+    let next = guard.next_seq;
+    drop(guard);
+    tx.send(next).ok();
+}
+
+pub fn scoped(state: &State, tx: &Sender<u64>) {
+    let next = {
+        let guard = state.inner.lock();
+        guard.next_seq
+    };
+    tx.send(next).ok();
+}

@@ -1,0 +1,14 @@
+//! Violating fixture for `lock-discipline`: blocking calls made while a
+//! `MutexGuard` is live serialize every other session on the lock.
+
+pub fn publish(state: &State, tx: &Sender<u64>) {
+    let guard = state.inner.lock();
+    tx.send(guard.next_seq).ok();
+}
+
+pub fn branch_blocks(state: &State, tx: &Sender<u64>) {
+    let guard = state.inner.lock();
+    if guard.ready {
+        tx.send(1).ok();
+    }
+}

@@ -1,0 +1,23 @@
+//! Clean fixture for `nondet-iteration`: ordered collections may be
+//! iterated freely, and order-insensitive reductions over hash
+//! collections are fine.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Router {
+    routes: BTreeMap<String, usize>,
+}
+
+impl Router {
+    /// BTreeMap iteration is deterministic.
+    pub fn dump(&self, out: &mut Vec<String>) {
+        for (endpoint, shard) in &self.routes {
+            out.push(render(endpoint, shard));
+        }
+    }
+}
+
+/// `any` is order-insensitive: the result cannot expose iteration order.
+pub fn overloaded(load: &HashMap<String, u64>, cap: u64) -> bool {
+    load.values().any(|&v| v > cap)
+}

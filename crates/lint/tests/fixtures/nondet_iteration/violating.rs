@@ -1,0 +1,22 @@
+//! Violating fixture for `nondet-iteration`: hash-collection iteration
+//! whose order escapes into output.
+
+use std::collections::HashMap;
+
+pub struct Router {
+    routes: HashMap<String, usize>,
+}
+
+impl Router {
+    /// Iteration order reaches the emitted report line by line.
+    pub fn dump(&self, out: &mut Vec<String>) {
+        for (endpoint, shard) in &self.routes {
+            out.push(render(endpoint, shard));
+        }
+    }
+}
+
+/// The chain ends in `collect`: order escapes into the returned Vec.
+pub fn snapshot(metrics: &HashMap<String, u64>) -> Vec<String> {
+    metrics.keys().cloned().collect()
+}

@@ -1,0 +1,21 @@
+//! Clean fixture for the secret taint engine: sanitized reads, killed
+//! taint, and sealed encoding produce no findings.
+
+/// Lengths of secrets are not secrets.
+pub fn report(table: &EntryTable) -> String {
+    let entries = table.len();
+    format!("{entries} entries resident")
+}
+
+/// Re-assignment from an untainted expression clears the taint.
+pub fn relabel(oid: &OnlineId, fallback: &Registry) {
+    let mut label = oid.clone();
+    label = fallback.default_name();
+    println!("granting access to {label}");
+}
+
+/// Encoding an untainted record is fine.
+pub fn persist(manifest: &Manifest, buf: &mut Vec<u8>) {
+    let copy = manifest.clone();
+    copy.encode(buf);
+}

@@ -1,0 +1,22 @@
+//! Violating fixture for the secret taint engine: each fn below leaks a
+//! secret through an alias chain the PR 3 token-window rule could not see.
+//! The golden file `expected.txt` pins the findings.
+
+/// Alias crosses two statements before reaching a format macro.
+pub fn audit(oid: &OnlineId) {
+    let label = oid.clone();
+    let shown = label;
+    println!("granting access to {shown}");
+}
+
+/// Alias reaches a telemetry label: metric names are exported in snapshots.
+pub fn observe(secret_key: &PhoneId, registry: &Registry) {
+    let metric_name = derive_label(secret_key);
+    registry.counter(&metric_name);
+}
+
+/// A secret-typed value reaches a `Record` codec call unsealed.
+pub fn persist(table: &EntryTable, buf: &mut Vec<u8>) {
+    let snapshot = table.clone();
+    snapshot.encode(buf);
+}

@@ -1,0 +1,214 @@
+//! Property tests for the block-tree parser, driven by `amnesia-testkit`.
+//!
+//! The dataflow rules (taint, lock-discipline) walk [`FnDef`] block trees
+//! and trust their invariants: code-index ranges stay in bounds, child
+//! blocks nest strictly inside their statement, and statements appear in
+//! source order. These properties fuzz both raw token soup (totality) and
+//! synthesized well-formed functions (structure) to pin those invariants.
+
+use amnesia_lint::lexer::lex;
+use amnesia_lint::parse::{Block, FileMap, StmtKind};
+use amnesia_testkit::{for_all, Gen};
+
+/// Random printable source soup biased toward the characters the parser
+/// cares about: braces, parens, statement keywords and terminators.
+fn soup(g: &mut Gen, max_len: usize) -> String {
+    const SPICE: &[&str] = &[
+        "{", "}", "(", ")", ";", "fn", "let", "for", "in", "if", "else", "=", "==", "=>", "ident",
+        "x.y", "\"s\"", "//c\n", "match", "impl", "struct", "<", ">", "'a", " ", "\n",
+    ];
+    let n = g.usize_in(0, max_len);
+    let mut out = String::new();
+    for _ in 0..n {
+        if g.next_bool() {
+            out.push_str(SPICE[g.usize_in(0, SPICE.len() - 1)]);
+        } else {
+            out.push(char::from(g.u64_in(0x20, 0x7e) as u8));
+        }
+        out.push(' ');
+    }
+    out
+}
+
+/// Checks every range invariant of a block tree; returns the first
+/// violation as an error string.
+fn check_block(b: &Block, code_len: usize) -> Result<(), String> {
+    if b.open > b.close || b.close > code_len + 1 {
+        return Err(format!("block range {}..{} out of bounds", b.open, b.close));
+    }
+    let mut prev_last = b.open;
+    for s in &b.stmts {
+        if s.first > s.last {
+            return Err(format!("stmt range {}..{} inverted", s.first, s.last));
+        }
+        if s.first <= b.open || s.last >= b.close {
+            return Err(format!(
+                "stmt {}..{} escapes block {}..{}",
+                s.first, s.last, b.open, b.close
+            ));
+        }
+        if s.first <= prev_last && prev_last != b.open {
+            return Err(format!("stmt {}..{} not in source order", s.first, s.last));
+        }
+        prev_last = s.last;
+        let mut prev_close = s.first;
+        for c in &s.children {
+            if c.open < s.first || c.close > s.last {
+                return Err(format!(
+                    "child block {}..{} escapes stmt {}..{}",
+                    c.open, c.close, s.first, s.last
+                ));
+            }
+            if c.open < prev_close && prev_close != s.first {
+                return Err(format!("child {}..{} overlaps sibling", c.open, c.close));
+            }
+            prev_close = c.close;
+            check_block(c, code_len)?;
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn parser_is_total_and_ranges_are_sane() {
+    for_all("parser total", 400, |g| {
+        let src = soup(g, 60);
+        let tokens = lex(&src);
+        let map = FileMap::build(&src, tokens); // must not panic on any input
+        for f in &map.fns {
+            check_block(&f.body, map.code.len()).map_err(|e| format!("{e} in {src:?}"))?;
+            if f.start > src.len() {
+                return Err(format!("fn start {} past src end in {src:?}", f.start));
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn every_generated_fn_is_found_by_name() {
+    // Synthesize a file of N well-formed functions with known names and
+    // bodies; the parser must surface exactly those names, in order.
+    for_all("fn discovery", 200, |g| {
+        let n = g.usize_in(1, 6);
+        let mut src = String::new();
+        let mut names = Vec::new();
+        for i in 0..n {
+            // testkit idents may start with a digit; fn names must not.
+            let name = format!("f{}_{i}", g.ident(8));
+            src.push_str(&format!(
+                "fn {name}(a: u64) -> u64 {{ let b = a + {i}; b }}\n"
+            ));
+            names.push(name);
+        }
+        let map = FileMap::build(&src, lex(&src));
+        let got: Vec<&str> = map.fns.iter().map(|f| f.name.as_str()).collect();
+        if got != names.iter().map(String::as_str).collect::<Vec<_>>() {
+            return Err(format!("expected fns {names:?}, got {got:?} in {src:?}"));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn let_statements_bind_their_generated_names() {
+    // A body of K sequential `let` statements must parse into K `Let`
+    // stmts carrying the generated binding names in order — the taint
+    // engine's propagation step depends on exactly this.
+    for_all("let chain", 200, |g| {
+        let k = g.usize_in(1, 8);
+        let mut body = String::new();
+        let mut names = Vec::new();
+        for i in 0..k {
+            let name = format!("v{}_{i}", g.ident(6));
+            if i == 0 {
+                body.push_str(&format!("let {name} = seed;\n"));
+            } else {
+                body.push_str(&format!("let {name} = {};\n", names[i - 1]));
+            }
+            names.push(name);
+        }
+        let src = format!("fn chain(seed: u64) -> u64 {{\n{body}0\n}}\n");
+        let map = FileMap::build(&src, lex(&src));
+        let f = map
+            .fns
+            .first()
+            .ok_or_else(|| format!("no fn parsed from {src:?}"))?;
+        let bound: Vec<&str> = f
+            .body
+            .stmts
+            .iter()
+            .filter_map(|s| match &s.kind {
+                StmtKind::Let { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        if bound != names.iter().map(String::as_str).collect::<Vec<_>>() {
+            return Err(format!("expected lets {names:?}, got {bound:?}"));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn nested_blocks_mirror_generated_depth() {
+    // Wrap one statement in D nested plain blocks: walking the deepest
+    // child chain must recover exactly depth D.
+    for_all("nesting depth", 200, |g| {
+        let d = g.usize_in(1, 7);
+        let mut body = String::from("let x = 1;");
+        for _ in 0..d {
+            body = format!("{{ {body} }}");
+        }
+        let src = format!("fn nest() {{ {body} }}\n");
+        let map = FileMap::build(&src, lex(&src));
+        let f = map
+            .fns
+            .first()
+            .ok_or_else(|| format!("no fn parsed from {src:?}"))?;
+        let mut depth = 0usize;
+        let mut block = &f.body;
+        while let Some(child) = block.stmts.iter().flat_map(|s| s.children.iter()).next() {
+            depth += 1;
+            block = child;
+        }
+        if depth != d {
+            return Err(format!("expected depth {d}, got {depth} in {src:?}"));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn for_loops_carry_their_iterated_expression() {
+    // `for pat in EXPR { … }` must classify as ForLoop with an iter range
+    // that renders back to EXPR — nondet-iteration keys off this range.
+    for_all("for iter range", 200, |g| {
+        let coll = format!("{}_m", g.ident(6));
+        let chain = *g.pick(&["iter()", "keys()", "values()"]);
+        let src =
+            format!("fn walk(&self) {{ for item in self.{coll}.{chain} {{ use_it(item); }} }}\n");
+        let map = FileMap::build(&src, lex(&src));
+        let f = map
+            .fns
+            .first()
+            .ok_or_else(|| format!("no fn parsed from {src:?}"))?;
+        let (lo, hi) = f
+            .body
+            .stmts
+            .iter()
+            .find_map(|s| match s.kind {
+                StmtKind::ForLoop { iter } => Some(iter),
+                _ => None,
+            })
+            .ok_or_else(|| format!("no ForLoop stmt in {src:?}"))?;
+        let rendered: Vec<&str> = (lo..hi).map(|ci| map.code_text(&src, ci)).collect();
+        let joined = rendered.concat();
+        if !joined.contains(&coll) || !joined.contains('.') {
+            return Err(format!(
+                "iter range {joined:?} misses the collection in {src:?}"
+            ));
+        }
+        Ok(())
+    });
+}

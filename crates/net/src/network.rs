@@ -462,7 +462,7 @@ impl SimNet {
         self.seq += 1;
         self.telemetry
             .gauge("net.queue_depth")
-            .set(self.queue.len() as i64);
+            .set_usize(self.queue.len());
         Ok(Some(deliver_at))
     }
 
@@ -487,7 +487,7 @@ impl SimNet {
         );
         self.telemetry
             .gauge("net.queue_depth")
-            .set(self.queue.len() as i64);
+            .set_usize(self.queue.len());
         // The endpoint was validated at send time, but an unregister between
         // send and delivery must not crash the whole simulation — recreate
         // the inbox instead (the frame is then simply never read).

@@ -117,18 +117,14 @@ impl SimInstant {
         self.micros as f64 / 1000.0
     }
 
-    /// The duration elapsed since `earlier`.
+    /// The duration elapsed since `earlier`, clamped at zero.
     ///
-    /// # Panics
-    ///
-    /// Panics if `earlier` is later than `self`; simulated time never runs
-    /// backwards, so this indicates a harness bug.
+    /// Simulated time never runs backwards, so the clamp is inert in a
+    /// correct harness; saturating keeps a latency measurement from
+    /// aborting a whole simulation if an instant is ever misordered.
     pub fn duration_since(&self, earlier: SimInstant) -> SimDuration {
         SimDuration {
-            micros: self
-                .micros
-                .checked_sub(earlier.micros)
-                .expect("simulated time went backwards"),
+            micros: self.micros.saturating_sub(earlier.micros),
         }
     }
 }
@@ -231,10 +227,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "backwards")]
-    fn negative_elapsed_panics() {
+    fn negative_elapsed_clamps_to_zero() {
         let later = SimInstant::EPOCH + SimDuration::from_millis(1);
-        let _ = SimInstant::EPOCH.duration_since(later);
+        assert_eq!(SimInstant::EPOCH.duration_since(later), SimDuration::ZERO);
     }
 
     #[test]

@@ -201,7 +201,7 @@ impl RendezvousServer {
             .insert(id.clone(), device_endpoint.to_string());
         self.telemetry
             .gauge("rendezvous.devices")
-            .set(self.registry.len() as i64);
+            .set_usize(self.registry.len());
         id
     }
 
@@ -210,7 +210,7 @@ impl RendezvousServer {
         let existed = self.registry.remove(id).is_some();
         self.telemetry
             .gauge("rendezvous.devices")
-            .set(self.registry.len() as i64);
+            .set_usize(self.registry.len());
         existed
     }
 

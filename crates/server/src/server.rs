@@ -155,7 +155,7 @@ impl AmnesiaServer {
     fn note_pending_depth(&self) {
         self.telemetry
             .gauge("server.pending_requests")
-            .set(self.pending.len() as i64);
+            .set_usize(self.pending.len());
     }
 
     /// Evaluation counters.
@@ -512,6 +512,7 @@ impl AmnesiaServer {
         Ok(PushEnvelope {
             registration_id,
             data: push
+                // lint: allow(secret-encode) envelope bytes are sealed by SecureChannel before transmission
                 .to_wire()
                 .map_err(|e| ServerError::Store(e.to_string()))?,
         })

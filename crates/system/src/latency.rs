@@ -100,11 +100,13 @@ pub fn run_latency_trials(
     system.setup_user("tester", "master password", "browser", "phone")?;
     system
         .phone_mut("phone")
-        .expect("phone installed")
+        .ok_or(SystemError::UnknownComponent {
+            endpoint: "phone".into(),
+        })?
         .set_confirm_policy(ConfirmPolicy::AutoConfirm);
 
-    let username = Username::new("tester").expect("valid");
-    let domain = Domain::new("latency.example.com").expect("valid");
+    let username = Username::new("tester")?;
+    let domain = Domain::new("latency.example.com")?;
     system.add_account(
         "browser",
         username.clone(),

@@ -43,7 +43,7 @@ use amnesia_phone::{AmnesiaPhone, ConfirmPolicy, PhoneConfig, PushOutcome};
 use amnesia_rendezvous::{PushEnvelope, RegistrationId};
 use amnesia_server::protocol::{Reply, ToServer};
 use amnesia_server::{AmnesiaServer, ServerConfig};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -121,7 +121,7 @@ impl RealtimeDeployment {
 
         // --- rendezvous thread: registration-ID → phone channel routing ----
         let gcm_handle = std::thread::spawn(move || {
-            let mut registry: HashMap<RegistrationId, Sender<Vec<u8>>> = HashMap::new();
+            let mut registry: BTreeMap<RegistrationId, Sender<Vec<u8>>> = BTreeMap::new();
             while let Ok(message) = gcm_rx.recv() {
                 match message {
                     GcmInbound::Register(id, tx) => {

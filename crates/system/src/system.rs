@@ -23,7 +23,7 @@ use amnesia_server::protocol::{PhonePush, Reply, ToServer};
 use amnesia_server::storage::AccountRef;
 use amnesia_server::{AmnesiaServer, ServerConfig};
 use amnesia_telemetry::{Registry, Span};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Endpoint name of the Amnesia server.
@@ -101,9 +101,9 @@ pub struct AmnesiaSystem {
     browsers: BTreeMap<String, Browser>,
     /// Directed secure channels, keyed `from → to` (nested so the per-frame
     /// seal/open lookups borrow `&str` instead of allocating key tuples).
-    channels: HashMap<String, HashMap<String, SecureChannel>>,
+    channels: BTreeMap<String, BTreeMap<String, SecureChannel>>,
     channel_rng: SecretRng,
-    sessions: HashMap<SessionId, SessionEntry>,
+    sessions: BTreeMap<SessionId, SessionEntry>,
     next_session_id: SessionId,
     /// Count of unsettled sessions (tracked incrementally; scanning the
     /// table per completion made the event loop quadratic in batch size).
@@ -165,9 +165,9 @@ impl AmnesiaSystem {
             cloud: CloudProvider::new("sim-cloud"),
             phones: BTreeMap::new(),
             browsers: BTreeMap::new(),
-            channels: HashMap::new(),
+            channels: BTreeMap::new(),
             channel_rng,
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             next_session_id: 1,
             inflight: 0,
             seen_drops: 0,
@@ -471,11 +471,10 @@ impl AmnesiaSystem {
     fn update_inflight_gauge(&self) {
         self.telemetry
             .gauge("system.session.inflight")
-            .set(self.inflight as i64);
-        let peak = self.telemetry.gauge("system.session.inflight_peak");
-        if (self.inflight as i64) > peak.get() {
-            peak.set(self.inflight as i64);
-        }
+            .set_u64(self.inflight);
+        self.telemetry
+            .gauge("system.session.inflight_peak")
+            .set_max_u64(self.inflight);
     }
 
     /// If the session's phone holds a pending confirmation for it and the
@@ -1452,7 +1451,7 @@ impl AmnesiaSystem {
         counter.add(created.saturating_sub(counter.get()));
         self.telemetry
             .gauge("crypto.pbkdf2.threads")
-            .set(amnesia_crypto::stats::pbkdf2_threads() as i64);
+            .set_u64(amnesia_crypto::stats::pbkdf2_threads());
         &self.telemetry
     }
 }

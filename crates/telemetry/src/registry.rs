@@ -47,6 +47,26 @@ impl Gauge {
         self.0.store(value, Ordering::Relaxed);
     }
 
+    /// Sets the gauge from an unsigned count, saturating at `i64::MAX`
+    /// instead of wrapping (queue depths and map sizes are `usize` at the
+    /// call sites; a silent `as i64` reinterpretation would report a huge
+    /// depth as negative).
+    pub fn set_usize(&self, value: usize) {
+        self.set(i64::try_from(value).unwrap_or(i64::MAX));
+    }
+
+    /// Sets the gauge from a `u64` count, saturating at `i64::MAX`.
+    pub fn set_u64(&self, value: u64) {
+        self.set(i64::try_from(value).unwrap_or(i64::MAX));
+    }
+
+    /// Raises the gauge to `value` if it exceeds the current reading
+    /// (a saturating high-water mark).
+    pub fn set_max_u64(&self, value: u64) {
+        let v = i64::try_from(value).unwrap_or(i64::MAX);
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Adds a (possibly negative) delta to the gauge.
     pub fn add(&self, delta: i64) {
         self.0.fetch_add(delta, Ordering::Relaxed);

@@ -54,6 +54,7 @@ pub fn synthesize_password(participant: &Participant, rng: &mut SecretRng) -> St
         CreationTechnique::PersonalInfo => {
             let word = pick(rng, DICTIONARY);
             let year = 1950 + (rng.next_u64() % 66) as u32;
+            // lint: allow(secret-format) synthesized study password, not key material
             format!("{word}{year}")
         }
         CreationTechnique::Mnemonic => {
@@ -62,6 +63,7 @@ pub fn synthesize_password(participant: &Participant, rng: &mut SecretRng) -> St
             let mut s = stem;
             // A classic substitution to feel "clever".
             s = s.replace('i', "1").replace('o', "0");
+            // lint: allow(secret-format) synthesized study password, not key material
             format!("{s}{digit}")
         }
         CreationTechnique::Other => {

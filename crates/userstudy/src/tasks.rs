@@ -112,8 +112,8 @@ pub fn run_study(seed: u64) -> Result<StudyReport, SystemError> {
         let setup_ok = true;
 
         // Task 3: add the dummy-site account.
-        let username = Username::new(user.clone()).expect("valid");
-        let domain = Domain::new(DUMMY_DOMAIN).expect("valid");
+        let username = Username::new(user.clone())?;
+        let domain = Domain::new(DUMMY_DOMAIN)?;
         system.add_account(
             &browser,
             username.clone(),
