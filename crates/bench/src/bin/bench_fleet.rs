@@ -45,6 +45,7 @@ const SHARD_WORKERS: usize = 2;
 struct Options {
     quick: bool,
     full: bool,
+    durable: bool,
     out_path: String,
 }
 
@@ -52,6 +53,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         quick: false,
         full: false,
+        durable: false,
         out_path: "BENCH_FLEET.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -59,12 +61,13 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--full" => opts.full = true,
+            "--durable" => opts.durable = true,
             "--out" => {
                 opts.out_path = args.next().ok_or("--out requires a path argument")?;
             }
             other => {
                 return Err(format!(
-                    "unknown argument `{other}` (expected --quick, --full and/or --out <path>)"
+                    "unknown argument `{other}` (expected --quick, --full, --durable and/or --out <path>)"
                 ));
             }
         }
@@ -104,19 +107,29 @@ fn run_cell(
     shards: usize,
     ops_per_wave: usize,
     waves: usize,
+    durable: bool,
 ) -> Result<Cell, String> {
     let table_size = if users >= 1_000_000 { 8 } else { 16 };
-    let mut fleet = Fleet::new(
-        FleetConfig::default()
-            .with_seed(SEED)
-            .with_shards(shards)
-            .with_rendezvous(2)
-            .with_profile(NetProfile::wifi())
-            .with_table_size(table_size)
-            .with_shard_workers(SHARD_WORKERS)
-            .with_max_inflight(8192)
-            .with_session_timeout(SimDuration::from_micros(120_000_000)),
-    );
+    let mut config = FleetConfig::default()
+        .with_seed(SEED)
+        .with_shards(shards)
+        .with_rendezvous(2)
+        .with_profile(NetProfile::wifi())
+        .with_table_size(table_size)
+        .with_shard_workers(SHARD_WORKERS)
+        .with_max_inflight(8192)
+        .with_session_timeout(SimDuration::from_micros(120_000_000));
+    // Persistence on: every shard write-ahead-logs its user table under a
+    // per-cell scratch directory (wiped first so recovery starts clean).
+    let durable_dir = std::env::temp_dir().join(format!(
+        "amnesia-bench-fleet-wal-{users}-{shards}-{}",
+        std::process::id()
+    ));
+    if durable {
+        let _ = std::fs::remove_dir_all(&durable_dir);
+        config = config.with_durable_dir(&durable_dir);
+    }
+    let mut fleet = Fleet::try_new(config).map_err(|e| format!("fleet construction: {e}"))?;
     let mut load = LoadGenerator::new(LoadConfig {
         seed: SEED ^ users as u64,
         mix: WorkloadMix::generate_only(),
@@ -191,6 +204,10 @@ fn run_cell(
     })
     .collect();
 
+    if durable {
+        let _ = std::fs::remove_dir_all(&durable_dir);
+    }
+
     Ok(Cell {
         users,
         shards,
@@ -264,7 +281,7 @@ fn run(opts: &Options) -> Result<(), String> {
     let mut cells: Vec<Cell> = Vec::new();
     for &(users, ops_per_wave, waves) in &tiers {
         for &shards in shard_counts {
-            let cell = run_cell(users, shards, ops_per_wave, waves)?;
+            let cell = run_cell(users, shards, ops_per_wave, waves, opts.durable)?;
             eprintln!(
                 "bench_fleet: shards={:<2} users={:<8} {:>8.0} gen/s sim  \
                  {:>9.0} gen/s wall  p50 {:>8.1} ms  p99 {:>8.1} ms  \
@@ -316,6 +333,7 @@ fn run(opts: &Options) -> Result<(), String> {
     let doc = format!(
         "{{\n  \"suite\": \"bench_fleet\",\n  \"mode\": \"{}\",\n  \
          \"profile\": \"wifi\",\n  \"shard_workers\": {SHARD_WORKERS},\n  \
+         \"durable\": {},\n  \
          \"scaling_gate\": {SCALING_GATE},\n  \"cells\": [\n    {rows}\n  ]\n}}\n",
         if opts.quick {
             "quick"
@@ -324,6 +342,7 @@ fn run(opts: &Options) -> Result<(), String> {
         } else {
             "default"
         },
+        opts.durable,
     );
     std::fs::write(&opts.out_path, &doc).map_err(|e| format!("writing {}: {e}", opts.out_path))?;
     eprintln!("bench_fleet: wrote {}", opts.out_path);

@@ -66,6 +66,8 @@ pub enum FleetError {
     /// The op was coalesced onto an identical in-flight generation which
     /// then failed; the rendered upstream reason is carried along.
     Coalesced(String),
+    /// A durable shard store failed to open, recover, or log a mutation.
+    Store(String),
 }
 
 impl fmt::Display for FleetError {
@@ -79,6 +81,7 @@ impl fmt::Display for FleetError {
             }
             FleetError::System(e) => write!(f, "{e}"),
             FleetError::Coalesced(reason) => write!(f, "coalesced request failed: {reason}"),
+            FleetError::Store(reason) => write!(f, "shard store error: {reason}"),
         }
     }
 }
@@ -127,6 +130,11 @@ pub struct FleetConfig {
     pub admission_queue: usize,
     /// Retry attempts for generation sessions (lossy push legs).
     pub generate_attempts: u32,
+    /// Durability root: when set, each shard opens a write-ahead-logged
+    /// database under `<dir>/shard-<i>` instead of an in-memory one, so
+    /// user state survives crashes ([`Fleet::try_new`] surfaces recovery
+    /// errors).
+    pub durable_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for FleetConfig {
@@ -144,6 +152,7 @@ impl Default for FleetConfig {
             max_inflight: 256,
             admission_queue: usize::MAX,
             generate_attempts: 1,
+            durable_dir: None,
         }
     }
 }
@@ -206,6 +215,13 @@ impl FleetConfig {
     /// Overrides the generation retry budget.
     pub fn with_generate_attempts(mut self, attempts: u32) -> Self {
         self.generate_attempts = attempts.max(1);
+        self
+    }
+
+    /// Roots every shard's database in a durable directory (WAL + group
+    /// commit; see `amnesia_store::wal`).
+    pub fn with_durable_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
         self
     }
 }
@@ -391,7 +407,29 @@ fn gcm_endpoint(j: usize) -> String {
 impl Fleet {
     /// Builds the sharded deployment: N shards, M rendezvous instances,
     /// inter-instance forwarding links, and the routing ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a durable shard store fails to open; deployments that set
+    /// [`FleetConfig::durable_dir`] should prefer [`Fleet::try_new`].
     pub fn new(config: FleetConfig) -> Self {
+        match Self::try_new(config) {
+            Ok(fleet) => fleet,
+            // lint: allow(no-panic-macro) in-memory construction is infallible; durable callers use try_new
+            Err(e) => panic!("fleet construction failed: {e}"),
+        }
+    }
+
+    /// Fallible [`Fleet::new`]: surfaces durable-store open/recovery errors
+    /// instead of panicking. With [`FleetConfig::durable_dir`] set, each
+    /// shard recovers its user table from `<dir>/shard-<i>` (snapshot + WAL
+    /// replay) and write-ahead-logs every mutation from then on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Store`] if a shard database fails to open or
+    /// recover.
+    pub fn try_new(config: FleetConfig) -> Result<Self, FleetError> {
         let telemetry = Registry::new();
         let mut seed_rng = SecretRng::seeded(config.seed);
         let mut net = SimNet::new(seed_rng.next_u64());
@@ -408,11 +446,16 @@ impl Fleet {
         for i in 0..shard_count {
             let endpoint = shard_endpoint(i);
             let seed = seed_rng.next_u64();
-            let mut server = AmnesiaServer::new(ServerConfig {
+            let server_config = ServerConfig {
                 endpoint: endpoint.clone(),
                 seed,
                 pbkdf2_iterations: config.pbkdf2_iterations,
-            });
+            };
+            let mut server = match &config.durable_dir {
+                Some(root) => AmnesiaServer::open_durable(server_config, root.join(&endpoint))
+                    .map_err(|e| FleetError::Store(e.to_string()))?,
+                None => AmnesiaServer::new(server_config),
+            };
             server.set_telemetry(telemetry.clone());
             net.register(&endpoint);
             router.add_shard(&endpoint);
@@ -475,7 +518,7 @@ impl Fleet {
             .map(|(j, g)| (g.endpoint.clone(), j))
             .collect();
 
-        Fleet {
+        Ok(Fleet {
             config,
             net,
             shards,
@@ -501,7 +544,7 @@ impl Fleet {
             admission_rejected: telemetry.counter("fleet.admission.rejected"),
             coalesced: telemetry.counter("fleet.admission.coalesced"),
             telemetry,
-        }
+        })
     }
 
     // -- topology -----------------------------------------------------------
@@ -1632,6 +1675,12 @@ impl Fleet {
         };
         if let Some(s) = self.shards.get(idx) {
             s.pending_depth.set_usize(pending);
+            // Durable shards: fold the WAL into a snapshot once it outgrows
+            // its threshold (a cheap atomic-read check when nothing to do).
+            if let Err(e) = s.server.database().compact_if_needed() {
+                self.faults
+                    .push(format!("shard {idx} compaction failed: {e}"));
+            }
         }
         if let Some(push) = reaction.push {
             let gcm_ep = gcm_endpoint(local_gcm);

@@ -182,6 +182,25 @@ impl AmnesiaServer {
         Ok(Self::with_database(config, db))
     }
 
+    /// Opens (or creates) a server over a durable database rooted at `dir`:
+    /// every user mutation is write-ahead-logged and group-committed before
+    /// the handler returns, and crash recovery replays the log over the
+    /// last compacted snapshot (see `amnesia_store::wal`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage/IO and recovery errors.
+    pub fn open_durable(config: ServerConfig, dir: impl AsRef<Path>) -> Result<Self, ServerError> {
+        let db = Database::open_durable(dir)?;
+        Ok(Self::with_database(config, db))
+    }
+
+    /// The server's backing database (durable deployments use this to drive
+    /// compaction policy).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
     // -- user lifecycle ----------------------------------------------------
 
     /// Signs up a new Amnesia user with a master password.

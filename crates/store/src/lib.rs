@@ -15,7 +15,13 @@
 //! * **checksummed atomic snapshots** ([`Database::save_to`] /
 //!   [`Database::open`]) — the file carries a magic header, format version
 //!   and SHA-256 integrity checksum, and is written via a temp-file rename
-//!   so a crash never leaves a torn database.
+//!   (parent directory fsynced) so a crash never leaves a torn database,
+//!   and
+//! * a **durable write path** ([`Database::open_durable`]) — an
+//!   append-only, checksummed write-ahead log ([`wal`]) with group commit,
+//!   making each mutation O(delta) instead of O(database), plus
+//!   snapshot-and-truncate compaction ([`Database::compact`]) and
+//!   crash recovery that tolerates a torn log tail.
 //!
 //! # Example
 //!
@@ -45,7 +51,9 @@ pub mod codec;
 mod db;
 mod error;
 mod table;
+pub mod wal;
 
 pub use db::Database;
 pub use error::StoreError;
 pub use table::TypedTable;
+pub use wal::{DurabilityConfig, Lsn, WalStats};

@@ -2,6 +2,7 @@
 
 use crate::codec::{self, Record};
 use crate::error::StoreError;
+use crate::wal::{Lsn, Wal};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::marker::PhantomData;
@@ -49,6 +50,10 @@ pub(crate) fn write_lock(raw: &RwLock<RawMap>) -> RwLockWriteGuard<'_, RawMap> {
 pub struct TypedTable<K, V> {
     name: String,
     raw: RawTable,
+    /// Present when the owning database is durable: every mutation appends
+    /// a WAL record *under the table's write lock* (so per-table log order
+    /// equals map order) and group-commits after releasing it.
+    wal: Option<Arc<Wal>>,
     _marker: PhantomData<fn() -> (K, V)>,
 }
 
@@ -57,6 +62,7 @@ impl<K, V> Clone for TypedTable<K, V> {
         TypedTable {
             name: self.name.clone(),
             raw: Arc::clone(&self.raw),
+            wal: self.wal.clone(),
             _marker: PhantomData,
         }
     }
@@ -76,11 +82,22 @@ where
     K: Record,
     V: Record,
 {
-    pub(crate) fn new(name: String, raw: RawTable) -> Self {
+    pub(crate) fn new(name: String, raw: RawTable, wal: Option<Arc<Wal>>) -> Self {
         TypedTable {
             name,
             raw,
+            wal,
             _marker: PhantomData,
+        }
+    }
+
+    /// Group-commits `lsn` if this table is WAL-backed. Called after the
+    /// write lock is released so the fsync never blocks other writers on
+    /// this table.
+    fn commit(&self, lsn: Option<Lsn>) -> Result<(), StoreError> {
+        match (&self.wal, lsn) {
+            (Some(wal), Some(lsn)) => wal.commit(lsn),
+            _ => Ok(()),
         }
     }
 
@@ -98,14 +115,21 @@ where
     pub fn insert(&self, key: &K, value: &V) -> Result<(), StoreError> {
         let k = codec::to_bytes(key)?;
         let v = codec::to_bytes(value)?;
-        let mut raw = write_lock(&self.raw);
-        if raw.contains_key(&k) {
-            return Err(StoreError::DuplicateKey {
-                table: self.name.clone(),
-            });
-        }
-        raw.insert(k, v);
-        Ok(())
+        let lsn = {
+            let mut raw = write_lock(&self.raw);
+            if raw.contains_key(&k) {
+                return Err(StoreError::DuplicateKey {
+                    table: self.name.clone(),
+                });
+            }
+            let lsn = match &self.wal {
+                Some(wal) => Some(wal.append_put(&self.name, &k, &v)?),
+                None => None,
+            };
+            raw.insert(k, v);
+            lsn
+        };
+        self.commit(lsn)
     }
 
     /// Inserts or replaces a row, returning the previous row if any.
@@ -116,7 +140,15 @@ where
     pub fn put(&self, key: &K, value: &V) -> Result<Option<V>, StoreError> {
         let k = codec::to_bytes(key)?;
         let v = codec::to_bytes(value)?;
-        let old = write_lock(&self.raw).insert(k, v);
+        let (old, lsn) = {
+            let mut raw = write_lock(&self.raw);
+            let lsn = match &self.wal {
+                Some(wal) => Some(wal.append_put(&self.name, &k, &v)?),
+                None => None,
+            };
+            (raw.insert(k, v), lsn)
+        };
+        self.commit(lsn)?;
         old.map(|bytes| codec::from_bytes(&bytes).map_err(StoreError::from))
             .transpose()
     }
@@ -141,7 +173,16 @@ where
     /// Returns a codec error if encoding or decoding fails.
     pub fn remove(&self, key: &K) -> Result<Option<V>, StoreError> {
         let k = codec::to_bytes(key)?;
-        let old = write_lock(&self.raw).remove(&k);
+        let (old, lsn) = {
+            let mut raw = write_lock(&self.raw);
+            let old = raw.remove(&k);
+            let lsn = match (&self.wal, old.is_some()) {
+                (Some(wal), true) => Some(wal.append_remove(&self.name, &k)?),
+                _ => None,
+            };
+            (old, lsn)
+        };
+        self.commit(lsn)?;
         old.map(|bytes| codec::from_bytes(&bytes).map_err(StoreError::from))
             .transpose()
     }
@@ -167,8 +208,22 @@ where
     }
 
     /// Removes every row.
-    pub fn clear(&self) {
-        write_lock(&self.raw).clear();
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the table is WAL-backed and the log write
+    /// fails.
+    pub fn clear(&self) -> Result<(), StoreError> {
+        let lsn = {
+            let mut raw = write_lock(&self.raw);
+            let lsn = match &self.wal {
+                Some(wal) => Some(wal.append_clear(&self.name)?),
+                None => None,
+            };
+            raw.clear();
+            lsn
+        };
+        self.commit(lsn)
     }
 
     /// Decodes and returns all rows, ordered by encoded key.
@@ -202,17 +257,25 @@ where
     /// Returns a codec error if encoding or decoding fails.
     pub fn update<F: FnOnce(&mut V)>(&self, key: &K, f: F) -> Result<bool, StoreError> {
         let k = codec::to_bytes(key)?;
-        let mut raw = write_lock(&self.raw);
-        match raw.get(&k) {
-            None => Ok(false),
-            Some(bytes) => {
-                let mut value: V = codec::from_bytes(bytes)?;
-                f(&mut value);
-                let encoded = codec::to_bytes(&value)?;
-                raw.insert(k, encoded);
-                Ok(true)
+        let lsn = {
+            let mut raw = write_lock(&self.raw);
+            match raw.get(&k) {
+                None => return Ok(false),
+                Some(bytes) => {
+                    let mut value: V = codec::from_bytes(bytes)?;
+                    f(&mut value);
+                    let encoded = codec::to_bytes(&value)?;
+                    let lsn = match &self.wal {
+                        Some(wal) => Some(wal.append_put(&self.name, &k, &encoded)?),
+                        None => None,
+                    };
+                    raw.insert(k, encoded);
+                    lsn
+                }
             }
-        }
+        };
+        self.commit(lsn)?;
+        Ok(true)
     }
 }
 
@@ -293,7 +356,7 @@ mod tests {
         t1.insert(&1, &row(1)).unwrap();
         assert_eq!(t2.get(&1).unwrap(), Some(row(1)));
         let t3 = t1.clone();
-        t3.clear();
+        t3.clear().unwrap();
         assert!(t1.is_empty());
     }
 

@@ -98,6 +98,22 @@ for metric in sim_gens_per_sec latency_p99_ms; do
     fi
 done
 
+echo "==> durable store write-path smoke run"
+# Quick-mode store bench (20k entries): snapshot-per-write vs WAL vs
+# group-committed WAL plus the recovery-time curve; the bin itself fails
+# unless group commit reaches 10x the snapshot-per-write rate. The
+# committed baseline (BENCH_STORE.json) is regenerated with a full run.
+# Crash-recovery invariants (torn tail at every byte offset, bit flips,
+# ack/fsync ordering) run as part of the failure_injection suite above.
+cargo run -q --release --offline --locked -p amnesia-bench \
+    --bin bench_store -- --quick --out target/BENCH_STORE.quick.json
+for metric in wal_group_commit_wps snapshot_per_write_wps recover_ms; do
+    if ! grep -q "\"$metric\"" target/BENCH_STORE.quick.json; then
+        echo "error: $metric missing from target/BENCH_STORE.quick.json" >&2
+        exit 1
+    fi
+done
+
 echo "==> e2e throughput smoke run"
 # Quick-mode batch driver (N ∈ {1, 256}): opens whole batches of sessions
 # through generate_passwords_concurrent, fails on any lost session, and
@@ -111,4 +127,4 @@ if ! grep -q '"generations_per_sec"' target/BENCH_E2E.quick.json; then
     exit 1
 fi
 
-echo "OK: offline build, tests, formatting, lint, zero-dependency check, telemetry, crypto-bench, concurrency, security-property, fleet and e2e-throughput runs passed"
+echo "OK: offline build, tests, formatting, lint, zero-dependency check, telemetry, crypto-bench, concurrency, security-property, fleet, store write-path and e2e-throughput runs passed"

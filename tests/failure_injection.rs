@@ -1,5 +1,6 @@
-//! Failure injection: lossy push delivery, malformed traffic, and misuse
-//! resistance across the deployment.
+//! Failure injection: lossy push delivery, malformed traffic, misuse
+//! resistance across the deployment, and crash-consistency of the store's
+//! durable write path (torn WAL tails, bit flips, ack/fsync ordering).
 
 use amnesia::core::{Domain, PasswordPolicy, Username};
 use amnesia::system::{AmnesiaSystem, NetProfile, SystemConfig, GCM_ENDPOINT, SERVER_ENDPOINT};
@@ -200,4 +201,368 @@ fn rendezvous_outage_yields_typed_timeout_and_restart_recovers() {
     fleet.set_rendezvous_online(home, true);
     let (_, recovered, _) = fleet.generate("alice", 0).unwrap();
     assert_eq!(recovered.as_str(), healthy.as_str());
+}
+
+// ---------------------------------------------------------------------------
+// ISSUE 9: crash-consistency of the store's durable write path. A crash may
+// tear the last WAL record at any byte, flip bits in unsynced pages, or land
+// between a batch's ack and its fsync — recovery must be exact up to the
+// last acked LSN and bit-for-bit deterministic.
+// ---------------------------------------------------------------------------
+
+mod wal_crash {
+    use amnesia::store::wal::{
+        scan_segment, DurabilityConfig, Wal, WalFile, FRAME_HEADER_LEN, FRAME_TRAILER_LEN,
+        WAL_MAGIC,
+    };
+    use amnesia::store::{codec, Database};
+    use std::path::{Path, PathBuf};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "amnesia-failure-injection-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Copies a flat durable-store directory (snapshot + wal segments).
+    fn copy_dir(src: &Path, dst: &Path) {
+        let _ = std::fs::remove_dir_all(dst);
+        std::fs::create_dir_all(dst).unwrap();
+        for entry in std::fs::read_dir(src).unwrap() {
+            let entry = entry.unwrap();
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        }
+    }
+
+    /// The single `wal-*.log` segment in `dir`.
+    fn segment_file(dir: &Path) -> PathBuf {
+        let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+            })
+            .collect();
+        assert_eq!(segs.len(), 1, "expected exactly one segment in {dir:?}");
+        segs.pop().unwrap()
+    }
+
+    /// Walks frame headers to produce `(start, end)` byte bounds per frame.
+    fn frame_bounds(bytes: &[u8]) -> Vec<(usize, usize)> {
+        let mut bounds = Vec::new();
+        let mut off = WAL_MAGIC.len();
+        while off < bytes.len() {
+            let len = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap()) as usize;
+            let end = off + FRAME_HEADER_LEN + len + FRAME_TRAILER_LEN;
+            bounds.push((off, end));
+            off = end;
+        }
+        assert_eq!(off, bytes.len(), "frame walk must land on the file end");
+        bounds
+    }
+
+    /// Builds a durable DB with rows `k0..k{n}` in table `rows`, fully
+    /// synced, and returns its directory.
+    fn build_durable(name: &str, n: usize) -> PathBuf {
+        let dir = temp_dir(name);
+        let db = Database::open_durable(&dir).unwrap();
+        let t = db.table::<String, String>("rows");
+        for i in 0..n {
+            t.put(&format!("k{i}"), &format!("v{i}")).unwrap();
+        }
+        db.sync().unwrap();
+        dir
+    }
+
+    fn assert_rows(db: &Database, n: usize) {
+        let t = db.table::<String, String>("rows");
+        assert_eq!(t.len(), n);
+        for i in 0..n {
+            assert_eq!(
+                t.get(&format!("k{i}")).unwrap().as_deref(),
+                Some(format!("v{i}").as_str()),
+                "row k{i} wrong after recovery"
+            );
+        }
+    }
+
+    /// Torn write: the crash may cut the final record at ANY byte offset.
+    /// Every cut inside the final frame must recover exactly the first n-1
+    /// records; a cut at the frame boundary is a clean shorter log. Both
+    /// recoveries of the same torn file must be bit-for-bit identical.
+    #[test]
+    fn torn_final_record_at_every_byte_offset_recovers_prefix() {
+        const N: usize = 6;
+        let src = build_durable("torn-src", N);
+        let full = std::fs::read(segment_file(&src)).unwrap();
+        let bounds = frame_bounds(&full);
+        assert_eq!(bounds.len(), N);
+        let (last_start, last_end) = bounds[N - 1];
+        assert_eq!(last_end, full.len());
+
+        let work = temp_dir("torn-work");
+        for cut in last_start..=full.len() {
+            copy_dir(&src, &work);
+            let seg = segment_file(&work);
+            std::fs::write(&seg, &full[..cut]).unwrap();
+
+            let expect = if cut == full.len() { N } else { N - 1 };
+            let first = {
+                let db = Database::open_durable(&work).unwrap();
+                assert_rows(&db, expect);
+                db.snapshot_bytes().unwrap()
+            };
+            // Recovery physically truncated the torn tail: a second open
+            // sees a clean log and produces bit-identical state.
+            let truncated = std::fs::read(segment_file(&work)).unwrap();
+            let scan = scan_segment(&truncated).unwrap();
+            assert!(scan.clean, "cut at {cut}: tail not truncated on recovery");
+            assert_eq!(scan.records.len(), expect);
+            let second = {
+                let db = Database::open_durable(&work).unwrap();
+                assert_rows(&db, expect);
+                db.snapshot_bytes().unwrap()
+            };
+            assert_eq!(first, second, "cut at {cut}: recovery not deterministic");
+        }
+        let _ = std::fs::remove_dir_all(&src);
+        let _ = std::fs::remove_dir_all(&work);
+    }
+
+    /// A bit flip mid-log (an unsynced page going bad under the tail) stops
+    /// replay at the corrupted frame; everything before it is kept and the
+    /// damage is truncated away, exactly as the public scanner predicts.
+    #[test]
+    fn bit_flip_mid_log_truncates_at_corruption_point() {
+        const N: usize = 8;
+        let dir = build_durable("bitflip", N);
+        let seg = segment_file(&dir);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let bounds = frame_bounds(&bytes);
+        // Flip one bit in the middle of the fourth frame's payload.
+        let (start, end) = bounds[3];
+        bytes[(start + end) / 2] ^= 0x10;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let oracle = scan_segment(&bytes).unwrap();
+        assert!(!oracle.clean);
+        assert_eq!(
+            oracle.records.len(),
+            3,
+            "scan must stop at the flipped frame"
+        );
+
+        let db = Database::open_durable(&dir).unwrap();
+        assert_rows(&db, 3);
+        drop(db);
+        // The corrupt suffix is gone from disk; reopening is clean.
+        let scan = scan_segment(&std::fs::read(segment_file(&dir)).unwrap()).unwrap();
+        assert!(scan.clean);
+        assert_eq!(scan.records.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// In-memory [`WalFile`] splitting durable from merely-written bytes,
+    /// with optional sync-failure injection: the "disk" after a kill is the
+    /// durable half only.
+    #[derive(Clone)]
+    struct CrashFile {
+        state: Arc<Mutex<CrashFileState>>,
+    }
+
+    struct CrashFileState {
+        durable: Vec<u8>,
+        volatile: Vec<u8>,
+        syncs_until_failure: Option<u32>,
+    }
+
+    impl CrashFile {
+        fn new() -> CrashFile {
+            CrashFile {
+                state: Arc::new(Mutex::new(CrashFileState {
+                    // As if created by DiskWalFile::create: magic synced.
+                    durable: WAL_MAGIC.to_vec(),
+                    volatile: Vec::new(),
+                    syncs_until_failure: None,
+                })),
+            }
+        }
+
+        fn fail_after_syncs(&self, n: u32) {
+            self.state.lock().unwrap().syncs_until_failure = Some(n);
+        }
+
+        fn durable_bytes(&self) -> Vec<u8> {
+            self.state.lock().unwrap().durable.clone()
+        }
+    }
+
+    impl WalFile for CrashFile {
+        fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+            self.state.lock().unwrap().volatile.extend_from_slice(bytes);
+            Ok(())
+        }
+
+        fn sync(&mut self) -> std::io::Result<()> {
+            let mut s = self.state.lock().unwrap();
+            if let Some(n) = s.syncs_until_failure {
+                if n == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Other,
+                        "injected fsync failure",
+                    ));
+                }
+                s.syncs_until_failure = Some(n - 1);
+            }
+            let pending = std::mem::take(&mut s.volatile);
+            s.durable.extend_from_slice(&pending);
+            Ok(())
+        }
+    }
+
+    fn wal_over(file: &CrashFile) -> Wal {
+        Wal::with_file(
+            Box::new(file.clone()),
+            0,
+            &DurabilityConfig {
+                group_window: Duration::ZERO,
+                ..DurabilityConfig::default()
+            },
+        )
+    }
+
+    fn enc(s: &str) -> Vec<u8> {
+        codec::to_bytes(&s.to_string()).unwrap()
+    }
+
+    /// The ack/fsync boundary: a record is acked (commit returns Ok) only
+    /// once its bytes are durable, so a kill at ANY instant loses only
+    /// unacked records. Appended-but-uncommitted records vanish; every
+    /// acked LSN survives in the durable bytes.
+    #[test]
+    fn kill_between_append_and_fsync_loses_only_unacked_records() {
+        let file = CrashFile::new();
+        let wal = wal_over(&file);
+        let mut acked = Vec::new();
+        for i in 0..5 {
+            let lsn = wal
+                .append_put("rows", &enc(&format!("k{i}")), &enc(&format!("v{i}")))
+                .unwrap();
+            wal.commit(lsn).unwrap();
+            acked.push(lsn);
+        }
+        // Record 6 is appended but the process dies before its commit: the
+        // bytes never reached sync and must not survive the kill.
+        wal.append_put("rows", &enc("k5"), &enc("v5")).unwrap();
+        drop(wal);
+
+        let disk = file.durable_bytes();
+        let scan = scan_segment(&disk).unwrap();
+        assert!(scan.clean);
+        let recovered: Vec<u64> = scan.records.iter().map(|r| r.lsn).collect();
+        assert_eq!(
+            recovered, acked,
+            "disk after kill must hold exactly the acked LSNs"
+        );
+    }
+
+    /// An fsync failure between a batch's append and its ack: commit errors
+    /// (no false ack), the WAL goes sticky-failed, and the durable bytes
+    /// still parse cleanly to exactly the previously acked records.
+    #[test]
+    fn fsync_failure_is_never_acked_and_leaves_durable_prefix_clean() {
+        let file = CrashFile::new();
+        let wal = wal_over(&file);
+        let first = wal.append_put("rows", &enc("a"), &enc("1")).unwrap();
+        wal.commit(first).unwrap();
+
+        file.fail_after_syncs(0);
+        let doomed = wal.append_put("rows", &enc("b"), &enc("2")).unwrap();
+        assert!(
+            wal.commit(doomed).is_err(),
+            "commit must surface fsync failure"
+        );
+        // The failure is sticky: later mutations cannot silently succeed.
+        let later = wal.append_put("rows", &enc("c"), &enc("3"));
+        assert!(
+            later.is_err() || wal.commit(later.unwrap()).is_err(),
+            "wal must stay failed after an fsync error"
+        );
+        drop(wal);
+
+        let scan = scan_segment(&file.durable_bytes()).unwrap();
+        assert!(scan.clean);
+        assert_eq!(
+            scan.records.iter().map(|r| r.lsn).collect::<Vec<u64>>(),
+            vec![first],
+            "only the acked record may be on disk"
+        );
+    }
+
+    /// Corruption in a SEALED segment (not the tail) is real data loss, not
+    /// a torn write: recovery must refuse with a typed error instead of
+    /// silently dropping acked records.
+    #[test]
+    fn corrupt_sealed_segment_is_a_typed_error_not_silent_loss() {
+        use amnesia::store::StoreError;
+
+        // Build two segments' bytes through the real encoder.
+        let file1 = CrashFile::new();
+        let wal1 = wal_over(&file1);
+        for i in 0..4 {
+            let lsn = wal1
+                .append_put("rows", &enc(&format!("k{i}")), &enc(&format!("v{i}")))
+                .unwrap();
+            wal1.commit(lsn).unwrap();
+        }
+        drop(wal1);
+        let file2 = CrashFile::new();
+        let wal2 = Wal::with_file(
+            Box::new(file2.clone()),
+            4,
+            &DurabilityConfig {
+                group_window: Duration::ZERO,
+                ..DurabilityConfig::default()
+            },
+        );
+        for i in 4..6 {
+            let lsn = wal2
+                .append_put("rows", &enc(&format!("k{i}")), &enc(&format!("v{i}")))
+                .unwrap();
+            wal2.commit(lsn).unwrap();
+        }
+        drop(wal2);
+
+        // Control: intact segments recover all six rows.
+        let dir = temp_dir("sealed-ok");
+        let seg1 = format!("wal-{:020}.log", 1);
+        let seg2 = format!("wal-{:020}.log", 5);
+        std::fs::write(dir.join(&seg1), file1.durable_bytes()).unwrap();
+        std::fs::write(dir.join(&seg2), file2.durable_bytes()).unwrap();
+        let db = Database::open_durable(&dir).unwrap();
+        assert_rows(&db, 6);
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Bit flip inside the sealed first segment: typed corruption error.
+        let dir = temp_dir("sealed-corrupt");
+        let mut sealed = file1.durable_bytes();
+        let mid = sealed.len() / 2;
+        sealed[mid] ^= 0x04;
+        std::fs::write(dir.join(&seg1), sealed).unwrap();
+        std::fs::write(dir.join(&seg2), file2.durable_bytes()).unwrap();
+        match Database::open_durable(&dir) {
+            Err(StoreError::Corrupt { .. }) => {}
+            other => panic!("expected StoreError::Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
