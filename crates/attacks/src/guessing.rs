@@ -1,11 +1,127 @@
-//! Offline guessing-cost calculations backing the §IV-C/§IV-E arguments.
+//! Offline guessing-cost calculations backing the §IV-C/§IV-E arguments,
+//! including an area-time cost model for the [`KdfPolicy`] ladder: how much
+//! a memory-hard verifier slows the same attacker rig down relative to the
+//! paper's salted hash.
 
 use amnesia_core::analysis::{self, SearchSpace};
 use amnesia_core::PasswordPolicy;
+use amnesia_crypto::KdfPolicy;
 
 /// A cracking benchmark rate: a very well-resourced attacker doing 10^12
 /// hash evaluations per second.
 pub const FAST_ATTACKER_GUESSES_PER_SEC: f64 = 1e12;
+
+/// Aggregate memory bandwidth of the same rig, in bytes per second.
+///
+/// 10^13 B/s ≈ a dozen top-end accelerators at ~1 TB/s of DRAM bandwidth
+/// each. Compute scales with silicon much faster than bandwidth does, which
+/// is exactly the asymmetry a memory-hard KDF converts into attacker cost.
+pub const FAST_ATTACKER_MEMORY_BANDWIDTH_BYTES_PER_SEC: f64 = 1e13;
+
+/// The attacker-side cost of grinding one verifier guess under a
+/// [`KdfPolicy`] rung: an **area-time** model where a guess is bounded
+/// both by compute (Salsa20/8 block operations) and by memory traffic
+/// (every ROMix step streams 128·r-byte blocks through DRAM).
+#[derive(Clone, Debug, PartialEq)]
+pub struct KdfAttackCost {
+    /// Ladder rung name (`"paper"`, `"interactive"`, …).
+    pub rung: &'static str,
+    /// The policy modeled.
+    pub policy: KdfPolicy,
+    /// Guesses per second the benchmark rig sustains against this rung.
+    pub guesses_per_sec: f64,
+    /// Which resource limits the attacker at this rung.
+    pub binding_constraint: &'static str,
+    /// Working memory the *defender* commits per derivation (the "area"
+    /// an ASIC attacker must replicate per parallel guess lane).
+    pub defender_memory_bytes: u64,
+    /// How many times slower this rung is than the paper's salted hash on
+    /// the same rig.
+    pub slowdown_vs_paper: f64,
+}
+
+impl KdfAttackCost {
+    /// Models one rung.
+    pub fn of(rung: &'static str, policy: KdfPolicy) -> Self {
+        let (guesses_per_sec, binding_constraint) = attacker_rate(&policy);
+        let paper_rate = attacker_rate(&KdfPolicy::PAPER).0;
+        KdfAttackCost {
+            rung,
+            guesses_per_sec,
+            binding_constraint,
+            defender_memory_bytes: policy.memory_bytes(),
+            slowdown_vs_paper: paper_rate / guesses_per_sec,
+            policy,
+        }
+    }
+
+    /// The paper's salted hash plus every named ladder rung.
+    pub fn ladder() -> Vec<KdfAttackCost> {
+        let mut rows = vec![KdfAttackCost::of("paper", KdfPolicy::PAPER)];
+        rows.extend(
+            KdfPolicy::ladder()
+                .into_iter()
+                .map(|(name, policy)| KdfAttackCost::of(name, policy)),
+        );
+        rows
+    }
+
+    /// Expected years to exhaust `space` at this rung's guess rate.
+    pub fn years_to_crack(&self, space: &SearchSpace) -> f64 {
+        space.years_to_crack(self.guesses_per_sec)
+    }
+
+    /// One-line table row for attack reports.
+    pub fn summary(&self) -> String {
+        let area = if self.defender_memory_bytes >= 1 << 20 {
+            format!("{} MiB", self.defender_memory_bytes >> 20)
+        } else {
+            format!("{} B", self.defender_memory_bytes)
+        };
+        format!(
+            "{:<12} {:<28} ~{:.1e} guesses/s ({}-bound), {:.0}x the paper's cost, \
+             defender area {area}",
+            self.rung,
+            self.policy.describe(),
+            self.guesses_per_sec,
+            self.binding_constraint,
+            self.slowdown_vs_paper,
+        )
+    }
+}
+
+/// `(guesses_per_sec, binding_constraint)` for the benchmark rig against
+/// one policy.
+///
+/// * CPU rungs cost `iterations` hash evaluations per guess — pure compute.
+/// * Memory-hard rungs cost `4·N·r·p` Salsa20/8 block operations (ROMix
+///   runs `2N` BlockMix calls of `2r` Salsa applications each) **and**
+///   stream `4·N·128·r·p` bytes through memory (the fill phase writes and
+///   re-reads `N` blocks; the mix phase reads `V[j]` and `X` per step).
+///   The attacker is held to the slower of the two bounds; time-memory
+///   trade-offs that shrink `V` re-run BlockMix and move cost back to the
+///   compute bound, so `min` is the attacker-optimal rate.
+fn attacker_rate(policy: &KdfPolicy) -> (f64, &'static str) {
+    match *policy {
+        KdfPolicy::Cpu { iterations } => (
+            FAST_ATTACKER_GUESSES_PER_SEC / f64::from(iterations.max(1)),
+            "compute",
+        ),
+        KdfPolicy::MemoryHard { log_n, r, p } => {
+            let n = (1u64 << log_n) as f64;
+            let lanes = f64::from(p);
+            let salsa_ops = 4.0 * n * f64::from(r) * lanes;
+            let bytes_touched = 4.0 * n * 128.0 * f64::from(r) * lanes;
+            let compute_bound = FAST_ATTACKER_GUESSES_PER_SEC / salsa_ops;
+            let memory_bound = FAST_ATTACKER_MEMORY_BANDWIDTH_BYTES_PER_SEC / bytes_touched;
+            if memory_bound <= compute_bound {
+                (memory_bound, "memory-bandwidth")
+            } else {
+                (compute_bound, "compute")
+            }
+        }
+    }
+}
 
 /// The cost picture an offline attacker faces after a given breach.
 #[derive(Clone, Debug, PartialEq)]
@@ -119,5 +235,72 @@ mod tests {
         let s = GuessingReport::token_guessing().summary();
         assert!(s.contains("no confirmation oracle"));
         assert!(s.contains("bits"));
+    }
+
+    #[test]
+    fn paper_rung_matches_benchmark_rate() {
+        let paper = KdfAttackCost::of("paper", KdfPolicy::PAPER);
+        assert_eq!(paper.guesses_per_sec, FAST_ATTACKER_GUESSES_PER_SEC);
+        assert_eq!(paper.slowdown_vs_paper, 1.0);
+        assert_eq!(paper.binding_constraint, "compute");
+    }
+
+    #[test]
+    fn cpu_iterations_scale_cost_linearly() {
+        let c = KdfAttackCost::of("cpu-1000", KdfPolicy::Cpu { iterations: 1000 });
+        assert_eq!(c.slowdown_vs_paper, 1000.0);
+        assert_eq!(c.binding_constraint, "compute");
+    }
+
+    #[test]
+    fn ladder_slowdown_is_strictly_increasing() {
+        let rows = KdfAttackCost::ladder();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].rung, "paper");
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].slowdown_vs_paper > pair[0].slowdown_vs_paper,
+                "{} should cost more than {}",
+                pair[1].rung,
+                pair[0].rung
+            );
+        }
+    }
+
+    #[test]
+    fn memory_hard_rungs_are_bandwidth_bound_and_million_fold_slower() {
+        for row in KdfAttackCost::ladder().into_iter().skip(1) {
+            assert_eq!(
+                row.binding_constraint, "memory-bandwidth",
+                "rung {}",
+                row.rung
+            );
+            assert!(
+                row.slowdown_vs_paper > 1e6,
+                "rung {} slowdown {}",
+                row.rung,
+                row.slowdown_vs_paper
+            );
+            assert!(row.defender_memory_bytes >= 8 << 20);
+        }
+    }
+
+    #[test]
+    fn memory_hardness_multiplies_years_to_crack() {
+        // A weak 40-bit master-password space: trivially ground under the
+        // paper's hash, pushed out by the ladder.
+        let space = SearchSpace::from_bits(40.0);
+        let paper = KdfAttackCost::of("paper", KdfPolicy::PAPER).years_to_crack(&space);
+        let paranoid = KdfAttackCost::of("paranoid", KdfPolicy::PARANOID).years_to_crack(&space);
+        assert!(paranoid / paper > 1e7);
+    }
+
+    #[test]
+    fn cost_summary_is_tabular() {
+        let s = KdfAttackCost::of("balanced", KdfPolicy::BALANCED).summary();
+        assert!(s.contains("balanced"));
+        assert!(s.contains("guesses/s"));
+        assert!(s.contains("memory-bandwidth"));
+        assert!(s.contains("MiB"));
     }
 }

@@ -1,6 +1,6 @@
 //! The executable §IV attack scenarios.
 
-use crate::guessing::GuessingReport;
+use crate::guessing::{GuessingReport, KdfAttackCost};
 use crate::report::{AttackReport, AttackVector};
 use amnesia_client::{DummyWebsite, SitePolicy};
 use amnesia_core::{
@@ -278,6 +278,12 @@ pub fn server_breach(seed: u64) -> AttackReport {
         "offline password derivation blocked: {}",
         GuessingReport::token_guessing().summary()
     ));
+    // The captured verifiers are also what an offline master-password
+    // grinder attacks; the KDF ladder prices that per rung.
+    report.note("offline verifier grinding cost by KDF rung (area-time model):");
+    for row in KdfAttackCost::ladder() {
+        report.note(format!("  {}", row.summary()));
+    }
 
     // Forged push using the stolen registration ID (paper: "the attacker may
     // abscond with the victim's Ks and then send a request R from his own

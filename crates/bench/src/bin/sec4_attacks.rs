@@ -2,7 +2,8 @@
 //! every attack vector runs against a live simulated deployment, including
 //! the σ-blinding ablation (§IV-B) and the post-recovery check (§III-C1).
 
-use amnesia_attacks::{guessing::GuessingReport, run_all};
+use amnesia_attacks::guessing::{GuessingReport, KdfAttackCost};
+use amnesia_attacks::run_all;
 
 fn main() {
     println!("SECTION IV: Security analysis — executed attack matrix");
@@ -18,4 +19,9 @@ fn main() {
         "  token sequence space at N=5000: {} (paper: 1.53 x 10^59)",
         GuessingReport::token_sequence_space(5000).scientific()
     );
+    println!();
+    println!("Verifier-grinding cost by KDF rung (area-time model, same rig):");
+    for row in KdfAttackCost::ladder() {
+        println!("  {}", row.summary());
+    }
 }

@@ -5,11 +5,16 @@
 //! profiles (with a small push-drop probability so the retry path is
 //! exercised), with a wiretap on the GCM→phone link so passive-observer
 //! counters are non-zero, and prints one JSON document on stdout:
-//! `{"wifi": <snapshot>, "4g": <snapshot>}` where each snapshot follows the
-//! `amnesia-telemetry` schema (counters / gauges / histograms with
-//! p50/p90/p99). A human-readable step table goes to stderr.
+//! `{"wifi": <snapshot>, "4g": <snapshot>, "kdf_interactive": <snapshot>}`
+//! where each snapshot follows the `amnesia-telemetry` schema (counters /
+//! gauges / histograms with p50/p90/p99). A human-readable step table goes
+//! to stderr, followed by a KDF section: per-policy-class derive-latency
+//! histograms (`crypto.kdf.{cpu,memhard}.derive_us`) and the process-wide
+//! derivation counters, with a mini-deployment run at the `interactive`
+//! memory-hard rung so the memhard rows are non-zero.
 
 use amnesia_core::{Domain, PasswordPolicy, Username};
+use amnesia_crypto::KdfPolicy;
 use amnesia_phone::ConfirmPolicy;
 use amnesia_system::{AmnesiaSystem, NetProfile, SystemConfig, GCM_ENDPOINT};
 use amnesia_telemetry::Snapshot;
@@ -105,10 +110,87 @@ fn print_summary(name: &str, snap: &Snapshot) {
     eprintln!();
 }
 
+/// A one-user deployment at the `interactive` memory-hard rung: enough to
+/// populate the memhard derive histogram (register + pairing + a login-path
+/// verification) without slowing the report down.
+fn run_kdf_interactive() -> Snapshot {
+    let mut system = AmnesiaSystem::new(
+        SystemConfig::default()
+            .with_seed(SEED.wrapping_add(0x200))
+            .with_kdf_policy(KdfPolicy::INTERACTIVE),
+    );
+    system.add_browser("browser");
+    system.add_phone("phone", SEED.wrapping_add(0x201));
+    system
+        .setup_user("kdf-tester", "master password", "browser", "phone")
+        .expect("setup"); // lint: allow(no-panic-expect) report-bin setup aborts loudly
+    system
+        .phone_mut("phone")
+        .expect("phone installed") // lint: allow(no-panic-expect) report-bin setup aborts loudly
+        .set_confirm_policy(ConfirmPolicy::AutoConfirm);
+    let username = Username::new("kdf-tester").expect("valid"); // lint: allow(no-panic-expect) report-bin setup aborts loudly
+    let domain = Domain::new("kdf.example.com").expect("valid"); // lint: allow(no-panic-expect) report-bin setup aborts loudly
+    system
+        .add_account(
+            "browser",
+            username.clone(),
+            domain.clone(),
+            PasswordPolicy::default(),
+        )
+        .expect("account"); // lint: allow(no-panic-expect) report-bin setup aborts loudly
+    system
+        .generate_password_with_retry("browser", "phone", &username, &domain, RETRY_ATTEMPTS)
+        .expect("generate"); // lint: allow(no-panic-expect) report-bin setup aborts loudly
+    system.telemetry().snapshot()
+}
+
+fn print_kdf_summary(cpu_snap: &Snapshot, memhard_snap: &Snapshot) {
+    eprintln!("== KDF ladder (per-policy-class derive latency) ==");
+    eprintln!(
+        "{:<30} {:>7} {:>10} {:>10} {:>10}",
+        "histogram", "count", "p50", "p90", "p99"
+    );
+    for (snap, key) in [
+        (cpu_snap, "crypto.kdf.cpu.derive_us"),
+        (memhard_snap, "crypto.kdf.memhard.derive_us"),
+    ] {
+        let Some(h) = snap.histograms.get(key) else {
+            continue;
+        };
+        let q = |p: f64| h.quantile(p).unwrap_or(0);
+        eprintln!(
+            "{:<30} {:>7} {:>8.1}ms {:>8.1}ms {:>8.1}ms",
+            key,
+            h.count(),
+            q(0.5) as f64 / 1e3,
+            q(0.9) as f64 / 1e3,
+            q(0.99) as f64 / 1e3,
+        );
+    }
+    // Process-wide totals straight from the crypto crate's lock-free
+    // counters (registry copies are per-deployment deltas of these).
+    eprintln!(
+        "crypto.kdf.cpu.derivations     {}",
+        amnesia_crypto::stats::kdf_cpu_derivations()
+    );
+    eprintln!(
+        "crypto.kdf.memhard.derivations {}",
+        amnesia_crypto::stats::kdf_memhard_derivations()
+    );
+    eprintln!();
+}
+
 fn main() {
     let wifi = run_profile(NetProfile::wifi(), SEED);
     let cell = run_profile(NetProfile::cellular_4g(), SEED.wrapping_add(0x100));
+    let kdf = run_kdf_interactive();
     print_summary("wifi", &wifi);
     print_summary("4g", &cell);
-    println!("{{\"wifi\":{},\"4g\":{}}}", wifi.to_json(), cell.to_json());
+    print_kdf_summary(&wifi, &kdf);
+    println!(
+        "{{\"wifi\":{},\"4g\":{},\"kdf_interactive\":{}}}",
+        wifi.to_json(),
+        cell.to_json(),
+        kdf.to_json()
+    );
 }

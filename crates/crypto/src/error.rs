@@ -14,6 +14,15 @@ pub enum CryptoError {
     /// PBKDF2 was invoked with an iteration count of zero; RFC 8018
     /// requires at least one iteration.
     ZeroIterations,
+    /// scrypt `log2(N)` was zero or above
+    /// [`MAX_LOG_N`](crate::scrypt::MAX_LOG_N).
+    ScryptCostOutOfRange,
+    /// scrypt block-size factor `r` was zero or above
+    /// [`MAX_R`](crate::scrypt::MAX_R).
+    ScryptBlockSizeOutOfRange,
+    /// scrypt parallelization factor `p` was zero or above
+    /// [`MAX_P`](crate::scrypt::MAX_P).
+    ScryptParallelismOutOfRange,
 }
 
 impl fmt::Display for CryptoError {
@@ -21,6 +30,15 @@ impl fmt::Display for CryptoError {
         match self {
             CryptoError::ZeroIterations => {
                 write!(f, "PBKDF2 requires at least one iteration")
+            }
+            CryptoError::ScryptCostOutOfRange => {
+                write!(f, "scrypt cost parameter log2(N) is out of range")
+            }
+            CryptoError::ScryptBlockSizeOutOfRange => {
+                write!(f, "scrypt block-size factor r is out of range")
+            }
+            CryptoError::ScryptParallelismOutOfRange => {
+                write!(f, "scrypt parallelization factor p is out of range")
             }
         }
     }

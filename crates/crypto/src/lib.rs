@@ -18,6 +18,13 @@
 //!   the paper describes (configurable; a single-iteration mode reproduces
 //!   the paper exactly). Multi-block derivations fan output blocks across
 //!   scoped threads; results are bit-identical at every width.
+//! * [`scrypt`] — RFC 7914 memory-hard key derivation (Salsa20/8 core,
+//!   BlockMix, ROMix, PBKDF2 envelope), built on the same HMAC midstate
+//!   machinery. Forces each password guess through a large RAM working set
+//!   so specialized attacker silicon pays area × time, not just compute.
+//! * [`kdf`] — the [`KdfPolicy`] hardness ladder (`Cpu` / `MemoryHard`,
+//!   with named rungs `INTERACTIVE`/`BALANCED`/`PARANOID`) and the single
+//!   [`kdf::derive`] dispatch point every derivation site goes through.
 //! * [`hex`] — lowercase hex encoding/decoding. Amnesia's token and template
 //!   algorithms are specified over *hex digit strings*, so hex is part of the
 //!   algorithm, not just presentation.
@@ -48,8 +55,10 @@ mod digest;
 mod error;
 pub mod hex;
 mod hmac;
+pub mod kdf;
 mod pbkdf2;
 mod rng;
+pub mod scrypt;
 mod sha256;
 mod sha512;
 pub mod stats;
@@ -59,10 +68,12 @@ pub use ct::ct_eq;
 pub use digest::{Digest, MAX_BLOCK_LEN, MAX_OUTPUT_LEN};
 pub use error::CryptoError;
 pub use hmac::{hmac_sha256, hmac_sha512, Hmac, HmacKey, HmacMac};
+pub use kdf::{KdfClass, KdfPolicy};
 pub use pbkdf2::{
     pbkdf2_hmac_sha256, pbkdf2_hmac_sha256_with_fanout, pbkdf2_hmac_sha512, PARALLEL_MIN_ITERATIONS,
 };
 pub use rng::SecretRng;
+pub use scrypt::{scrypt, scrypt_with_fanout};
 pub use sha256::{sha256, Sha256, Sha256Midstate};
 pub use sha512::{sha512, Sha512, Sha512Midstate};
 pub use zeroize::{zeroize, zeroize_u32, zeroize_u64};

@@ -1,0 +1,481 @@
+//! scrypt (RFC 7914) — a from-scratch memory-hard key-derivation function.
+//!
+//! PBKDF2 is CPU-hard only: an attacker with password-hashing ASICs pays
+//! orders of magnitude less per guess than the defender's general-purpose
+//! core. scrypt forces every guess through a large pseudorandom memory
+//! working set, so the attacker's cost is *area × time* — silicon cannot
+//! shrink the RAM. This module implements the full RFC 7914 construction:
+//!
+//! 1. **Salsa20/8 core** (§3) — eight rounds of the Salsa20 quarter-round
+//!    function over a 64-byte block, output added to the input.
+//! 2. **scryptBlockMix** (§4) — chains the Salsa core over `2r` 64-byte
+//!    blocks with an even/odd output shuffle.
+//! 3. **scryptROMix** (§5) — fills an `N`-entry vector `V` of `128·r`-byte
+//!    blocks, then performs `N` data-*dependent* lookups into it. This is
+//!    the memory-hard step: evaluating without storing `V` costs ~`N²`
+//!    Salsa calls instead of `2N`.
+//! 4. **scrypt** (§6) — a single-iteration PBKDF2-HMAC-SHA-256 envelope
+//!    (reusing this crate's midstate-cached [`HmacKey`](crate::HmacKey)
+//!    machinery) expands the password into `p` independent lanes, each lane
+//!    is ROMixed, and a second PBKDF2 pass compresses the lanes into the
+//!    derived key.
+//!
+//! Lanes are data-independent, so `p > 1` derivations fan out across
+//! scoped threads exactly like multi-block PBKDF2 — the result is
+//! bit-identical at every fan-out width (property-tested in
+//! `tests/properties.rs`). All working buffers (`V`, the lane blocks, the
+//! Salsa scratch) are zeroized before return; they held values derived
+//! from the password.
+//!
+//! Known-answer tests pin the §8 Salsa20/8, §9 BlockMix, §10 ROMix and
+//! §12 scrypt vectors (the 1 GiB `N = 2^20` vector is `#[ignore]`d).
+
+use crate::error::CryptoError;
+use crate::pbkdf2::pbkdf2_hmac_sha256;
+use crate::stats;
+use crate::zeroize::{zeroize, zeroize_u32};
+
+/// Words per 64-byte Salsa block.
+const SALSA_WORDS: usize = 16;
+
+/// Largest accepted `log2(N)`: `N = 2^24` at `r = 8` is a 16 GiB working
+/// set — far past any deployment rung, and a guard against accidental
+/// multi-terabyte allocations from corrupt parameters.
+pub const MAX_LOG_N: u8 = 24;
+
+/// Largest accepted block-size factor `r` (RFC 7914 leaves `r` open;
+/// `128·r` must stay a sane block length).
+pub const MAX_R: u32 = 1024;
+
+/// Largest accepted parallelization factor `p`.
+pub const MAX_P: u32 = 1024;
+
+/// The Salsa20/8 core (RFC 7914 §3): four double-rounds over sixteen
+/// 32-bit words, output added word-wise to the input, in place.
+fn salsa20_8(block: &mut [u32; SALSA_WORDS]) {
+    let mut x = *block;
+    // R(a,b,c,d): a ^= (b + c) <<< d, applied column-wise then row-wise.
+    macro_rules! qr {
+        ($a:expr, $b:expr, $c:expr, $d:expr) => {
+            x[$a] ^= x[$b].wrapping_add(x[$c]).rotate_left($d);
+        };
+    }
+    for _ in 0..4 {
+        // Column round.
+        qr!(4, 0, 12, 7);
+        qr!(8, 4, 0, 9);
+        qr!(12, 8, 4, 13);
+        qr!(0, 12, 8, 18);
+        qr!(9, 5, 1, 7);
+        qr!(13, 9, 5, 9);
+        qr!(1, 13, 9, 13);
+        qr!(5, 1, 13, 18);
+        qr!(14, 10, 6, 7);
+        qr!(2, 14, 10, 9);
+        qr!(6, 2, 14, 13);
+        qr!(10, 6, 2, 18);
+        qr!(3, 15, 11, 7);
+        qr!(7, 3, 15, 9);
+        qr!(11, 7, 3, 13);
+        qr!(15, 11, 7, 18);
+        // Row round.
+        qr!(1, 0, 3, 7);
+        qr!(2, 1, 0, 9);
+        qr!(3, 2, 1, 13);
+        qr!(0, 3, 2, 18);
+        qr!(6, 5, 4, 7);
+        qr!(7, 6, 5, 9);
+        qr!(4, 7, 6, 13);
+        qr!(5, 4, 7, 18);
+        qr!(11, 10, 9, 7);
+        qr!(8, 11, 10, 9);
+        qr!(9, 8, 11, 13);
+        qr!(10, 9, 8, 18);
+        qr!(12, 15, 14, 7);
+        qr!(13, 12, 15, 9);
+        qr!(14, 13, 12, 13);
+        qr!(15, 14, 13, 18);
+    }
+    for (b, xi) in block.iter_mut().zip(x.iter()) {
+        *b = b.wrapping_add(*xi);
+    }
+}
+
+/// scryptBlockMix (RFC 7914 §4) over `2r` Salsa blocks, word-oriented.
+///
+/// `input` and `output` are both `32·r` words (`2r` Salsa blocks). The
+/// even-indexed intermediate blocks land in the first half of `output`,
+/// the odd-indexed ones in the second half.
+fn block_mix(input: &[u32], output: &mut [u32], r: usize) {
+    let mut x = [0u32; SALSA_WORDS];
+    x.copy_from_slice(&input[(2 * r - 1) * SALSA_WORDS..][..SALSA_WORDS]);
+    for i in 0..2 * r {
+        for (xw, bw) in x.iter_mut().zip(&input[i * SALSA_WORDS..][..SALSA_WORDS]) {
+            *xw ^= bw;
+        }
+        salsa20_8(&mut x);
+        // Y_i lands at B'_{i/2} (even) or B'_{r + i/2} (odd).
+        let dest = if i % 2 == 0 { i / 2 } else { r + i / 2 };
+        output[dest * SALSA_WORDS..][..SALSA_WORDS].copy_from_slice(&x);
+    }
+    zeroize_u32(&mut x);
+}
+
+/// `Integerify(X) mod N` (RFC 7914 §5): the little-endian integer held in
+/// the first 8 bytes of the last Salsa block of `x`, reduced mod the
+/// power-of-two `n`.
+fn integerify(x: &[u32], r: usize, n: usize) -> usize {
+    let base = (2 * r - 1) * SALSA_WORDS;
+    let lo = x[base] as u64;
+    let hi = x[base + 1] as u64;
+    ((lo | (hi << 32)) & (n as u64 - 1)) as usize
+}
+
+/// scryptROMix (RFC 7914 §5) over one `128·r`-byte lane, in place.
+///
+/// `lane` is `32·r` words. Allocates the `N`-entry vector `V`
+/// (`32·r·N` words) plus one block of scratch; both are zeroized before
+/// return — every entry of `V` is a pure function of the password.
+fn romix(lane: &mut [u32], r: usize, n: usize) {
+    let words = 32 * r;
+    let mut romix_v = vec![0u32; words * n];
+    let mut romix_x = lane.to_vec();
+    let mut romix_t = vec![0u32; words];
+
+    // Fill phase: V_i = X; X = BlockMix(X).
+    for i in 0..n {
+        romix_v[i * words..][..words].copy_from_slice(&romix_x);
+        block_mix(&romix_x, &mut romix_t, r);
+        std::mem::swap(&mut romix_x, &mut romix_t);
+    }
+    // Mix phase: j = Integerify(X) mod N; X = BlockMix(X ^ V_j).
+    for _ in 0..n {
+        let j = integerify(&romix_x, r, n);
+        for (xw, vw) in romix_x.iter_mut().zip(&romix_v[j * words..][..words]) {
+            *xw ^= vw;
+        }
+        block_mix(&romix_x, &mut romix_t, r);
+        std::mem::swap(&mut romix_x, &mut romix_t);
+    }
+    lane.copy_from_slice(&romix_x);
+
+    zeroize_u32(&mut romix_v);
+    zeroize_u32(&mut romix_x);
+    zeroize_u32(&mut romix_t);
+}
+
+/// ROMix over one lane stored as RFC byte order: load little-endian words,
+/// mix, store back.
+fn romix_lane_bytes(lane: &mut [u8], r: usize, n: usize) {
+    let mut lane_words: Vec<u32> = lane
+        .chunks_exact(4)
+        .map(|c| {
+            let mut w = [0u8; 4];
+            w.copy_from_slice(c);
+            u32::from_le_bytes(w)
+        })
+        .collect();
+    romix(&mut lane_words, r, n);
+    for (chunk, w) in lane.chunks_exact_mut(4).zip(&lane_words) {
+        chunk.copy_from_slice(&w.to_le_bytes());
+    }
+    zeroize_u32(&mut lane_words);
+}
+
+fn check_params(log_n: u8, r: u32, p: u32) -> Result<(), CryptoError> {
+    if log_n == 0 || log_n > MAX_LOG_N {
+        return Err(CryptoError::ScryptCostOutOfRange);
+    }
+    if r == 0 || r > MAX_R {
+        return Err(CryptoError::ScryptBlockSizeOutOfRange);
+    }
+    if p == 0 || p > MAX_P {
+        return Err(CryptoError::ScryptParallelismOutOfRange);
+    }
+    Ok(())
+}
+
+/// Derives `out.len()` bytes with scrypt (RFC 7914 §6), parameters
+/// `N = 2^log_n`, block-size factor `r`, parallelization `p`.
+///
+/// Lane fan-out width is chosen automatically (one worker per lane, capped
+/// at available parallelism). Peak memory is `p` concurrent lanes of
+/// `128·r·N` bytes each when fanned out.
+///
+/// ```
+/// let mut key = [0u8; 32];
+/// amnesia_crypto::scrypt(b"master password", b"salt", 10, 8, 1, &mut key)
+///     .expect("valid parameters");
+/// assert_ne!(key, [0u8; 32]);
+/// ```
+pub fn scrypt(
+    password: &[u8],
+    salt: &[u8],
+    log_n: u8,
+    r: u32,
+    p: u32,
+    out: &mut [u8],
+) -> Result<(), CryptoError> {
+    let fanout = if p > 1 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        1
+    };
+    scrypt_with_fanout(password, salt, log_n, r, p, out, fanout)
+}
+
+/// [`scrypt`] with a caller-pinned lane fan-out width.
+///
+/// Lanes are data-independent, so the derived key is bit-identical for
+/// every `fanout`; this entry point exists so tests and benchmarks can
+/// compare the sequential and threaded paths directly.
+pub fn scrypt_with_fanout(
+    password: &[u8],
+    salt: &[u8],
+    log_n: u8,
+    r: u32,
+    p: u32,
+    out: &mut [u8],
+    fanout: usize,
+) -> Result<(), CryptoError> {
+    check_params(log_n, r, p)?;
+    let n = 1usize << log_n;
+    let r = r as usize;
+    let p = p as usize;
+    let lane_len = 128 * r;
+
+    // B = PBKDF2-HMAC-SHA-256(P, S, c=1, dkLen=p·128·r).
+    let mut scrypt_blocks = vec![0u8; p * lane_len];
+    pbkdf2_hmac_sha256(password, salt, 1, &mut scrypt_blocks)?;
+
+    let workers = fanout.clamp(1, p);
+    stats::note_scrypt_lane_workers(workers as u64);
+    if workers <= 1 || p <= 1 {
+        for lane in scrypt_blocks.chunks_mut(lane_len) {
+            romix_lane_bytes(lane, r, n);
+        }
+    } else {
+        // Contiguous lane spans per worker; each worker allocates its own
+        // V so peak memory scales with the fan-out width, not with p.
+        let lanes_per_worker = p.div_ceil(workers);
+        let span = lanes_per_worker * lane_len;
+        std::thread::scope(|scope| {
+            for span_chunk in scrypt_blocks.chunks_mut(span) {
+                scope.spawn(move || {
+                    for lane in span_chunk.chunks_mut(lane_len) {
+                        romix_lane_bytes(lane, r, n);
+                    }
+                });
+            }
+        });
+    }
+
+    // DK = PBKDF2-HMAC-SHA-256(P, B, c=1, dkLen).
+    pbkdf2_hmac_sha256(password, &scrypt_blocks, 1, out)?;
+    zeroize(&mut scrypt_blocks);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn words_of(bytes: &[u8]) -> Vec<u32> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    fn bytes_of(words: &[u32]) -> Vec<u8> {
+        words.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    // RFC 7914 §8: Salsa20/8 core.
+    #[test]
+    fn rfc7914_salsa20_8_core() {
+        let input = hex::decode(
+            "7e879a214f3ec9867ca940e641718f26\
+             baee555b8c61c1b50df846116dcd3b1d\
+             ee24f319df9b3d8514121e4b5ac5aa32\
+             76021d2909c74829edebc68db8b8c25e",
+        )
+        .unwrap();
+        let mut block: [u32; 16] = words_of(&input).try_into().unwrap();
+        salsa20_8(&mut block);
+        assert_eq!(
+            hex::encode(&bytes_of(&block)),
+            "a41f859c6608cc993b81cacb020cef05\
+             044b2181a2fd337dfd7b1c6396682f29\
+             b4393168e3c9e6bcfe6bc5b7a06d96ba\
+             e424cc102c91745c24ad673dc7618f81"
+        );
+    }
+
+    // RFC 7914 §9: scryptBlockMix with r = 1.
+    #[test]
+    fn rfc7914_block_mix() {
+        let input = hex::decode(
+            "f7ce0b653d2d72a4108cf5abe912ffdd\
+             777616dbbb27a70e8204f3ae2d0f6fad\
+             89f68f4811d1e87bcc3bd7400a9ffd29\
+             094f0184639574f39ae5a1315217bcd7\
+             894991447213bb226c25b54da86370fb\
+             cd984380374666bb8ffcb5bf40c254b0\
+             67d27c51ce4ad5fed829c90b505a571b\
+             7f4d1cad6a523cda770e67bceaaf7e89",
+        )
+        .unwrap();
+        let want = "a41f859c6608cc993b81cacb020cef05\
+             044b2181a2fd337dfd7b1c6396682f29\
+             b4393168e3c9e6bcfe6bc5b7a06d96ba\
+             e424cc102c91745c24ad673dc7618f81\
+             20edc975323881a80540f64c162dcd3c\
+             21077cfe5f8d5fe2b1a4168f953678b7\
+             7d3b3d803b60e4ab920996e59b4d53b6\
+             5d2a225877d5edf5842cb9f14eefe425";
+        let input_words = words_of(&input);
+        let mut output = vec![0u32; 32];
+        block_mix(&input_words, &mut output, 1);
+        assert_eq!(hex::encode(&bytes_of(&output)), want);
+    }
+
+    // RFC 7914 §10: scryptROMix with r = 1, N = 16.
+    #[test]
+    fn rfc7914_romix() {
+        let input = hex::decode(
+            "f7ce0b653d2d72a4108cf5abe912ffdd\
+             777616dbbb27a70e8204f3ae2d0f6fad\
+             89f68f4811d1e87bcc3bd7400a9ffd29\
+             094f0184639574f39ae5a1315217bcd7\
+             894991447213bb226c25b54da86370fb\
+             cd984380374666bb8ffcb5bf40c254b0\
+             67d27c51ce4ad5fed829c90b505a571b\
+             7f4d1cad6a523cda770e67bceaaf7e89",
+        )
+        .unwrap();
+        let want = "79ccc193629debca047f0b70604bf6b6\
+             2ce3dd4a9626e355fafc6198e6ea2b46\
+             d58413673b99b029d665c357601fb426\
+             a0b2f4bba200ee9f0a43d19b571a9c71\
+             ef1142e65d5a266fddca832ce59faa7c\
+             ac0b9cf1be2bffca300d01ee387619c4\
+             ae12fd4438f203a0e4e1c47ec314861f\
+             4e9087cb33396a6873e8f9d2539a4b8e";
+        let mut lane = words_of(&input);
+        romix(&mut lane, 1, 16);
+        assert_eq!(hex::encode(&bytes_of(&lane)), want);
+    }
+
+    // RFC 7914 §12, vector 1: the empty password/salt case.
+    #[test]
+    fn rfc7914_scrypt_vector_1() {
+        let mut out = [0u8; 64];
+        scrypt(b"", b"", 4, 1, 1, &mut out).unwrap();
+        assert_eq!(
+            hex::encode(&out),
+            "77d6576238657b203b19ca42c18a0497f16b4844e3074ae8dfdffa3fede21442\
+             fcd0069ded0948f8326a753a0fc81f17e8d3e0fb2e0d3628cf35e20c38d18906"
+        );
+    }
+
+    // RFC 7914 §12, vector 2: N=1024, r=8, p=16 — exercises the multi-lane
+    // path (and, via scrypt()'s automatic width, the thread fan-out).
+    #[test]
+    fn rfc7914_scrypt_vector_2() {
+        let mut out = [0u8; 64];
+        scrypt(b"password", b"NaCl", 10, 8, 16, &mut out).unwrap();
+        assert_eq!(
+            hex::encode(&out),
+            "fdbabe1c9d3472007856e7190d01e9fe7c6ad7cbc8237830e77376634b373162\
+             2eaf30d92e22a3886ff109279d9830dac727afb94a83ee6d8360cbdfa2cc0640"
+        );
+    }
+
+    // RFC 7914 §12, vector 3: N=16384, r=8, p=1 — the acceptance-criteria
+    // vector; a 16 MiB single-lane working set.
+    #[test]
+    fn rfc7914_scrypt_vector_3() {
+        let mut out = [0u8; 64];
+        scrypt(b"pleaseletmein", b"SodiumChloride", 14, 8, 1, &mut out).unwrap();
+        assert_eq!(
+            hex::encode(&out),
+            "7023bdcb3afd7348461c06cd81fd38ebfda8fbba904f8e3ea9b543f6545da1f2\
+             d5432955613f0fcf62d49705242a9af9e61e85dc0d651e40dfcf017b45575887"
+        );
+    }
+
+    /// RFC 7914 §12, vector 4: N=2^20, r=8, p=1 — a 1 GiB working set;
+    /// run with `cargo test -p amnesia-crypto --release -- --ignored`.
+    #[test]
+    #[ignore = "1 GiB working set; slow — run with --ignored"]
+    fn rfc7914_scrypt_vector_4() {
+        let mut out = [0u8; 64];
+        scrypt(b"pleaseletmein", b"SodiumChloride", 20, 8, 1, &mut out).unwrap();
+        assert_eq!(
+            hex::encode(&out),
+            "2101cb9b6a511aaeaddbbe09cf70f881ec568d574a2ffd4dabe5ee9820adaa47\
+             8e56fd8f4ba5d09ffa1c6d927c40f4c337304049e8a952fbcbf45c6fa77a41a4"
+        );
+    }
+
+    #[test]
+    fn fanout_width_does_not_change_output() {
+        let mut sequential = [0u8; 40];
+        scrypt_with_fanout(b"pw", b"salt", 5, 2, 4, &mut sequential, 1).unwrap();
+        for fanout in [2usize, 3, 4, 16] {
+            let mut threaded = [0u8; 40];
+            scrypt_with_fanout(b"pw", b"salt", 5, 2, 4, &mut threaded, fanout).unwrap();
+            assert_eq!(threaded, sequential, "fanout={fanout}");
+        }
+    }
+
+    #[test]
+    fn parameters_change_output() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        let mut c = [0u8; 32];
+        let mut d = [0u8; 32];
+        scrypt(b"pw", b"s", 4, 1, 1, &mut a).unwrap();
+        scrypt(b"pw", b"s", 5, 1, 1, &mut b).unwrap();
+        scrypt(b"pw", b"s", 4, 2, 1, &mut c).unwrap();
+        scrypt(b"pw", b"s", 4, 1, 2, &mut d).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn bad_parameters_are_typed_errors() {
+        let mut out = [0u8; 32];
+        assert_eq!(
+            scrypt(b"p", b"s", 0, 1, 1, &mut out),
+            Err(CryptoError::ScryptCostOutOfRange)
+        );
+        assert_eq!(
+            scrypt(b"p", b"s", MAX_LOG_N + 1, 1, 1, &mut out),
+            Err(CryptoError::ScryptCostOutOfRange)
+        );
+        assert_eq!(
+            scrypt(b"p", b"s", 4, 0, 1, &mut out),
+            Err(CryptoError::ScryptBlockSizeOutOfRange)
+        );
+        assert_eq!(
+            scrypt(b"p", b"s", 4, MAX_R + 1, 1, &mut out),
+            Err(CryptoError::ScryptBlockSizeOutOfRange)
+        );
+        assert_eq!(
+            scrypt(b"p", b"s", 4, 1, 0, &mut out),
+            Err(CryptoError::ScryptParallelismOutOfRange)
+        );
+        assert_eq!(
+            scrypt(b"p", b"s", 4, 1, MAX_P + 1, &mut out),
+            Err(CryptoError::ScryptParallelismOutOfRange)
+        );
+        // The output buffer is untouched on error.
+        assert_eq!(out, [0u8; 32]);
+    }
+}

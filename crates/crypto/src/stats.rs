@@ -1,18 +1,30 @@
 //! Process-wide hot-path statistics.
 //!
 //! The crypto crate is dependency-free, so it cannot register metrics with
-//! `amnesia-telemetry` directly. Instead it keeps two lock-free atomics that
-//! the deployment layers mirror into their telemetry registry
-//! (`crypto.hmac.keys_created` and `crypto.pbkdf2.threads` in the report
-//! produced by `amnesia-system`): a counter of [`HmacKey`](crate::HmacKey)
-//! constructions (each one is two extra compression-function calls, so a low
-//! count relative to MAC volume is what "midstate reuse works" looks like),
-//! and the fan-out width the most recent PBKDF2 derivation ran with.
+//! `amnesia-telemetry` directly. Instead it keeps a handful of lock-free
+//! atomics that the deployment layers mirror into their telemetry registry
+//! (the `crypto.*` names in the report produced by `amnesia-system`):
+//!
+//! * `crypto.hmac.keys_created` — [`HmacKey`](crate::HmacKey)
+//!   constructions. Each one is two extra compression-function calls, so a
+//!   low count relative to MAC volume is what "midstate reuse works" looks
+//!   like.
+//! * `crypto.pbkdf2.threads` — fan-out width of the most recent PBKDF2
+//!   derivation.
+//! * `crypto.kdf.cpu.derivations` / `crypto.kdf.memhard.derivations` —
+//!   `kdf::derive` dispatches per hardness family, so a deployment can
+//!   confirm which [`KdfPolicy`](crate::KdfPolicy) rung its verifiers are
+//!   actually paying for.
+//! * `crypto.scrypt.lane_workers` — lane fan-out width of the most recent
+//!   scrypt derivation.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static HMAC_KEYS_CREATED: AtomicU64 = AtomicU64::new(0);
 static PBKDF2_THREADS: AtomicU64 = AtomicU64::new(0);
+static KDF_CPU_DERIVATIONS: AtomicU64 = AtomicU64::new(0);
+static KDF_MEMHARD_DERIVATIONS: AtomicU64 = AtomicU64::new(0);
+static SCRYPT_LANE_WORKERS: AtomicU64 = AtomicU64::new(0);
 
 /// Records one [`HmacKey`](crate::HmacKey) construction.
 pub(crate) fn note_hmac_key_created() {
@@ -35,6 +47,39 @@ pub fn pbkdf2_threads() -> u64 {
     PBKDF2_THREADS.load(Ordering::Relaxed)
 }
 
+/// Records one `kdf::derive` dispatch to the CPU-hard (PBKDF2) family.
+pub(crate) fn note_kdf_cpu_derivation() {
+    KDF_CPU_DERIVATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total CPU-hard (`KdfPolicy::Cpu`) derivations since process start —
+/// mirrored as `crypto.kdf.cpu.derivations` by the deployment layers.
+pub fn kdf_cpu_derivations() -> u64 {
+    KDF_CPU_DERIVATIONS.load(Ordering::Relaxed)
+}
+
+/// Records one `kdf::derive` dispatch to the memory-hard (scrypt) family.
+pub(crate) fn note_kdf_memhard_derivation() {
+    KDF_MEMHARD_DERIVATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total memory-hard (`KdfPolicy::MemoryHard`) derivations since process
+/// start — mirrored as `crypto.kdf.memhard.derivations`.
+pub fn kdf_memhard_derivations() -> u64 {
+    KDF_MEMHARD_DERIVATIONS.load(Ordering::Relaxed)
+}
+
+/// Records the lane-worker count of an scrypt derivation.
+pub(crate) fn note_scrypt_lane_workers(workers: u64) {
+    SCRYPT_LANE_WORKERS.store(workers, Ordering::Relaxed);
+}
+
+/// Lane fan-out width (worker threads) of the most recent scrypt
+/// derivation; zero if none has run yet.
+pub fn scrypt_lane_workers() -> u64 {
+    SCRYPT_LANE_WORKERS.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,5 +91,17 @@ mod tests {
         assert!(hmac_keys_created() > before);
         note_pbkdf2_threads(3);
         assert_eq!(pbkdf2_threads(), 3);
+    }
+
+    #[test]
+    fn kdf_counters_move() {
+        let cpu = kdf_cpu_derivations();
+        let mem = kdf_memhard_derivations();
+        note_kdf_cpu_derivation();
+        note_kdf_memhard_derivation();
+        assert!(kdf_cpu_derivations() > cpu);
+        assert!(kdf_memhard_derivations() > mem);
+        note_scrypt_lane_workers(2);
+        assert_eq!(scrypt_lane_workers(), 2);
     }
 }

@@ -1,6 +1,7 @@
 //! Property-based tests for the cryptographic primitives, on the in-repo
 //! `amnesia-testkit` harness.
 
+use amnesia_crypto::kdf::{self, KdfPolicy};
 use amnesia_crypto::{
     aead, ct_eq, hex, hmac_sha256, pbkdf2_hmac_sha256, pbkdf2_hmac_sha256_with_fanout, sha256,
     sha512, Digest, Hmac, HmacKey, SecretRng, Sha256, Sha512,
@@ -143,6 +144,39 @@ fn pbkdf2_parallel_equals_sequential() {
         pbkdf2_hmac_sha256_with_fanout(&pw, &salt, iters, &mut sequential, 1).unwrap();
         pbkdf2_hmac_sha256_with_fanout(&pw, &salt, iters, &mut threaded, fanout).unwrap();
         require_eq!(sequential, threaded);
+        Ok(())
+    });
+}
+
+/// `kdf::derive` is bit-identical across lane fan-out widths: a `p = 4`
+/// memory-hard derivation run on one worker equals the same derivation run
+/// on four (and on arbitrary sampled widths), for arbitrary parameters and
+/// output lengths. Lane order is fixed by the RFC, so threading must not
+/// be observable in the derived key.
+#[test]
+fn kdf_derive_identical_across_lane_counts() {
+    for_all("kdf derive across lane counts", 24, |g: &mut Gen| {
+        let secret = g.bytes_upto(40);
+        let salt = g.bytes_upto(40);
+        let policy = KdfPolicy::MemoryHard {
+            log_n: g.u64_in(2, 6) as u8,
+            r: g.u64_in(1, 3) as u32,
+            p: 4,
+        };
+        let len = g.usize_in(1, 80);
+        let mut one_lane = vec![0u8; len];
+        let mut four_lanes = vec![0u8; len];
+        let mut sampled = vec![0u8; len];
+        kdf::derive_with_fanout(&policy, &secret, &salt, &mut one_lane, 1).unwrap();
+        kdf::derive_with_fanout(&policy, &secret, &salt, &mut four_lanes, 4).unwrap();
+        let width = g.usize_in(2, 8);
+        kdf::derive_with_fanout(&policy, &secret, &salt, &mut sampled, width).unwrap();
+        require_eq!(one_lane, four_lanes);
+        require_eq!(one_lane, sampled);
+        // And the automatic-width entry point agrees with the pinned one.
+        let mut auto = vec![0u8; len];
+        kdf::derive(&policy, &secret, &salt, &mut auto).unwrap();
+        require_eq!(one_lane, auto);
         Ok(())
     });
 }

@@ -28,7 +28,7 @@ use crate::ring::FleetRouter;
 use amnesia_client::Browser;
 use amnesia_cloud::CloudProvider;
 use amnesia_core::{Domain, GeneratedPassword, PasswordPolicy, Username};
-use amnesia_crypto::{sha256, SecretRng};
+use amnesia_crypto::{sha256, KdfPolicy, SecretRng};
 use amnesia_net::{Frame, LinkProfile, SecureChannel, SimDuration, SimInstant, SimNet};
 use amnesia_phone::{AmnesiaPhone, PhoneConfig, PhoneError, PushOutcome};
 use amnesia_rendezvous::{PushEnvelope, RegistrationId, RendezvousServer};
@@ -112,8 +112,8 @@ pub struct FleetConfig {
     pub rendezvous: usize,
     /// Network latency profile (shared by every link).
     pub profile: NetProfile,
-    /// PBKDF2 iterations on stored verifiers.
-    pub pbkdf2_iterations: u32,
+    /// KDF hardness policy on stored verifiers (shared by every shard).
+    pub kdf_policy: KdfPolicy,
     /// Entry-table size for provisioned phones.
     pub table_size: usize,
     /// Per-session timeout.
@@ -144,7 +144,7 @@ impl Default for FleetConfig {
             shards: 1,
             rendezvous: 1,
             profile: NetProfile::lan(),
-            pbkdf2_iterations: 1,
+            kdf_policy: KdfPolicy::PAPER,
             table_size: 64,
             session_timeout: amnesia_system::session::DEFAULT_TIMEOUT,
             vnodes_per_shard: crate::ring::DEFAULT_VNODES_PER_SHARD,
@@ -449,7 +449,7 @@ impl Fleet {
             let server_config = ServerConfig {
                 endpoint: endpoint.clone(),
                 seed,
-                pbkdf2_iterations: config.pbkdf2_iterations,
+                kdf_policy: config.kdf_policy,
             };
             let mut server = match &config.durable_dir {
                 Some(root) => AmnesiaServer::open_durable(server_config, root.join(&endpoint))

@@ -2,25 +2,35 @@
 
 use crate::error::ServerError;
 use amnesia_core::Salt;
-use amnesia_crypto::{ct_eq, hex, pbkdf2_hmac_sha256, CryptoError, SecretRng};
+use amnesia_crypto::{ct_eq, hex, kdf, CryptoError, KdfPolicy, SecretRng};
+use amnesia_store::codec::{CodecError, Reader, Record};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Number of consecutive failures after which an account locks.
 pub const LOCKOUT_THRESHOLD: u32 = 10;
 
-/// A salted password verifier (`H(MP + salt)` hardened with PBKDF2).
+/// Wire version of the policy-tagged [`Verifier`] record (the legacy
+/// bare-iterations layout is implicitly version 1).
+const VERIFIER_WIRE_VERSION: u8 = 2;
+
+/// A salted password verifier, policy-tagged: `KDF(MP, salt)` under an
+/// explicit [`KdfPolicy`].
 ///
-/// The paper stores a single salted hash; this type generalizes it with a
-/// configurable PBKDF2 iteration count (`iterations = 1` reproduces the
-/// paper's construction: one HMAC-SHA-256 application).
+/// The paper stores a single salted hash; [`KdfPolicy::PAPER`] reproduces
+/// that construction exactly, while the memory-hard ladder rungs harden
+/// the same record against offline guessing. The policy the hash was
+/// derived under is stored alongside it — verification always re-derives
+/// under the *stored* policy, so records created at different rungs
+/// coexist in one database.
 ///
 /// ```
 /// use amnesia_server::auth::Verifier;
-/// use amnesia_crypto::SecretRng;
+/// use amnesia_crypto::{KdfPolicy, SecretRng};
 ///
 /// let mut rng = SecretRng::seeded(1);
-/// let v = Verifier::derive(b"master password", 1000, &mut rng).unwrap();
+/// let policy = KdfPolicy::Cpu { iterations: 1000 };
+/// let v = Verifier::derive(b"master password", &policy, &mut rng).unwrap();
 /// assert!(v.verify(b"master password"));
 /// assert!(!v.verify(b"master passwore"));
 /// ```
@@ -28,54 +38,126 @@ pub const LOCKOUT_THRESHOLD: u32 = 10;
 pub struct Verifier {
     salt: Salt,
     hash: Vec<u8>,
-    iterations: u32,
+    policy: KdfPolicy,
 }
-amnesia_store::record_struct! { Verifier { salt, hash, iterations } }
+
+// Versioned wire format (DESIGN.md §14). Rows written before the policy
+// ladder were `record_struct! { Verifier { salt, hash, iterations } }` —
+// a bare trailing u32 iteration count. The tagged form must be decodable
+// mid-stream (a `Verifier` sits inside the server's `UserRecord`), so it
+// cannot key off "bytes remaining"; instead a zero u32 where `iterations`
+// used to live marks the versioned layout. That sentinel is unambiguous:
+// zero iterations is rejected at derive time ([`CryptoError::ZeroIterations`]),
+// so no valid legacy row can carry it. CPU policies still encode through
+// the legacy field, keeping paper-mode stores byte-identical to the
+// pre-ladder format.
+impl Record for Verifier {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.salt.encode(out);
+        self.hash.encode(out);
+        match self.policy {
+            KdfPolicy::Cpu { iterations } => iterations.encode(out),
+            policy => {
+                0u32.encode(out);
+                VERIFIER_WIRE_VERSION.encode(out);
+                policy.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let salt = Salt::decode(r)?;
+        let hash = Vec::<u8>::decode(r)?;
+        let legacy_iterations = u32::decode(r)?;
+        let policy = if legacy_iterations != 0 {
+            KdfPolicy::Cpu {
+                iterations: legacy_iterations,
+            }
+        } else {
+            let version = u8::decode(r)?;
+            if version != VERIFIER_WIRE_VERSION {
+                return Err(CodecError::InvalidVariant(version as u64));
+            }
+            KdfPolicy::decode(r)?
+        };
+        Ok(Verifier { salt, hash, policy })
+    }
+}
 
 impl fmt::Debug for Verifier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Verifier(0x{}…, {} iters)",
+            "Verifier(0x{}…, {})",
             &hex::encode(&self.hash)[..8],
-            self.iterations
+            self.policy.describe()
         )
     }
 }
 
 impl Verifier {
-    /// Derives a verifier for `secret` with a fresh random salt.
+    /// Derives a verifier for `secret` under `policy` with a fresh random
+    /// salt.
     ///
     /// # Errors
     ///
-    /// Returns [`CryptoError::ZeroIterations`] if `iterations` is zero.
+    /// Returns the [`CryptoError`] for invalid policy parameters (zero
+    /// iterations, out-of-range scrypt cost).
     pub fn derive(
         secret: &[u8],
-        iterations: u32,
+        policy: &KdfPolicy,
         rng: &mut SecretRng,
     ) -> Result<Self, CryptoError> {
         let salt = Salt::random(rng);
         let mut hash = vec![0u8; 32];
-        pbkdf2_hmac_sha256(secret, salt.as_bytes(), iterations, &mut hash)?;
+        kdf::derive(policy, secret, salt.as_bytes(), &mut hash)?;
         Ok(Verifier {
             salt,
             hash,
-            iterations,
+            policy: *policy,
         })
     }
 
-    /// Checks `candidate` against the stored hash in constant time.
+    /// Checks `candidate` against the stored hash in constant time,
+    /// re-deriving under the verifier's stored policy.
     ///
-    /// A verifier whose stored iteration count is invalid (possible only
-    /// via a corrupted record) rejects every candidate rather than
-    /// panicking.
+    /// A verifier whose stored policy is invalid (possible only via a
+    /// corrupted record) rejects every candidate rather than panicking.
     pub fn verify(&self, candidate: &[u8]) -> bool {
         let mut hash = vec![0u8; 32];
-        if pbkdf2_hmac_sha256(candidate, self.salt.as_bytes(), self.iterations, &mut hash).is_err()
-        {
+        if kdf::derive(&self.policy, candidate, self.salt.as_bytes(), &mut hash).is_err() {
             return false;
         }
         ct_eq(&hash, &self.hash)
+    }
+
+    /// [`verify`](Self::verify), refusing a silent hardness downgrade.
+    ///
+    /// `requested` is the policy the deployment's configuration would use
+    /// for this verification. If the record was stored under a stronger
+    /// hardness *class* than the deployment now requests (memory-hard
+    /// record, CPU-only config), the mismatch is an error — the operator
+    /// either misconfigured the tier or something is steering logins onto
+    /// the cheap-to-guess path. The upgrade direction (legacy CPU record
+    /// under a memory-hard deployment) verifies normally; such records are
+    /// re-derived at the stronger rung on the next password change.
+    pub fn verify_expecting(
+        &self,
+        candidate: &[u8],
+        requested: &KdfPolicy,
+    ) -> Result<bool, ServerError> {
+        if self.policy.class() > requested.class() {
+            return Err(ServerError::PolicyDowngrade {
+                stored: self.policy.describe(),
+                requested: requested.describe(),
+            });
+        }
+        Ok(self.verify(candidate))
+    }
+
+    /// The policy the stored hash was derived under.
+    pub fn policy(&self) -> &KdfPolicy {
+        &self.policy
     }
 
     /// The verifier's salt (exposed so Table I can be rendered).
@@ -191,27 +273,44 @@ impl SessionManager {
 mod tests {
     use super::*;
 
+    const CPU_10: KdfPolicy = KdfPolicy::Cpu { iterations: 10 };
+    /// A deliberately tiny memory-hard policy so tests stay fast.
+    const TINY_MEMHARD: KdfPolicy = KdfPolicy::MemoryHard {
+        log_n: 4,
+        r: 1,
+        p: 2,
+    };
+
     #[test]
     fn verifier_accepts_only_exact_secret() {
         let mut rng = SecretRng::seeded(1);
-        let v = Verifier::derive(b"correct horse", 10, &mut rng).unwrap();
+        let v = Verifier::derive(b"correct horse", &CPU_10, &mut rng).unwrap();
         assert!(v.verify(b"correct horse"));
         assert!(!v.verify(b"correct horsf"));
         assert!(!v.verify(b""));
     }
 
     #[test]
+    fn memory_hard_verifier_accepts_only_exact_secret() {
+        let mut rng = SecretRng::seeded(11);
+        let v = Verifier::derive(b"correct horse", &TINY_MEMHARD, &mut rng).unwrap();
+        assert_eq!(v.policy(), &TINY_MEMHARD);
+        assert!(v.verify(b"correct horse"));
+        assert!(!v.verify(b"correct horsf"));
+    }
+
+    #[test]
     fn same_password_different_salt_different_hash() {
         let mut rng = SecretRng::seeded(2);
-        let a = Verifier::derive(b"mp", 10, &mut rng).unwrap();
-        let b = Verifier::derive(b"mp", 10, &mut rng).unwrap();
+        let a = Verifier::derive(b"mp", &CPU_10, &mut rng).unwrap();
+        let b = Verifier::derive(b"mp", &CPU_10, &mut rng).unwrap();
         assert_ne!(a.hash_bytes(), b.hash_bytes());
     }
 
     #[test]
     fn paper_mode_single_iteration() {
         let mut rng = SecretRng::seeded(3);
-        let v = Verifier::derive(b"mp", 1, &mut rng).unwrap();
+        let v = Verifier::derive(b"mp", &KdfPolicy::PAPER, &mut rng).unwrap();
         assert!(v.verify(b"mp"));
     }
 
@@ -219,9 +318,96 @@ mod tests {
     fn zero_iterations_is_rejected() {
         let mut rng = SecretRng::seeded(8);
         assert_eq!(
-            Verifier::derive(b"mp", 0, &mut rng).unwrap_err(),
+            Verifier::derive(b"mp", &KdfPolicy::Cpu { iterations: 0 }, &mut rng).unwrap_err(),
             CryptoError::ZeroIterations
         );
+    }
+
+    #[test]
+    fn cpu_record_encodes_byte_identical_to_legacy_layout() {
+        // Pre-ladder rows were `record_struct! { salt, hash, iterations }`.
+        // CPU policies must keep producing exactly those bytes so existing
+        // durable stores neither change on rewrite nor need migration.
+        #[derive(PartialEq, Debug)]
+        struct LegacyVerifier {
+            salt: Salt,
+            hash: Vec<u8>,
+            iterations: u32,
+        }
+        amnesia_store::record_struct! { LegacyVerifier { salt, hash, iterations } }
+
+        let mut rng = SecretRng::seeded(21);
+        let v = Verifier::derive(b"mp", &CPU_10, &mut rng).unwrap();
+        let legacy = LegacyVerifier {
+            salt: v.salt().clone(),
+            hash: v.hash_bytes().to_vec(),
+            iterations: 10,
+        };
+        assert_eq!(
+            amnesia_store::codec::to_bytes(&v).unwrap(),
+            amnesia_store::codec::to_bytes(&legacy).unwrap()
+        );
+    }
+
+    #[test]
+    fn legacy_bytes_decode_as_cpu_policy() {
+        #[derive(PartialEq, Debug)]
+        struct LegacyVerifier {
+            salt: Salt,
+            hash: Vec<u8>,
+            iterations: u32,
+        }
+        amnesia_store::record_struct! { LegacyVerifier { salt, hash, iterations } }
+
+        let mut rng = SecretRng::seeded(22);
+        let legacy = LegacyVerifier {
+            salt: Salt::random(&mut rng),
+            hash: vec![0xab; 32],
+            iterations: 1,
+        };
+        let bytes = amnesia_store::codec::to_bytes(&legacy).unwrap();
+        let decoded: Verifier = amnesia_store::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded.policy(), &KdfPolicy::Cpu { iterations: 1 });
+        assert_eq!(decoded.salt(), &legacy.salt);
+        assert_eq!(decoded.hash_bytes(), &legacy.hash[..]);
+    }
+
+    #[test]
+    fn memory_hard_record_roundtrips_versioned() {
+        let mut rng = SecretRng::seeded(23);
+        let v = Verifier::derive(b"mp", &TINY_MEMHARD, &mut rng).unwrap();
+        let bytes = amnesia_store::codec::to_bytes(&v).unwrap();
+        // The sentinel (zero u32) sits right after the salt and hash.
+        assert_eq!(&bytes[16 + 1 + 32..16 + 1 + 32 + 4], &[0, 0, 0, 0]);
+        let decoded: Verifier = amnesia_store::codec::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, v);
+        assert!(decoded.verify(b"mp"));
+    }
+
+    #[test]
+    fn unknown_wire_version_is_a_decode_error() {
+        let mut rng = SecretRng::seeded(24);
+        let v = Verifier::derive(b"mp", &TINY_MEMHARD, &mut rng).unwrap();
+        let mut bytes = amnesia_store::codec::to_bytes(&v).unwrap();
+        bytes[16 + 1 + 32 + 4] = 99; // corrupt the version byte
+        let decoded: Result<Verifier, _> = amnesia_store::codec::from_bytes(&bytes);
+        assert_eq!(decoded.unwrap_err(), CodecError::InvalidVariant(99));
+    }
+
+    #[test]
+    fn downgrade_is_refused_upgrade_is_allowed() {
+        let mut rng = SecretRng::seeded(25);
+        let hard = Verifier::derive(b"mp", &TINY_MEMHARD, &mut rng).unwrap();
+        // MemoryHard record, CPU request: refused regardless of candidate.
+        let err = hard.verify_expecting(b"mp", &KdfPolicy::PAPER).unwrap_err();
+        assert!(matches!(err, ServerError::PolicyDowngrade { .. }));
+        // Same class: verifies.
+        assert!(hard.verify_expecting(b"mp", &KdfPolicy::PARANOID).unwrap());
+        // Legacy CPU record under a memory-hard deployment: allowed
+        // (upgrade path), and still verifies under its stored policy.
+        let legacy = Verifier::derive(b"mp", &KdfPolicy::PAPER, &mut rng).unwrap();
+        assert!(legacy.verify_expecting(b"mp", &TINY_MEMHARD).unwrap());
+        assert!(!legacy.verify_expecting(b"wrong", &TINY_MEMHARD).unwrap());
     }
 
     #[test]
@@ -278,8 +464,10 @@ mod tests {
     #[test]
     fn debug_redacts() {
         let mut rng = SecretRng::seeded(7);
-        let v = Verifier::derive(b"mp", 1, &mut rng).unwrap();
-        assert!(format!("{v:?}").len() < 40);
+        let v = Verifier::derive(b"mp", &KdfPolicy::PAPER, &mut rng).unwrap();
+        let dbg = format!("{v:?}");
+        assert!(dbg.len() < 64, "debug leaks too much: {dbg}");
+        assert!(!dbg.contains(&hex::encode(v.hash_bytes())));
         let mut mgr = SessionManager::new();
         let s = mgr.issue("u", &mut rng);
         assert!(!format!("{s:?}").contains(s.as_str()));

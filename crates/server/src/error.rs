@@ -50,6 +50,16 @@ pub enum ServerError {
     /// A cryptographic parameter error (e.g. a zero PBKDF2 iteration count
     /// in the server configuration).
     Crypto(amnesia_crypto::CryptoError),
+    /// A verifier stored under a memory-hard policy was asked to verify
+    /// under a weaker (CPU-only) deployment policy. Refusing makes a
+    /// hardness downgrade — misconfiguration or an attacker steering
+    /// logins onto the cheap-to-guess path — loud instead of silent.
+    PolicyDowngrade {
+        /// Parameter summary of the policy the record was derived under.
+        stored: String,
+        /// Parameter summary of the weaker policy the deployment requested.
+        requested: String,
+    },
     /// A storage error.
     Store(String),
 }
@@ -77,6 +87,11 @@ impl fmt::Display for ServerError {
             ServerError::VaultCorrupt => write!(f, "vault entry failed to decrypt"),
             ServerError::Core(e) => write!(f, "core error: {e}"),
             ServerError::Crypto(e) => write!(f, "crypto error: {e}"),
+            ServerError::PolicyDowngrade { stored, requested } => write!(
+                f,
+                "refusing KDF policy downgrade: record stored under {stored}, \
+                 deployment requested {requested}"
+            ),
             ServerError::Store(msg) => write!(f, "storage error: {msg}"),
         }
     }

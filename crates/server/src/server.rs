@@ -11,7 +11,7 @@ use amnesia_core::{
     derive_intermediate, derive_password, AccountEntry, Domain, EntryTable, GeneratedPassword,
     OnlineId, PasswordPolicy, PasswordRequest, PhoneId, Seed, Token, Username,
 };
-use amnesia_crypto::{aead, SecretRng};
+use amnesia_crypto::{aead, KdfPolicy, SecretRng};
 use amnesia_net::SimInstant;
 use amnesia_rendezvous::{PushEnvelope, RegistrationId};
 use amnesia_store::{Database, TypedTable};
@@ -30,9 +30,11 @@ pub struct ServerConfig {
     pub endpoint: String,
     /// Seed for all server-side randomness (`Oid`, `σ`, salts, sessions).
     pub seed: u64,
-    /// PBKDF2 iterations for stored verifiers (1 = the paper's plain
-    /// salted hash).
-    pub pbkdf2_iterations: u32,
+    /// KDF hardness policy for stored verifiers. [`KdfPolicy::PAPER`]
+    /// (one PBKDF2 iteration) reproduces the paper's plain salted hash;
+    /// the memory-hard ladder rungs (`KdfPolicy::INTERACTIVE`/`BALANCED`/
+    /// `PARANOID`) price offline guessing in attacker silicon area × time.
+    pub kdf_policy: KdfPolicy,
 }
 
 impl Default for ServerConfig {
@@ -40,7 +42,7 @@ impl Default for ServerConfig {
         ServerConfig {
             endpoint: "amnesia-server".into(),
             seed: 0,
-            pbkdf2_iterations: 1,
+            kdf_policy: KdfPolicy::PAPER,
         }
     }
 }
@@ -218,20 +220,40 @@ impl AmnesiaServer {
                 user_id: user_id.into(),
             });
         }
+        let mp_verifier = self.derive_verifier(master_password.as_bytes())?;
         let record = UserRecord {
             user_id: user_id.into(),
             oid: OnlineId::random(&mut self.rng),
-            mp_verifier: Verifier::derive(
-                master_password.as_bytes(),
-                self.config.pbkdf2_iterations,
-                &mut self.rng,
-            )?,
+            mp_verifier,
             pid_verifier: None,
             registration_id: None,
             accounts: Vec::new(),
         };
         self.users.insert(&user_id.to_string(), &record)?;
         Ok(())
+    }
+
+    /// Derives a verifier under the deployment's [`KdfPolicy`], timing the
+    /// derivation into the per-class latency histogram
+    /// (`crypto.kdf.{cpu,memhard}.derive_us`).
+    fn derive_verifier(&mut self, secret: &[u8]) -> Result<Verifier, ServerError> {
+        let _kdf = self.telemetry.span(
+            Self::kdf_span_name(&self.config.kdf_policy),
+            WallClock::new(),
+        );
+        Ok(Verifier::derive(
+            secret,
+            &self.config.kdf_policy,
+            &mut self.rng,
+        )?)
+    }
+
+    /// Histogram name for one KDF execution under `policy`.
+    fn kdf_span_name(policy: &KdfPolicy) -> &'static str {
+        match policy.class_name() {
+            "memhard" => "crypto.kdf.memhard.derive_us",
+            _ => "crypto.kdf.cpu.derive_us",
+        }
     }
 
     fn load_user(&self, user_id: &str) -> Result<UserRecord, ServerError> {
@@ -258,7 +280,20 @@ impl AmnesiaServer {
             });
         }
         let record = self.load_user(user_id)?;
-        if record.mp_verifier.verify(master_password.as_bytes()) {
+        // Verification re-derives under the *stored* policy (the hash is a
+        // function of it); `verify_expecting` additionally refuses to serve
+        // a memory-hard record under a CPU-only deployment config, so a
+        // hardness downgrade is a loud error, never a silent weakening.
+        let ok = {
+            let _kdf = self.telemetry.span(
+                Self::kdf_span_name(record.mp_verifier.policy()),
+                WallClock::new(),
+            );
+            record
+                .mp_verifier
+                .verify_expecting(master_password.as_bytes(), &self.config.kdf_policy)?
+        };
+        if ok {
             self.sessions.clear_failures(user_id);
             Ok(record)
         } else {
@@ -336,11 +371,7 @@ impl AmnesiaServer {
             _ => return Err(ServerError::BadCaptcha),
         }
         self.captchas.remove(user_id);
-        record.pid_verifier = Some(Verifier::derive(
-            pid.as_bytes(),
-            self.config.pbkdf2_iterations,
-            &mut self.rng,
-        )?);
+        record.pid_verifier = Some(self.derive_verifier(pid.as_bytes())?);
         record.registration_id = Some(registration_id);
         self.store_user(&record)
     }
@@ -693,7 +724,7 @@ impl AmnesiaServer {
             .pid_verifier
             .as_ref()
             .ok_or(ServerError::NoPhonePaired)?;
-        if !pid_verifier.verify(backup.pid.as_bytes()) {
+        if !pid_verifier.verify_expecting(backup.pid.as_bytes(), &self.config.kdf_policy)? {
             return Err(ServerError::PidMismatch);
         }
         let table = EntryTable::from_entries(backup.entries.clone())?;
@@ -757,14 +788,12 @@ impl AmnesiaServer {
             .pid_verifier
             .as_ref()
             .ok_or(ServerError::NoPhonePaired)?;
-        if !pid_verifier.verify(pid.as_bytes()) {
+        if !pid_verifier.verify_expecting(pid.as_bytes(), &self.config.kdf_policy)? {
             return Err(ServerError::PidMismatch);
         }
-        record.mp_verifier = Verifier::derive(
-            new_master_password.as_bytes(),
-            self.config.pbkdf2_iterations,
-            &mut self.rng,
-        )?;
+        // Re-deriving here is the upgrade path: a legacy CPU record becomes
+        // a record at the deployment's current rung on password change.
+        record.mp_verifier = self.derive_verifier(new_master_password.as_bytes())?;
         self.store_user(&record)?;
         self.sessions.revoke_all_for(user_id);
         Ok(())
@@ -1092,7 +1121,7 @@ mod tests {
         AmnesiaServer::new(ServerConfig {
             endpoint: "server".into(),
             seed: 99,
-            pbkdf2_iterations: 1,
+            kdf_policy: KdfPolicy::PAPER,
         })
     }
 

@@ -186,7 +186,8 @@ mod tests {
         UserRecord {
             user_id: "alice".into(),
             oid: OnlineId::random(&mut rng),
-            mp_verifier: Verifier::derive(b"mp", 1, &mut rng).unwrap(),
+            mp_verifier: Verifier::derive(b"mp", &amnesia_crypto::KdfPolicy::PAPER, &mut rng)
+                .unwrap(),
             pid_verifier: None,
             registration_id: None,
             accounts: vec![StoredAccount {
@@ -218,7 +219,8 @@ mod tests {
         let mut r = record();
         assert!(!r.phone_paired());
         let mut rng = SecretRng::seeded(32);
-        r.pid_verifier = Some(Verifier::derive(b"pid", 1, &mut rng).unwrap());
+        r.pid_verifier =
+            Some(Verifier::derive(b"pid", &amnesia_crypto::KdfPolicy::PAPER, &mut rng).unwrap());
         assert!(!r.phone_paired());
     }
 

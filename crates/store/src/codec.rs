@@ -544,6 +544,19 @@ macro_rules! __record_decode_one {
     };
 }
 
+// `amnesia_crypto::KdfPolicy` crosses the store boundary inside
+// policy-tagged verifier records. The wire form lives here because this
+// crate owns `Record` (coherence forbids implementing it downstream):
+// variant 0 is `Cpu`, 1 is `MemoryHard`, payload fields in declaration
+// order. Versioning of the *surrounding* verifier record (legacy
+// bare-iterations rows) is handled by the record's own encoding in
+// `amnesia-server`; this impl only defines the policy payload.
+use amnesia_crypto::KdfPolicy;
+crate::record_enum! { KdfPolicy {
+    0 => Cpu { iterations },
+    1 => MemoryHard { log_n, r, p },
+} }
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -629,6 +642,29 @@ mod tests {
         roundtrip(Shape::Newtype(42));
         roundtrip(Shape::Tuple(-3, "t".into()));
         roundtrip(Shape::Struct { x: 1.0, y: -2.0 });
+    }
+
+    #[test]
+    fn kdf_policy_roundtrip_and_wire_format() {
+        roundtrip(KdfPolicy::Cpu { iterations: 1 });
+        roundtrip(KdfPolicy::PAPER);
+        for (_, rung) in KdfPolicy::ladder() {
+            roundtrip(rung);
+        }
+        // Pinned wire form: variant index, then fields little-endian.
+        assert_eq!(
+            to_bytes(&KdfPolicy::Cpu { iterations: 7 }).unwrap(),
+            vec![0, 7, 0, 0, 0]
+        );
+        assert_eq!(
+            to_bytes(&KdfPolicy::MemoryHard {
+                log_n: 15,
+                r: 8,
+                p: 2
+            })
+            .unwrap(),
+            vec![1, 15, 8, 0, 0, 0, 2, 0, 0, 0]
+        );
     }
 
     #[test]

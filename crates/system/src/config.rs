@@ -1,5 +1,6 @@
 //! Deployment configuration and calibrated network profiles.
 
+use amnesia_crypto::KdfPolicy;
 use amnesia_net::{LatencyModel, SimDuration};
 
 /// Per-leg latency models plus component compute times.
@@ -128,8 +129,9 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Network latency profile.
     pub profile: NetProfile,
-    /// PBKDF2 iterations on stored verifiers (1 = the paper's salted hash).
-    pub pbkdf2_iterations: u32,
+    /// KDF hardness policy on stored verifiers ([`KdfPolicy::PAPER`] =
+    /// the paper's salted hash; ladder rungs buy memory-hardness).
+    pub kdf_policy: KdfPolicy,
     /// Entry-table size `N` for newly installed phones.
     pub table_size: usize,
     /// Whether browser↔server and phone↔server traffic is sealed with the
@@ -156,7 +158,7 @@ impl Default for SystemConfig {
         SystemConfig {
             seed: 0,
             profile: NetProfile::lan(),
-            pbkdf2_iterations: 1,
+            kdf_policy: KdfPolicy::PAPER,
             table_size: amnesia_core::EntryTable::DEFAULT_SIZE,
             secure_channels: true,
             session_timeout: crate::session::DEFAULT_TIMEOUT,
@@ -182,6 +184,12 @@ impl SystemConfig {
     /// Overrides the phone entry-table size.
     pub fn with_table_size(mut self, table_size: usize) -> Self {
         self.table_size = table_size;
+        self
+    }
+
+    /// Selects the KDF hardness rung for stored verifiers.
+    pub fn with_kdf_policy(mut self, kdf_policy: KdfPolicy) -> Self {
+        self.kdf_policy = kdf_policy;
         self
     }
 

@@ -38,6 +38,7 @@ use crate::error::SystemError;
 use crate::session::{Action, Event, FlowSpec, Origin, Session, SessionId, SessionOutcome};
 use amnesia_client::Browser;
 use amnesia_core::{Domain, PasswordPolicy, PhoneId, Username};
+use amnesia_crypto::KdfPolicy;
 use amnesia_net::SimInstant;
 use amnesia_phone::{AmnesiaPhone, ConfirmPolicy, PhoneConfig, PushOutcome};
 use amnesia_rendezvous::{PushEnvelope, RegistrationId};
@@ -68,6 +69,8 @@ pub struct RealtimeConfig {
     pub phone_seed: u64,
     /// Entry-table size `N`.
     pub table_size: usize,
+    /// KDF hardness rung for the server's stored verifiers.
+    pub kdf_policy: KdfPolicy,
 }
 
 /// Messages entering the server thread.
@@ -108,6 +111,7 @@ impl RealtimeDeployment {
             server_seed: seed,
             phone_seed: seed.wrapping_add(1),
             table_size: 512,
+            kdf_policy: KdfPolicy::PAPER,
         })
     }
 
@@ -142,11 +146,12 @@ impl RealtimeDeployment {
         let server_to_gcm = to_gcm.clone();
         let server_browser_tx = browser_tx;
         let server_seed = config.server_seed;
+        let server_kdf_policy = config.kdf_policy;
         let server_handle = std::thread::spawn(move || {
             let mut server = AmnesiaServer::new(ServerConfig {
                 endpoint: "amnesia-server".into(),
                 seed: server_seed,
-                pbkdf2_iterations: 1,
+                kdf_policy: server_kdf_policy,
             });
             while let Ok(inbound) = server_rx.recv() {
                 let message = match inbound {
@@ -451,6 +456,7 @@ mod tests {
             server_seed: 41,
             phone_seed: 42,
             table_size: 64,
+            kdf_policy: KdfPolicy::PAPER,
         };
         assert_eq!(run(base.clone()), run(base.clone()));
         // Changing either secret-bearing seed changes the password.

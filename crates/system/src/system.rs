@@ -149,7 +149,7 @@ impl AmnesiaSystem {
         let mut server = AmnesiaServer::new(ServerConfig {
             endpoint: SERVER_ENDPOINT.into(),
             seed: server_seed,
-            pbkdf2_iterations: config.pbkdf2_iterations,
+            kdf_policy: config.kdf_policy,
         });
         server.set_telemetry(telemetry.clone());
         let mut gcm = RendezvousServer::new(GCM_ENDPOINT, seed_rng.next_u64());
@@ -1442,16 +1442,34 @@ impl AmnesiaSystem {
     /// The crypto crate is dependency-free and cannot record directly;
     /// its process-wide hot-path stats are mirrored in here on every
     /// access, so reports and snapshots always carry the current
-    /// `crypto.hmac.keys_created` count and `crypto.pbkdf2.threads`
-    /// fan-out width.
+    /// `crypto.hmac.keys_created` and `crypto.kdf.{cpu,memhard}.derivations`
+    /// counts plus the `crypto.pbkdf2.threads` and
+    /// `crypto.scrypt.lane_workers` fan-out widths.
     pub fn telemetry(&self) -> &Registry {
-        let counter = self.telemetry.counter("crypto.hmac.keys_created");
-        let created = amnesia_crypto::stats::hmac_keys_created();
         // Counters are monotonic: add only the delta since the last mirror.
-        counter.add(created.saturating_sub(counter.get()));
+        for (name, current) in [
+            (
+                "crypto.hmac.keys_created",
+                amnesia_crypto::stats::hmac_keys_created(),
+            ),
+            (
+                "crypto.kdf.cpu.derivations",
+                amnesia_crypto::stats::kdf_cpu_derivations(),
+            ),
+            (
+                "crypto.kdf.memhard.derivations",
+                amnesia_crypto::stats::kdf_memhard_derivations(),
+            ),
+        ] {
+            let counter = self.telemetry.counter(name);
+            counter.add(current.saturating_sub(counter.get()));
+        }
         self.telemetry
             .gauge("crypto.pbkdf2.threads")
             .set_u64(amnesia_crypto::stats::pbkdf2_threads());
+        self.telemetry
+            .gauge("crypto.scrypt.lane_workers")
+            .set_u64(amnesia_crypto::stats::scrypt_lane_workers());
         &self.telemetry
     }
 }

@@ -50,16 +50,29 @@ echo "==> telemetry report smoke run"
 cargo run -q --release --offline --locked -p amnesia-bench \
     --bin telemetry_report >/dev/null
 
-echo "==> crypto throughput smoke run"
-# Quick-mode bench: exercises the HMAC midstate / PBKDF2 fan-out hot path
-# end to end and self-validates every metric > 0. The committed baseline
+echo "==> crypto throughput smoke run (RFC 7914 KATs + KDF ladder sweep)"
+# Quick-mode bench: runs the RFC 7914 scrypt known-answer vectors (the
+# binary exits nonzero on any KAT mismatch), exercises the HMAC midstate /
+# PBKDF2 fan-out hot path end to end, sweeps the KdfPolicy ladder, and
+# self-validates every metric > 0. The committed baseline
 # (BENCH_CRYPTO.json) is regenerated separately with a full run.
 mkdir -p target
 cargo run -q --release --offline --locked -p amnesia-bench \
     --bin bench_crypto -- --quick --out target/BENCH_CRYPTO.quick.json
-for metric in hmac_msgs_per_sec pbkdf2_iters_per_sec e2e_generate_p50_ns; do
+for metric in hmac_msgs_per_sec pbkdf2_iters_per_sec e2e_generate_p50_ns \
+    kdf_ladder; do
     if ! grep -q "\"$metric\"" target/BENCH_CRYPTO.quick.json; then
         echo "error: $metric missing from target/BENCH_CRYPTO.quick.json" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"scrypt_kats": "pass"' target/BENCH_CRYPTO.quick.json; then
+    echo "error: scrypt KATs did not pass in target/BENCH_CRYPTO.quick.json" >&2
+    exit 1
+fi
+for rung in interactive balanced paranoid; do
+    if ! grep -q "\"rung\":\"$rung\"" target/BENCH_CRYPTO.quick.json; then
+        echo "error: ladder rung $rung missing from target/BENCH_CRYPTO.quick.json" >&2
         exit 1
     fi
 done

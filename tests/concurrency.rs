@@ -212,6 +212,7 @@ fn sim_and_realtime_runtimes_derive_identical_passwords() {
         server_seed: sys.server_seed(),
         phone_seed,
         table_size,
+        kdf_policy: amnesia::crypto::KdfPolicy::PAPER,
     });
     rt.setup_user("mirror", "master password").unwrap();
 

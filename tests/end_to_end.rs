@@ -65,7 +65,7 @@ fn server_restart_from_snapshot_preserves_passwords() {
         amnesia::server::ServerConfig {
             endpoint: "amnesia-server".into(),
             seed: 999,
-            pbkdf2_iterations: 1,
+            kdf_policy: amnesia::crypto::KdfPolicy::PAPER,
         },
         &path,
     )

@@ -200,6 +200,63 @@ fn server_stores_no_reversible_credentials() {
 }
 
 #[test]
+fn kdf_policy_downgrade_is_rejected_at_login() {
+    use amnesia::crypto::KdfPolicy;
+    use amnesia::server::{AmnesiaServer, ServerConfig, ServerError};
+    use amnesia::system::{AmnesiaSystem, SystemConfig};
+
+    // A deployment provisioned at a memory-hard rung (tiny parameters so
+    // the test stays fast; the *class* is what matters).
+    let tiny = KdfPolicy::MemoryHard {
+        log_n: 4,
+        r: 1,
+        p: 1,
+    };
+    let mut sys = AmnesiaSystem::new(
+        SystemConfig::default()
+            .with_seed(11)
+            .with_table_size(128)
+            .with_kdf_policy(tiny),
+    );
+    sys.add_browser("browser");
+    sys.add_phone("phone", 200);
+    sys.setup_user("mona", "a strong master password", "browser", "phone")
+        .unwrap();
+    assert_eq!(
+        *sys.server()
+            .user_record("mona")
+            .unwrap()
+            .mp_verifier
+            .policy(),
+        tiny
+    );
+
+    // Snapshot the database and "restart" the server misconfigured back to
+    // the CPU-only rung. Login must fail loudly — never silently serve the
+    // memory-hard record at reduced hardness.
+    let path = std::env::temp_dir().join(format!(
+        "amnesia-downgrade-{}-{:?}.db",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    sys.server().save_to(&path).unwrap();
+    let mut downgraded = AmnesiaServer::open(
+        ServerConfig {
+            endpoint: "amnesia-server".into(),
+            seed: 999,
+            kdf_policy: KdfPolicy::PAPER,
+        },
+        &path,
+    )
+    .unwrap();
+    assert!(matches!(
+        downgraded.login("mona", "a strong master password"),
+        Err(ServerError::PolicyDowngrade { .. })
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn replayed_tokens_are_rejected_by_pending_tracking() {
     use amnesia::net::SimInstant;
     use amnesia::server::protocol::TokenResponse;
